@@ -1,0 +1,83 @@
+// Ablation (paper §3.4's third loss "trick"): what does the asymmetric
+// Hüber buy over a symmetric one? Trains both on the cached Online
+// Boutique dataset and compares (a) the signed prediction bias and (b) the
+// SLO-compliance of solver configurations measured on the cluster — the
+// asymmetry exists precisely to keep under-estimation (hidden SLO
+// violations) rare.
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "core/latency_predictor.h"
+#include "core/sample_collector.h"
+
+namespace {
+
+struct Variant {
+  std::string name;
+  double theta_under;
+  double theta_over;
+};
+
+}  // namespace
+
+int main() {
+  using namespace graf;
+  auto stack = bench::build_or_load_stack(bench::online_boutique_stack_config());
+
+  const Variant variants[] = {
+      {"asymmetric (0.3/0.1)", 0.3, 0.1},
+      {"symmetric (0.2/0.2)", 0.2, 0.2},
+      {"inverted (0.1/0.3)", 0.1, 0.3},
+  };
+
+  sim::Cluster cluster = apps::make_cluster(stack.topo, {.seed = 95});
+  core::WorkloadAnalyzer analyzer{cluster.api_count(), cluster.service_count()};
+  analyzer.set_fanout(stack.fanout);
+  core::SampleCollectorConfig mcfg;
+  mcfg.closed_loop = true;  // measure with the training load model
+  core::SampleCollector measurer{cluster, analyzer, mcfg};
+  const auto workload = stack.node_workload(stack.base_qps);
+
+  Table table{"Ablation: loss asymmetry (Online Boutique dataset)"};
+  table.header({"loss", "test MAPE (%)", "signed bias (%)", "SLO compliance"});
+
+  for (const auto& v : variants) {
+    core::LatencyPredictor pred{stack.dag, gnn::MpnnConfig{}, 97};
+    gnn::TrainConfig tcfg;
+    tcfg.iterations = 4000;
+    tcfg.batch_size = 128;
+    tcfg.lr = 1e-3;
+    tcfg.lr_decay_every = 1000;
+    tcfg.eval_every = 500;
+    tcfg.theta_under = v.theta_under;
+    tcfg.theta_over = v.theta_over;
+    pred.train(stack.dataset, tcfg);
+    const auto acc = pred.model().evaluate_accuracy(pred.test_set());
+
+    // Solve + measure at three SLOs; the margin is disabled so compliance
+    // reflects the loss-induced bias alone.
+    core::SolverConfig scfg;
+    scfg.slo_margin = 1.0;
+    core::ConfigurationSolver solver{pred.model(), scfg};
+    int ok = 0;
+    int n = 0;
+    for (double f : {1.3, 1.6, 2.0}) {
+      const double slo = stack.floor_p99 * f;
+      const auto res = solver.solve(workload, slo, stack.space.lo, stack.space.hi);
+      for (std::size_t s = 0; s < res.quota.size(); ++s)
+        cluster.apply_total_quota(static_cast<int>(s), res.quota[s], 1000.0);
+      const double measured = measurer.measure_tail(stack.base_qps, 20.0, 99.0);
+      ++n;
+      if (measured <= slo) ++ok;
+    }
+    table.row({v.name, Table::num(acc.mean_abs_pct_error, 1),
+               Table::num(acc.mean_pct_error, 1),
+               Table::integer(ok) + "/" + Table::integer(n)});
+  }
+  table.print(std::cout);
+  std::cout << "Expectation: the paper's orientation (theta_under > theta_over)\n"
+               "shifts the bias upward and yields the best SLO compliance; the\n"
+               "inverted orientation under-estimates and violates most.\n";
+  return 0;
+}

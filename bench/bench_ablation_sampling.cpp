@@ -1,0 +1,78 @@
+// Ablation (paper §5.1 "Efficient Sample Collection"): what does the
+// state-aware sample collector's reduced search space buy over naive
+// exploration at an equal sample budget? Collects the same number of
+// samples (a) inside the Algorithm-1 box and (b) uniformly over the full
+// quota space, trains identical models, and evaluates both on a held-out
+// set drawn from the reduced region — the region the solver actually
+// operates in.
+#include <iostream>
+
+#include "apps/catalog.h"
+#include "bench_common.h"
+#include "common/table.h"
+#include "core/latency_predictor.h"
+#include "core/sample_collector.h"
+#include "core/workload_analyzer.h"
+
+int main() {
+  using namespace graf;
+  auto topo = apps::bookinfo();  // small app so the double collection is quick
+  const std::vector<Qps> base{60.0};
+  const double slo = 200.0;
+  const std::size_t budget = 1500;
+
+  sim::Cluster cluster = apps::make_cluster(topo, {.seed = 99});
+  core::WorkloadAnalyzer analyzer{cluster.api_count(), cluster.service_count()};
+  core::SampleCollectorConfig scfg;
+  scfg.window = 8.0;
+  core::SampleCollector collector{cluster, analyzer, scfg};
+
+  std::cerr << "[bench] Algorithm 1 search-space reduction...\n";
+  const auto reduced = collector.reduce_search_space(base, slo);
+  core::SearchSpace full;
+  full.lo.assign(topo.service_count(), scfg.quota_floor);
+  full.hi.assign(topo.service_count(), scfg.quota_hi);
+
+  std::cerr << "[bench] collecting " << budget << " state-aware samples...\n";
+  auto smart = collector.collect(budget, reduced, base, 0.6, 1.1);
+  std::cerr << "[bench] collecting " << budget << " naive samples...\n";
+  auto naive = collector.collect(budget, full, base, 0.6, 1.1);
+  // Common test set from the operating region.
+  std::cerr << "[bench] collecting the held-out test set...\n";
+  auto test = collector.collect(400, reduced, base, 0.6, 1.1);
+
+  gnn::TrainConfig tcfg;
+  tcfg.iterations = 4000;
+  tcfg.batch_size = 128;
+  tcfg.lr = 1e-3;
+  tcfg.lr_decay_every = 1000;
+  tcfg.eval_every = 500;
+
+  const auto dag = apps::make_dag(topo);
+  Table table{"Ablation: state-aware vs naive sample collection (" +
+              Table::integer(static_cast<long long>(budget)) + " samples each)"};
+  table.header({"collector", "volume explored", "test MAPE (%)", "signed (%)"});
+
+  {
+    core::LatencyPredictor pred{dag, gnn::MpnnConfig{}, 101};
+    pred.train(smart, tcfg, 0.15, 0.0);
+    const auto acc = pred.model().evaluate_accuracy(test);
+    table.row({"state-aware (Algorithm 1)",
+               Table::num(reduced.volume_ratio(scfg.quota_floor, scfg.quota_hi), 4),
+               Table::num(acc.mean_abs_pct_error, 1),
+               Table::num(acc.mean_pct_error, 1)});
+  }
+  {
+    core::LatencyPredictor pred{dag, gnn::MpnnConfig{}, 101};
+    pred.train(naive, tcfg, 0.15, 0.0);
+    const auto acc = pred.model().evaluate_accuracy(test);
+    table.row({"naive (full space)", "1.0000",
+               Table::num(acc.mean_abs_pct_error, 1),
+               Table::num(acc.mean_pct_error, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "Expectation (paper §5.1): concentrating the identical budget in\n"
+               "the reduced region fits the operating region better; the naive\n"
+               "collector wastes samples on hopeless corners.\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 1: time to create 1/2/4/8/16 microservice instances at once on a
+// single worker node. Paper measurements: 5.5 / 8.7 / 12.5 / 23.6 / 45.6 s.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "sim/deployment.h"
+#include "sim/event_queue.h"
+
+int main() {
+  using namespace graf;
+
+  Table table{"Figure 1: time to create N instances at once (single node)"};
+  table.header({"instances", "simulated (s)", "paper (s)", "closed form (s)"});
+
+  const int batches[] = {1, 2, 4, 8, 16};
+  const double paper[] = {5.5, 8.7, 12.5, 23.6, 45.6};
+
+  for (int i = 0; i < 5; ++i) {
+    sim::EventQueue q;
+    sim::Deployment dep{q, {.nodes = 1}};
+    std::vector<double> ready;
+    for (int n = 0; n < batches[i]; ++n)
+      dep.request_creation([&] { ready.push_back(q.now()); });
+    q.run_all();
+    const double batch_time = *std::max_element(ready.begin(), ready.end());
+    table.row({Table::integer(batches[i]), Table::num(batch_time, 1),
+               Table::num(paper[i], 1),
+               Table::num(dep.batch_completion_time(batches[i]), 1)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Figure 7: the workload each microservice *perceives* during a cart-page
+// flood — the cascading effect made visible. Under the K8s autoscaler each
+// service reaches its peak throughput only after every service before it in
+// the chain has finished scaling (paper: Frontend at 31 s, Cart at 118 s,
+// the rest at ~155 s); with proactive whole-chain scaling every service
+// reaches its peak at roughly the same time (~58 s).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "autoscalers/k8s_hpa.h"
+#include "autoscalers/proactive_oracle.h"
+#include "bench_common.h"
+#include "common/table.h"
+#include "core/workload_analyzer.h"
+#include "workload/open_loop.h"
+
+namespace {
+
+constexpr double kEnd = 300.0;
+constexpr double kSurgeAt = 10.0;
+
+struct PerceptionResult {
+  // perceived qps per service, sampled every 5 s
+  std::vector<std::vector<double>> series;
+  std::vector<double> time_to_peak;  // per service, seconds
+};
+
+PerceptionResult run(graf::autoscalers::Autoscaler& scaler, std::uint64_t seed) {
+  using namespace graf;
+  auto topo = apps::online_boutique();
+  sim::Cluster cluster = apps::make_cluster(topo, {.seed = seed});
+  scaler.attach(cluster, kEnd);
+  // 600 qps: with this topology's demands, every tier of the chain is
+  // throughput-limited at its initial size, so the staged perception of the
+  // paper's 300-qps run reproduces (our services are provisioned larger).
+  workload::OpenLoopConfig g;
+  g.rate = workload::Schedule::step(5.0, 600.0, kSurgeAt);
+  g.api_weights = {1.0, 0.0, 0.0};
+  g.seed = seed + 1;
+  workload::OpenLoopGenerator gen{cluster, g};
+  gen.start(kEnd);
+
+  PerceptionResult out;
+  out.series.assign(cluster.service_count(), {});
+  for (double t = 5.0; t <= kEnd; t += 5.0) {
+    cluster.run_until(t);
+    for (std::size_t s = 0; s < cluster.service_count(); ++s)
+      out.series[s].push_back(cluster.qps_avg(static_cast<int>(s), 5.0));
+  }
+  // Time to first reach 90% of the service's eventual peak.
+  for (std::size_t s = 0; s < out.series.size(); ++s) {
+    double peak = 0.0;
+    for (double v : out.series[s]) peak = std::max(peak, v);
+    double t_reach = kEnd;
+    for (std::size_t i = 0; i < out.series[s].size(); ++i) {
+      if (out.series[s][i] >= 0.9 * peak) {
+        t_reach = 5.0 * static_cast<double>(i + 1);
+        break;
+      }
+    }
+    out.time_to_peak.push_back(t_reach);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace graf;
+  const auto topo = apps::online_boutique();
+
+  autoscalers::K8sHpa hpa{{.target_utilization = 0.5}};
+  PerceptionResult reactive = run(hpa, 13);
+
+  std::vector<double> demands;
+  for (const auto& svc : topo.services) demands.push_back(svc.demand_mean_ms);
+  autoscalers::ProactiveOracle oracle{{}, core::expected_fanout(topo), demands};
+  PerceptionResult proactive = run(oracle, 13);
+
+  Table table{"Figure 7: time for each service to perceive its peak workload (s)"};
+  table.header({"service", "K8s autoscaler", "proactive"});
+  for (std::size_t s = 0; s < topo.service_count(); ++s) {
+    table.row({topo.services[s].name, Table::num(reactive.time_to_peak[s], 0),
+               Table::num(proactive.time_to_peak[s], 0)});
+  }
+  table.print(std::cout);
+
+  Table series{"Figure 7 (series): perceived workload under K8s autoscaler (qps)"};
+  {
+    std::vector<std::string> hdr{"time (s)"};
+    for (const auto& svc : topo.services) hdr.push_back(svc.name);
+    series.header(hdr);
+    for (std::size_t i = 3; i < reactive.series[0].size(); i += 6) {
+      std::vector<std::string> row{Table::num(5.0 * static_cast<double>(i + 1), 0)};
+      for (std::size_t s = 0; s < topo.service_count(); ++s)
+        row.push_back(Table::num(reactive.series[s][i], 0));
+      series.row(row);
+    }
+  }
+  series.print(std::cout);
+
+  std::cout << "Shape check (paper): under the K8s autoscaler the frontend peaks\n"
+               "first and each service deeper in the chain peaks progressively\n"
+               "later; proactive scaling lets every service peak together.\n";
+  return 0;
+}

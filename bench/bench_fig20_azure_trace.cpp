@@ -1,0 +1,104 @@
+// Figure 20 (§5.3 "Real workload demonstration"): replay an Azure-functions
+// style per-minute invocation trace as a Locust user schedule for ~1900 s
+// and compare GRAF with the tuned K8s HPA. Paper: both meet roughly the
+// same tail latency, GRAF tracks the workload up AND down (the HPA's 5-min
+// scale-down stabilization makes it shed instances slowly), ending with
+// ~21% fewer net instances on average.
+#include <iostream>
+
+#include "autoscalers/k8s_hpa.h"
+#include "bench_common.h"
+#include "common/table.h"
+#include "workload/azure_trace.h"
+#include "workload/closed_loop.h"
+
+namespace {
+
+constexpr double kEnd = 1900.0;
+
+struct ArmResult {
+  std::vector<double> instances;  // sampled every 60 s
+  double mean_instances = 0.0;
+  double p95_ms = 0.0;
+};
+
+ArmResult run(graf::sim::Cluster& cluster, const graf::workload::Schedule& users,
+              const std::vector<double>& weights) {
+  using namespace graf;
+  bench::LatencyRecorder rec;
+  workload::ClosedLoopConfig g;
+  g.users = users;
+  g.api_weights = weights;
+  g.seed = 71;
+  g.on_complete = rec.hook();
+  workload::ClosedLoopGenerator gen{cluster, g};
+  gen.start(kEnd);
+
+  ArmResult out;
+  double total = 0.0;
+  std::size_t ticks = 0;
+  for (double t = 60.0; t <= kEnd; t += 60.0) {
+    cluster.run_until(t);
+    out.instances.push_back(cluster.total_target_instances());
+    total += cluster.total_target_instances();
+    ++ticks;
+  }
+  out.mean_instances = total / static_cast<double>(ticks);
+  out.p95_ms = rec.percentile(95.0);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace graf;
+  auto stack = bench::build_or_load_stack(bench::online_boutique_stack_config());
+  const double slo = stack.default_slo_ms;
+
+  const workload::AzureTraceConfig trace_cfg{};
+  const auto users = workload::azure_user_schedule(trace_cfg, 450.0, 1350.0);
+
+  ArmResult graf_res;
+  {
+    sim::Cluster cluster = apps::make_cluster(stack.topo, {.seed = 73});
+    auto rt = bench::make_graf_runtime(stack, slo);
+    rt.autoscaler->attach(cluster, kEnd);
+    graf_res = run(cluster, users, stack.topo.api_weights);
+  }
+  const double thr = bench::tune_hpa_threshold(stack.topo, 900.0, slo, 75);
+  ArmResult hpa_res;
+  {
+    sim::Cluster cluster = apps::make_cluster(stack.topo, {.seed = 73});
+    autoscalers::K8sHpa hpa{{.target_utilization = thr}};
+    hpa.attach(cluster, kEnd);
+    hpa_res = run(cluster, users, stack.topo.api_weights);
+  }
+
+  Table table{"Figure 20: instances under an Azure-trace user schedule"};
+  table.header({"time (s)", "user threads", "GRAF instances", "HPA instances"});
+  for (std::size_t i = 0; i < graf_res.instances.size(); i += 2) {
+    const double t = 60.0 * static_cast<double>(i + 1);
+    table.row({Table::num(t, 0), Table::num(users.at(t), 0),
+               Table::num(graf_res.instances[i], 0),
+               Table::num(hpa_res.instances[i], 0)});
+  }
+  table.print(std::cout);
+
+  Table summary{"Figure 20 (summary)"};
+  summary.header({"arm", "mean instances", "p95 latency (ms)"});
+  summary.row({"GRAF", Table::num(graf_res.mean_instances, 1),
+               Table::num(graf_res.p95_ms, 0)});
+  summary.row({"K8s HPA (thr " + Table::num(thr, 2) + ")",
+               Table::num(hpa_res.mean_instances, 1),
+               Table::num(hpa_res.p95_ms, 0)});
+  summary.print(std::cout);
+
+  const double saving =
+      100.0 * (1.0 - graf_res.mean_instances / hpa_res.mean_instances);
+  std::cout << "Net instance saving: " << Table::num(saving, 1)
+            << "% (paper: ~21% on average) at comparable tail latency.\n"
+            << "Shape check (paper): GRAF scales down promptly after the 25-min\n"
+               "workload drop; the HPA lingers for its 5-minute stabilization\n"
+               "window.\n";
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Figures 21 and 22 (§5.3 "Handling traffic surge"): Locust doubles its
+// user population abruptly; GRAF (whole-chain proactive allocation) vs the
+// tuned Kubernetes HPA vs the FIRM-like per-service comparator.
+//
+// Paper shape: GRAF creates its (fewer) instances in one burst right after
+// the surge and its tail latency converges up to 2.6x faster; the reactive
+// baselines crawl up the chain (cascading effect), creating 13-60% more
+// instances and converging later.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "autoscalers/firm_like.h"
+#include "autoscalers/k8s_hpa.h"
+#include "bench_common.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "workload/closed_loop.h"
+
+namespace {
+
+constexpr double kSurgeAt = 150.0;
+constexpr double kEnd = 500.0;
+
+struct ArmResult {
+  std::string name;
+  std::vector<int> instances;        // sampled every 10 s
+  int instances_at_end = 0;
+  double converge_s = 0.0;           // time after surge until p99 settles
+};
+
+ArmResult run(const std::string& name, graf::sim::Cluster& cluster,
+              double users_before, double users_after, double slo,
+              std::uint64_t seed) {
+  using namespace graf;
+  workload::ClosedLoopConfig g;
+  g.users = workload::Schedule::step(users_before, users_after, kSurgeAt);
+  g.api_weights = apps::online_boutique().api_weights;
+  g.seed = seed;
+  workload::ClosedLoopGenerator gen{cluster, g};
+  gen.start(kEnd);
+
+  ArmResult out;
+  out.name = name;
+  double last_violation = kSurgeAt;
+  for (double t = 10.0; t <= kEnd; t += 10.0) {
+    cluster.run_until(t);
+    out.instances.push_back(cluster.total_target_instances());
+    if (t > kSurgeAt) {
+      auto& e2e = cluster.e2e_latency_all();
+      const double since = t - 10.0;
+      if (e2e.count_since(since) >= 10 &&
+          e2e.percentile_since(since, 99.0) > 1.5 * slo) {
+        last_violation = t;
+      }
+    }
+  }
+  out.instances_at_end = cluster.total_target_instances();
+  out.converge_s = last_violation - kSurgeAt;
+  return out;
+}
+
+void report(const std::string& title, const std::vector<ArmResult>& arms) {
+  using graf::Table;
+  Table fig21{title + " — Figure 21: total instances over time"};
+  {
+    std::vector<std::string> hdr{"time (s)"};
+    for (const auto& a : arms) hdr.push_back(a.name);
+    fig21.header(hdr);
+    for (std::size_t i = 9; i < arms.front().instances.size(); i += 4) {
+      std::vector<std::string> row{Table::num(10.0 * static_cast<double>(i + 1), 0)};
+      for (const auto& a : arms) row.push_back(Table::integer(a.instances[i]));
+      fig21.row(row);
+    }
+  }
+  fig21.print(std::cout);
+
+  Table fig22{title + " — Figure 22: tail-latency convergence after the surge"};
+  fig22.header({"arm", "time to converge (s)", "instances at end"});
+  for (const auto& a : arms)
+    fig22.row({a.name, Table::num(a.converge_s, 0), Table::integer(a.instances_at_end)});
+  fig22.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  using namespace graf;
+  auto stack = bench::build_or_load_stack(bench::online_boutique_stack_config());
+  const double slo = stack.default_slo_ms;
+  const double thr = bench::tune_hpa_threshold(stack.topo, 1250.0, slo, 81);
+
+  // The paper surges 250 -> 500 Locust threads; at our per-instance scale
+  // the equivalent doubling happens at 625 and 1250 threads.
+  for (double users_after : {625.0, 1250.0}) {
+    const double users_before = users_after / 2.0;
+    std::vector<ArmResult> arms;
+    {
+      sim::Cluster cluster = apps::make_cluster(stack.topo, {.seed = 83});
+      auto rt = bench::make_graf_runtime(stack, slo);
+      rt.autoscaler->attach(cluster, kEnd);
+      arms.push_back(run("GRAF", cluster, users_before, users_after, slo, 85));
+    }
+    {
+      sim::Cluster cluster = apps::make_cluster(stack.topo, {.seed = 83});
+      autoscalers::K8sHpa hpa{{.target_utilization = thr}};
+      hpa.attach(cluster, kEnd);
+      arms.push_back(
+          run("K8s Autoscaler", cluster, users_before, users_after, slo, 85));
+    }
+    {
+      sim::Cluster cluster = apps::make_cluster(stack.topo, {.seed = 83});
+      autoscalers::FirmLike firm{{}};
+      firm.attach(cluster, kEnd);
+      arms.push_back(run("FIRM-like", cluster, users_before, users_after, slo, 85));
+    }
+    report(Table::num(users_after, 0) + " threads", arms);
+  }
+  std::cout << "Shape check (paper): GRAF converges fastest (up to 2.6x) with the\n"
+               "fewest instances; the per-service baselines pay the cascading\n"
+               "effect.\n";
+  return 0;
+}

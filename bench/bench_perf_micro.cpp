@@ -1,0 +1,118 @@
+// Performance micro-benchmarks (google-benchmark): the per-operation costs
+// behind GRAF's control loop — GNN inference, a full solver run, simulator
+// event throughput, and the numeric kernels.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/stats.h"
+#include "core/configuration_solver.h"
+#include "gnn/latency_model.h"
+#include "nn/tensor.h"
+#include "workload/open_loop.h"
+
+namespace {
+
+using namespace graf;
+
+gnn::Dag chain(std::size_t n) {
+  gnn::Dag d;
+  for (std::size_t i = 0; i < n; ++i) d.add_node("s" + std::to_string(i));
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    d.add_edge(static_cast<int>(i), static_cast<int>(i + 1));
+  return d;
+}
+
+gnn::Dataset tiny_dataset(std::size_t nodes, std::size_t count) {
+  Rng rng{1};
+  gnn::Dataset out;
+  for (std::size_t i = 0; i < count; ++i) {
+    gnn::Sample s;
+    for (std::size_t n = 0; n < nodes; ++n) {
+      s.workload.push_back(rng.uniform(10.0, 100.0));
+      s.quota.push_back(rng.uniform(300.0, 2000.0));
+    }
+    s.latency_ms = rng.uniform(50.0, 500.0);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+gnn::LatencyModel& shared_model() {
+  static gnn::LatencyModel model = [] {
+    gnn::LatencyModel m{chain(6), gnn::MpnnConfig{}, 3};
+    gnn::TrainConfig cfg;
+    cfg.iterations = 50;
+    cfg.batch_size = 64;
+    cfg.eval_every = 50;
+    m.fit(tiny_dataset(6, 512), {}, cfg);
+    return m;
+  }();
+  return model;
+}
+
+void BM_GnnInference(benchmark::State& state) {
+  auto& model = shared_model();
+  std::vector<double> w(6, 50.0);
+  std::vector<double> q(6, 1000.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(w, q));
+  }
+}
+BENCHMARK(BM_GnnInference);
+
+void BM_SolverFullRun(benchmark::State& state) {
+  auto& model = shared_model();
+  core::SolverConfig cfg;
+  cfg.max_iterations = static_cast<std::size_t>(state.range(0));
+  core::ConfigurationSolver solver{model, cfg};
+  std::vector<double> w(6, 50.0);
+  std::vector<Millicores> lo(6, 300.0);
+  std::vector<Millicores> hi(6, 2000.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(w, 150.0, lo, hi));
+  }
+}
+BENCHMARK(BM_SolverFullRun)->Arg(100)->Arg(500);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto topo = apps::online_boutique();
+    sim::Cluster cluster = apps::make_cluster(topo, {.seed = 5});
+    workload::OpenLoopConfig g;
+    g.rate = workload::Schedule::constant(200.0);
+    g.api_weights = topo.api_weights;
+    workload::OpenLoopGenerator gen{cluster, g};
+    gen.start(30.0);
+    state.ResumeTiming();
+    cluster.run_until(30.0);
+    state.counters["events/s"] = benchmark::Counter(
+        static_cast<double>(cluster.events().processed()),
+        benchmark::Counter::kIsIterationInvariantRate);
+  }
+}
+BENCHMARK(BM_SimulatorEventThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  nn::Tensor a{n, n, 0.5};
+  nn::Tensor b{n, n, 0.25};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::matmul(a, b));
+  }
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(128);
+
+void BM_Percentile(benchmark::State& state) {
+  Rng rng{7};
+  std::vector<double> v;
+  for (int i = 0; i < 10000; ++i) v.push_back(rng.uniform());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(percentile(v, 99.0));
+  }
+}
+BENCHMARK(BM_Percentile);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Capacity planning: "how much CPU will I need at 2x/4x/8x today's traffic,
+// and what will it cost?" — the configuration solver as a what-if tool.
+//
+// Uses a quickly-trained latency model for Robot Shop, then sweeps expected
+// workloads, printing the minimal SLO-feasible quota plan and its monthly
+// EC2 cost (per the paper's Table 3 pricing).
+#include <cmath>
+#include <iostream>
+
+#include "apps/catalog.h"
+#include "common/table.h"
+#include "core/configuration_solver.h"
+#include "core/cost_model.h"
+#include "core/latency_predictor.h"
+#include "core/sample_collector.h"
+#include "core/workload_analyzer.h"
+
+int main() {
+  using namespace graf;
+
+  apps::Topology topo = apps::robot_shop();
+  sim::Cluster cluster = apps::make_cluster(topo, {.seed = 29});
+  core::WorkloadAnalyzer analyzer{cluster.api_count(), cluster.service_count()};
+
+  const std::vector<Qps> today{20.0, 8.0, 12.0};  // catalogue/login/cart mix
+  const double slo_ms = 250.0;
+
+  std::cout << "Building the latency model (small budget, ~1 minute)...\n";
+  core::SampleCollectorConfig scfg;
+  scfg.window = 8.0;
+  core::SampleCollector collector{cluster, analyzer, scfg};
+  const auto space = collector.reduce_search_space(today, slo_ms);
+  const auto dataset = collector.collect(1500, space, today, 0.5, 1.2);
+
+  core::LatencyPredictor predictor{apps::make_dag(topo), gnn::MpnnConfig{}, 31};
+  gnn::TrainConfig tcfg;
+  tcfg.iterations = 4000;
+  tcfg.batch_size = 128;
+  tcfg.lr = 1e-3;
+  tcfg.lr_decay_every = 1000;
+  tcfg.eval_every = 500;
+  predictor.train(dataset, tcfg);
+
+  core::ConfigurationSolver solver{predictor.model()};
+
+  Table plan{"Capacity plan for SLO " + Table::num(slo_ms, 0) + " ms (Robot Shop)"};
+  std::vector<std::string> hdr{"traffic", "total quota (mc)"};
+  for (const auto& svc : topo.services) hdr.push_back(svc.name + " (mc)");
+  hdr.push_back("monthly cost ($)");
+  plan.header(hdr);
+
+  const core::AwsPricing pricing{};
+  for (double factor : {1.0, 2.0, 4.0, 8.0}) {
+    std::vector<Qps> expected = today;
+    for (auto& q : expected) q *= factor;
+    // Scale the workload into the trained region, solve, scale back
+    // (the resource controller's §3.6 trick, done by hand here).
+    const double k = std::max(1.0, factor / 1.2);
+    std::vector<double> node_w = analyzer.distribute(expected);
+    for (auto& w : node_w) w /= k;
+    auto res = solver.solve(node_w, slo_ms, space.lo, space.hi);
+    double total = 0.0;
+    std::vector<std::string> row{Table::num(factor, 0) + "x"};
+    std::vector<std::string> cells;
+    for (double q : res.quota) {
+      const double scaled = q * k;
+      cells.push_back(Table::num(scaled, 0));
+      total += scaled;
+    }
+    row.push_back(Table::num(total, 0));
+    row.insert(row.end(), cells.begin(), cells.end());
+    // Instances of 1000 mc at the paper's per-instance price, 30 days.
+    const double instances = std::ceil(total / 1000.0);
+    row.push_back(Table::num(instances * pricing.per_instance * 24.0 * 30.0, 0));
+    plan.row(row);
+  }
+  plan.print(std::cout);
+
+  std::cout << "Quota grows sub-linearly in spots where queueing headroom\n"
+               "amortizes (statistical multiplexing), and the split across\n"
+               "services follows their latency curves — catalogue first.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// SLO-driven autoscaling, end to end: the full GRAF pipeline on Bookinfo.
+//
+//   1. Algorithm 1 reduces the quota search space,
+//   2. the state-aware collector gathers (workload, quota, p99) samples,
+//   3. the GNN latency model trains on them,
+//   4. the configuration solver finds the minimal quota meeting the SLO,
+//   5. the resource controller deploys it, and we verify the measured p99.
+//
+// Deliberately small (a few thousand samples, a couple of minutes on one
+// core) — see bench/ for the paper-scale experiments.
+#include <iostream>
+
+#include "apps/catalog.h"
+#include "common/table.h"
+#include "core/configuration_solver.h"
+#include "core/latency_predictor.h"
+#include "core/sample_collector.h"
+#include "core/workload_analyzer.h"
+
+int main() {
+  using namespace graf;
+
+  apps::Topology topo = apps::bookinfo();
+  sim::Cluster cluster = apps::make_cluster(topo, {.seed = 7});
+  core::WorkloadAnalyzer analyzer{cluster.api_count(), cluster.service_count()};
+
+  const std::vector<Qps> workload{45.0};  // product-page requests/s
+  const double slo_ms = 120.0;
+
+  // -- 1+2: search-space reduction and sample collection ---------------------
+  core::SampleCollectorConfig scfg;
+  scfg.window = 8.0;
+  core::SampleCollector collector{cluster, analyzer, scfg};
+  std::cout << "Reducing search space (Algorithm 1)...\n";
+  const auto space = collector.reduce_search_space(workload, slo_ms);
+  for (std::size_t s = 0; s < topo.service_count(); ++s)
+    std::cout << "  " << topo.services[s].name << ": [" << space.lo[s] << ", "
+              << space.hi[s] << "] mc\n";
+
+  std::cout << "Collecting samples...\n";
+  const auto dataset = collector.collect(1500, space, workload, 0.5, 1.1);
+  std::cout << "  " << dataset.size() << " samples ("
+            << collector.simulated_seconds() / 60.0 << " simulated minutes)\n";
+
+  // -- 3: train the latency prediction model ---------------------------------
+  core::LatencyPredictor predictor{apps::make_dag(topo), gnn::MpnnConfig{}, 11};
+  gnn::TrainConfig tcfg;
+  tcfg.iterations = 4000;
+  tcfg.batch_size = 128;
+  tcfg.lr = 1e-3;
+  tcfg.lr_decay_every = 1000;
+  tcfg.eval_every = 400;
+  std::cout << "Training the GNN latency model...\n";
+  predictor.train(dataset, tcfg);
+  const auto acc = predictor.model().evaluate_accuracy(predictor.test_set());
+  std::cout << "  test MAPE " << Table::num(acc.mean_abs_pct_error, 1)
+            << "%, signed " << Table::num(acc.mean_pct_error, 1) << "%\n";
+
+  // -- 4: solve for the minimal SLO-feasible configuration -------------------
+  core::ConfigurationSolver solver{predictor.model()};
+  const auto node_workload = analyzer.distribute(workload);
+  const auto result = solver.solve(node_workload, slo_ms, space.lo, space.hi);
+
+  Table plan{"Solved configuration (SLO " + Table::num(slo_ms, 0) + " ms)"};
+  plan.header({"service", "quota (mc)"});
+  double total = 0.0;
+  for (std::size_t s = 0; s < topo.service_count(); ++s) {
+    plan.row({topo.services[s].name, Table::num(result.quota[s], 0)});
+    total += result.quota[s];
+  }
+  plan.print(std::cout);
+  std::cout << "Total " << Table::num(total, 0) << " mc, predicted p99 "
+            << Table::num(result.predicted_ms, 0) << " ms (solved in "
+            << result.iterations << " iterations / "
+            << Table::num(result.solve_seconds * 1000.0, 1) << " ms)\n";
+
+  // -- 5: deploy and verify ---------------------------------------------------
+  for (std::size_t s = 0; s < result.quota.size(); ++s)
+    cluster.apply_total_quota(static_cast<int>(s), result.quota[s], 1000.0);
+  const double measured = collector.measure_tail(workload, 20.0, 99.0);
+  std::cout << "Measured p99 after deployment: " << Table::num(measured, 0)
+            << " ms (" << (measured <= slo_ms ? "meets" : "misses")
+            << " the SLO)\n";
+  return 0;
+}

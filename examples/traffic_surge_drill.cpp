@@ -1,0 +1,86 @@
+// Traffic-surge drill: what happens when your user population doubles in an
+// instant? Compares a reactive Kubernetes HPA against proactive whole-chain
+// scaling on Online Boutique — the cascading effect of paper §2.1, live.
+#include <iostream>
+
+#include "apps/catalog.h"
+#include "autoscalers/k8s_hpa.h"
+#include "common/stats.h"
+#include "autoscalers/proactive_oracle.h"
+#include "common/table.h"
+#include "core/workload_analyzer.h"
+#include "workload/closed_loop.h"
+
+namespace {
+
+struct DrillResult {
+  double p99_during_surge_ms = 0.0;
+  int peak_instances = 0;
+  std::size_t timeouts = 0;
+};
+
+DrillResult drill(graf::autoscalers::Autoscaler& scaler, std::uint64_t seed) {
+  using namespace graf;
+  auto topo = apps::online_boutique();
+  sim::Cluster cluster = apps::make_cluster(topo, {.seed = seed});
+  scaler.attach(cluster, 400.0);
+
+  std::vector<double> latencies;
+  std::size_t timeouts = 0;
+  workload::ClosedLoopConfig load;
+  load.users = workload::Schedule::step(150.0, 450.0, 120.0);  // 3x surge
+  load.api_weights = topo.api_weights;
+  load.on_complete = [&](const trace::RequestTrace& t) {
+    if (cluster.now() < 120.0) return;  // only measure the surge window
+    if (t.ok) {
+      latencies.push_back(t.e2e_ms());
+    } else {
+      ++timeouts;
+    }
+  };
+  workload::ClosedLoopGenerator gen{cluster, load};
+  gen.start(400.0);
+
+  DrillResult out;
+  for (double t = 10.0; t <= 400.0; t += 10.0) {
+    cluster.run_until(t);
+    out.peak_instances = std::max(out.peak_instances, cluster.total_target_instances());
+  }
+  out.p99_during_surge_ms =
+      latencies.empty() ? 0.0 : graf::percentile(latencies, 99.0);
+  out.timeouts = timeouts;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace graf;
+  const auto topo = apps::online_boutique();
+
+  autoscalers::K8sHpa hpa{{.target_utilization = 0.5}};
+  const DrillResult reactive = drill(hpa, 19);
+
+  std::vector<double> demands;
+  for (const auto& svc : topo.services) demands.push_back(svc.demand_mean_ms);
+  autoscalers::ProactiveOracle oracle{{.headroom = 0.5, .sync_period = 2.0},
+                                      core::expected_fanout(topo), demands};
+  const DrillResult proactive = drill(oracle, 19);
+
+  Table table{"Surge drill: 150 -> 450 users at t=120s (Online Boutique)"};
+  table.header({"strategy", "p99 during surge (ms)", "peak instances", "timeouts"});
+  table.row({"K8s HPA (50%)", Table::num(reactive.p99_during_surge_ms, 0),
+             Table::integer(reactive.peak_instances),
+             Table::integer(static_cast<long long>(reactive.timeouts))});
+  table.row({"proactive whole-chain", Table::num(proactive.p99_during_surge_ms, 0),
+             Table::integer(proactive.peak_instances),
+             Table::integer(static_cast<long long>(proactive.timeouts))});
+  table.print(std::cout);
+
+  std::cout << "The reactive HPA discovers the surge one service at a time (the\n"
+               "cascading effect); scaling the whole chain from the front-end\n"
+               "signal avoids the pile-up. GRAF automates the proactive column\n"
+               "without needing the oracle's demand knowledge — see\n"
+               "examples/slo_autoscaling.cpp.\n";
+  return 0;
+}

@@ -1,0 +1,176 @@
+#include "apps/catalog.h"
+
+namespace graf::apps {
+
+using sim::Api;
+using sim::CallNode;
+using sim::ServiceConfig;
+
+Topology online_boutique() {
+  Topology t;
+  t.name = "online-boutique";
+  // MS1..MS6 in the paper's Fig. 15 ordering.
+  t.services = {
+      {.name = "frontend", .unit_quota = 1000, .initial_instances = 2,
+       .demand_mean_ms = 6.0, .demand_sigma = 0.30},
+      {.name = "currency", .unit_quota = 1000, .initial_instances = 2,
+       .demand_mean_ms = 3.0, .demand_sigma = 0.30},
+      {.name = "cart", .unit_quota = 1000, .initial_instances = 2,
+       .demand_mean_ms = 8.0, .demand_sigma = 0.30},
+      {.name = "product", .unit_quota = 1000, .initial_instances = 2,
+       .demand_mean_ms = 4.0, .demand_sigma = 0.30},
+      {.name = "recommendation", .unit_quota = 1000, .initial_instances = 2,
+       .demand_mean_ms = 16.0, .demand_sigma = 0.30},
+      {.name = "shipping", .unit_quota = 1000, .initial_instances = 2,
+       .demand_mean_ms = 14.0, .demand_sigma = 0.30},
+  };
+  const int fe = 0, cur = 1, cart = 2, prod = 3, rec = 4, ship = 5;
+
+  // §2.1's cart-page chain: Frontend -> Currency -> Cart ->
+  // {Recommendation(->Product) || Shipping}. The real application issues
+  // the recommendation and shipping lookups in parallel; parallel stages
+  // are what give some services latency slack (§2.2) that GRAF can
+  // harvest and a uniform-threshold HPA cannot.
+  CallNode cart_page{.service = fe};
+  cart_page.stages = {
+      {CallNode{.service = cur}},
+      {CallNode{.service = cart}},
+      {CallNode{.service = rec, .stages = {{CallNode{.service = prod}}}},
+       CallNode{.service = ship}},
+  };
+
+  CallNode product_page{.service = fe};
+  product_page.stages = {
+      {CallNode{.service = cur},
+       CallNode{.service = prod}},
+      {CallNode{.service = rec, .probability = 0.8,
+                .stages = {{CallNode{.service = prod}}}}},
+  };
+
+  CallNode home_page{.service = fe};
+  home_page.stages = {
+      {CallNode{.service = cur},
+       CallNode{.service = prod},
+       CallNode{.service = cart, .probability = 0.6}},
+  };
+
+  t.apis = {Api{"cart-page", cart_page}, Api{"product-page", product_page},
+            Api{"home-page", home_page}};
+  t.api_weights = {0.35, 0.45, 0.20};
+  t.frontend = fe;
+  return t;
+}
+
+Topology social_network() {
+  Topology t;
+  t.name = "social-network";
+  t.services = {
+      {.name = "nginx", .unit_quota = 1000, .initial_instances = 2,
+       .demand_mean_ms = 5.0, .demand_sigma = 0.30},
+      {.name = "text", .unit_quota = 1000, .initial_instances = 2,
+       .demand_mean_ms = 6.0, .demand_sigma = 0.30},
+      {.name = "media", .unit_quota = 1000, .initial_instances = 2,
+       .demand_mean_ms = 4.0, .demand_sigma = 0.30},
+      {.name = "user", .unit_quota = 1000, .initial_instances = 2,
+       .demand_mean_ms = 4.0, .demand_sigma = 0.30},
+      {.name = "unique-id", .unit_quota = 1000, .initial_instances = 2,
+       .demand_mean_ms = 3.0, .demand_sigma = 0.30},
+      {.name = "url-shorten", .unit_quota = 1000, .initial_instances = 2,
+       .demand_mean_ms = 5.0, .demand_sigma = 0.30},
+      {.name = "user-mention", .unit_quota = 1000, .initial_instances = 2,
+       .demand_mean_ms = 5.0, .demand_sigma = 0.30},
+      {.name = "compose-post", .unit_quota = 1000, .initial_instances = 2,
+       .demand_mean_ms = 10.0, .demand_sigma = 0.30},
+      {.name = "post-storage", .unit_quota = 1000, .initial_instances = 2,
+       .demand_mean_ms = 8.0, .demand_sigma = 0.30},
+      {.name = "user-timeline", .unit_quota = 1000, .initial_instances = 2,
+       .demand_mean_ms = 8.0, .demand_sigma = 0.30},
+  };
+  const int ng = 0, text = 1, media = 2, user = 3, uid = 4, url = 5, um = 6,
+            cp = 7, ps = 8, ut = 9;
+
+  CallNode compose{.service = ng};
+  compose.stages = {
+      // The four upload paths fan out in parallel; text additionally
+      // resolves urls and user mentions in parallel.
+      {CallNode{.service = text,
+                .stages = {{CallNode{.service = url}, CallNode{.service = um}}}},
+       CallNode{.service = media}, CallNode{.service = user},
+       CallNode{.service = uid}},
+      // Then the post is composed and persisted.
+      {CallNode{.service = cp,
+                .stages = {{CallNode{.service = ps}, CallNode{.service = ut}}}}},
+  };
+
+  t.apis = {Api{"compose-post", compose}};
+  t.api_weights = {1.0};
+  t.frontend = ng;
+  return t;
+}
+
+Topology robot_shop() {
+  Topology t;
+  t.name = "robot-shop";
+  t.services = {
+      {.name = "web", .unit_quota = 1000, .initial_instances = 2,
+       .demand_mean_ms = 8.0, .demand_sigma = 0.30},
+      {.name = "catalogue", .unit_quota = 1000, .initial_instances = 2,
+       .demand_mean_ms = 28.0, .demand_sigma = 0.30},
+      {.name = "user", .unit_quota = 1000, .initial_instances = 2,
+       .demand_mean_ms = 6.0, .demand_sigma = 0.30},
+      {.name = "cart", .unit_quota = 1000, .initial_instances = 2,
+       .demand_mean_ms = 10.0, .demand_sigma = 0.30},
+  };
+  const int web = 0, cat = 1, user = 2, cart = 3;
+
+  CallNode get_catalogue{.service = web,
+                         .stages = {{CallNode{.service = cat}}}};
+  CallNode login{.service = web, .stages = {{CallNode{.service = user}}}};
+  CallNode view_cart{.service = web};
+  view_cart.stages = {
+      {CallNode{.service = user}},
+      {CallNode{.service = cart}},
+      {CallNode{.service = cat, .probability = 0.5}},
+  };
+
+  t.apis = {Api{"get-catalogue", get_catalogue}, Api{"login", login},
+            Api{"view-cart", view_cart}};
+  t.api_weights = {0.5, 0.2, 0.3};
+  t.frontend = web;
+  return t;
+}
+
+Topology bookinfo() {
+  Topology t;
+  t.name = "bookinfo";
+  t.services = {
+      {.name = "productpage", .unit_quota = 1000, .initial_instances = 2,
+       .demand_mean_ms = 10.0, .demand_sigma = 0.30},
+      {.name = "details", .unit_quota = 1000, .initial_instances = 2,
+       .demand_mean_ms = 6.0, .demand_sigma = 0.30},
+      {.name = "reviews", .unit_quota = 1000, .initial_instances = 2,
+       .demand_mean_ms = 12.0, .demand_sigma = 0.30},
+      {.name = "ratings", .unit_quota = 1000, .initial_instances = 2,
+       .demand_mean_ms = 8.0, .demand_sigma = 0.30},
+  };
+  const int pp = 0, det = 1, rev = 2, rat = 3;
+
+  // ProductPage queries Details and Reviews in parallel; end-to-end latency
+  // is the max of the branches (§2.2).
+  CallNode product{.service = pp};
+  product.stages = {
+      {CallNode{.service = det},
+       CallNode{.service = rev, .stages = {{CallNode{.service = rat}}}}},
+  };
+
+  t.apis = {Api{"product", product}};
+  t.api_weights = {1.0};
+  t.frontend = pp;
+  return t;
+}
+
+std::vector<Topology> all_applications() {
+  return {online_boutique(), social_network(), robot_shop(), bookinfo()};
+}
+
+}  // namespace graf::apps

@@ -1,0 +1,37 @@
+// The four open-source benchmark applications the paper uses, reproduced as
+// simulator topologies:
+//  * Online Boutique (Fig. 4)   — 6 controlled services, 3-API Locust mix
+//  * Social Network  (Fig. 10)  — 10 services, post-compose request
+//  * Robot Shop      (Fig. 5 L) — Web -> Catalogue chain (Fig. 6 curves)
+//  * Bookinfo        (Fig. 5 R) — parallel Details vs Reviews -> Ratings
+//
+// Per-service CPU demands (core-ms per visit) are chosen heterogeneous so
+// the latency-vs-quota curves differ in sharpness across services, which is
+// the property GRAF exploits when it shifts CPU toward latency-sensitive
+// services (paper §2.2, Fig. 15/16).
+#pragma once
+
+#include "apps/topology.h"
+
+namespace graf::apps {
+
+/// Online Boutique [25]: Frontend, Currency, Cart, ProductCatalog,
+/// Recommendation, Shipping; APIs cart-page / product-page / home-page.
+Topology online_boutique();
+
+/// Social Network [40]: NGINX front door fanning out to text/media/user/
+/// unique-id (text -> url + user-mention), then compose-post ->
+/// post-storage + user-timeline. Single post-compose API (Vegeta-style).
+Topology social_network();
+
+/// Robot Shop [6]: Web -> Catalogue/User/Cart; Catalogue has the sharp
+/// latency curve of the paper's Fig. 6.
+Topology robot_shop();
+
+/// Bookinfo [16]: ProductPage -> {Details || Reviews -> Ratings}.
+Topology bookinfo();
+
+/// All four, for parameterized tests.
+std::vector<Topology> all_applications();
+
+}  // namespace graf::apps

@@ -1,0 +1,41 @@
+#include "apps/topology.h"
+
+#include <algorithm>
+
+namespace graf::apps {
+namespace {
+
+void collect_edges(const sim::CallNode& node,
+                   std::vector<std::pair<int, int>>& edges) {
+  for (const auto& stage : node.stages) {
+    for (const auto& child : stage) {
+      edges.emplace_back(node.service, child.service);
+      collect_edges(child, edges);
+    }
+  }
+}
+
+}  // namespace
+
+int Topology::service_index(const std::string& svc_name) const {
+  for (std::size_t i = 0; i < services.size(); ++i)
+    if (services[i].name == svc_name) return static_cast<int>(i);
+  return -1;
+}
+
+gnn::Dag make_dag(const Topology& topo) {
+  gnn::Dag dag;
+  for (const auto& svc : topo.services) dag.add_node(svc.name);
+  std::vector<std::pair<int, int>> edges;
+  for (const auto& api : topo.apis) collect_edges(api.root, edges);
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  for (const auto& [p, c] : edges) dag.add_edge(p, c);
+  return dag;
+}
+
+sim::Cluster make_cluster(const Topology& topo, sim::ClusterConfig cfg) {
+  return sim::Cluster{topo.services, topo.apis, cfg};
+}
+
+}  // namespace graf::apps

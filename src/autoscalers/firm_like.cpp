@@ -1,0 +1,42 @@
+#include "autoscalers/firm_like.h"
+
+#include <algorithm>
+
+namespace graf::autoscalers {
+
+FirmLike::FirmLike(FirmLikeConfig cfg) : cfg_{cfg} {}
+
+void FirmLike::attach(sim::Cluster& cluster, Seconds until) {
+  cluster_ = &cluster;
+  until_ = until;
+  last_scale_down_.assign(cluster.service_count(), -1e18);
+  cluster.events().schedule_in(cfg_.sync_period, [this] { tick(); });
+}
+
+void FirmLike::tick() {
+  if (cluster_->now() > until_) return;
+  const Seconds since = cluster_->now() - cfg_.latency_window;
+  for (std::size_t s = 0; s < cluster_->service_count(); ++s) {
+    sim::Service& svc = cluster_->service(static_cast<int>(s));
+    auto& win = cluster_->service_latency(static_cast<int>(s));
+    if (win.count_since(since) < 20) continue;  // not enough signal
+    const double p50 = win.percentile_since(since, 50.0);
+    const double p95 = win.percentile_since(since, 95.0);
+    if (p50 <= 0.0) continue;
+    const double ratio = p95 / p50;
+    if (ratio > cfg_.ratio_threshold) {
+      const int target = std::min(svc.target_count() + cfg_.scale_step, cfg_.max_replicas);
+      if (target != svc.target_count()) svc.scale_to(target);
+    } else if (ratio < cfg_.relax_threshold &&
+               cluster_->now() - last_scale_down_[s] >= cfg_.scale_down_cooldown) {
+      const int target = std::max(svc.target_count() - 1, cfg_.min_replicas);
+      if (target != svc.target_count()) {
+        svc.scale_to(target);
+        last_scale_down_[s] = cluster_->now();
+      }
+    }
+  }
+  cluster_->events().schedule_in(cfg_.sync_period, [this] { tick(); });
+}
+
+}  // namespace graf::autoscalers

@@ -1,0 +1,42 @@
+// FIRM-like comparator (paper §5.3): "increases the CPU quota of a
+// microservice when a ratio between median and 95%-tile latency for the
+// microservice exceeds a pre-determined threshold". Purely reactive and
+// per-service — it has no view of the chain, so it suffers the cascading
+// effect in the surge experiments (Fig. 21/22).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "autoscalers/autoscaler.h"
+
+namespace graf::autoscalers {
+
+struct FirmLikeConfig {
+  double ratio_threshold = 4.0;   ///< scale up when p95/p50 exceeds this
+  double relax_threshold = 1.6;   ///< scale down when below this
+  Seconds sync_period = 10.0;
+  Seconds latency_window = 30.0;  ///< per-service latency lookback
+  int scale_step = 1;             ///< instances added per trigger
+  Seconds scale_down_cooldown = 60.0;
+  int min_replicas = 1;
+  int max_replicas = 500;
+};
+
+class FirmLike : public Autoscaler {
+ public:
+  explicit FirmLike(FirmLikeConfig cfg);
+
+  void attach(sim::Cluster& cluster, Seconds until) override;
+  std::string name() const override { return "firm-like"; }
+
+ private:
+  void tick();
+
+  FirmLikeConfig cfg_;
+  sim::Cluster* cluster_ = nullptr;
+  Seconds until_ = 0.0;
+  std::vector<Seconds> last_scale_down_;
+};
+
+}  // namespace graf::autoscalers

@@ -1,0 +1,58 @@
+#include "autoscalers/k8s_hpa.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace graf::autoscalers {
+
+K8sHpa::K8sHpa(K8sHpaConfig cfg) : cfg_{cfg} {}
+
+std::string K8sHpa::name() const {
+  return "k8s-hpa(" + std::to_string(static_cast<int>(cfg_.target_utilization * 100)) + "%)";
+}
+
+int K8sHpa::desired_replicas(int ready, double utilization, double target,
+                             double tolerance) {
+  if (ready <= 0) return 1;
+  const double ratio = utilization / target;
+  if (std::abs(ratio - 1.0) <= tolerance) return ready;  // within tolerance: no-op
+  return static_cast<int>(std::ceil(static_cast<double>(ready) * ratio));
+}
+
+void K8sHpa::attach(sim::Cluster& cluster, Seconds until) {
+  cluster_ = &cluster;
+  until_ = until;
+  recommendations_.assign(cluster.service_count(), {});
+  cluster.events().schedule_in(cfg_.sync_period, [this] { tick(); });
+}
+
+void K8sHpa::tick() {
+  if (cluster_->now() > until_) return;
+  for (std::size_t s = 0; s < cluster_->service_count(); ++s) {
+    sim::Service& svc = cluster_->service(static_cast<int>(s));
+    const double u = cluster_->utilization_avg(static_cast<int>(s), cfg_.sync_period);
+    int desired = desired_replicas(svc.ready_count(), u, cfg_.target_utilization,
+                                   cfg_.tolerance);
+    // Scale-up rate policy: at most max(100% growth, +4 pods) per sync.
+    const int current = svc.target_count();
+    const int up_cap = std::max(
+        static_cast<int>(std::ceil(current * cfg_.scale_up_factor_limit)),
+        current + cfg_.scale_up_pods_limit);
+    desired = std::min(desired, up_cap);
+    desired = std::clamp(desired, cfg_.min_replicas, cfg_.max_replicas);
+
+    auto& hist = recommendations_[s];
+    hist.emplace_back(cluster_->now(), desired);
+    const Seconds cutoff = cluster_->now() - cfg_.stabilization_window;
+    while (!hist.empty() && hist.front().first < cutoff) hist.pop_front();
+
+    // Scale-down stabilization: act on the max recommendation in the window.
+    int effective = desired;
+    for (const auto& [t, rec] : hist) effective = std::max(effective, rec);
+
+    if (effective != svc.target_count()) svc.scale_to(effective);
+  }
+  cluster_->events().schedule_in(cfg_.sync_period, [this] { tick(); });
+}
+
+}  // namespace graf::autoscalers

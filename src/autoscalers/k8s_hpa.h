@@ -1,0 +1,58 @@
+// Kubernetes Horizontal Pod Autoscaler (paper's main baseline).
+//
+// Implements the documented HPA algorithm: every sync period (default
+// 15 s), per service,
+//   desired = ceil(ready * observed_utilization / target_utilization)
+// with the +-10% tolerance band, and a scale-down stabilization window
+// (default 5 min) that applies the *maximum* recommendation seen in the
+// window — the paper's §5.3 observes exactly this "scale down slowly after
+// 5 minutes" behaviour in Fig. 20.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "autoscalers/autoscaler.h"
+
+namespace graf::autoscalers {
+
+struct K8sHpaConfig {
+  double target_utilization = 0.5;     ///< the hand-tuned threshold
+  Seconds sync_period = 15.0;
+  Seconds stabilization_window = 300.0;///< scale-down damper
+  double tolerance = 0.1;              ///< no-op band around ratio 1.0
+  int min_replicas = 1;
+  int max_replicas = 500;
+  /// k8s default scale-up policy: per sync period, grow by at most the
+  /// larger of 100% (factor 2) or 4 pods.
+  double scale_up_factor_limit = 2.0;
+  int scale_up_pods_limit = 4;
+};
+
+class K8sHpa : public Autoscaler {
+ public:
+  explicit K8sHpa(K8sHpaConfig cfg);
+
+  void attach(sim::Cluster& cluster, Seconds until) override;
+  std::string name() const override;
+
+  const K8sHpaConfig& config() const { return cfg_; }
+
+  /// Pure HPA arithmetic (unit-testable): desired replicas given the
+  /// current ready count and observed average utilization.
+  static int desired_replicas(int ready, double utilization, double target,
+                              double tolerance);
+
+ private:
+  void tick();
+
+  K8sHpaConfig cfg_;
+  sim::Cluster* cluster_ = nullptr;
+  Seconds until_ = 0.0;
+  /// Per-service history of (time, recommendation) for stabilization.
+  std::vector<std::deque<std::pair<Seconds, int>>> recommendations_;
+};
+
+}  // namespace graf::autoscalers

@@ -1,0 +1,41 @@
+#include "autoscalers/miras_like.h"
+
+#include <algorithm>
+
+namespace graf::autoscalers {
+
+MirasLike::MirasLike(MirasLikeConfig cfg) : cfg_{cfg} {}
+
+void MirasLike::attach(sim::Cluster& cluster, Seconds until) {
+  cluster_ = &cluster;
+  until_ = until;
+  last_scale_down_.assign(cluster.service_count(), -1e18);
+  cluster.events().schedule_in(cfg_.sync_period, [this] { tick(); });
+}
+
+void MirasLike::tick() {
+  if (cluster_->now() > until_) return;
+  for (std::size_t s = 0; s < cluster_->service_count(); ++s) {
+    sim::Service& svc = cluster_->service(static_cast<int>(s));
+    const double per_instance =
+        static_cast<double>(svc.queue_length()) /
+        std::max(1, svc.ready_count());
+    if (per_instance > cfg_.queue_per_instance_up) {
+      const int target =
+          std::min(svc.target_count() + cfg_.scale_step, cfg_.max_replicas);
+      if (target != svc.target_count()) svc.scale_to(target);
+    } else if (svc.queue_length() == 0 &&
+               cluster_->utilization_avg(static_cast<int>(s), cfg_.sync_period) <
+                   cfg_.utilization_down &&
+               cluster_->now() - last_scale_down_[s] >= cfg_.scale_down_cooldown) {
+      const int target = std::max(svc.target_count() - 1, cfg_.min_replicas);
+      if (target != svc.target_count()) {
+        svc.scale_to(target);
+        last_scale_down_[s] = cluster_->now();
+      }
+    }
+  }
+  cluster_->events().schedule_in(cfg_.sync_period, [this] { tick(); });
+}
+
+}  // namespace graf::autoscalers

@@ -1,0 +1,45 @@
+// MIRAS-like comparator (paper §7 related work): MIRAS [62] "learns a
+// policy that behaves to allocate more resources to the microservices with
+// longer request queues". We implement that policy's fixed-point directly:
+// every sync period, scale up the services with the longest per-instance
+// admission queues and scale down long-idle ones. Like FIRM it is reactive
+// and per-service, so it cannot avoid the cascading effect; unlike the HPA
+// it keys on queue depth rather than CPU utilization.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "autoscalers/autoscaler.h"
+
+namespace graf::autoscalers {
+
+struct MirasLikeConfig {
+  Seconds sync_period = 10.0;
+  /// Scale up when queued work per ready instance exceeds this.
+  double queue_per_instance_up = 2.0;
+  /// Scale down when the queue stayed empty and utilization low.
+  double utilization_down = 0.25;
+  Seconds scale_down_cooldown = 60.0;
+  int scale_step = 2;
+  int min_replicas = 1;
+  int max_replicas = 500;
+};
+
+class MirasLike : public Autoscaler {
+ public:
+  explicit MirasLike(MirasLikeConfig cfg);
+
+  void attach(sim::Cluster& cluster, Seconds until) override;
+  std::string name() const override { return "miras-like"; }
+
+ private:
+  void tick();
+
+  MirasLikeConfig cfg_;
+  sim::Cluster* cluster_ = nullptr;
+  Seconds until_ = 0.0;
+  std::vector<Seconds> last_scale_down_;
+};
+
+}  // namespace graf::autoscalers

@@ -1,0 +1,68 @@
+#include "autoscalers/proactive_oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.h"
+
+namespace graf::autoscalers {
+
+ProactiveOracle::ProactiveOracle(ProactiveOracleConfig cfg,
+                                 std::vector<std::vector<double>> per_request_fanout,
+                                 std::vector<double> demand_ms)
+    : cfg_{cfg}, fanout_{std::move(per_request_fanout)}, demand_ms_{std::move(demand_ms)} {
+  if (fanout_.empty()) throw std::invalid_argument{"ProactiveOracle: empty fanout"};
+  for (const auto& row : fanout_)
+    if (row.size() != demand_ms_.size())
+      throw std::invalid_argument{"ProactiveOracle: fanout/demand size mismatch"};
+}
+
+int ProactiveOracle::size_for(double qps, double demand_ms, double unit_cores,
+                              double headroom) {
+  const double cores_needed = qps * demand_ms / 1000.0;
+  const double per_instance = unit_cores * headroom;
+  return std::max(1, static_cast<int>(std::ceil(cores_needed / per_instance)));
+}
+
+void ProactiveOracle::apply(sim::Cluster& cluster,
+                            const std::vector<double>& api_qps) const {
+  for (std::size_t s = 0; s < cluster.service_count(); ++s) {
+    double qps = 0.0;
+    for (std::size_t a = 0; a < fanout_.size(); ++a) qps += api_qps[a] * fanout_[a][s];
+    sim::Service& svc = cluster.service(static_cast<int>(s));
+    const int n = std::min(size_for(qps, demand_ms_[s], cores(svc.unit_quota()),
+                                    cfg_.headroom),
+                           cfg_.max_replicas);
+    if (n != svc.target_count()) svc.scale_to(n);
+  }
+}
+
+void ProactiveOracle::attach(sim::Cluster& cluster, Seconds until) {
+  if (fanout_.size() != cluster.api_count() ||
+      demand_ms_.size() != cluster.service_count())
+    throw std::invalid_argument{"ProactiveOracle: shape mismatch with cluster"};
+  cluster_ = &cluster;
+  until_ = until;
+  last_applied_qps_.assign(cluster.api_count(), 0.0);
+  cluster.events().schedule_in(cfg_.sync_period, [this] { tick(); });
+}
+
+void ProactiveOracle::tick() {
+  if (cluster_->now() > until_) return;
+  std::vector<double> qps(cluster_->api_count());
+  bool changed = false;
+  for (std::size_t a = 0; a < qps.size(); ++a) {
+    qps[a] = cluster_->api_qps(static_cast<int>(a), cfg_.rate_window);
+    const double prev = last_applied_qps_[a];
+    const double denom = std::max(prev, 1e-9);
+    if (std::abs(qps[a] - prev) / denom > cfg_.change_threshold) changed = true;
+  }
+  if (changed) {
+    apply(*cluster_, qps);
+    last_applied_qps_ = qps;
+  }
+  cluster_->events().schedule_in(cfg_.sync_period, [this] { tick(); });
+}
+
+}  // namespace graf::autoscalers

@@ -1,0 +1,54 @@
+// The §2.1 "Proactive" arm: when the front-end workload changes, create the
+// heuristically-determined number of instances for *every* service in the
+// chain at once — the manual experiment that motivates GRAF. The heuristic
+// sizes each service from its expected per-request CPU demand:
+//   instances_i = ceil( qps_i * demand_i / (unit_quota_i * headroom) ).
+// Unlike GRAF it needs the true per-service demands (it is an oracle), and
+// it makes no attempt to minimize total CPU against an SLO.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "autoscalers/autoscaler.h"
+
+namespace graf::autoscalers {
+
+struct ProactiveOracleConfig {
+  double headroom = 0.6;      ///< target utilization of sized instances
+  Seconds sync_period = 5.0;  ///< how often the front-end rate is sampled
+  Seconds rate_window = 5.0;
+  double change_threshold = 0.15;  ///< relative qps change that triggers
+  int max_replicas = 500;
+};
+
+class ProactiveOracle : public Autoscaler {
+ public:
+  /// `per_request_fanout[a][s]` = expected visits of service s per request
+  /// of API a; `demand_ms[s]` = per-visit CPU demand (oracle knowledge).
+  ProactiveOracle(ProactiveOracleConfig cfg,
+                  std::vector<std::vector<double>> per_request_fanout,
+                  std::vector<double> demand_ms);
+
+  void attach(sim::Cluster& cluster, Seconds until) override;
+  std::string name() const override { return "proactive-oracle"; }
+
+  /// Sizing rule, unit-testable.
+  static int size_for(double qps, double demand_ms, double unit_cores,
+                      double headroom);
+
+  /// Apply the sizing for a workload vector immediately.
+  void apply(sim::Cluster& cluster, const std::vector<double>& api_qps) const;
+
+ private:
+  void tick();
+
+  ProactiveOracleConfig cfg_;
+  std::vector<std::vector<double>> fanout_;
+  std::vector<double> demand_ms_;
+  sim::Cluster* cluster_ = nullptr;
+  Seconds until_ = 0.0;
+  std::vector<double> last_applied_qps_;
+};
+
+}  // namespace graf::autoscalers

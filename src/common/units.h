@@ -1,0 +1,29 @@
+// Units used throughout GRAF.
+//
+// The simulator runs on a double-precision clock measured in seconds.
+// CPU resources follow the Kubernetes convention: quotas are expressed in
+// millicores (1000 millicores == one core fully busy).
+#pragma once
+
+#include <cstdint>
+
+namespace graf {
+
+/// Simulation time, in seconds since cluster start.
+using Seconds = double;
+
+/// CPU quota in millicores (Kubernetes convention; 1000 == one core).
+using Millicores = double;
+
+/// Queries (front-end requests) per second.
+using Qps = double;
+
+constexpr Millicores kMillicoresPerCore = 1000.0;
+
+/// Convert a millicore quota to a core fraction (processor-sharing capacity).
+constexpr double cores(Millicores mc) { return mc / kMillicoresPerCore; }
+
+/// Convert cores to millicores.
+constexpr Millicores millicores(double c) { return c * kMillicoresPerCore; }
+
+}  // namespace graf

@@ -1,0 +1,101 @@
+#include "core/configuration_solver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "nn/optim.h"
+
+namespace graf::core {
+
+ConfigurationSolver::ConfigurationSolver(gnn::LatencyModel& model, SolverConfig cfg)
+    : model_{model}, cfg_{cfg} {
+  if (cfg_.rho <= 0.0) throw std::invalid_argument{"SolverConfig: rho must be > 0"};
+}
+
+SolverResult ConfigurationSolver::solve(std::span<const double> workload,
+                                        double slo_ms,
+                                        std::span<const Millicores> lo,
+                                        std::span<const Millicores> hi,
+                                        std::span<const Millicores> init) {
+  const std::size_t n = model_.node_count();
+  if (workload.size() != n || lo.size() != n || hi.size() != n)
+    throw std::invalid_argument{"ConfigurationSolver::solve: dimension mismatch"};
+  if (slo_ms <= 0.0) throw std::invalid_argument{"solve: slo must be > 0"};
+  for (std::size_t i = 0; i < n; ++i)
+    if (!(lo[i] > 0.0) || lo[i] > hi[i])
+      throw std::invalid_argument{"solve: need 0 < lo <= hi"};
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const double target_ms = slo_ms * cfg_.slo_margin;
+
+  double hi_total = 0.0;
+  for (double h : hi) hi_total += h;
+  const double quota_norm = 1.0 / hi_total;
+
+  nn::Tensor r0{1, n};
+  for (std::size_t i = 0; i < n; ++i)
+    r0(0, i) = init.empty() ? hi[i] : std::clamp(init[i], lo[i], hi[i]);
+  nn::Param r{r0};
+
+  nn::Adam adam{{&r}, {.lr = cfg_.lr_mc}};
+
+  SolverResult res;
+  double prev_loss = std::numeric_limits<double>::infinity();
+  std::size_t calm = 0;
+  nn::Tape tape;
+  for (std::size_t it = 1; it <= cfg_.max_iterations; ++it) {
+    tape.reset();
+    nn::Var rv = tape.param(r);
+    nn::Var pred = model_.predict_var(tape, workload, rv);
+    // sum(r)/sum(hi) + rho * max(0, pred/target - 1)
+    nn::Var quota_term = nn::scale(nn::sum_all(rv), quota_norm);
+    nn::Var violation =
+        nn::relu(nn::add_scalar(nn::scale(pred, 1.0 / target_ms), -1.0));
+    nn::Var loss = nn::add(quota_term, nn::scale(violation, cfg_.rho));
+
+    const double loss_val = tape.value(loss).item();
+    r.zero_grad();
+    tape.backward(loss);
+    adam.step();
+    if (cfg_.lr_decay_every > 0 && it % cfg_.lr_decay_every == 0)
+      adam.set_learning_rate(adam.learning_rate() * cfg_.lr_decay_factor);
+    // Project into the Algorithm-1 bounds.
+    for (std::size_t i = 0; i < n; ++i)
+      r.value(0, i) = std::clamp(r.value(0, i), lo[i], hi[i]);
+
+    res.iterations = it;
+    res.loss = loss_val;
+    if (std::abs(loss_val - prev_loss) < cfg_.tolerance) {
+      if (++calm >= cfg_.patience) {
+        res.converged = true;
+        break;
+      }
+    } else {
+      calm = 0;
+    }
+    prev_loss = loss_val;
+  }
+
+  res.quota.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) res.quota[i] = r.value(0, i);
+  res.predicted_ms = model_.predict(workload, res.quota);
+  res.solve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return res;
+}
+
+double ConfigurationSolver::loss_at(std::span<const double> workload, double slo_ms,
+                                    std::span<const Millicores> quota,
+                                    std::span<const Millicores> hi) const {
+  double hi_total = 0.0;
+  for (double h : hi) hi_total += h;
+  double total = 0.0;
+  for (double q : quota) total += q;
+  const double pred = model_.predict(workload, quota);
+  return total / hi_total + cfg_.rho * std::max(0.0, pred / slo_ms - 1.0);
+}
+
+}  // namespace graf::core

@@ -1,0 +1,38 @@
+#include "core/cost_model.h"
+
+#include <limits>
+
+namespace graf::core {
+
+CostBreakdown training_cost(std::size_t samples, double seconds_per_sample,
+                            double training_hours, AwsPricing prices) {
+  CostBreakdown c;
+  const double collection_hours =
+      static_cast<double>(samples) * seconds_per_sample / 3600.0;
+  c.load_gen_hours = collection_hours;
+  c.worker_hours = collection_hours;
+  c.gpu_hours = training_hours;
+  c.load_gen_usd = c.load_gen_hours * prices.load_generator;
+  c.worker_usd = c.worker_hours * prices.worker_node;
+  c.gpu_usd = c.gpu_hours * prices.gpu_training;
+  c.total_usd = c.load_gen_usd + c.worker_usd + c.gpu_usd;
+  return c;
+}
+
+double daily_saving_usd(double saved_instances, AwsPricing prices) {
+  return saved_instances * prices.per_instance * 24.0;
+}
+
+double net_profit_usd(double saved_instances, double update_period_days,
+                      const CostBreakdown& cost, AwsPricing prices) {
+  return daily_saving_usd(saved_instances, prices) * update_period_days - cost.total_usd;
+}
+
+double breakeven_days(double saved_instances, const CostBreakdown& cost,
+                      AwsPricing prices) {
+  const double daily = daily_saving_usd(saved_instances, prices);
+  if (daily <= 0.0) return std::numeric_limits<double>::infinity();
+  return cost.total_usd / daily;
+}
+
+}  // namespace graf::core

@@ -1,0 +1,49 @@
+// Cost-benefit analysis (paper Table 3 + Fig. 19): what does it cost to
+// collect the training samples and train the model on AWS EC2, and after
+// how long does GRAF's instance saving pay it back?
+#pragma once
+
+#include <cstddef>
+
+namespace graf::core {
+
+/// AWS EC2 on-demand prices used by the paper's Table 3 ($/hour).
+struct AwsPricing {
+  double load_generator = 0.10;  ///< c4.large
+  double worker_node = 0.398;    ///< c4.2xlarge
+  double gpu_training = 0.526;   ///< g4dn.xlarge
+  /// Price attributed to one microservice instance (fraction of a worker
+  /// hosting several instances) for the savings computation.
+  double per_instance = 0.05;
+};
+
+struct CostBreakdown {
+  double load_gen_hours = 0.0;
+  double worker_hours = 0.0;
+  double gpu_hours = 0.0;
+  double load_gen_usd = 0.0;
+  double worker_usd = 0.0;
+  double gpu_usd = 0.0;
+  double total_usd = 0.0;
+};
+
+/// Table 3: cost of collecting `samples` at `seconds_per_sample` plus
+/// `training_hours` of GPU time.
+CostBreakdown training_cost(std::size_t samples, double seconds_per_sample = 15.0,
+                            double training_hours = 16.0, AwsPricing prices = {});
+
+/// $ saved per day by running `saved_instances` fewer instances.
+double daily_saving_usd(double saved_instances, AwsPricing prices = {});
+
+/// Net profit of adopting GRAF given a saving rate and a redeployment
+/// (microservice update) period: savings accrue for `update_period_days`,
+/// then collection + training must be repaid.
+double net_profit_usd(double saved_instances, double update_period_days,
+                      const CostBreakdown& cost, AwsPricing prices = {});
+
+/// Fig. 19 frontier: the update period (days) at which GRAF breaks even for
+/// a given instance saving. Infinite when nothing is saved.
+double breakeven_days(double saved_instances, const CostBreakdown& cost,
+                      AwsPricing prices = {});
+
+}  // namespace graf::core

@@ -1,0 +1,46 @@
+#include "core/graf_controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace graf::core {
+
+GrafController::GrafController(ResourceController& controller, GrafControllerConfig cfg)
+    : controller_{controller}, cfg_{cfg} {}
+
+void GrafController::set_slo(double slo_ms) {
+  cfg_.slo_ms = slo_ms;
+  slo_dirty_ = true;
+}
+
+void GrafController::attach(sim::Cluster& cluster, Seconds until) {
+  cluster_ = &cluster;
+  until_ = until;
+  last_applied_qps_.assign(cluster.api_count(), 0.0);
+  slo_dirty_ = true;
+  cluster.events().schedule_in(cfg_.control_interval, [this] { tick(); });
+}
+
+void GrafController::tick() {
+  if (cluster_->now() > until_) return;
+  std::vector<Qps> qps(cluster_->api_count());
+  bool changed = slo_dirty_;
+  for (std::size_t a = 0; a < qps.size(); ++a) {
+    qps[a] = cluster_->api_qps(static_cast<int>(a), cfg_.rate_window);
+    const double denom = std::max(last_applied_qps_[a], 1e-9);
+    if (std::abs(qps[a] - last_applied_qps_[a]) / denom > cfg_.change_threshold)
+      changed = true;
+  }
+  double total = 0.0;
+  for (double q : qps) total += q;
+  if (changed && total > 0.0) {
+    last_plan_ = controller_.plan(qps, cfg_.slo_ms);
+    ResourceController::apply(*cluster_, last_plan_);
+    last_applied_qps_ = qps;
+    slo_dirty_ = false;
+    ++solves_;
+  }
+  cluster_->events().schedule_in(cfg_.control_interval, [this] { tick(); });
+}
+
+}  // namespace graf::core

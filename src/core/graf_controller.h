@@ -1,0 +1,52 @@
+// GRAF's end-to-end control loop (paper §3.1 / §3.8), packaged as an
+// Autoscaler so benchmarks can swap it against the K8s HPA and FIRM-like
+// baselines. Every control tick it reads *only the front-end workload* —
+// nothing downstream — and, when the workload (or the SLO) has moved
+// beyond a hysteresis band, re-solves and pushes replica counts for every
+// service at once. That is the proactive behaviour that defeats the
+// cascading effect.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "autoscalers/autoscaler.h"
+#include "core/resource_controller.h"
+
+namespace graf::core {
+
+struct GrafControllerConfig {
+  double slo_ms = 200.0;
+  Seconds control_interval = 5.0;
+  Seconds rate_window = 5.0;
+  /// Relative front-end workload change that triggers a re-solve.
+  double change_threshold = 0.10;
+};
+
+class GrafController : public autoscalers::Autoscaler {
+ public:
+  GrafController(ResourceController& controller, GrafControllerConfig cfg);
+
+  void attach(sim::Cluster& cluster, Seconds until) override;
+  std::string name() const override { return "graf"; }
+
+  void set_slo(double slo_ms);
+
+  std::uint64_t solves() const { return solves_; }
+  const AllocationPlan& last_plan() const { return last_plan_; }
+
+ private:
+  void tick();
+
+  ResourceController& controller_;
+  GrafControllerConfig cfg_;
+  sim::Cluster* cluster_ = nullptr;
+  Seconds until_ = 0.0;
+  std::vector<Qps> last_applied_qps_;
+  AllocationPlan last_plan_;
+  std::uint64_t solves_ = 0;
+  bool slo_dirty_ = true;
+};
+
+}  // namespace graf::core

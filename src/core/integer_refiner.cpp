@@ -1,0 +1,57 @@
+#include "core/integer_refiner.h"
+
+#include <stdexcept>
+
+namespace graf::core {
+
+IntegerRefiner::IntegerRefiner(gnn::LatencyModel& model, IntegerRefinerConfig cfg)
+    : model_{model}, cfg_{cfg} {}
+
+RefinedPlan IntegerRefiner::refine(std::span<const double> workload, double slo_ms,
+                                   std::span<const int> instances,
+                                   std::span<const Millicores> unit_mc,
+                                   std::span<const Millicores> min_lo) {
+  const std::size_t n = model_.node_count();
+  if (workload.size() != n || instances.size() != n || unit_mc.size() != n ||
+      min_lo.size() != n)
+    throw std::invalid_argument{"IntegerRefiner::refine: dimension mismatch"};
+
+  RefinedPlan plan;
+  plan.instances.assign(instances.begin(), instances.end());
+  plan.quota.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    plan.quota[i] = unit_mc[i] * static_cast<double>(plan.instances[i]);
+
+  const double budget_ms = slo_ms * cfg_.slo_margin;
+  plan.predicted_ms = model_.predict(workload, plan.quota);
+
+  for (std::size_t round = 0; round < cfg_.max_rounds; ++round) {
+    // Candidate: the feasible single-instance removal freeing the most CPU.
+    std::size_t best = n;
+    double best_saving = 0.0;
+    double best_pred = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (plan.instances[i] <= 1) continue;
+      const double new_quota = plan.quota[i] - unit_mc[i];
+      if (new_quota < min_lo[i]) continue;
+      auto trial = plan.quota;
+      trial[i] = new_quota;
+      const double pred = model_.predict(workload, trial);
+      if (pred > budget_ms) continue;
+      if (unit_mc[i] > best_saving) {
+        best = i;
+        best_saving = unit_mc[i];
+        best_pred = pred;
+      }
+    }
+    if (best == n) break;  // nothing removable
+    plan.instances[best] -= 1;
+    plan.quota[best] -= unit_mc[best];
+    plan.predicted_ms = best_pred;
+    plan.saved_mc += best_saving;
+    ++plan.removed;
+  }
+  return plan;
+}
+
+}  // namespace graf::core

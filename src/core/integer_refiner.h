@@ -1,0 +1,55 @@
+// Integer instance-count refinement (paper §6 "Integer Optimization for
+// instances scaling").
+//
+// GRAF's solver works in continuous quota space and Eq. 7 rounds *up* to
+// whole instances, so every service carries up to one instance-unit of
+// slack. The paper notes "there is slight improvement room" if one performs
+// integer optimization; this module implements the natural greedy variant:
+// starting from the Eq. 7 plan, repeatedly remove the single instance whose
+// removal keeps the model's latency estimate within the SLO and frees the
+// most CPU, until no removal is feasible. The model evaluation keeps it a
+// pure prediction-time optimization — no cluster interaction.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/units.h"
+#include "gnn/latency_model.h"
+
+namespace graf::core {
+
+struct IntegerRefinerConfig {
+  /// Keep the refined plan's predicted latency below margin * SLO.
+  double slo_margin = 0.95;
+  /// Safety cap on refinement rounds (each round removes one instance).
+  std::size_t max_rounds = 256;
+};
+
+struct RefinedPlan {
+  std::vector<int> instances;
+  std::vector<Millicores> quota;   ///< instances * unit
+  double predicted_ms = 0.0;
+  std::size_t removed = 0;         ///< instances shaved off the Eq. 7 plan
+  Millicores saved_mc = 0.0;
+};
+
+class IntegerRefiner {
+ public:
+  IntegerRefiner(gnn::LatencyModel& model, IntegerRefinerConfig cfg = {});
+
+  /// Refine an Eq. 7 plan. `workload` is per-node qps (same space the model
+  /// was trained in), `unit_mc` the per-service instance size, `min_lo` the
+  /// Algorithm-1 lower bounds (never refine below them).
+  RefinedPlan refine(std::span<const double> workload, double slo_ms,
+                     std::span<const int> instances,
+                     std::span<const Millicores> unit_mc,
+                     std::span<const Millicores> min_lo);
+
+ private:
+  gnn::LatencyModel& model_;
+  IntegerRefinerConfig cfg_;
+};
+
+}  // namespace graf::core

@@ -1,0 +1,69 @@
+#include "core/resource_controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace graf::core {
+
+ResourceController::ResourceController(gnn::LatencyModel& model,
+                                       ConfigurationSolver& solver,
+                                       WorkloadAnalyzer& analyzer,
+                                       std::vector<Millicores> lo,
+                                       std::vector<Millicores> hi,
+                                       std::vector<Millicores> unit_mc)
+    : model_{model}, solver_{solver}, analyzer_{analyzer}, lo_{std::move(lo)},
+      hi_{std::move(hi)}, unit_{std::move(unit_mc)} {
+  const std::size_t n = model_.node_count();
+  if (lo_.size() != n || hi_.size() != n || unit_.size() != n)
+    throw std::invalid_argument{"ResourceController: bound/unit dimension mismatch"};
+  train_max_workload_.assign(n, 0.0);
+}
+
+void ResourceController::set_training_reference(const gnn::Dataset& train) {
+  const std::size_t n = model_.node_count();
+  train_max_workload_.assign(n, 0.0);
+  for (const auto& s : train)
+    for (std::size_t i = 0; i < n; ++i)
+      train_max_workload_[i] = std::max(train_max_workload_[i], s.workload[i]);
+}
+
+AllocationPlan ResourceController::plan(std::span<const Qps> api_qps, double slo_ms) {
+  const std::size_t n = model_.node_count();
+  std::vector<double> node_workload = analyzer_.distribute(api_qps);
+
+  // Workload scaling (§3.6): shrink into the trained region by a common
+  // factor; quotas are scaled back up by the same factor afterwards.
+  double k = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (train_max_workload_[i] > 0.0)
+      k = std::max(k, node_workload[i] / train_max_workload_[i]);
+  }
+  std::vector<double> scaled = node_workload;
+  for (double& w : scaled) w /= k;
+
+  AllocationPlan plan;
+  plan.scale_factor = k;
+  plan.solver = solver_.solve(scaled, slo_ms, lo_, hi_);
+  plan.predicted_ms = plan.solver.predicted_ms;
+  plan.quota.assign(n, 0.0);
+  plan.instances.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    plan.quota[i] = plan.solver.quota[i] * k;
+    // Eq. 7: round the continuous quota up to whole instance units.
+    plan.instances[i] =
+        std::max(1, static_cast<int>(std::ceil(plan.quota[i] / unit_[i])));
+  }
+  return plan;
+}
+
+void ResourceController::apply(sim::Cluster& cluster, const AllocationPlan& plan) {
+  if (plan.instances.size() != cluster.service_count())
+    throw std::invalid_argument{"ResourceController::apply: plan/cluster mismatch"};
+  for (std::size_t s = 0; s < plan.instances.size(); ++s) {
+    sim::Service& svc = cluster.service(static_cast<int>(s));
+    if (plan.instances[s] != svc.target_count()) svc.scale_to(plan.instances[s]);
+  }
+}
+
+}  // namespace graf::core

@@ -1,0 +1,63 @@
+// Resource controller (paper §3.6): bridges the continuous world of the
+// solver and the discrete world of the cluster.
+//
+//  1. Scales the observed workload down into the region the GNN was
+//     trained on (factor k = max_i l_i / l_i^train-max, floored at 1),
+//  2. runs the configuration solver on the scaled workload,
+//  3. scales the resulting quotas back up by k (even-distribution
+//     assumption), and
+//  4. converts quotas to replica counts: instances = ceil(quota/unit)
+//     (Eq. 7), applied through the normal deployment pipeline.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/units.h"
+#include "core/configuration_solver.h"
+#include "core/workload_analyzer.h"
+#include "gnn/latency_model.h"
+#include "sim/cluster.h"
+
+namespace graf::core {
+
+struct AllocationPlan {
+  std::vector<Millicores> quota;   ///< per-service CPU quota (post-rescale)
+  std::vector<int> instances;      ///< Eq. 7 replica counts
+  double predicted_ms = 0.0;       ///< model estimate at the *scaled* point
+  double scale_factor = 1.0;       ///< k applied to workload and quota
+  SolverResult solver;             ///< raw solver diagnostics
+};
+
+class ResourceController {
+ public:
+  /// `lo`/`hi` are the Algorithm-1 per-service bounds the model was trained
+  /// within; `unit_mc` the per-service instance CPU units (Eq. 7).
+  ResourceController(gnn::LatencyModel& model, ConfigurationSolver& solver,
+                     WorkloadAnalyzer& analyzer, std::vector<Millicores> lo,
+                     std::vector<Millicores> hi, std::vector<Millicores> unit_mc);
+
+  /// Record the per-node workload maxima of the training set (the "region
+  /// where GNN is trained" that observed workloads are scaled into).
+  void set_training_reference(const gnn::Dataset& train);
+
+  /// Produce the allocation plan for observed per-API workloads and an SLO.
+  AllocationPlan plan(std::span<const Qps> api_qps, double slo_ms);
+
+  /// Push a plan to the cluster (scale_to via the deployment pipeline).
+  static void apply(sim::Cluster& cluster, const AllocationPlan& plan);
+
+  const std::vector<Millicores>& lower_bounds() const { return lo_; }
+  const std::vector<Millicores>& upper_bounds() const { return hi_; }
+
+ private:
+  gnn::LatencyModel& model_;
+  ConfigurationSolver& solver_;
+  WorkloadAnalyzer& analyzer_;
+  std::vector<Millicores> lo_;
+  std::vector<Millicores> hi_;
+  std::vector<Millicores> unit_;
+  std::vector<double> train_max_workload_;
+};
+
+}  // namespace graf::core

@@ -1,0 +1,34 @@
+#include "core/state_collector.h"
+
+namespace graf::core {
+
+StateCollector::StateCollector(sim::Cluster& cluster, Seconds window)
+    : cluster_{cluster}, window_{window} {}
+
+std::vector<Qps> StateCollector::frontend_workload() const {
+  std::vector<Qps> w(cluster_.api_count());
+  for (std::size_t a = 0; a < w.size(); ++a)
+    w[a] = cluster_.api_qps(static_cast<int>(a), window_);
+  return w;
+}
+
+ClusterState StateCollector::collect() const {
+  ClusterState st;
+  st.time = cluster_.now();
+  st.api_qps = frontend_workload();
+  const std::size_t n = cluster_.service_count();
+  st.quota.reserve(n);
+  st.utilization.reserve(n);
+  st.ready.reserve(n);
+  st.creating.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    const auto& svc = cluster_.service(static_cast<int>(s));
+    st.quota.push_back(svc.total_quota());
+    st.utilization.push_back(cluster_.utilization_avg(static_cast<int>(s), window_));
+    st.ready.push_back(svc.ready_count());
+    st.creating.push_back(svc.creating_count());
+  }
+  return st;
+}
+
+}  // namespace graf::core

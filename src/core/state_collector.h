@@ -1,0 +1,41 @@
+// State and trace collector (paper §3.2): the façade through which GRAF
+// observes the cluster — front-end workload per API, current quotas,
+// utilizations, and replica counts. GRAF's *allocation* path deliberately
+// consumes only the front-end workload (proactivity, §3.8); the richer
+// fields feed the sample collector and reporting.
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+#include "sim/cluster.h"
+
+namespace graf::core {
+
+struct ClusterState {
+  Seconds time = 0.0;
+  std::vector<Qps> api_qps;            ///< front-end workload per API
+  std::vector<Millicores> quota;       ///< total CPU quota per service
+  std::vector<double> utilization;     ///< per service, last window
+  std::vector<int> ready;              ///< ready replicas
+  std::vector<int> creating;           ///< replicas still starting
+};
+
+class StateCollector {
+ public:
+  explicit StateCollector(sim::Cluster& cluster, Seconds window = 5.0);
+
+  /// Front-end workload per API over the observation window.
+  std::vector<Qps> frontend_workload() const;
+
+  /// Full snapshot.
+  ClusterState collect() const;
+
+  Seconds window() const { return window_; }
+
+ private:
+  sim::Cluster& cluster_;
+  Seconds window_;
+};
+
+}  // namespace graf::core

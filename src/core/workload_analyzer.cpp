@@ -1,0 +1,69 @@
+#include "core/workload_analyzer.h"
+
+#include <stdexcept>
+
+namespace graf::core {
+namespace {
+
+void accumulate_expected(const sim::CallNode& node, double p,
+                         std::vector<double>& out) {
+  out[static_cast<std::size_t>(node.service)] += p;
+  for (const auto& stage : node.stages)
+    for (const auto& child : stage)
+      accumulate_expected(child, p * child.probability, out);
+}
+
+}  // namespace
+
+WorkloadAnalyzer::WorkloadAnalyzer(std::size_t api_count, std::size_t service_count,
+                                   double fanout_rank)
+    : api_count_{api_count}, service_count_{service_count}, rank_{fanout_rank},
+      fanout_(api_count, std::vector<double>(service_count, 0.0)) {}
+
+void WorkloadAnalyzer::update(const trace::Tracer& tracer) {
+  if (tracer.api_count() != api_count_ || tracer.service_count() != service_count_)
+    throw std::invalid_argument{"WorkloadAnalyzer::update: shape mismatch"};
+  for (std::size_t a = 0; a < api_count_; ++a) {
+    if (tracer.history_size(static_cast<int>(a)) == 0) continue;  // keep previous
+    fanout_[a] = tracer.fanout(static_cast<int>(a), rank_);
+  }
+}
+
+void WorkloadAnalyzer::set_fanout(std::vector<std::vector<double>> fanout) {
+  if (fanout.size() != api_count_)
+    throw std::invalid_argument{"WorkloadAnalyzer::set_fanout: api count"};
+  for (const auto& row : fanout)
+    if (row.size() != service_count_)
+      throw std::invalid_argument{"WorkloadAnalyzer::set_fanout: service count"};
+  fanout_ = std::move(fanout);
+}
+
+std::vector<double> WorkloadAnalyzer::distribute(std::span<const Qps> api_workload) const {
+  if (api_workload.size() != api_count_)
+    throw std::invalid_argument{"WorkloadAnalyzer::distribute: api count"};
+  std::vector<double> l(service_count_, 0.0);
+  for (std::size_t a = 0; a < api_count_; ++a)
+    for (std::size_t s = 0; s < service_count_; ++s)
+      l[s] += api_workload[a] * fanout_[a][s];
+  return l;
+}
+
+bool WorkloadAnalyzer::ready() const {
+  for (const auto& row : fanout_)
+    for (double v : row)
+      if (v > 0.0) return true;
+  return false;
+}
+
+std::vector<std::vector<double>> expected_fanout(const apps::Topology& topo) {
+  std::vector<std::vector<double>> out;
+  out.reserve(topo.apis.size());
+  for (const auto& api : topo.apis) {
+    std::vector<double> row(topo.service_count(), 0.0);
+    accumulate_expected(api.root, 1.0, row);
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace graf::core

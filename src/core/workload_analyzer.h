@@ -1,0 +1,50 @@
+// Workload analyzer (paper §3.3): converts front-end per-API workloads into
+// per-microservice workloads using the per-API fan-out observed in traces.
+//
+// For each API a and service i the tracer yields the distribution of "how
+// many requests does service i handle per front-end request of a"; the
+// paper takes the 90%-ile of that history as c_{a,i}, then distributes
+//   l_i = sum_a w_a * c_{a,i}.
+// An analytic fan-out (probability-weighted expected visits from the call
+// tree) is provided for cold starts and for oracle baselines.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "apps/topology.h"
+#include "trace/tracer.h"
+
+namespace graf::core {
+
+class WorkloadAnalyzer {
+ public:
+  WorkloadAnalyzer(std::size_t api_count, std::size_t service_count,
+                   double fanout_rank = 90.0);
+
+  /// Refresh the fan-out matrix from traced history.
+  void update(const trace::Tracer& tracer);
+
+  /// Install a fan-out matrix directly ([api][service]).
+  void set_fanout(std::vector<std::vector<double>> fanout);
+
+  /// l_i = sum_a w_a * c_{a,i}.
+  std::vector<double> distribute(std::span<const Qps> api_workload) const;
+
+  const std::vector<std::vector<double>>& fanout() const { return fanout_; }
+
+  /// True once any fan-out entry is non-zero.
+  bool ready() const;
+
+ private:
+  std::size_t api_count_;
+  std::size_t service_count_;
+  double rank_;
+  std::vector<std::vector<double>> fanout_;
+};
+
+/// Probability-weighted expected visits per service for each API of a
+/// topology ([api][service]); the analytic counterpart of traced fan-out.
+std::vector<std::vector<double>> expected_fanout(const apps::Topology& topo);
+
+}  // namespace graf::core

@@ -1,0 +1,77 @@
+#include "gnn/graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace graf::gnn {
+
+int Dag::add_node(std::string name) {
+  if (index_of(name) >= 0) throw std::invalid_argument{"Dag: duplicate node " + name};
+  names_.push_back(std::move(name));
+  parents_.emplace_back();
+  children_.emplace_back();
+  return static_cast<int>(names_.size()) - 1;
+}
+
+bool Dag::reachable(int from, int to) const {
+  if (from == to) return true;
+  std::vector<int> stack{from};
+  std::vector<bool> seen(node_count(), false);
+  while (!stack.empty()) {
+    const int n = stack.back();
+    stack.pop_back();
+    if (n == to) return true;
+    if (seen[static_cast<std::size_t>(n)]) continue;
+    seen[static_cast<std::size_t>(n)] = true;
+    for (int c : children_[static_cast<std::size_t>(n)]) stack.push_back(c);
+  }
+  return false;
+}
+
+void Dag::add_edge(int parent, int child) {
+  const auto n = static_cast<int>(node_count());
+  if (parent < 0 || parent >= n || child < 0 || child >= n)
+    throw std::out_of_range{"Dag::add_edge: bad node index"};
+  if (parent == child) throw std::invalid_argument{"Dag::add_edge: self loop"};
+  auto& kids = children_[static_cast<std::size_t>(parent)];
+  if (std::find(kids.begin(), kids.end(), child) != kids.end())
+    throw std::invalid_argument{"Dag::add_edge: duplicate edge"};
+  if (reachable(child, parent))
+    throw std::invalid_argument{"Dag::add_edge: would create a cycle"};
+  kids.push_back(child);
+  parents_[static_cast<std::size_t>(child)].push_back(parent);
+  ++edge_count_;
+}
+
+int Dag::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i)
+    if (names_[i] == name) return static_cast<int>(i);
+  return -1;
+}
+
+std::vector<int> Dag::roots() const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < node_count(); ++i)
+    if (parents_[i].empty()) out.push_back(static_cast<int>(i));
+  return out;
+}
+
+std::vector<int> Dag::topological_order() const {
+  std::vector<std::size_t> indegree(node_count());
+  for (std::size_t i = 0; i < node_count(); ++i) indegree[i] = parents_[i].size();
+  std::vector<int> frontier = roots();
+  std::vector<int> order;
+  order.reserve(node_count());
+  while (!frontier.empty()) {
+    const int n = frontier.back();
+    frontier.pop_back();
+    order.push_back(n);
+    for (int c : children_[static_cast<std::size_t>(n)]) {
+      if (--indegree[static_cast<std::size_t>(c)] == 0) frontier.push_back(c);
+    }
+  }
+  if (order.size() != node_count()) throw std::logic_error{"Dag: cycle detected"};
+  return order;
+}
+
+}  // namespace graf::gnn

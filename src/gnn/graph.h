@@ -1,0 +1,51 @@
+// Directed acyclic graph describing a microservice application's call
+// structure. Node i's parents are the microservices that invoke it; message
+// passing (paper §3.4) propagates front-end state down these edges.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace graf::gnn {
+
+class Dag {
+ public:
+  /// Add a node; returns its index. Names must be unique.
+  int add_node(std::string name);
+
+  /// Add edge parent -> child (parent invokes child). Rejects duplicates,
+  /// self loops, and edges that would create a cycle.
+  void add_edge(int parent, int child);
+
+  std::size_t node_count() const { return names_.size(); }
+  const std::string& name(int i) const { return names_.at(static_cast<std::size_t>(i)); }
+
+  /// Index of the named node, or -1.
+  int index_of(const std::string& name) const;
+
+  const std::vector<int>& parents(int i) const {
+    return parents_.at(static_cast<std::size_t>(i));
+  }
+  const std::vector<int>& children(int i) const {
+    return children_.at(static_cast<std::size_t>(i));
+  }
+
+  /// Nodes with no parents (the front-end tier).
+  std::vector<int> roots() const;
+
+  /// Parents-before-children ordering.
+  std::vector<int> topological_order() const;
+
+  std::size_t edge_count() const { return edge_count_; }
+
+ private:
+  bool reachable(int from, int to) const;
+
+  std::vector<std::string> names_;
+  std::vector<std::vector<int>> parents_;
+  std::vector<std::vector<int>> children_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace graf::gnn

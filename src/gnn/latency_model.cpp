@@ -1,0 +1,248 @@
+#include "gnn/latency_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+
+#include "nn/loss.h"
+#include "nn/optim.h"
+
+namespace graf::gnn {
+
+LatencyModel::LatencyModel(const Dag& graph, const MpnnConfig& cfg, std::uint64_t seed)
+    : node_count_{graph.node_count()}, rng_{seed}, model_{graph, cfg, rng_} {
+  if (cfg.node_features != kNodeFeatures)
+    throw std::invalid_argument{
+        "LatencyModel: MpnnConfig::node_features must equal kNodeFeatures"};
+}
+
+void LatencyModel::fit_scalers(const Dataset& train) {
+  double wmax = 1e-9;
+  double qmax = 1e-9;
+  double qmin = std::numeric_limits<double>::infinity();
+  double ratio_max = 1e-9;
+  double lsum = 0.0;
+  for (const Sample& s : train) {
+    if (s.workload.size() != node_count_ || s.quota.size() != node_count_)
+      throw std::invalid_argument{"LatencyModel: sample dimension mismatch"};
+    for (double w : s.workload) wmax = std::max(wmax, w);
+    for (std::size_t i = 0; i < node_count_; ++i) {
+      const double q = s.quota[i];
+      if (q <= 0.0) throw std::invalid_argument{"LatencyModel: quota must be > 0"};
+      qmax = std::max(qmax, q);
+      qmin = std::min(qmin, q);
+      ratio_max = std::max(ratio_max, s.workload[i] / q);
+    }
+    lsum += s.latency_ms;
+  }
+  w_scale_ = 1.0 / wmax;
+  q_scale_ = 1.0 / qmax;
+  q_min_mc_ = std::min(qmin, 1e12);
+  ratio_max_ = ratio_max;
+  label_ref_ = train.empty() ? 1.0 : std::max(lsum / static_cast<double>(train.size()), 1e-9);
+}
+
+LatencyModel::Batch LatencyModel::assemble(const Dataset& data,
+                                           std::span<const std::size_t> idx) const {
+  Batch b;
+  const std::size_t batch = idx.size();
+  b.features.reserve(node_count_);
+  for (std::size_t n = 0; n < node_count_; ++n)
+    b.features.emplace_back(batch, kNodeFeatures);
+  b.labels = nn::Tensor{batch, 1};
+  for (std::size_t r = 0; r < batch; ++r) {
+    const Sample& s = data[idx[r]];
+    for (std::size_t n = 0; n < node_count_; ++n) {
+      b.features[n](r, 0) = s.workload[n] * w_scale_;
+      b.features[n](r, 1) = s.quota[n] * q_scale_;
+      b.features[n](r, 2) = q_min_mc_ / s.quota[n];
+      b.features[n](r, 3) = s.workload[n] / s.quota[n] / ratio_max_;
+    }
+    b.labels(r, 0) = s.latency_ms / label_ref_;
+  }
+  return b;
+}
+
+nn::Var LatencyModel::forward_batch(nn::Tape& tape, const Batch& b, Rng& rng,
+                                    bool training) {
+  std::vector<nn::Var> feats;
+  feats.reserve(b.features.size());
+  for (const auto& f : b.features) feats.push_back(tape.constant(f));
+  return model_.forward(tape, feats, rng, training);
+}
+
+TrainHistory LatencyModel::fit(const Dataset& train, const Dataset& val,
+                               const TrainConfig& cfg) {
+  if (train.empty()) throw std::invalid_argument{"LatencyModel::fit: empty training set"};
+  fit_scalers(train);
+
+  Rng rng{cfg.seed};
+  nn::Adam opt{model_.params(), {.lr = cfg.lr}};
+
+  TrainHistory hist;
+  hist.best_val_loss = std::numeric_limits<double>::infinity();
+  std::vector<nn::Tensor> best_weights;
+
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::size_t cursor = order.size();  // trigger initial shuffle
+
+  nn::Tape tape;
+  double running_loss = 0.0;
+  std::size_t running_count = 0;
+
+  for (std::size_t it = 1; it <= cfg.iterations; ++it) {
+    // Draw the next mini-batch from a reshuffled epoch ordering.
+    std::vector<std::size_t> idx;
+    idx.reserve(cfg.batch_size);
+    while (idx.size() < cfg.batch_size) {
+      if (cursor >= order.size()) {
+        for (std::size_t i = order.size(); i > 1; --i)
+          std::swap(order[i - 1],
+                    order[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1))]);
+        cursor = 0;
+      }
+      idx.push_back(order[cursor++]);
+    }
+
+    Batch b = assemble(train, idx);
+    tape.reset();
+    nn::Var pred = forward_batch(tape, b, rng, /*training=*/true);
+    nn::Var loss = nn::asym_huber_pct_loss(pred, b.labels, cfg.theta_under, cfg.theta_over);
+    model_.zero_grad();
+    tape.backward(loss);
+    opt.step();
+
+    running_loss += tape.value(loss).item();
+    ++running_count;
+
+    if (cfg.lr_decay_every > 0 && it % cfg.lr_decay_every == 0)
+      opt.set_learning_rate(opt.learning_rate() * cfg.lr_decay_factor);
+
+    if (it % cfg.eval_every == 0 || it == cfg.iterations) {
+      const double train_loss = running_loss / static_cast<double>(running_count);
+      running_loss = 0.0;
+      running_count = 0;
+      const double val_loss =
+          val.empty() ? train_loss : evaluate_loss(val, cfg.theta_under, cfg.theta_over);
+      hist.iteration.push_back(it);
+      hist.train_loss.push_back(train_loss);
+      hist.val_loss.push_back(val_loss);
+      if (cfg.select_best && val_loss < hist.best_val_loss) {
+        hist.best_val_loss = val_loss;
+        best_weights.clear();
+        for (nn::Param* p : model_.params()) best_weights.push_back(p->value);
+      }
+    }
+  }
+
+  if (cfg.select_best && !best_weights.empty()) {
+    auto params = model_.params();
+    for (std::size_t i = 0; i < params.size(); ++i) params[i]->value = best_weights[i];
+  } else if (!hist.val_loss.empty()) {
+    hist.best_val_loss = hist.val_loss.back();
+  }
+  return hist;
+}
+
+double LatencyModel::predict(std::span<const double> workload_qps,
+                             std::span<const double> quota_millicores) {
+  if (workload_qps.size() != node_count_ || quota_millicores.size() != node_count_)
+    throw std::invalid_argument{"LatencyModel::predict: dimension mismatch"};
+  nn::Tape tape;
+  std::vector<nn::Var> feats;
+  feats.reserve(node_count_);
+  for (std::size_t n = 0; n < node_count_; ++n) {
+    nn::Tensor f{1, kNodeFeatures};
+    f(0, 0) = workload_qps[n] * w_scale_;
+    f(0, 1) = quota_millicores[n] * q_scale_;
+    f(0, 2) = q_min_mc_ / quota_millicores[n];
+    f(0, 3) = workload_qps[n] / quota_millicores[n] / ratio_max_;
+    feats.push_back(tape.constant(f));
+  }
+  nn::Var out = model_.forward(tape, feats, rng_, /*training=*/false);
+  return tape.value(out).item() * label_ref_;
+}
+
+nn::Var LatencyModel::predict_var(nn::Tape& tape, std::span<const double> workload_qps,
+                                  nn::Var quota_mc) {
+  if (workload_qps.size() != node_count_)
+    throw std::invalid_argument{"LatencyModel::predict_var: dimension mismatch"};
+  const nn::Tensor& q = tape.value(quota_mc);
+  if (q.rows() != 1 || q.cols() != node_count_)
+    throw std::invalid_argument{"LatencyModel::predict_var: quota must be 1 x n"};
+  std::vector<nn::Var> feats;
+  feats.reserve(node_count_);
+  for (std::size_t n = 0; n < node_count_; ++n) {
+    nn::Var q_raw = nn::slice_cols(quota_mc, n, 1);
+    nn::Var q_inv = nn::reciprocal(q_raw);
+    nn::Var w = tape.constant(nn::Tensor::scalar(workload_qps[n] * w_scale_));
+    nn::Var qn = nn::scale(q_raw, q_scale_);
+    nn::Var inv_feat = nn::scale(q_inv, q_min_mc_);
+    nn::Var ratio_feat = nn::scale(q_inv, workload_qps[n] / ratio_max_);
+    const nn::Var parts[] = {w, qn, inv_feat, ratio_feat};
+    feats.push_back(nn::concat_cols(parts));
+  }
+  nn::Var out = model_.forward(tape, feats, rng_, /*training=*/false);
+  return nn::scale(out, label_ref_);
+}
+
+double LatencyModel::evaluate_loss(const Dataset& data, double theta_under,
+                                   double theta_over) {
+  if (data.empty()) throw std::invalid_argument{"evaluate_loss: empty dataset"};
+  constexpr std::size_t kChunk = 512;
+  double total = 0.0;
+  nn::Tape tape;
+  for (std::size_t start = 0; start < data.size(); start += kChunk) {
+    const std::size_t len = std::min(kChunk, data.size() - start);
+    std::vector<std::size_t> idx(len);
+    std::iota(idx.begin(), idx.end(), start);
+    Batch b = assemble(data, idx);
+    tape.reset();
+    nn::Var pred = forward_batch(tape, b, rng_, /*training=*/false);
+    nn::Var loss = nn::asym_huber_pct_loss(pred, b.labels, theta_under, theta_over);
+    total += tape.value(loss).item() * static_cast<double>(len);
+  }
+  return total / static_cast<double>(data.size());
+}
+
+AccuracyReport LatencyModel::evaluate_accuracy(const Dataset& data, double region_lo_ms,
+                                               double region_hi_ms) {
+  AccuracyReport rep;
+  double abs_sum = 0.0;
+  double signed_sum = 0.0;
+  for (const Sample& s : data) {
+    if (s.latency_ms < region_lo_ms || s.latency_ms >= region_hi_ms) continue;
+    const double pred = predict(s.workload, s.quota);
+    const double pct = (pred - s.latency_ms) / std::max(s.latency_ms, 1e-9) * 100.0;
+    abs_sum += std::abs(pct);
+    signed_sum += pct;
+    ++rep.count;
+  }
+  if (rep.count > 0) {
+    rep.mean_abs_pct_error = abs_sum / static_cast<double>(rep.count);
+    rep.mean_pct_error = signed_sum / static_cast<double>(rep.count);
+  }
+  return rep;
+}
+
+void LatencyModel::save(std::ostream& os) {
+  os.precision(17);
+  os << w_scale_ << ' ' << q_scale_ << ' ' << q_min_mc_ << ' ' << ratio_max_ << ' '
+     << label_ref_ << '\n';
+  auto params = model_.params();
+  nn::save_params(os, params);
+}
+
+void LatencyModel::load(std::istream& is) {
+  if (!(is >> w_scale_ >> q_scale_ >> q_min_mc_ >> ratio_max_ >> label_ref_))
+    throw std::runtime_error{"LatencyModel::load: bad header"};
+  auto params = model_.params();
+  nn::load_params(is, params);
+}
+
+}  // namespace graf::gnn

@@ -1,0 +1,92 @@
+#include "gnn/mpnn.h"
+
+#include <stdexcept>
+
+namespace graf::gnn {
+
+namespace {
+
+std::vector<std::vector<int>> snapshot_parents(const Dag& g) {
+  std::vector<std::vector<int>> out;
+  out.reserve(g.node_count());
+  for (std::size_t i = 0; i < g.node_count(); ++i)
+    out.push_back(g.parents(static_cast<int>(i)));
+  return out;
+}
+
+}  // namespace
+
+nn::Mlp MpnnModel::make_readout(const Dag& graph, const MpnnConfig& cfg, Rng& rng) {
+  const std::size_t per_node = cfg.use_mpnn ? cfg.embed_dim : cfg.node_features;
+  const std::size_t in = graph.node_count() * per_node;
+  return nn::Mlp{{in, cfg.readout_hidden, cfg.readout_hidden, 1}, cfg.dropout_p, rng};
+}
+
+MpnnModel::MpnnModel(const Dag& graph, const MpnnConfig& cfg, Rng& rng)
+    : cfg_{cfg}, parents_{snapshot_parents(graph)},
+      readout_{make_readout(graph, cfg, rng)} {
+  if (graph.node_count() == 0) throw std::invalid_argument{"MpnnModel: empty graph"};
+  if (cfg_.use_mpnn) {
+    // Dropout is applied only to the FC readout (paper §3.4); the message
+    // and update networks train without it.
+    std::size_t h_dim = cfg_.node_features;  // dimension of h at each step
+    for (std::size_t k = 0; k < cfg_.message_steps; ++k) {
+      phi_.emplace_back(
+          std::vector<std::size_t>{h_dim, cfg_.mpnn_hidden, cfg_.mpnn_hidden,
+                                   cfg_.embed_dim},
+          0.0, rng);
+      gamma_.emplace_back(
+          std::vector<std::size_t>{h_dim + cfg_.embed_dim, cfg_.mpnn_hidden,
+                                   cfg_.mpnn_hidden, cfg_.embed_dim},
+          0.0, rng);
+      h_dim = cfg_.embed_dim;
+    }
+  }
+}
+
+nn::Var MpnnModel::forward(nn::Tape& tape, std::span<const nn::Var> node_features,
+                           Rng& rng, bool training) {
+  const std::size_t n = parents_.size();
+  if (node_features.size() != n)
+    throw std::invalid_argument{"MpnnModel::forward: feature count != node count"};
+  const std::size_t batch = tape.value(node_features.front()).rows();
+
+  std::vector<nn::Var> h{node_features.begin(), node_features.end()};
+
+  if (cfg_.use_mpnn) {
+    for (std::size_t k = 0; k < cfg_.message_steps; ++k) {
+      // Messages from every node, computed once per step.
+      std::vector<nn::Var> msg;
+      msg.reserve(n);
+      for (std::size_t i = 0; i < n; ++i)
+        msg.push_back(phi_[k].forward(tape, h[i], rng, training));
+
+      std::vector<nn::Var> next;
+      next.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        nn::Var agg;
+        if (parents_[i].empty()) {
+          agg = tape.constant(nn::Tensor{batch, cfg_.embed_dim});
+        } else {
+          agg = msg[static_cast<std::size_t>(parents_[i].front())];
+          for (std::size_t p = 1; p < parents_[i].size(); ++p)
+            agg = nn::add(agg, msg[static_cast<std::size_t>(parents_[i][p])]);
+        }
+        const nn::Var both[] = {h[i], agg};
+        next.push_back(gamma_[k].forward(tape, nn::concat_cols(both), rng, training));
+      }
+      h = std::move(next);
+    }
+  }
+
+  nn::Var flat = nn::concat_cols(h);
+  return readout_.forward(tape, flat, rng, training);
+}
+
+void MpnnModel::collect_params(std::vector<nn::Param*>& out) {
+  for (auto& m : phi_) m.collect_params(out);
+  for (auto& m : gamma_) m.collect_params(out);
+  readout_.collect_params(out);
+}
+
+}  // namespace graf::gnn

@@ -1,0 +1,63 @@
+// Message-passing neural network over the microservice DAG (paper §3.4,
+// Eq. 3) plus the fully-connected readout that regresses end-to-end tail
+// latency from the flattened node embeddings (paper Fig. 9).
+//
+// Each message-passing step k computes, for every node i,
+//   e_i = gamma_k( h_i , sum_{j in parents(i)} phi_k(h_j) )
+// where gamma/phi are two-hidden-layer 20-unit ReLU MLPs and h is the raw
+// node feature vector at step 1 and the previous embedding afterwards.
+// Setting Config::use_mpnn = false yields the paper's Fig. 11 ablation
+// ("GRAF w/o MPNN"): the readout consumes the raw node features directly.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "gnn/graph.h"
+#include "nn/layers.h"
+
+namespace graf::gnn {
+
+struct MpnnConfig {
+  /// Per-node input features. The paper's node state is the
+  /// (workload, CPU quota) pair; LatencyModel additionally derives
+  /// 1/quota and workload/quota (its "scaled input" stage), so its models
+  /// use 4 features per node.
+  std::size_t node_features = 4;
+  std::size_t embed_dim = 20;       ///< node embedding width
+  std::size_t mpnn_hidden = 20;     ///< hidden units in gamma/phi (paper: 20)
+  std::size_t readout_hidden = 120; ///< hidden units in readout FC (paper: 120)
+  std::size_t message_steps = 2;    ///< paper: two message-passing steps
+  double dropout_p = 0.25;          ///< paper Table 1
+  bool use_mpnn = true;             ///< false = Fig. 11 ablation
+};
+
+class MpnnModel : public nn::Module {
+ public:
+  /// The DAG is captured by reference to its structure (copied).
+  MpnnModel(const Dag& graph, const MpnnConfig& cfg, Rng& rng);
+
+  /// node_features[i] is a (batch x node_features) Var for graph node i.
+  /// Returns a (batch x 1) latency prediction (in normalized label units).
+  nn::Var forward(nn::Tape& tape, std::span<const nn::Var> node_features,
+                  Rng& rng, bool training);
+
+  const MpnnConfig& config() const { return cfg_; }
+  std::size_t graph_size() const { return parents_.size(); }
+
+  void collect_params(std::vector<nn::Param*>& out) override;
+
+ private:
+  MpnnConfig cfg_;
+  std::vector<std::vector<int>> parents_;  // adjacency snapshot
+  // Per message step: message net phi_k and update net gamma_k.
+  std::vector<nn::Mlp> phi_;
+  std::vector<nn::Mlp> gamma_;
+  nn::Mlp readout_;
+
+  static nn::Mlp make_readout(const Dag& graph, const MpnnConfig& cfg, Rng& rng);
+};
+
+}  // namespace graf::gnn

@@ -1,0 +1,319 @@
+#include "nn/autodiff.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace graf::nn {
+namespace {
+
+Tape& same_tape(Var a, Var b) {
+  if (!a.valid() || !b.valid() || a.tape != b.tape)
+    throw std::invalid_argument{"op: operands must live on the same tape"};
+  return *a.tape;
+}
+
+}  // namespace
+
+Var Tape::constant(Tensor value) {
+  nodes_.push_back(Node{std::move(value), {}, false, false, nullptr, nullptr});
+  return Var{this, static_cast<int>(nodes_.size()) - 1};
+}
+
+Var Tape::leaf(Tensor value, bool requires_grad) {
+  nodes_.push_back(Node{std::move(value), {}, requires_grad, false, nullptr, nullptr});
+  return Var{this, static_cast<int>(nodes_.size()) - 1};
+}
+
+Var Tape::param(Param& p) {
+  // The leaf's backward flushes the tape-local gradient into the Param.
+  Node n{p.value, {}, true, false, &p, nullptr};
+  n.backward = [](Tape& t, int id) {
+    auto& self = t.node(id);
+    self.param->grad += self.grad;
+  };
+  nodes_.push_back(std::move(n));
+  return Var{this, static_cast<int>(nodes_.size()) - 1};
+}
+
+Var Tape::make_node(Tensor value, std::vector<int> deps,
+                    std::function<void(Tape&, int)> backward) {
+  bool needs = false;
+  for (int d : deps) needs = needs || requires_grad(d);
+  Node n{std::move(value), {}, needs, false, nullptr, nullptr};
+  if (needs) n.backward = std::move(backward);
+  nodes_.push_back(std::move(n));
+  return Var{this, static_cast<int>(nodes_.size()) - 1};
+}
+
+Tape::Node& Tape::node(int id) { return nodes_.at(static_cast<std::size_t>(id)); }
+
+const Tape::Node& Tape::node(int id) const { return nodes_.at(static_cast<std::size_t>(id)); }
+
+const Tensor& Tape::value(Var v) const { return node(v.id).value; }
+
+const Tensor& Tape::grad(Var v) {
+  auto& n = node(v.id);
+  if (!n.grad_seen) {
+    n.grad = Tensor{n.value.rows(), n.value.cols()};
+    n.grad_seen = true;
+  }
+  return n.grad;
+}
+
+bool Tape::requires_grad(int id) const { return node(id).requires_grad; }
+
+void Tape::accumulate(int id, const Tensor& g) {
+  auto& n = node(id);
+  if (!n.requires_grad) return;
+  if (!n.grad_seen) {
+    n.grad = g;
+    n.grad_seen = true;
+  } else {
+    n.grad += g;
+  }
+}
+
+void Tape::backward(Var out) {
+  if (!out.valid() || out.tape != this) throw std::invalid_argument{"backward: foreign var"};
+  if (node(out.id).value.size() != 1)
+    throw std::invalid_argument{"backward: output must be scalar"};
+  accumulate(out.id, Tensor::scalar(1.0));
+  for (int id = out.id; id >= 0; --id) {
+    auto& n = node(id);
+    if (n.requires_grad && n.grad_seen && n.backward) n.backward(*this, id);
+  }
+}
+
+void Tape::reset() { nodes_.clear(); }
+
+// ---- Ops -------------------------------------------------------------------
+
+Var add(Var a, Var b) {
+  Tape& t = same_tape(a, b);
+  Tensor out = t.value(a) + t.value(b);
+  return t.make_node(std::move(out), {a.id, b.id}, [a, b](Tape& t, int id) {
+    const Tensor& g = t.grad(Var{&t, id});
+    t.accumulate(a.id, g);
+    t.accumulate(b.id, g);
+  });
+}
+
+Var add_row_broadcast(Var a, Var b) {
+  Tape& t = same_tape(a, b);
+  const Tensor& av = t.value(a);
+  const Tensor& bv = t.value(b);
+  if (bv.rows() != 1 || bv.cols() != av.cols())
+    throw std::invalid_argument{"add_row_broadcast: bias must be 1 x cols(a)"};
+  Tensor out = av;
+  for (std::size_t i = 0; i < out.rows(); ++i)
+    for (std::size_t j = 0; j < out.cols(); ++j) out(i, j) += bv(0, j);
+  return t.make_node(std::move(out), {a.id, b.id}, [a, b](Tape& t, int id) {
+    const Tensor& g = t.grad(Var{&t, id});
+    t.accumulate(a.id, g);
+    if (t.requires_grad(b.id)) {
+      Tensor gb{1, g.cols()};
+      for (std::size_t i = 0; i < g.rows(); ++i)
+        for (std::size_t j = 0; j < g.cols(); ++j) gb(0, j) += g(i, j);
+      t.accumulate(b.id, gb);
+    }
+  });
+}
+
+Var sub(Var a, Var b) {
+  Tape& t = same_tape(a, b);
+  Tensor out = t.value(a) - t.value(b);
+  return t.make_node(std::move(out), {a.id, b.id}, [a, b](Tape& t, int id) {
+    const Tensor& g = t.grad(Var{&t, id});
+    t.accumulate(a.id, g);
+    if (t.requires_grad(b.id)) {
+      Tensor neg = g;
+      neg *= -1.0;
+      t.accumulate(b.id, neg);
+    }
+  });
+}
+
+Var mul(Var a, Var b) {
+  Tape& t = same_tape(a, b);
+  Tensor out = hadamard(t.value(a), t.value(b));
+  return t.make_node(std::move(out), {a.id, b.id}, [a, b](Tape& t, int id) {
+    const Tensor& g = t.grad(Var{&t, id});
+    if (t.requires_grad(a.id)) t.accumulate(a.id, hadamard(g, t.value(b)));
+    if (t.requires_grad(b.id)) t.accumulate(b.id, hadamard(g, t.value(a)));
+  });
+}
+
+Var matmul(Var a, Var b) {
+  Tape& t = same_tape(a, b);
+  Tensor out = matmul(t.value(a), t.value(b));
+  return t.make_node(std::move(out), {a.id, b.id}, [a, b](Tape& t, int id) {
+    const Tensor& g = t.grad(Var{&t, id});
+    if (t.requires_grad(a.id)) t.accumulate(a.id, matmul_nt(g, t.value(b)));
+    if (t.requires_grad(b.id)) t.accumulate(b.id, matmul_tn(t.value(a), g));
+  });
+}
+
+Var scale(Var a, double s) {
+  Tape& t = *a.tape;
+  return t.make_node(t.value(a) * s, {a.id}, [a, s](Tape& t, int id) {
+    t.accumulate(a.id, t.grad(Var{&t, id}) * s);
+  });
+}
+
+Var add_scalar(Var a, double s) {
+  Tape& t = *a.tape;
+  Tensor out = t.value(a);
+  for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] += s;
+  return t.make_node(std::move(out), {a.id}, [a](Tape& t, int id) {
+    t.accumulate(a.id, t.grad(Var{&t, id}));
+  });
+}
+
+Var relu(Var a) {
+  Tape& t = *a.tape;
+  Tensor out = t.value(a);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    if (out.data()[i] < 0.0) out.data()[i] = 0.0;
+  return t.make_node(std::move(out), {a.id}, [a](Tape& t, int id) {
+    const Tensor& g = t.grad(Var{&t, id});
+    const Tensor& in = t.value(a);
+    Tensor ga{g.rows(), g.cols()};
+    for (std::size_t i = 0; i < g.size(); ++i)
+      ga.data()[i] = in.data()[i] > 0.0 ? g.data()[i] : 0.0;
+    t.accumulate(a.id, ga);
+  });
+}
+
+Var reciprocal(Var a) {
+  Tape& t = *a.tape;
+  Tensor out = t.value(a);
+  for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] = 1.0 / out.data()[i];
+  return t.make_node(std::move(out), {a.id}, [a](Tape& t, int id) {
+    const Tensor& g = t.grad(Var{&t, id});
+    const Tensor& y = t.value(Var{&t, id});  // y = 1/x, dy/dx = -y^2
+    Tensor ga{g.rows(), g.cols()};
+    for (std::size_t i = 0; i < g.size(); ++i)
+      ga.data()[i] = -g.data()[i] * y.data()[i] * y.data()[i];
+    t.accumulate(a.id, ga);
+  });
+}
+
+Var dropout(Var a, double p, Rng& rng, bool training) {
+  if (!training || p <= 0.0) return a;
+  if (p >= 1.0) throw std::invalid_argument{"dropout: p must be < 1"};
+  Tape& t = *a.tape;
+  const Tensor& in = t.value(a);
+  Tensor mask{in.rows(), in.cols()};
+  const double keep_scale = 1.0 / (1.0 - p);
+  for (std::size_t i = 0; i < mask.size(); ++i)
+    mask.data()[i] = rng.bernoulli(p) ? 0.0 : keep_scale;
+  Tensor out = hadamard(in, mask);
+  return t.make_node(std::move(out), {a.id}, [a, mask](Tape& t, int id) {
+    t.accumulate(a.id, hadamard(t.grad(Var{&t, id}), mask));
+  });
+}
+
+Var concat_cols(std::span<const Var> parts) {
+  if (parts.empty()) throw std::invalid_argument{"concat_cols: empty"};
+  Tape& t = *parts.front().tape;
+  const std::size_t rows = t.value(parts.front()).rows();
+  std::size_t cols = 0;
+  for (Var p : parts) {
+    if (p.tape != &t) throw std::invalid_argument{"concat_cols: mixed tapes"};
+    if (t.value(p).rows() != rows) throw std::invalid_argument{"concat_cols: row mismatch"};
+    cols += t.value(p).cols();
+  }
+  Tensor out{rows, cols};
+  std::size_t off = 0;
+  std::vector<int> deps;
+  std::vector<std::pair<int, std::size_t>> layout;  // (node id, column offset)
+  for (Var p : parts) {
+    const Tensor& v = t.value(p);
+    for (std::size_t i = 0; i < rows; ++i)
+      for (std::size_t j = 0; j < v.cols(); ++j) out(i, off + j) = v(i, j);
+    deps.push_back(p.id);
+    layout.emplace_back(p.id, off);
+    off += v.cols();
+  }
+  return t.make_node(std::move(out), std::move(deps), [layout](Tape& t, int id) {
+    const Tensor& g = t.grad(Var{&t, id});
+    for (const auto& [pid, offset] : layout) {
+      if (!t.requires_grad(pid)) continue;
+      const Tensor& v = t.value(Var{&t, pid});
+      Tensor gp{v.rows(), v.cols()};
+      for (std::size_t i = 0; i < v.rows(); ++i)
+        for (std::size_t j = 0; j < v.cols(); ++j) gp(i, j) = g(i, offset + j);
+      t.accumulate(pid, gp);
+    }
+  });
+}
+
+Var slice_cols(Var a, std::size_t start, std::size_t len) {
+  Tape& t = *a.tape;
+  const Tensor& in = t.value(a);
+  if (start + len > in.cols()) throw std::invalid_argument{"slice_cols: out of range"};
+  Tensor out{in.rows(), len};
+  for (std::size_t i = 0; i < in.rows(); ++i)
+    for (std::size_t j = 0; j < len; ++j) out(i, j) = in(i, start + j);
+  return t.make_node(std::move(out), {a.id}, [a, start, len](Tape& t, int id) {
+    const Tensor& g = t.grad(Var{&t, id});
+    const Tensor& in = t.value(a);
+    Tensor ga{in.rows(), in.cols()};
+    for (std::size_t i = 0; i < in.rows(); ++i)
+      for (std::size_t j = 0; j < len; ++j) ga(i, start + j) = g(i, j);
+    t.accumulate(a.id, ga);
+  });
+}
+
+Var sum_all(Var a) {
+  Tape& t = *a.tape;
+  return t.make_node(Tensor::scalar(t.value(a).sum()), {a.id}, [a](Tape& t, int id) {
+    const double g = t.grad(Var{&t, id}).item();
+    const Tensor& in = t.value(a);
+    t.accumulate(a.id, Tensor::full(in.rows(), in.cols(), g));
+  });
+}
+
+Var mean_all(Var a) {
+  Tape& t = *a.tape;
+  const auto n = static_cast<double>(t.value(a).size());
+  return scale(sum_all(a), 1.0 / n);
+}
+
+Var asym_huber(Var x, double theta_neg, double theta_pos) {
+  if (theta_neg <= 0.0 || theta_pos <= 0.0)
+    throw std::invalid_argument{"asym_huber: thetas must be positive"};
+  Tape& t = *x.tape;
+  const Tensor& in = t.value(x);
+  Tensor out{in.rows(), in.cols()};
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const double v = in.data()[i];
+    if (v < -theta_neg) {
+      out.data()[i] = theta_neg * (-2.0 * v - theta_neg);
+    } else if (v < theta_pos) {
+      out.data()[i] = v * v;
+    } else {
+      out.data()[i] = theta_pos * (2.0 * v - theta_pos);
+    }
+  }
+  return t.make_node(std::move(out), {x.id}, [x, theta_neg, theta_pos](Tape& t, int id) {
+    const Tensor& g = t.grad(Var{&t, id});
+    const Tensor& in = t.value(x);
+    Tensor gx{in.rows(), in.cols()};
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const double v = in.data()[i];
+      double d;
+      if (v < -theta_neg) {
+        d = -2.0 * theta_neg;
+      } else if (v < theta_pos) {
+        d = 2.0 * v;
+      } else {
+        d = 2.0 * theta_pos;
+      }
+      gx.data()[i] = d * g.data()[i];
+    }
+    t.accumulate(x.id, gx);
+  });
+}
+
+}  // namespace graf::nn

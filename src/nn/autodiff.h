@@ -1,0 +1,137 @@
+// Reverse-mode automatic differentiation on a tape.
+//
+// A Tape records every operation of one forward pass; Tape::backward walks
+// the recorded nodes in reverse and accumulates gradients. Two kinds of
+// differentiable leaves exist:
+//   * Param leaves — model weights; their gradients accumulate into the
+//     Param object so an optimizer (src/nn/optim.h) can step them, and
+//   * plain leaves with requires_grad — used by GRAF's configuration
+//     solver (§3.5 of the paper), which differentiates the trained latency
+//     model with respect to its *inputs* (the CPU-quota vector).
+//
+// The tape is rebuilt every forward pass (define-by-run), exactly like the
+// PyTorch programs the paper uses.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+
+namespace graf::nn {
+
+class Tape;
+
+/// Trainable parameter: value plus accumulated gradient.
+struct Param {
+  Tensor value;
+  Tensor grad;
+
+  explicit Param(Tensor v) : value{std::move(v)}, grad{value.rows(), value.cols()} {}
+  void zero_grad() { grad.zero(); }
+};
+
+/// Handle to a node on a Tape. Cheap to copy; valid until Tape::reset().
+struct Var {
+  Tape* tape = nullptr;
+  int id = -1;
+
+  bool valid() const { return tape != nullptr && id >= 0; }
+};
+
+class Tape {
+ public:
+  Tape() = default;
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  /// Non-differentiable input.
+  Var constant(Tensor value);
+  /// Differentiable input; gradient readable via grad() after backward().
+  Var leaf(Tensor value, bool requires_grad = true);
+  /// Parameter input; gradient accumulates into `p.grad` during backward().
+  Var param(Param& p);
+
+  /// Record an op node. `backward` receives the tape and the node id of the
+  /// new node; it must read grad(node) and accumulate into its inputs.
+  Var make_node(Tensor value, std::vector<int> deps,
+                std::function<void(Tape&, int)> backward);
+
+  const Tensor& value(Var v) const;
+  /// Gradient of the last backward() w.r.t. `v`; zero tensor if untouched.
+  const Tensor& grad(Var v);
+
+  bool requires_grad(int id) const;
+
+  /// Run reverse pass from a scalar (1x1) node, seeding with d(out)/d(out)=1.
+  void backward(Var out);
+
+  /// Accumulate `g` into node `id`'s gradient (used by op backward fns).
+  void accumulate(int id, const Tensor& g);
+
+  /// Drop all nodes (start the next forward pass).
+  void reset();
+
+  std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    Tensor value;
+    Tensor grad;  // lazily sized
+    bool requires_grad = false;
+    bool grad_seen = false;
+    Param* param = nullptr;
+    std::function<void(Tape&, int)> backward;
+  };
+
+  Node& node(int id);
+  const Node& node(int id) const;
+
+  std::vector<Node> nodes_;
+};
+
+// ---- Operations -----------------------------------------------------------
+// All ops require operands on the same tape.
+
+/// Elementwise sum; shapes must match.
+Var add(Var a, Var b);
+/// a (B x C) + bias b (1 x C) broadcast over rows.
+Var add_row_broadcast(Var a, Var b);
+/// Elementwise difference.
+Var sub(Var a, Var b);
+/// Elementwise (Hadamard) product.
+Var mul(Var a, Var b);
+/// Matrix product.
+Var matmul(Var a, Var b);
+/// Multiply by scalar constant.
+Var scale(Var a, double s);
+/// Add scalar constant elementwise.
+Var add_scalar(Var a, double s);
+/// Elementwise max(0, x).
+Var relu(Var a);
+/// Elementwise 1/x. Caller must keep inputs away from zero (quota features
+/// are bounded below by Algorithm 1's lower bounds).
+Var reciprocal(Var a);
+/// Inverted dropout: zero with prob p and rescale by 1/(1-p). Identity when
+/// `training` is false or p == 0.
+Var dropout(Var a, double p, Rng& rng, bool training);
+/// Horizontal concatenation (equal row counts).
+Var concat_cols(std::span<const Var> parts);
+/// Columns [start, start+len) of a.
+Var slice_cols(Var a, std::size_t start, std::size_t len);
+/// Sum of all entries -> 1x1.
+Var sum_all(Var a);
+/// Mean of all entries -> 1x1.
+Var mean_all(Var a);
+/// Elementwise asymmetric Hüber (paper Eq. 4, continuity-corrected):
+///   x < -theta_neg      ->  theta_neg * (-2x - theta_neg)
+///   -theta_neg..theta_pos -> x^2
+///   x >= theta_pos      ->  theta_pos * (2x - theta_pos)
+/// theta_neg governs the under-estimation side, theta_pos the over-estimation
+/// side (for x = percentage error (pred - actual)/actual).
+Var asym_huber(Var x, double theta_neg, double theta_pos);
+
+}  // namespace graf::nn

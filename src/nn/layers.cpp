@@ -1,0 +1,87 @@
+#include "nn/layers.h"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace graf::nn {
+namespace {
+
+Tensor kaiming_uniform(std::size_t in, std::size_t out, Rng& rng) {
+  const double limit = std::sqrt(6.0 / static_cast<double>(in));
+  Tensor w{in, out};
+  for (std::size_t i = 0; i < w.size(); ++i) w.data()[i] = rng.uniform(-limit, limit);
+  return w;
+}
+
+}  // namespace
+
+Linear::Linear(std::size_t in, std::size_t out, Rng& rng)
+    : in_{in}, out_{out}, w_{kaiming_uniform(in, out, rng)}, b_{Tensor{1, out}} {}
+
+Var Linear::forward(Tape& tape, Var x) {
+  Var w = tape.param(w_);
+  Var b = tape.param(b_);
+  return add_row_broadcast(matmul(x, w), b);
+}
+
+void Linear::collect_params(std::vector<Param*>& out) {
+  out.push_back(&w_);
+  out.push_back(&b_);
+}
+
+Mlp::Mlp(std::vector<std::size_t> dims, double dropout_p, Rng& rng)
+    : dims_{std::move(dims)}, dropout_p_{dropout_p} {
+  if (dims_.size() < 2) throw std::invalid_argument{"Mlp: need at least in/out dims"};
+  layers_.reserve(dims_.size() - 1);
+  for (std::size_t i = 0; i + 1 < dims_.size(); ++i)
+    layers_.emplace_back(dims_[i], dims_[i + 1], rng);
+}
+
+Var Mlp::forward(Tape& tape, Var x, Rng& rng, bool training) {
+  Var h = x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].forward(tape, h);
+    const bool last = i + 1 == layers_.size();
+    if (!last) {
+      h = relu(h);
+      h = dropout(h, dropout_p_, rng, training);
+    }
+  }
+  return h;
+}
+
+void Mlp::collect_params(std::vector<Param*>& out) {
+  for (auto& l : layers_) l.collect_params(out);
+}
+
+void save_params(std::ostream& os, const std::vector<Param*>& params) {
+  os << params.size() << '\n';
+  os.precision(17);
+  for (const Param* p : params) {
+    os << p->value.rows() << ' ' << p->value.cols() << '\n';
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      if (i > 0) os << ' ';
+      os << p->value.data()[i];
+    }
+    os << '\n';
+  }
+}
+
+void load_params(std::istream& is, const std::vector<Param*>& params) {
+  std::size_t count = 0;
+  if (!(is >> count) || count != params.size())
+    throw std::runtime_error{"load_params: parameter count mismatch"};
+  for (Param* p : params) {
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    if (!(is >> rows >> cols) || rows != p->value.rows() || cols != p->value.cols())
+      throw std::runtime_error{"load_params: shape mismatch"};
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      if (!(is >> p->value.data()[i])) throw std::runtime_error{"load_params: truncated"};
+    }
+  }
+}
+
+}  // namespace graf::nn

@@ -1,0 +1,91 @@
+// Neural-network building blocks: Linear layers and multi-layer perceptrons.
+//
+// Matches the model family of the paper's §4: ReLU MLPs with optional
+// dropout on hidden layers. Modules expose their parameters for the
+// optimizer and for (de)serialization.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/autodiff.h"
+
+namespace graf::nn {
+
+/// Base for anything holding trainable parameters.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Append pointers to this module's parameters (stable for module lifetime).
+  virtual void collect_params(std::vector<Param*>& out) = 0;
+
+  std::vector<Param*> params() {
+    std::vector<Param*> out;
+    collect_params(out);
+    return out;
+  }
+
+  void zero_grad() {
+    for (Param* p : params()) p->zero_grad();
+  }
+
+  std::size_t param_count() {
+    std::size_t n = 0;
+    for (Param* p : params()) n += p->value.size();
+    return n;
+  }
+};
+
+/// Fully-connected layer: y = x W + b, Kaiming-uniform initialized.
+class Linear : public Module {
+ public:
+  Linear(std::size_t in, std::size_t out, Rng& rng);
+
+  Var forward(Tape& tape, Var x);
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+
+  void collect_params(std::vector<Param*>& out) override;
+
+  Param& weight() { return w_; }
+  Param& bias() { return b_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  Param w_;
+  Param b_;
+};
+
+/// MLP: Linear -> ReLU [-> Dropout] repeated, with a linear final layer.
+///
+/// `dims` lists {in, hidden..., out}; e.g. {4, 20, 20, 20} builds the
+/// paper's two-hidden-layer 20-unit message/update networks.
+class Mlp : public Module {
+ public:
+  Mlp(std::vector<std::size_t> dims, double dropout_p, Rng& rng);
+
+  /// Forward pass. `training` enables dropout (inverted-dropout scaling).
+  Var forward(Tape& tape, Var x, Rng& rng, bool training);
+
+  std::size_t in_features() const { return dims_.front(); }
+  std::size_t out_features() const { return dims_.back(); }
+
+  void collect_params(std::vector<Param*>& out) override;
+
+ private:
+  std::vector<std::size_t> dims_;
+  double dropout_p_;
+  std::vector<Linear> layers_;
+};
+
+/// Serialize parameter values (shape-checked on load).
+void save_params(std::ostream& os, const std::vector<Param*>& params);
+void load_params(std::istream& is, const std::vector<Param*>& params);
+
+}  // namespace graf::nn

@@ -1,0 +1,52 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace graf::nn {
+
+Var mse_loss(Var pred, const Tensor& target) {
+  Tape& t = *pred.tape;
+  if (!t.value(pred).same_shape(target))
+    throw std::invalid_argument{"mse_loss: shape mismatch"};
+  Var tgt = t.constant(target);
+  Var d = sub(pred, tgt);
+  return mean_all(mul(d, d));
+}
+
+Var percentage_error(Var pred, const Tensor& target, double eps) {
+  Tape& t = *pred.tape;
+  if (!t.value(pred).same_shape(target))
+    throw std::invalid_argument{"percentage_error: shape mismatch"};
+  Tensor inv{target.rows(), target.cols()};
+  for (std::size_t i = 0; i < target.size(); ++i)
+    inv.data()[i] = 1.0 / std::max(target.data()[i], eps);
+  Var diff = sub(pred, t.constant(target));
+  return mul(diff, t.constant(inv));
+}
+
+Var asym_huber_pct_loss(Var pred, const Tensor& target, double theta_under,
+                        double theta_over) {
+  // x = (pred - target)/target; under-estimation is x < 0, so theta_under
+  // is the negative-side theta.
+  Var x = percentage_error(pred, target);
+  return mean_all(asym_huber(x, theta_under, theta_over));
+}
+
+Var huber_pct_loss(Var pred, const Tensor& target, double theta) {
+  return asym_huber_pct_loss(pred, target, theta, theta);
+}
+
+double absolute_percentage_error(double pred, double actual) {
+  if (actual == 0.0) return 0.0;
+  return std::abs(pred - actual) / std::abs(actual) * 100.0;
+}
+
+double asym_huber_value(double x, double theta_neg, double theta_pos) {
+  if (x < -theta_neg) return theta_neg * (-2.0 * x - theta_neg);
+  if (x < theta_pos) return x * x;
+  return theta_pos * (2.0 * x - theta_pos);
+}
+
+}  // namespace graf::nn

@@ -1,0 +1,57 @@
+// Optimizers. The paper trains its latency prediction model and runs its
+// configuration solver with ADAM [Kingma & Ba 2014]; plain SGD is provided
+// for tests and comparisons.
+#pragma once
+
+#include <vector>
+
+#include "nn/autodiff.h"
+#include "nn/tensor.h"
+
+namespace graf::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Apply one update from accumulated gradients, then clear them.
+  virtual void step() = 0;
+  void zero_grad();
+
+ protected:
+  explicit Optimizer(std::vector<Param*> params) : params_{std::move(params)} {}
+  std::vector<Param*> params_;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Param*> params, double lr);
+  void step() override;
+
+ private:
+  double lr_;
+};
+
+class Adam : public Optimizer {
+ public:
+  struct Config {
+    double lr = 2e-4;  // paper Table 1 default
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+  };
+
+  explicit Adam(std::vector<Param*> params);
+  Adam(std::vector<Param*> params, Config cfg);
+  void step() override;
+
+  double learning_rate() const { return cfg_.lr; }
+  void set_learning_rate(double lr) { cfg_.lr = lr; }
+
+ private:
+  Config cfg_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  long long t_ = 0;
+};
+
+}  // namespace graf::nn

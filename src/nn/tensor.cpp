@@ -1,0 +1,173 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+namespace graf::nn {
+
+Tensor::Tensor(std::size_t rows, std::size_t cols)
+    : rows_{rows}, cols_{cols}, data_(rows * cols, 0.0) {}
+
+Tensor::Tensor(std::size_t rows, std::size_t cols, double fill)
+    : rows_{rows}, cols_{cols}, data_(rows * cols, fill) {}
+
+Tensor::Tensor(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows.begin() == rows.end() ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_) throw std::invalid_argument{"Tensor: ragged initializer"};
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Tensor Tensor::scalar(double v) {
+  Tensor t{1, 1};
+  t(0, 0) = v;
+  return t;
+}
+
+Tensor Tensor::row(const std::vector<double>& values) {
+  Tensor t{1, values.size()};
+  std::copy(values.begin(), values.end(), t.data());
+  return t;
+}
+
+double Tensor::item() const {
+  if (size() != 1) throw std::logic_error{"Tensor::item: not a scalar"};
+  return data_[0];
+}
+
+void Tensor::fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+Tensor& Tensor::operator+=(const Tensor& o) {
+  if (!same_shape(o)) throw std::invalid_argument{"Tensor +=: shape mismatch"};
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& o) {
+  if (!same_shape(o)) throw std::invalid_argument{"Tensor -=: shape mismatch"};
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(double s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+void Tensor::add_scaled(const Tensor& o, double s) {
+  if (!same_shape(o)) throw std::invalid_argument{"Tensor::add_scaled: shape mismatch"};
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += s * o.data_[i];
+}
+
+double Tensor::sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double Tensor::max_abs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+Tensor operator+(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out += b;
+  return out;
+}
+
+Tensor operator-(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out -= b;
+  return out;
+}
+
+Tensor hadamard(const Tensor& a, const Tensor& b) {
+  if (!a.same_shape(b)) throw std::invalid_argument{"hadamard: shape mismatch"};
+  Tensor out{a.rows(), a.cols()};
+  for (std::size_t i = 0; i < a.size(); ++i) out.data()[i] = a.data()[i] * b.data()[i];
+  return out;
+}
+
+Tensor operator*(const Tensor& a, double s) {
+  Tensor out = a;
+  out *= s;
+  return out;
+}
+
+Tensor operator*(double s, const Tensor& a) { return a * s; }
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (a.cols() != b.rows()) throw std::invalid_argument{"matmul: inner dims differ"};
+  Tensor out{a.rows(), b.cols()};
+  // i-k-j order: streams over b's rows and out's rows (both row-major).
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double* orow = out.data() + i * out.cols();
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = b.data() + k * b.cols();
+      for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  if (a.rows() != b.rows()) throw std::invalid_argument{"matmul_tn: dims differ"};
+  Tensor out{a.cols(), b.cols()};
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const double* arow = a.data() + k * a.cols();
+    const double* brow = b.data() + k * b.cols();
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* orow = out.data() + i * out.cols();
+      for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += aki * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  if (a.cols() != b.cols()) throw std::invalid_argument{"matmul_nt: dims differ"};
+  Tensor out{a.rows(), b.rows()};
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.data() + i * a.cols();
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const double* brow = b.data() + j * b.cols();
+      double s = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) s += arow[k] * brow[k];
+      out(i, j) = s;
+    }
+  }
+  return out;
+}
+
+Tensor transpose(const Tensor& a) {
+  Tensor out{a.cols(), a.rows()};
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) out(j, i) = a(i, j);
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Tensor& t) {
+  os << "Tensor(" << t.rows() << "x" << t.cols() << ")[";
+  for (std::size_t i = 0; i < t.rows(); ++i) {
+    os << (i == 0 ? "[" : ", [");
+    for (std::size_t j = 0; j < t.cols(); ++j) {
+      if (j > 0) os << ", ";
+      os << t(i, j);
+    }
+    os << "]";
+  }
+  return os << "]";
+}
+
+}  // namespace graf::nn

@@ -1,0 +1,86 @@
+// Dense 2-D tensor (row-major, double precision).
+//
+// This is the numeric core under the autodiff tape (src/nn/autodiff.h).
+// Everything GRAF trains is small (tens of units per layer), so a simple
+// cache-friendly scalar implementation is more than fast enough and keeps
+// the code auditable.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <vector>
+
+namespace graf::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  /// rows x cols, zero-initialized.
+  Tensor(std::size_t rows, std::size_t cols);
+  /// rows x cols filled with `fill`.
+  Tensor(std::size_t rows, std::size_t cols, double fill);
+  /// From nested initializer list; all rows must have equal length.
+  Tensor(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Tensor zeros(std::size_t rows, std::size_t cols) { return {rows, cols}; }
+  static Tensor full(std::size_t rows, std::size_t cols, double v) { return {rows, cols, v}; }
+  /// 1x1 scalar tensor.
+  static Tensor scalar(double v);
+  /// 1xN row vector from values.
+  static Tensor row(const std::vector<double>& values);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  bool same_shape(const Tensor& o) const { return rows_ == o.rows_ && cols_ == o.cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Value of a 1x1 tensor. Throws otherwise.
+  double item() const;
+
+  void fill(double v);
+  void zero() { fill(0.0); }
+
+  // In-place arithmetic (shape-checked).
+  Tensor& operator+=(const Tensor& o);
+  Tensor& operator-=(const Tensor& o);
+  Tensor& operator*=(double s);
+
+  /// Accumulate `s * o` into this tensor (axpy).
+  void add_scaled(const Tensor& o, double s);
+
+  double sum() const;
+  double max_abs() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// Out-of-place arithmetic.
+Tensor operator+(const Tensor& a, const Tensor& b);
+Tensor operator-(const Tensor& a, const Tensor& b);
+/// Elementwise (Hadamard) product.
+Tensor hadamard(const Tensor& a, const Tensor& b);
+Tensor operator*(const Tensor& a, double s);
+Tensor operator*(double s, const Tensor& a);
+
+/// Matrix product a(r x k) * b(k x c).
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// a^T * b  without materializing the transpose.
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+/// a * b^T without materializing the transpose.
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+Tensor transpose(const Tensor& a);
+
+std::ostream& operator<<(std::ostream& os, const Tensor& t);
+
+}  // namespace graf::nn

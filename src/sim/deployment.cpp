@@ -1,0 +1,61 @@
+#include "sim/deployment.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace graf::sim {
+
+Deployment::Deployment(EventQueue& events, CreationModel model)
+    : events_{events}, model_{model} {
+  if (model.nodes <= 0) throw std::invalid_argument{"Deployment: need >= 1 node"};
+  nodes_.resize(static_cast<std::size_t>(model.nodes));
+}
+
+std::uint64_t Deployment::request_creation(std::function<void()> on_ready) {
+  const Seconds now = events_.now();
+  // Place on the least-backlogged node's pipeline.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    if (nodes_[i].last_ready < nodes_[best].last_ready) best = i;
+  }
+  Node& node = nodes_[best];
+  Seconds ready;
+  if (node.pending == 0 && node.last_ready <= now) {
+    ready = now + model_.base;
+  } else {
+    // Node busy (or a creation completed "just now" this instant):
+    // serialize behind the most recent completion slot.
+    ready = std::max(node.last_ready, now) + model_.per_extra;
+  }
+  node.last_ready = ready;
+  ++node.pending;
+  const std::uint64_t ticket = next_ticket_++;
+  pending_.emplace(ticket, std::make_pair(std::move(on_ready), best));
+  events_.schedule_at(ready, [this, ticket] {
+    auto it = pending_.find(ticket);
+    if (it == pending_.end()) return;  // cancelled
+    auto [fn, node_idx] = std::move(it->second);
+    pending_.erase(it);
+    if (nodes_[node_idx].pending > 0) --nodes_[node_idx].pending;
+    fn();
+  });
+  return ticket;
+}
+
+void Deployment::cancel(std::uint64_t ticket) {
+  auto it = pending_.find(ticket);
+  if (it == pending_.end()) return;
+  const std::size_t node_idx = it->second.second;
+  if (nodes_[node_idx].pending > 0) --nodes_[node_idx].pending;
+  pending_.erase(it);
+  // The pipeline slot itself stays occupied (the pull already started),
+  // matching kubelet behaviour on scale-down races.
+}
+
+Seconds Deployment::batch_completion_time(int n) const {
+  if (n <= 0) return 0.0;
+  return model_.base + model_.per_extra * static_cast<double>(n - 1);
+}
+
+}  // namespace graf::sim

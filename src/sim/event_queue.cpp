@@ -1,0 +1,38 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace graf::sim {
+
+void EventQueue::schedule_at(Seconds t, EventFn fn) {
+  if (t < now_) t = now_;
+  heap_.push(Event{t, seq_++, std::move(fn)});
+}
+
+void EventQueue::schedule_in(Seconds dt, EventFn fn) {
+  schedule_at(now_ + (dt > 0.0 ? dt : 0.0), std::move(fn));
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top is const; the event is copied out, then popped,
+  // before running: handlers may schedule new events.
+  Event ev = heap_.top();
+  heap_.pop();
+  now_ = ev.time;
+  ++processed_;
+  ev.fn();
+  return true;
+}
+
+void EventQueue::run_until(Seconds t) {
+  while (!heap_.empty() && heap_.top().time <= t) step();
+  if (now_ < t) now_ = t;
+}
+
+void EventQueue::run_all() {
+  while (step()) {
+  }
+}
+
+}  // namespace graf::sim

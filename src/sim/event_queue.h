@@ -1,0 +1,62 @@
+// Discrete-event engine: a time-ordered queue of callbacks.
+//
+// Everything in the cluster simulator (request arrivals, processor-sharing
+// completions, instance readiness, autoscaler control ticks) is an event.
+// Ties are broken by insertion order so runs are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+
+namespace graf::sim {
+
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  Seconds now() const { return now_; }
+
+  /// Schedule at absolute time t (>= now, clamped up to now otherwise).
+  void schedule_at(Seconds t, EventFn fn);
+
+  /// Schedule `dt` seconds from now (dt < 0 is clamped to 0).
+  void schedule_in(Seconds dt, EventFn fn);
+
+  /// Pop and run the earliest event. Returns false if the queue is empty.
+  bool step();
+
+  /// Run all events with time <= t, then advance the clock to t.
+  void run_until(Seconds t);
+
+  /// Run until the queue is empty (use with care; generators that
+  /// perpetually reschedule themselves never drain).
+  void run_all();
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+  std::uint64_t processed() const { return processed_; }
+
+ private:
+  struct Event {
+    Seconds time;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  Seconds now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace graf::sim

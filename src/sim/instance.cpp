@@ -1,0 +1,88 @@
+#include "sim/instance.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace graf::sim {
+
+namespace {
+constexpr double kWorkEps = 1e-9;  // core-seconds considered "done"
+}
+
+Instance::Instance(std::uint64_t id, double quota_cores, EventQueue& events)
+    : id_{id}, quota_{quota_cores}, events_{events}, last_update_{events.now()} {
+  if (quota_cores <= 0.0) throw std::invalid_argument{"Instance: quota must be > 0"};
+}
+
+double Instance::job_rate() const {
+  if (jobs_.empty()) return 0.0;
+  return std::min(quota_ / static_cast<double>(jobs_.size()), 1.0);
+}
+
+void Instance::advance() {
+  const Seconds now = events_.now();
+  const double elapsed = now - last_update_;
+  last_update_ = now;
+  if (elapsed <= 0.0 || jobs_.empty()) return;
+  const double rate = job_rate();
+  const double progress = rate * elapsed;
+  for (Job& j : jobs_) j.remaining -= progress;
+  cpu_used_ += progress * static_cast<double>(jobs_.size());
+}
+
+void Instance::set_quota_cores(double cores) {
+  if (cores <= 0.0) throw std::invalid_argument{"Instance: quota must be > 0"};
+  advance();
+  quota_ = cores;
+  schedule_next_completion();
+}
+
+void Instance::add_job(double work_core_seconds, std::function<void()> on_done) {
+  if (work_core_seconds <= 0.0) work_core_seconds = kWorkEps;
+  advance();
+  jobs_.push_back(Job{work_core_seconds, std::move(on_done)});
+  schedule_next_completion();
+}
+
+void Instance::schedule_next_completion() {
+  ++epoch_;
+  if (jobs_.empty()) return;
+  double min_remaining = std::numeric_limits<double>::infinity();
+  for (const Job& j : jobs_) min_remaining = std::min(min_remaining, j.remaining);
+  const double dt = std::max(min_remaining, 0.0) / job_rate();
+  const std::uint64_t epoch = epoch_;
+  events_.schedule_in(dt, [this, epoch] { on_completion_check(epoch); });
+}
+
+void Instance::on_completion_check(std::uint64_t epoch) {
+  if (epoch != epoch_) return;  // superseded by a later arrival/departure
+  advance();
+  std::vector<std::function<void()>> done;
+  for (std::size_t i = 0; i < jobs_.size();) {
+    if (jobs_[i].remaining <= kWorkEps) {
+      done.push_back(std::move(jobs_[i].on_done));
+      jobs_[i] = std::move(jobs_.back());
+      jobs_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  schedule_next_completion();
+  // Callbacks run last: they may add jobs to this very instance.
+  for (auto& fn : done) fn();
+}
+
+double Instance::drain_cpu_usage() {
+  advance();
+  return std::exchange(cpu_used_, 0.0);
+}
+
+void Instance::clear_jobs() {
+  advance();
+  jobs_.clear();
+  ++epoch_;  // invalidate any scheduled completion check
+}
+
+}  // namespace graf::sim

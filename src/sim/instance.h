@@ -1,0 +1,80 @@
+// A single microservice instance (container replica).
+//
+// Modeled as a processor-sharing server with a per-job speed cap: the
+// instance owns `quota` cores; k resident jobs each progress at
+// min(quota/k, 1.0) cores (a request handler is single-threaded, so one job
+// can never consume more than one core). This produces exactly the latency
+// characteristics the paper exploits (Fig. 6): latency decreases
+// monotonically in quota and flattens once quota exceeds the concurrency —
+// the "upper bound" region of Algorithm 1 — while queueing supplies the
+// sharp knee near saturation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/event_queue.h"
+
+namespace graf::sim {
+
+class Instance {
+ public:
+  /// on_job_done(instance) lets the owning Service dispatch queued work.
+  Instance(std::uint64_t id, double quota_cores, EventQueue& events);
+
+  std::uint64_t id() const { return id_; }
+
+  bool ready() const { return ready_; }
+  void set_ready() { ready_ = true; }
+
+  bool retiring() const { return retiring_; }
+  /// Stop accepting new jobs; resident jobs drain normally.
+  void retire() { retiring_ = true; }
+
+  std::size_t active_jobs() const { return jobs_.size(); }
+  bool idle() const { return jobs_.empty(); }
+
+  double quota_cores() const { return quota_; }
+  /// Change quota (vertical scaling); resident jobs re-share immediately.
+  void set_quota_cores(double cores);
+
+  /// Enqueue `work` core-seconds of CPU; `on_done` fires at completion.
+  /// The caller (Service) is responsible for concurrency admission.
+  void add_job(double work_core_seconds, std::function<void()> on_done);
+
+  /// Core-seconds consumed since the last drain (for utilization metrics).
+  double drain_cpu_usage();
+
+  /// Drop all resident jobs without firing their callbacks (experiment
+  /// hygiene between sample-collection runs).
+  void clear_jobs();
+
+  /// Current per-job progress rate in cores.
+  double job_rate() const;
+
+ private:
+  struct Job {
+    double remaining;  // core-seconds
+    std::function<void()> on_done;
+  };
+
+  /// Advance resident jobs' remaining work to the current clock.
+  void advance();
+  /// (Re)schedule the completion check for the earliest-finishing job.
+  void schedule_next_completion();
+  void on_completion_check(std::uint64_t epoch);
+
+  std::uint64_t id_;
+  double quota_;
+  EventQueue& events_;
+  bool ready_ = false;
+  bool retiring_ = false;
+  std::vector<Job> jobs_;
+  Seconds last_update_ = 0.0;
+  std::uint64_t epoch_ = 0;  // invalidates stale completion events
+  double cpu_used_ = 0.0;    // core-seconds since last drain
+};
+
+}  // namespace graf::sim

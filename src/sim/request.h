@@ -1,0 +1,36 @@
+// Per-API execution structure.
+//
+// An API is a call tree over microservices: a node performs local CPU work
+// at its service and then executes its child stages *sequentially*, with
+// the calls inside one stage issued *in parallel* (paper §2.2 — e.g.
+// Bookinfo's ProductPage calls Details and Reviews in parallel, so
+// end-to-end latency takes the max of the branches). A node may carry a
+// probability < 1 to model conditional calls, which is why the workload
+// analyzer works from traced fan-out percentiles rather than constants.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace graf::sim {
+
+struct CallNode {
+  int service = -1;
+  /// Mean core-ms of local CPU work; negative = use the service default.
+  double demand_ms = -1.0;
+  /// Chance this call is made at all (conditional branches).
+  double probability = 1.0;
+  /// Sequential stages; each stage's calls run in parallel.
+  std::vector<std::vector<CallNode>> stages;
+};
+
+struct Api {
+  std::string name;
+  CallNode root;
+};
+
+/// Convenience: a chain service -> child -> grandchild ... as nested
+/// single-call stages rooted at `services.front()`.
+CallNode make_chain(const std::vector<int>& services);
+
+}  // namespace graf::sim

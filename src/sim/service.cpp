@@ -1,0 +1,175 @@
+#include "sim/service.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace graf::sim {
+
+Service::Service(int id, ServiceConfig cfg, EventQueue& events, Deployment& deployment)
+    : id_{id}, cfg_{std::move(cfg)}, events_{events}, deployment_{deployment} {
+  if (cfg_.unit_quota <= 0.0) throw std::invalid_argument{"Service: unit_quota must be > 0"};
+  if (cfg_.max_concurrency <= 0) throw std::invalid_argument{"Service: max_concurrency must be > 0"};
+  bootstrap(cfg_.initial_instances);
+}
+
+void Service::bootstrap(int n) {
+  for (int i = 0; i < n; ++i) {
+    auto inst = std::make_unique<Instance>(next_instance_id_++, cores(cfg_.unit_quota), events_);
+    inst->set_ready();
+    instances_.push_back(std::move(inst));
+  }
+  target_ = ready_count() + creating_count();
+}
+
+int Service::ready_count() const { return static_cast<int>(instances_.size()); }
+
+Millicores Service::total_quota() const {
+  return cfg_.unit_quota * static_cast<double>(instances_.size());
+}
+
+std::size_t Service::active_jobs() const {
+  std::size_t n = 0;
+  for (const auto& i : instances_) n += i->active_jobs();
+  for (const auto& i : retiring_) n += i->active_jobs();
+  return n;
+}
+
+Instance* Service::pick_instance() {
+  Instance* best = nullptr;
+  for (const auto& inst : instances_) {
+    if (inst->active_jobs() >= static_cast<std::size_t>(cfg_.max_concurrency)) continue;
+    if (best == nullptr || inst->active_jobs() < best->active_jobs()) best = inst.get();
+  }
+  return best;
+}
+
+void Service::submit(double work_core_ms, std::function<void(double)> on_done,
+                     std::function<void()> on_drop, Seconds deadline) {
+  ++arrivals_;
+  const Seconds admitted = events_.now();
+  if (Instance* inst = pick_instance()) {
+    start_job(*inst, work_core_ms, admitted, std::move(on_done));
+  } else {
+    queue_.push_back(Pending{work_core_ms, admitted, deadline, std::move(on_done),
+                             std::move(on_drop)});
+  }
+}
+
+void Service::start_job(Instance& inst, double work_core_ms, Seconds admitted,
+                        std::function<void(double)> on_done) {
+  auto done = std::move(on_done);
+  inst.add_job(work_core_ms / 1000.0, [this, admitted, cb = std::move(done)] {
+    ++completions_;
+    const double latency_ms = (events_.now() - admitted) * 1000.0;
+    // Free the worker slot for queued jobs before surfacing completion.
+    pump();
+    reap_retired();
+    cb(latency_ms);
+  });
+}
+
+void Service::pump() {
+  while (!queue_.empty()) {
+    // Shed queued work whose client has given up: per-hop queue timeout or
+    // the request's end-to-end deadline, whichever comes first.
+    if (events_.now() - queue_.front().enqueued > cfg_.queue_timeout ||
+        events_.now() > queue_.front().deadline) {
+      Pending expired = std::move(queue_.front());
+      queue_.pop_front();
+      ++drops_;
+      if (expired.on_drop) expired.on_drop();
+      continue;
+    }
+    Instance* inst = pick_instance();
+    if (inst == nullptr) return;
+    Pending p = std::move(queue_.front());
+    queue_.pop_front();
+    start_job(*inst, p.work_core_ms, p.enqueued, std::move(p.on_done));
+  }
+}
+
+void Service::reap_retired() {
+  std::erase_if(retiring_, [](const std::unique_ptr<Instance>& i) { return i->idle(); });
+}
+
+void Service::request_one_creation() {
+  const std::uint64_t ticket = deployment_.request_creation([this] {
+    // The ticket has fired; forget it, then bring the instance up.
+    if (!creations_.empty()) creations_.erase(creations_.begin());
+    auto inst = std::make_unique<Instance>(next_instance_id_++, cores(cfg_.unit_quota), events_);
+    inst->set_ready();
+    instances_.push_back(std::move(inst));
+    pump();
+  });
+  creations_.push_back(ticket);
+}
+
+void Service::scale_to(int target) {
+  target = std::clamp(target, 1, cfg_.max_instances);
+  target_ = target;
+  int have = ready_count() + creating_count();
+
+  // Scale down: cancel not-yet-ready creations first (cheapest), then
+  // retire ready instances, least-loaded first.
+  while (have > target && creating_count() > 0) {
+    deployment_.cancel(creations_.back());
+    creations_.pop_back();
+    --have;
+  }
+  while (have > target && ready_count() > 1) {
+    auto victim = std::min_element(
+        instances_.begin(), instances_.end(),
+        [](const auto& a, const auto& b) { return a->active_jobs() < b->active_jobs(); });
+    (*victim)->retire();
+    if ((*victim)->idle()) {
+      instances_.erase(victim);
+    } else {
+      retiring_.push_back(std::move(*victim));
+      instances_.erase(victim);
+    }
+    --have;
+  }
+
+  // Scale up through the deployment pipeline.
+  while (have < target) {
+    request_one_creation();
+    ++have;
+  }
+}
+
+void Service::force_scale(int target) {
+  target = std::clamp(target, 1, cfg_.max_instances);
+  for (std::uint64_t ticket : creations_) deployment_.cancel(ticket);
+  creations_.clear();
+  if (ready_count() < target) {
+    bootstrap(target - ready_count());
+    pump();
+  } else {
+    scale_to(target);
+  }
+  target_ = target;
+}
+
+void Service::set_unit_quota(Millicores mc) {
+  if (mc <= 0.0) throw std::invalid_argument{"Service: unit_quota must be > 0"};
+  cfg_.unit_quota = mc;
+  for (auto& inst : instances_) inst->set_quota_cores(cores(mc));
+  for (auto& inst : retiring_) inst->set_quota_cores(cores(mc));
+}
+
+void Service::abort_all() {
+  queue_.clear();
+  for (auto& inst : instances_) inst->clear_jobs();
+  for (auto& inst : retiring_) inst->clear_jobs();
+  reap_retired();
+}
+
+double Service::drain_cpu_core_seconds() {
+  double total = 0.0;
+  for (auto& inst : instances_) total += inst->drain_cpu_usage();
+  for (auto& inst : retiring_) total += inst->drain_cpu_usage();
+  return total;
+}
+
+}  // namespace graf::sim

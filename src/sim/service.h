@@ -1,0 +1,134 @@
+// A microservice: a replica set of Instances behind an admission queue.
+//
+// Dispatch is least-outstanding-requests across ready instances, with a
+// per-instance concurrency cap (worker-pool size); overflow waits FIFO.
+// Horizontal scaling goes through the Deployment pipeline (startup
+// latency); scale-down retires instances gracefully (they drain resident
+// jobs but accept no new work), like Kubernetes pod termination.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/deployment.h"
+#include "sim/event_queue.h"
+#include "sim/instance.h"
+
+namespace graf::sim {
+
+struct ServiceConfig {
+  std::string name;
+  Millicores unit_quota = 500.0;  ///< per-instance CPU quota (Eq. 7's unit)
+  int initial_instances = 1;
+  int max_instances = 1000;
+  int max_concurrency = 8;        ///< worker pool size per instance
+  double demand_mean_ms = 20.0;   ///< default core-ms of CPU per visit
+  double demand_sigma = 0.35;     ///< lognormal shape of per-visit demand
+  /// Queued work older than this is dropped (client/request timeout, like
+  /// Vegeta's default). Caps queue backlog during overload.
+  Seconds queue_timeout = 30.0;
+  /// Kubernetes resource *request* as a fraction of the limit (the quota).
+  /// Instances may burst to the full quota, but HPA utilization is measured
+  /// against the request — which is how real HPAs see >100% utilization and
+  /// ramp fast under saturation.
+  double request_factor = 0.5;
+};
+
+class Service {
+ public:
+  Service(int id, ServiceConfig cfg, EventQueue& events, Deployment& deployment);
+
+  int id() const { return id_; }
+  const std::string& name() const { return cfg_.name; }
+  const ServiceConfig& config() const { return cfg_; }
+
+  /// Admit a job of `work_core_ms` CPU-milliseconds; `on_done` receives the
+  /// local latency in ms (queue wait + processing, children excluded). If
+  /// the job times out in the queue — past the service's queue timeout or
+  /// past the absolute `deadline` (the client's end-to-end timeout) —
+  /// `on_drop` fires instead (when given).
+  void submit(double work_core_ms, std::function<void(double latency_ms)> on_done,
+              std::function<void()> on_drop = {},
+              Seconds deadline = std::numeric_limits<double>::infinity());
+
+  /// Scale the replica set to `target` instances (ready + creating).
+  /// Scale-ups pay the Deployment's startup latency; scale-downs first
+  /// cancel pending creations, then retire ready instances.
+  void scale_to(int target);
+
+  /// Create `n` instances ready immediately (cluster bootstrap only).
+  void bootstrap(int n);
+
+  /// Scale to `target` replicas bypassing the deployment pipeline
+  /// (experiment setup / sample collection, where the paper waits out the
+  /// deployment between samples anyway). Pending creations are cancelled.
+  void force_scale(int target);
+
+  /// Vertical scaling: change every instance's quota (and future ones').
+  void set_unit_quota(Millicores mc);
+  Millicores unit_quota() const { return cfg_.unit_quota; }
+
+  int ready_count() const;
+  int creating_count() const { return static_cast<int>(creations_.size()); }
+  int retiring_count() const { return static_cast<int>(retiring_.size()); }
+  /// ready + creating: what an operator "asked for".
+  int target_count() const { return target_; }
+  /// Total CPU quota across ready instances (millicores).
+  Millicores total_quota() const;
+
+  std::size_t queue_length() const { return queue_.size(); }
+  std::size_t active_jobs() const;
+
+  // -- metrics -------------------------------------------------------------
+
+  /// Core-seconds consumed since the last drain (all instances, incl.
+  /// retiring ones — they still burn CPU while draining).
+  double drain_cpu_core_seconds();
+
+  /// Drop queued and resident work without completing it; retiring
+  /// instances (now drained) are reaped. Counters are left untouched.
+  void abort_all();
+
+  /// Cumulative admission / completion / queue-timeout counters.
+  std::uint64_t arrivals() const { return arrivals_; }
+  std::uint64_t completions() const { return completions_; }
+  std::uint64_t drops() const { return drops_; }
+
+ private:
+  struct Pending {
+    double work_core_ms;
+    Seconds enqueued;
+    Seconds deadline;
+    std::function<void(double)> on_done;
+    std::function<void()> on_drop;
+  };
+
+  Instance* pick_instance();
+  void pump();
+  void start_job(Instance& inst, double work_core_ms, Seconds admitted,
+                 std::function<void(double)> on_done);
+  void reap_retired();
+  void request_one_creation();
+
+  int id_;
+  ServiceConfig cfg_;
+  EventQueue& events_;
+  Deployment& deployment_;
+  int target_ = 0;
+  std::uint64_t next_instance_id_ = 1;
+  std::vector<std::unique_ptr<Instance>> instances_;  // ready, serving
+  std::vector<std::unique_ptr<Instance>> retiring_;   // draining
+  std::vector<std::uint64_t> creations_;              // deployment tickets
+  std::deque<Pending> queue_;
+  std::uint64_t arrivals_ = 0;
+  std::uint64_t completions_ = 0;
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace graf::sim

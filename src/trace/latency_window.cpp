@@ -1,0 +1,54 @@
+#include "trace/latency_window.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace graf::trace {
+
+LatencyWindow::LatencyWindow(Seconds horizon) : horizon_{horizon} {}
+
+void LatencyWindow::add(Seconds t, double value) {
+  samples_.emplace_back(t, value);
+  prune_before(t - horizon_);
+}
+
+void LatencyWindow::prune_before(Seconds t) {
+  while (!samples_.empty() && samples_.front().first < t) samples_.pop_front();
+}
+
+double LatencyWindow::percentile_since(Seconds since, double rank) const {
+  std::vector<double> vals;
+  vals.reserve(samples_.size());
+  for (const auto& [t, v] : samples_)
+    if (t >= since) vals.push_back(v);
+  if (vals.empty()) throw std::logic_error{"LatencyWindow: no samples in range"};
+  return graf::percentile(vals, rank);
+}
+
+double LatencyWindow::percentile(double rank) const {
+  return percentile_since(-1e300, rank);
+}
+
+double LatencyWindow::mean_since(Seconds since) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& [t, v] : samples_) {
+    if (t >= since) {
+      sum += v;
+      ++n;
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+std::size_t LatencyWindow::count_since(Seconds since) const {
+  std::size_t n = 0;
+  for (const auto& [t, v] : samples_)
+    if (t >= since) ++n;
+  return n;
+}
+
+}  // namespace graf::trace

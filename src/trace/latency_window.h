@@ -1,0 +1,42 @@
+// Sliding time window of (timestamp, value) samples with percentile queries.
+//
+// Used for per-service latencies (FIRM-like signals), end-to-end tail
+// latency measurement, and perceived-workload reporting. Old samples are
+// pruned against a horizon on insertion, bounding memory on long runs.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "common/units.h"
+
+namespace graf::trace {
+
+class LatencyWindow {
+ public:
+  /// Keep samples no older than `horizon` seconds behind the latest insert.
+  explicit LatencyWindow(Seconds horizon = 120.0);
+
+  void add(Seconds t, double value);
+
+  /// Drop samples with timestamp < t.
+  void prune_before(Seconds t);
+
+  /// Percentile over samples in [since, +inf). Throws if empty.
+  double percentile_since(Seconds since, double rank) const;
+
+  /// Percentile over the whole retained window.
+  double percentile(double rank) const;
+
+  double mean_since(Seconds since) const;
+  std::size_t count_since(Seconds since) const;
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  void clear() { samples_.clear(); }
+
+ private:
+  Seconds horizon_;
+  std::deque<std::pair<Seconds, double>> samples_;
+};
+
+}  // namespace graf::trace

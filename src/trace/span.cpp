@@ -1,0 +1,4 @@
+#include "trace/span.h"
+
+// RequestTrace is a plain record; its behaviour lives inline in span.h.
+// This translation unit anchors the header for build hygiene.

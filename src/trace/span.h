@@ -1,0 +1,29 @@
+// Trace records, the simulator's stand-in for Jaeger data (paper §3.2).
+//
+// A RequestTrace summarizes one front-end request: which API it was, when
+// it started/ended, and how many times it visited each microservice (the
+// per-API fan-out the workload analyzer consumes in §3.3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+
+namespace graf::trace {
+
+struct RequestTrace {
+  int api = 0;
+  Seconds start = 0.0;
+  Seconds end = 0.0;
+  /// False when any call in the tree was dropped (queue timeout) — the
+  /// client saw an error, not a latency.
+  bool ok = true;
+  /// visits[s] = number of requests service s handled for this front-end
+  /// request (0 when a probabilistic branch skipped it).
+  std::vector<std::uint32_t> visits;
+
+  double e2e_ms() const { return (end - start) * 1000.0; }
+};
+
+}  // namespace graf::trace

@@ -1,0 +1,46 @@
+#include "trace/tracer.h"
+
+#include <stdexcept>
+
+#include "common/stats.h"
+
+namespace graf::trace {
+
+Tracer::Tracer(std::size_t api_count, std::size_t service_count,
+               std::size_t capacity_per_api)
+    : service_count_{service_count}, capacity_{capacity_per_api},
+      history_(api_count) {
+  if (capacity_per_api == 0) throw std::invalid_argument{"Tracer: zero capacity"};
+}
+
+void Tracer::record(RequestTrace t) {
+  if (t.api < 0 || static_cast<std::size_t>(t.api) >= history_.size())
+    throw std::out_of_range{"Tracer::record: bad api"};
+  auto& h = history_[static_cast<std::size_t>(t.api)];
+  if (h.size() >= capacity_) h.pop_front();
+  h.push_back(std::move(t));
+  ++recorded_;
+}
+
+std::size_t Tracer::history_size(int api) const {
+  return history_.at(static_cast<std::size_t>(api)).size();
+}
+
+std::vector<double> Tracer::fanout(int api, double rank) const {
+  const auto& h = history_.at(static_cast<std::size_t>(api));
+  std::vector<double> out(service_count_, 0.0);
+  if (h.empty()) return out;
+  std::vector<double> counts(h.size());
+  for (std::size_t s = 0; s < service_count_; ++s) {
+    for (std::size_t i = 0; i < h.size(); ++i)
+      counts[i] = static_cast<double>(h[i].visits[s]);
+    out[s] = percentile(counts, rank);
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  for (auto& h : history_) h.clear();
+}
+
+}  // namespace graf::trace

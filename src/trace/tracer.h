@@ -1,0 +1,44 @@
+// Trace collector (the simulator's Jaeger, paper §3.2).
+//
+// Keeps a bounded history of completed request traces per API and answers
+// the workload analyzer's question: "per front-end request of API a, how
+// many requests does microservice i receive?" — reported at a percentile
+// rank (the paper uses the 90%-ile of the per-request history, §3.3).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "trace/span.h"
+
+namespace graf::trace {
+
+class Tracer {
+ public:
+  Tracer(std::size_t api_count, std::size_t service_count,
+         std::size_t capacity_per_api = 4096);
+
+  void record(RequestTrace t);
+
+  std::size_t api_count() const { return history_.size(); }
+  std::size_t service_count() const { return service_count_; }
+  std::size_t history_size(int api) const;
+
+  /// Per-service visit count at `rank` percentile across the retained
+  /// traces of `api`. Empty history yields all-zeros.
+  std::vector<double> fanout(int api, double rank = 90.0) const;
+
+  /// Total traces recorded (lifetime).
+  std::uint64_t recorded() const { return recorded_; }
+
+  void clear();
+
+ private:
+  std::size_t service_count_;
+  std::size_t capacity_;
+  std::vector<std::deque<RequestTrace>> history_;
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace graf::trace

@@ -1,0 +1,52 @@
+#include "workload/azure_trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace graf::workload {
+
+std::vector<double> azure_invocation_series(const AzureTraceConfig& cfg) {
+  if (cfg.minutes == 0) throw std::invalid_argument{"azure series: zero length"};
+  Rng rng{cfg.seed};
+  std::vector<double> out;
+  out.reserve(cfg.minutes);
+  for (std::size_t m = 0; m < cfg.minutes; ++m) {
+    const double phase = 2.0 * std::numbers::pi * static_cast<double>(m) /
+                         cfg.diurnal_period_min;
+    double v = 1.0 + cfg.diurnal_amplitude * std::sin(phase);
+    v *= rng.lognormal(-0.5 * cfg.noise_sigma * cfg.noise_sigma, cfg.noise_sigma);
+    if (rng.bernoulli(cfg.burst_probability)) v *= cfg.burst_multiplier;
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<double> rescale_series(const std::vector<double>& series, double lo,
+                                   double hi) {
+  if (series.empty()) throw std::invalid_argument{"rescale_series: empty"};
+  const auto [mn, mx] = std::minmax_element(series.begin(), series.end());
+  const double span = *mx - *mn;
+  std::vector<double> out;
+  out.reserve(series.size());
+  for (double v : series) {
+    const double unit = span > 0.0 ? (v - *mn) / span : 0.5;
+    out.push_back(lo + unit * (hi - lo));
+  }
+  return out;
+}
+
+Schedule azure_user_schedule(const AzureTraceConfig& cfg, double min_users,
+                             double max_users) {
+  const auto users = rescale_series(azure_invocation_series(cfg), min_users, max_users);
+  std::vector<std::pair<Seconds, double>> points;
+  points.reserve(users.size());
+  for (std::size_t m = 0; m < users.size(); ++m)
+    points.emplace_back(60.0 * static_cast<double>(m), users[m]);
+  return Schedule::piecewise(std::move(points));
+}
+
+}  // namespace graf::workload

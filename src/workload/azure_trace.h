@@ -1,0 +1,39 @@
+// Synthetic stand-in for AzurePublicDatasetV2 [56] (function invocations
+// per minute). The paper abstracts the dataset to "total invocations per
+// minute -> number of Locust threads spawned that minute" (Fig. 20); we
+// generate a per-minute series with the dataset's qualitative structure —
+// a diurnal baseline, lognormal noise, and occasional bursts — then rescale
+// it into the experiment's thread range. Deterministic given the seed; the
+// substitution is documented in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/schedule.h"
+
+namespace graf::workload {
+
+struct AzureTraceConfig {
+  std::size_t minutes = 32;       ///< Fig. 20 runs ~1900 s
+  double diurnal_period_min = 24; ///< sinusoid period, in minutes
+  double diurnal_amplitude = 0.35;
+  double noise_sigma = 0.18;      ///< lognormal multiplicative noise
+  double burst_probability = 0.08;
+  double burst_multiplier = 1.8;
+  std::uint64_t seed = 2017;
+};
+
+/// Per-minute invocation intensity (arbitrary units, mean ~1).
+std::vector<double> azure_invocation_series(const AzureTraceConfig& cfg);
+
+/// Rescale a series into [lo, hi] by min-max mapping.
+std::vector<double> rescale_series(const std::vector<double>& series, double lo,
+                                   double hi);
+
+/// Piecewise-per-minute Schedule of user threads in [min_users, max_users],
+/// exactly how the paper feeds the trace to Locust.
+Schedule azure_user_schedule(const AzureTraceConfig& cfg, double min_users,
+                             double max_users);
+
+}  // namespace graf::workload

@@ -1,0 +1,76 @@
+#include "workload/closed_loop.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace graf::workload {
+
+ClosedLoopGenerator::ClosedLoopGenerator(sim::Cluster& cluster, ClosedLoopConfig cfg)
+    : state_{std::make_shared<State>(State{cluster, std::move(cfg), Rng{0}})} {
+  state_->rng = Rng{state_->cfg.seed};
+  if (state_->cfg.api_weights.empty()) {
+    state_->cfg.api_weights.assign(cluster.api_count(), 0.0);
+    state_->cfg.api_weights[0] = 1.0;
+  }
+  if (state_->cfg.api_weights.size() != cluster.api_count())
+    throw std::invalid_argument{"ClosedLoopGenerator: weight/API count mismatch"};
+}
+
+void ClosedLoopGenerator::start(Seconds until) {
+  state_->until = until;
+  state_->stopped = false;
+  control_tick(state_);
+}
+
+void ClosedLoopGenerator::stop() {
+  state_->stopped = true;
+  state_->to_kill = state_->active;
+}
+
+void ClosedLoopGenerator::control_tick(const std::shared_ptr<State>& st) {
+  if (st->stopped || st->cluster.now() >= st->until) {
+    st->stopped = true;
+    st->to_kill = st->active;
+    return;
+  }
+  const int target =
+      std::max(0, static_cast<int>(std::lround(st->cfg.users.at(st->cluster.now()))));
+  // Live population = active minus those already marked to die.
+  const int live = st->active - st->to_kill;
+  if (live < target) {
+    const int spawn = target - live;
+    // Un-mark pending kills first, then spawn the remainder.
+    const int unkill = std::min(st->to_kill, spawn);
+    st->to_kill -= unkill;
+    for (int i = 0; i < spawn - unkill; ++i) spawn_user(st);
+  } else if (live > target) {
+    st->to_kill += live - target;
+  }
+  st->cluster.events().schedule_in(st->cfg.control_interval,
+                                   [st] { control_tick(st); });
+}
+
+void ClosedLoopGenerator::spawn_user(const std::shared_ptr<State>& st) {
+  ++st->active;
+  // Desynchronize user start times across the first think interval.
+  st->cluster.events().schedule_in(st->rng.uniform(0.0, st->cfg.max_think),
+                                   [st] { user_loop(st); });
+}
+
+void ClosedLoopGenerator::user_loop(const std::shared_ptr<State>& st) {
+  if (st->to_kill > 0 || st->stopped || st->cluster.now() >= st->until) {
+    if (st->to_kill > 0) --st->to_kill;
+    --st->active;
+    return;
+  }
+  const int api = static_cast<int>(st->rng.weighted_index(st->cfg.api_weights));
+  ++st->generated;
+  st->cluster.submit_request(api, [st](const trace::RequestTrace& t) {
+    if (st->cfg.on_complete) st->cfg.on_complete(t);
+    const Seconds think = st->rng.uniform(0.0, st->cfg.max_think);
+    st->cluster.events().schedule_in(think, [st] { user_loop(st); });
+  });
+}
+
+}  // namespace graf::workload

@@ -1,0 +1,65 @@
+// Closed-loop load generator (the paper's Locust [23]): a population of
+// simulated users, each issuing a request, waiting for the response, then
+// thinking for a random time of up to `max_think` seconds before the next
+// request ("the Locust thread randomly waits for up to 5 seconds", §5.3).
+// The user population follows a Schedule, enabling surge (250 -> 500
+// threads) and Azure-trace replays (Fig. 20/21).
+//
+// Generator state lives behind a shared_ptr owned by the scheduled events
+// themselves, so a generator object may safely go out of scope while its
+// users drain.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/cluster.h"
+#include "workload/schedule.h"
+
+namespace graf::workload {
+
+struct ClosedLoopConfig {
+  Schedule users = Schedule::constant(100.0);
+  /// Weights over the cluster's APIs; empty = topology default of API 0.
+  std::vector<double> api_weights;
+  Seconds max_think = 5.0;
+  /// How often the population is reconciled against the schedule.
+  Seconds control_interval = 1.0;
+  std::uint64_t seed = 11;
+  /// Invoked for every completed (or failed) request.
+  sim::Cluster::CompletionFn on_complete;
+};
+
+class ClosedLoopGenerator {
+ public:
+  ClosedLoopGenerator(sim::Cluster& cluster, ClosedLoopConfig cfg);
+
+  /// Begin spawning users; population tracks the schedule until `until`.
+  void start(Seconds until);
+  void stop();
+
+  int active_users() const { return state_->active; }
+  std::uint64_t generated() const { return state_->generated; }
+
+ private:
+  struct State {
+    sim::Cluster& cluster;
+    ClosedLoopConfig cfg;
+    Rng rng;
+    Seconds until = 0.0;
+    bool stopped = true;
+    int active = 0;
+    int to_kill = 0;
+    std::uint64_t generated = 0;
+  };
+
+  static void control_tick(const std::shared_ptr<State>& st);
+  static void spawn_user(const std::shared_ptr<State>& st);
+  static void user_loop(const std::shared_ptr<State>& st);
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace graf::workload

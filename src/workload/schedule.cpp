@@ -1,0 +1,41 @@
+#include "workload/schedule.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace graf::workload {
+
+Schedule::Schedule(std::vector<std::pair<Seconds, double>> points)
+    : points_{std::move(points)} {
+  if (points_.empty()) throw std::invalid_argument{"Schedule: no points"};
+  if (!std::is_sorted(points_.begin(), points_.end(),
+                      [](const auto& a, const auto& b) { return a.first < b.first; }))
+    throw std::invalid_argument{"Schedule: points must be time-sorted"};
+}
+
+Schedule Schedule::constant(double v) { return Schedule{{{0.0, v}}}; }
+
+Schedule Schedule::step(double before, double after, Seconds at) {
+  return Schedule{{{0.0, before}, {at, after}}};
+}
+
+Schedule Schedule::piecewise(std::vector<std::pair<Seconds, double>> points) {
+  return Schedule{std::move(points)};
+}
+
+double Schedule::at(Seconds t) const {
+  double v = points_.front().second;
+  for (const auto& [time, value] : points_) {
+    if (time > t) break;
+    v = value;
+  }
+  return v;
+}
+
+double Schedule::max_value() const {
+  double m = points_.front().second;
+  for (const auto& [time, value] : points_) m = std::max(m, value);
+  return m;
+}
+
+}  // namespace graf::workload

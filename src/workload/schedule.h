@@ -1,0 +1,33 @@
+// Time-varying scalar profiles (request rate, user counts).
+//
+// Surge experiments are step functions (250 -> 500 Locust threads); the
+// Azure-trace demo is a per-minute piecewise profile.
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+
+namespace graf::workload {
+
+class Schedule {
+ public:
+  /// Constant value for all time.
+  static Schedule constant(double v);
+  /// `before` until `at`, then `after`.
+  static Schedule step(double before, double after, Seconds at);
+  /// Piecewise-constant: value of the last point with time <= t; the first
+  /// point's value applies before its time. Points must be time-sorted.
+  static Schedule piecewise(std::vector<std::pair<Seconds, double>> points);
+
+  double at(Seconds t) const;
+
+  /// Largest value over all pieces (for capacity planning in tests).
+  double max_value() const;
+
+ private:
+  explicit Schedule(std::vector<std::pair<Seconds, double>> points);
+  std::vector<std::pair<Seconds, double>> points_;
+};
+
+}  // namespace graf::workload

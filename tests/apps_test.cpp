@@ -1,0 +1,134 @@
+// Application catalog: topology integrity plus the parameterized property
+// suite the whole system relies on — per-service latency is monotone
+// decreasing in CPU quota for every application (paper §2.2 / §3.5).
+#include "apps/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "core/workload_analyzer.h"
+#include "gnn/graph.h"
+#include "workload/open_loop.h"
+
+namespace graf::apps {
+namespace {
+
+TEST(Catalog, FourApplications) {
+  const auto apps = all_applications();
+  ASSERT_EQ(apps.size(), 4u);
+  EXPECT_EQ(apps[0].name, "online-boutique");
+  EXPECT_EQ(apps[1].name, "social-network");
+  EXPECT_EQ(apps[2].name, "robot-shop");
+  EXPECT_EQ(apps[3].name, "bookinfo");
+}
+
+TEST(Catalog, PaperServiceCounts) {
+  EXPECT_EQ(online_boutique().service_count(), 6u);   // MS1..MS6 (Fig. 15)
+  EXPECT_EQ(social_network().service_count(), 10u);   // MS1..MS10 (Fig. 16)
+  EXPECT_EQ(bookinfo().service_count(), 4u);
+}
+
+TEST(Catalog, ServiceIndexLookup) {
+  const auto topo = online_boutique();
+  EXPECT_EQ(topo.service_index("recommendation"), 4);
+  EXPECT_EQ(topo.service_index("nope"), -1);
+}
+
+TEST(Catalog, OnlineBoutiqueHasThreeApis) {
+  const auto topo = online_boutique();
+  EXPECT_EQ(topo.apis.size(), 3u);
+  EXPECT_EQ(topo.api_weights.size(), 3u);
+}
+
+TEST(Catalog, BookinfoParallelBranches) {
+  // ProductPage -> {Details || Reviews -> Ratings} (§2.2): one stage with
+  // two parallel calls, one of which chains to ratings.
+  const auto topo = bookinfo();
+  const auto& root = topo.apis[0].root;
+  ASSERT_EQ(root.stages.size(), 1u);
+  EXPECT_EQ(root.stages[0].size(), 2u);
+}
+
+struct AppCase {
+  std::string name;
+};
+
+class AllAppsTest : public ::testing::TestWithParam<int> {
+ protected:
+  Topology topo() const { return all_applications()[static_cast<std::size_t>(GetParam())]; }
+};
+
+TEST_P(AllAppsTest, DagMatchesServices) {
+  const auto t = topo();
+  const auto dag = make_dag(t);
+  EXPECT_EQ(dag.node_count(), t.service_count());
+  EXPECT_GT(dag.edge_count(), 0u);
+  // The front-end is a root of the DAG.
+  const auto roots = dag.roots();
+  EXPECT_NE(std::find(roots.begin(), roots.end(), t.frontend), roots.end());
+  // Topological order exists (acyclic by construction).
+  EXPECT_EQ(dag.topological_order().size(), t.service_count());
+}
+
+TEST_P(AllAppsTest, ExpectedFanoutSane) {
+  const auto t = topo();
+  const auto fanout = core::expected_fanout(t);
+  ASSERT_EQ(fanout.size(), t.apis.size());
+  for (const auto& row : fanout) {
+    // Every API touches the front-end exactly once...
+    EXPECT_DOUBLE_EQ(row[static_cast<std::size_t>(t.frontend)], 1.0);
+    // ...and at least one downstream service.
+    double downstream = 0.0;
+    for (std::size_t s = 0; s < row.size(); ++s)
+      if (static_cast<int>(s) != t.frontend) downstream += row[s];
+    EXPECT_GT(downstream, 0.0);
+  }
+}
+
+TEST_P(AllAppsTest, ClusterServesRequests) {
+  const auto t = topo();
+  sim::Cluster cluster = make_cluster(t, {.seed = 3});
+  workload::OpenLoopConfig g;
+  g.rate = workload::Schedule::constant(20.0);
+  g.api_weights = t.api_weights;
+  workload::OpenLoopGenerator gen{cluster, g};
+  gen.start(10.0);
+  cluster.run_until(10.0);
+  EXPECT_GT(cluster.completed(), 100u);
+  EXPECT_EQ(cluster.failed(), 0u);
+}
+
+TEST_P(AllAppsTest, LatencyMonotoneDecreasingInQuota) {
+  // Property: sweeping every service's quota jointly upward never increases
+  // the end-to-end p95 (modulo simulation noise -> generous tolerance).
+  const auto t = topo();
+  double prev = 1e300;
+  for (double quota : {400.0, 800.0, 1600.0}) {
+    sim::Cluster cluster = make_cluster(t, {.seed = 7});
+    for (int s = 0; s < static_cast<int>(cluster.service_count()); ++s)
+      cluster.apply_total_quota(s, quota, 1000.0);
+    workload::OpenLoopConfig g;
+    g.rate = workload::Schedule::constant(25.0);
+    g.api_weights = t.api_weights;
+    g.seed = 9;
+    workload::OpenLoopGenerator gen{cluster, g};
+    gen.start(20.0);
+    cluster.run_until(20.0);
+    const double p95 = cluster.e2e_latency_all().percentile_since(5.0, 95.0);
+    EXPECT_LT(p95, prev * 1.10) << t.name << " at quota " << quota;
+    prev = p95;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, AllAppsTest, ::testing::Values(0, 1, 2, 3),
+                         [](const auto& info) {
+                           return all_applications()[static_cast<std::size_t>(
+                                                         info.param)]
+                               .name == "online-boutique"
+                                      ? std::string{"OnlineBoutique"}
+                                  : info.param == 1 ? std::string{"SocialNetwork"}
+                                  : info.param == 2 ? std::string{"RobotShop"}
+                                                    : std::string{"Bookinfo"};
+                         });
+
+}  // namespace
+}  // namespace graf::apps

@@ -1,0 +1,290 @@
+// Gradient checks: every op's analytic gradient is compared against central
+// finite differences on random inputs.
+#include "nn/autodiff.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/rng.h"
+#include "nn/loss.h"
+
+namespace graf::nn {
+namespace {
+
+Tensor random_tensor(std::size_t r, std::size_t c, Rng& rng, double scale = 1.0) {
+  Tensor t{r, c};
+  for (std::size_t i = 0; i < t.size(); ++i) t.data()[i] = rng.uniform(-scale, scale);
+  return t;
+}
+
+/// Check d(scalar f)/d(x) against finite differences at every entry of x.
+void gradcheck(const Tensor& x0,
+               const std::function<Var(Tape&, Var)>& f, double tol = 1e-6,
+               double eps = 1e-6) {
+  Tape tape;
+  Var x = tape.leaf(x0);
+  Var y = f(tape, x);
+  tape.backward(y);
+  const Tensor analytic = tape.grad(x);
+
+  for (std::size_t i = 0; i < x0.size(); ++i) {
+    Tensor xp = x0;
+    Tensor xm = x0;
+    xp.data()[i] += eps;
+    xm.data()[i] -= eps;
+    Tape tp;
+    const double fp = tp.value(f(tp, tp.leaf(xp, false))).item();
+    Tape tm;
+    const double fm = tm.value(f(tm, tm.leaf(xm, false))).item();
+    const double numeric = (fp - fm) / (2.0 * eps);
+    EXPECT_NEAR(analytic.data()[i], numeric, tol)
+        << "entry " << i << " of " << x0.rows() << "x" << x0.cols();
+  }
+}
+
+TEST(Autodiff, SumAllGradientIsOnes) {
+  Rng rng{1};
+  gradcheck(random_tensor(3, 4, rng),
+            [](Tape&, Var x) { return sum_all(x); });
+}
+
+TEST(Autodiff, MeanAllGradient) {
+  Rng rng{2};
+  gradcheck(random_tensor(2, 5, rng),
+            [](Tape&, Var x) { return mean_all(x); });
+}
+
+TEST(Autodiff, ScaleAndAddScalarGradient) {
+  Rng rng{3};
+  gradcheck(random_tensor(2, 3, rng), [](Tape&, Var x) {
+    return sum_all(add_scalar(scale(x, 2.5), -1.0));
+  });
+}
+
+TEST(Autodiff, AddGradientFlowsToBoth) {
+  Rng rng{4};
+  const Tensor b0 = random_tensor(2, 2, rng);
+  gradcheck(random_tensor(2, 2, rng), [&](Tape& t, Var x) {
+    Var b = t.leaf(b0, false);
+    return sum_all(mul(add(x, b), add(x, b)));
+  });
+}
+
+TEST(Autodiff, SubGradient) {
+  Rng rng{5};
+  const Tensor b0 = random_tensor(3, 2, rng);
+  gradcheck(random_tensor(3, 2, rng), [&](Tape& t, Var x) {
+    Var b = t.constant(b0);
+    Var d = sub(x, b);
+    return sum_all(mul(d, d));
+  });
+}
+
+TEST(Autodiff, MulGradient) {
+  Rng rng{6};
+  const Tensor b0 = random_tensor(2, 3, rng);
+  gradcheck(random_tensor(2, 3, rng), [&](Tape& t, Var x) {
+    return sum_all(mul(x, t.constant(b0)));
+  });
+}
+
+TEST(Autodiff, MatmulGradientLeft) {
+  Rng rng{7};
+  const Tensor w = random_tensor(4, 3, rng);
+  gradcheck(random_tensor(2, 4, rng), [&](Tape& t, Var x) {
+    Var y = matmul(x, t.constant(w));
+    return sum_all(mul(y, y));
+  });
+}
+
+TEST(Autodiff, MatmulGradientRight) {
+  Rng rng{8};
+  const Tensor a = random_tensor(3, 4, rng);
+  gradcheck(random_tensor(4, 2, rng), [&](Tape& t, Var x) {
+    Var y = matmul(t.constant(a), x);
+    return sum_all(mul(y, y));
+  });
+}
+
+TEST(Autodiff, ReluGradient) {
+  Rng rng{9};
+  // Avoid kink exactly at 0 by shifting values away from it.
+  Tensor x0 = random_tensor(3, 3, rng);
+  for (std::size_t i = 0; i < x0.size(); ++i)
+    if (std::abs(x0.data()[i]) < 0.05) x0.data()[i] += 0.1;
+  gradcheck(x0, [](Tape&, Var x) { return sum_all(relu(x)); });
+}
+
+TEST(Autodiff, ReluForwardClampsNegative) {
+  Tape t;
+  Var x = t.constant(Tensor{{-1.0, 0.0, 2.0}});
+  const Tensor& y = t.value(relu(x));
+  EXPECT_DOUBLE_EQ(y(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(y(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(y(0, 2), 2.0);
+}
+
+TEST(Autodiff, AddRowBroadcastGradient) {
+  Rng rng{10};
+  const Tensor a = random_tensor(4, 3, rng);
+  gradcheck(random_tensor(1, 3, rng), [&](Tape& t, Var bias) {
+    Var y = add_row_broadcast(t.constant(a), bias);
+    return sum_all(mul(y, y));
+  });
+}
+
+TEST(Autodiff, ConcatColsGradient) {
+  Rng rng{11};
+  const Tensor b0 = random_tensor(2, 3, rng);
+  gradcheck(random_tensor(2, 2, rng), [&](Tape& t, Var x) {
+    const Var parts[] = {x, t.constant(b0), x};
+    Var y = concat_cols(parts);
+    return sum_all(mul(y, y));
+  });
+}
+
+TEST(Autodiff, SliceColsGradient) {
+  Rng rng{12};
+  gradcheck(random_tensor(3, 5, rng), [](Tape&, Var x) {
+    Var y = slice_cols(x, 1, 3);
+    return sum_all(mul(y, y));
+  });
+}
+
+TEST(Autodiff, SliceOutOfRangeThrows) {
+  Tape t;
+  Var x = t.constant(Tensor{2, 4});
+  EXPECT_THROW(slice_cols(x, 2, 3), std::invalid_argument);
+}
+
+TEST(Autodiff, AsymHuberGradient) {
+  Rng rng{13};
+  // Sample clear of the two kinks at -0.3 and 0.1.
+  Tensor x0{1, 6};
+  x0(0, 0) = -0.8;
+  x0(0, 1) = -0.31;
+  x0(0, 2) = -0.05;
+  x0(0, 3) = 0.05;
+  x0(0, 4) = 0.2;
+  x0(0, 5) = 0.9;
+  gradcheck(x0, [](Tape&, Var x) { return sum_all(asym_huber(x, 0.3, 0.1)); });
+}
+
+TEST(Autodiff, DropoutEvalIsIdentity) {
+  Rng rng{14};
+  Tape t;
+  Tensor x0 = random_tensor(2, 4, rng);
+  Var x = t.constant(x0);
+  Var y = dropout(x, 0.5, rng, /*training=*/false);
+  EXPECT_EQ(y.id, x.id);  // literally the same node
+}
+
+TEST(Autodiff, DropoutTrainPreservesMeanRoughly) {
+  Rng rng{15};
+  Tape t;
+  Tensor x0{100, 100, 1.0};
+  Var x = t.constant(x0);
+  Var y = dropout(x, 0.25, rng, /*training=*/true);
+  const double mean = t.value(y).sum() / 10000.0;
+  EXPECT_NEAR(mean, 1.0, 0.05);  // inverted dropout keeps the expectation
+}
+
+TEST(Autodiff, DropoutGradientUsesSameMask) {
+  Rng rng{16};
+  Tape t;
+  Tensor x0{1, 8, 2.0};
+  Var x = t.leaf(x0);
+  Var y = dropout(x, 0.5, rng, /*training=*/true);
+  t.backward(sum_all(y));
+  const Tensor& g = t.grad(x);
+  const Tensor& yv = t.value(y);
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (yv.data()[i] == 0.0) {
+      EXPECT_DOUBLE_EQ(g.data()[i], 0.0);
+    } else {
+      EXPECT_DOUBLE_EQ(g.data()[i], 2.0);  // 1/(1-0.5)
+    }
+  }
+}
+
+TEST(Autodiff, ParamAccumulatesGradient) {
+  Param p{Tensor{{1.0, 2.0}}};
+  Tape t;
+  Var v = t.param(p);
+  t.backward(sum_all(mul(v, v)));  // d/dp sum(p^2) = 2p
+  EXPECT_DOUBLE_EQ(p.grad(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(p.grad(0, 1), 4.0);
+  // A second pass accumulates on top.
+  Tape t2;
+  Var v2 = t2.param(p);
+  t2.backward(sum_all(v2));
+  EXPECT_DOUBLE_EQ(p.grad(0, 0), 3.0);
+}
+
+TEST(Autodiff, ReusedVariableAccumulates) {
+  // f(x) = sum(x) + sum(x) => grad = 2.
+  Tape t;
+  Var x = t.leaf(Tensor{{5.0}});
+  Var y = add(sum_all(x), sum_all(x));
+  t.backward(y);
+  EXPECT_DOUBLE_EQ(t.grad(x)(0, 0), 2.0);
+}
+
+TEST(Autodiff, BackwardRequiresScalar) {
+  Tape t;
+  Var x = t.leaf(Tensor{2, 2});
+  EXPECT_THROW(t.backward(x), std::invalid_argument);
+}
+
+TEST(Autodiff, MixedTapesRejected) {
+  Tape t1;
+  Tape t2;
+  Var a = t1.leaf(Tensor{1, 1});
+  Var b = t2.leaf(Tensor{1, 1});
+  EXPECT_THROW(add(a, b), std::invalid_argument);
+}
+
+TEST(Autodiff, ConstantsReceiveNoGradient) {
+  Tape t;
+  Var c = t.constant(Tensor{{3.0}});
+  Var x = t.leaf(Tensor{{2.0}});
+  Var y = sum_all(mul(x, c));
+  t.backward(y);
+  EXPECT_DOUBLE_EQ(t.grad(x)(0, 0), 3.0);
+  EXPECT_FALSE(t.requires_grad(c.id));
+}
+
+TEST(Autodiff, DeepChainGradient) {
+  // y = ((x * 2 + 1) * 2 + 1) ... 10 times; dy/dx = 2^10.
+  Tape t;
+  Var x = t.leaf(Tensor{{1.0}});
+  Var h = x;
+  for (int i = 0; i < 10; ++i) h = add_scalar(scale(h, 2.0), 1.0);
+  t.backward(sum_all(h));
+  EXPECT_DOUBLE_EQ(t.grad(x)(0, 0), 1024.0);
+}
+
+TEST(Loss, MseLossValueAndGradient) {
+  Tape t;
+  Var pred = t.leaf(Tensor{{3.0, 5.0}});
+  Tensor target{{1.0, 5.0}};
+  Var l = mse_loss(pred, target);
+  EXPECT_DOUBLE_EQ(t.value(l).item(), 2.0);  // ((2)^2 + 0)/2
+  t.backward(l);
+  EXPECT_DOUBLE_EQ(t.grad(pred)(0, 0), 2.0);  // 2*(3-1)/2
+  EXPECT_DOUBLE_EQ(t.grad(pred)(0, 1), 0.0);
+}
+
+TEST(Loss, PercentageErrorValues) {
+  Tape t;
+  Var pred = t.leaf(Tensor{{110.0, 90.0}});
+  Tensor target{{100.0, 100.0}};
+  const Tensor& x = t.value(percentage_error(pred, target));
+  EXPECT_NEAR(x(0, 0), 0.1, 1e-12);
+  EXPECT_NEAR(x(0, 1), -0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace graf::nn

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "apps/catalog.h"
+#include "autoscalers/firm_like.h"
+#include "autoscalers/k8s_hpa.h"
+#include "autoscalers/proactive_oracle.h"
+#include "core/workload_analyzer.h"
+#include "workload/open_loop.h"
+
+namespace graf::autoscalers {
+namespace {
+
+TEST(K8sHpaFormula, ScalesProportionally) {
+  // desired = ceil(ready * utilization / target)
+  EXPECT_EQ(K8sHpa::desired_replicas(4, 1.0, 0.5, 0.1), 8);
+  EXPECT_EQ(K8sHpa::desired_replicas(10, 0.25, 0.5, 0.1), 5);
+  EXPECT_EQ(K8sHpa::desired_replicas(3, 0.8, 0.5, 0.1), 5);  // ceil(4.8)
+}
+
+TEST(K8sHpaFormula, ToleranceBandIsNoOp) {
+  EXPECT_EQ(K8sHpa::desired_replicas(6, 0.52, 0.5, 0.1), 6);
+  EXPECT_EQ(K8sHpa::desired_replicas(6, 0.46, 0.5, 0.1), 6);
+}
+
+TEST(K8sHpaFormula, ZeroUtilizationScalesToZeroBeforeClamp) {
+  EXPECT_EQ(K8sHpa::desired_replicas(6, 0.0, 0.5, 0.1), 0);
+  EXPECT_EQ(K8sHpa::desired_replicas(0, 1.0, 0.5, 0.1), 1);
+}
+
+sim::Cluster saturated_cluster(std::uint64_t seed) {
+  auto topo = apps::online_boutique();
+  return apps::make_cluster(topo, {.seed = seed});
+}
+
+TEST(K8sHpaIntegration, ScalesUpUnderLoad) {
+  sim::Cluster c = saturated_cluster(3);
+  K8sHpa hpa{{.target_utilization = 0.5}};
+  hpa.attach(c, 200.0);
+  workload::OpenLoopConfig g;
+  g.rate = workload::Schedule::constant(200.0);
+  g.api_weights = {1.0, 0.0, 0.0};
+  workload::OpenLoopGenerator gen{c, g};
+  gen.start(200.0);
+  c.run_until(200.0);
+  EXPECT_GT(c.total_ready_instances(), 20);
+}
+
+TEST(K8sHpaIntegration, StabilizationDelaysScaleDown) {
+  sim::Cluster c = saturated_cluster(5);
+  K8sHpa hpa{{.target_utilization = 0.5, .stabilization_window = 300.0}};
+  hpa.attach(c, 1000.0);
+  // Load for 120 s, then silence.
+  workload::OpenLoopConfig g;
+  g.rate = workload::Schedule::constant(150.0);
+  g.api_weights = {1.0, 0.0, 0.0};
+  workload::OpenLoopGenerator gen{c, g};
+  gen.start(120.0);
+  c.run_until(120.0);
+  const int peak = c.total_ready_instances();
+  ASSERT_GT(peak, 8);
+  // Shortly after the load stops, the stabilization window still holds the
+  // old recommendation: no scale-down yet.
+  c.run_until(220.0);
+  EXPECT_GE(c.total_ready_instances(), peak);
+  // Well past the window, instances are released.
+  c.run_until(700.0);
+  EXPECT_LT(c.total_ready_instances(), peak);
+}
+
+TEST(K8sHpaIntegration, ScaleUpPolicyLimitsGrowthPerSync) {
+  sim::Cluster c = saturated_cluster(7);
+  K8sHpa hpa{{.target_utilization = 0.1, .sync_period = 15.0}};
+  hpa.attach(c, 1000.0);
+  workload::OpenLoopConfig g;
+  g.rate = workload::Schedule::constant(400.0);
+  g.api_weights = {1.0, 0.0, 0.0};
+  workload::OpenLoopGenerator gen{c, g};
+  gen.start(46.0);
+  // After the first sync (t=15) each 2-instance service may grow to at most
+  // max(2*2, 2+4) = 6 -> cluster total <= 36.
+  c.run_until(16.0);
+  EXPECT_LE(c.total_target_instances(), 36);
+}
+
+TEST(FirmLikeIntegration, ScalesUpOnTailRatio) {
+  sim::Cluster c = saturated_cluster(9);
+  FirmLike firm{{.sync_period = 5.0}};
+  firm.attach(c, 200.0);
+  workload::OpenLoopConfig g;
+  g.rate = workload::Schedule::constant(250.0);
+  g.api_weights = {1.0, 0.0, 0.0};
+  workload::OpenLoopGenerator gen{c, g};
+  gen.start(200.0);
+  c.run_until(200.0);
+  EXPECT_GT(c.total_ready_instances(), 12);
+}
+
+TEST(ProactiveOracleFormula, SizesFromDemand) {
+  // qps * demand / (unit * headroom): 100 qps * 10 core-ms = 1 core;
+  // 1-core units at 0.5 headroom -> 2 instances.
+  EXPECT_EQ(ProactiveOracle::size_for(100.0, 10.0, 1.0, 0.5), 2);
+  EXPECT_EQ(ProactiveOracle::size_for(0.0, 10.0, 1.0, 0.5), 1);  // min one
+  EXPECT_EQ(ProactiveOracle::size_for(300.0, 16.0, 1.0, 0.6), 8);
+}
+
+TEST(ProactiveOracleIntegration, ScalesWholeChainAtOnce) {
+  auto topo = apps::online_boutique();
+  sim::Cluster c = apps::make_cluster(topo, {.seed = 11});
+  std::vector<double> demands;
+  for (const auto& svc : topo.services) demands.push_back(svc.demand_mean_ms);
+  ProactiveOracle oracle{{}, core::expected_fanout(topo), demands};
+  oracle.apply(c, {300.0, 0.0, 0.0});
+  // Every service in the cart-page chain received a target immediately.
+  for (int s = 0; s < static_cast<int>(c.service_count()); ++s)
+    EXPECT_GE(c.service(s).target_count(), 2) << c.service(s).name();
+  EXPECT_GT(c.service(4).target_count(), 4);  // recommendation is expensive
+}
+
+TEST(ProactiveOracleIntegration, RejectsShapeMismatch) {
+  auto topo = apps::online_boutique();
+  sim::Cluster c = apps::make_cluster(topo, {.seed = 13});
+  ProactiveOracle oracle{{}, {{1.0, 1.0}}, {5.0, 5.0}};  // 2 services, 1 api
+  EXPECT_THROW(oracle.attach(c, 100.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace graf::autoscalers

@@ -1,0 +1,215 @@
+#include "sim/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace graf::sim {
+namespace {
+
+/// Two-service chain: A -> B, deterministic demands.
+Cluster make_chain_cluster(double demand_a = 10.0, double demand_b = 20.0,
+                           Millicores quota = 1000.0) {
+  std::vector<ServiceConfig> svcs{
+      {.name = "a", .unit_quota = quota, .initial_instances = 1,
+       .max_concurrency = 8, .demand_mean_ms = demand_a, .demand_sigma = 0.0},
+      {.name = "b", .unit_quota = quota, .initial_instances = 1,
+       .max_concurrency = 8, .demand_mean_ms = demand_b, .demand_sigma = 0.0},
+  };
+  CallNode root{.service = 0, .stages = {{CallNode{.service = 1}}}};
+  return Cluster{svcs, {Api{"chain", root}}, {}};
+}
+
+TEST(Cluster, ChainLatencyIsSumOfStages) {
+  Cluster c = make_chain_cluster();
+  double e2e = -1.0;
+  c.submit_request(0, [&](const trace::RequestTrace& t) { e2e = t.e2e_ms(); });
+  c.run_for(1.0);
+  EXPECT_NEAR(e2e, 30.0, 1e-6);  // 10 at A, then 20 at B
+  EXPECT_EQ(c.completed(), 1u);
+  EXPECT_EQ(c.inflight(), 0u);
+}
+
+TEST(Cluster, VisitsRecordedPerService) {
+  Cluster c = make_chain_cluster();
+  std::vector<std::uint32_t> visits;
+  c.submit_request(0, [&](const trace::RequestTrace& t) { visits = t.visits; });
+  c.run_for(1.0);
+  ASSERT_EQ(visits.size(), 2u);
+  EXPECT_EQ(visits[0], 1u);
+  EXPECT_EQ(visits[1], 1u);
+}
+
+TEST(Cluster, ParallelStageTakesMax) {
+  // root calls two children in parallel: 10ms and 40ms.
+  std::vector<ServiceConfig> svcs{
+      {.name = "root", .unit_quota = 1000, .demand_mean_ms = 5.0, .demand_sigma = 0.0},
+      {.name = "fast", .unit_quota = 1000, .demand_mean_ms = 10.0, .demand_sigma = 0.0},
+      {.name = "slow", .unit_quota = 1000, .demand_mean_ms = 40.0, .demand_sigma = 0.0},
+  };
+  CallNode root{.service = 0,
+                .stages = {{CallNode{.service = 1}, CallNode{.service = 2}}}};
+  Cluster c{svcs, {Api{"par", root}}, {}};
+  double e2e = -1.0;
+  c.submit_request(0, [&](const trace::RequestTrace& t) { e2e = t.e2e_ms(); });
+  c.run_for(1.0);
+  EXPECT_NEAR(e2e, 45.0, 1e-6);  // 5 + max(10, 40)
+}
+
+TEST(Cluster, SequentialStagesAddUp) {
+  std::vector<ServiceConfig> svcs{
+      {.name = "root", .unit_quota = 1000, .demand_mean_ms = 5.0, .demand_sigma = 0.0},
+      {.name = "x", .unit_quota = 1000, .demand_mean_ms = 10.0, .demand_sigma = 0.0},
+      {.name = "y", .unit_quota = 1000, .demand_mean_ms = 15.0, .demand_sigma = 0.0},
+  };
+  CallNode root{.service = 0,
+                .stages = {{CallNode{.service = 1}}, {CallNode{.service = 2}}}};
+  Cluster c{svcs, {Api{"seq", root}}, {}};
+  double e2e = -1.0;
+  c.submit_request(0, [&](const trace::RequestTrace& t) { e2e = t.e2e_ms(); });
+  c.run_for(1.0);
+  EXPECT_NEAR(e2e, 30.0, 1e-6);  // 5 + 10 + 15
+}
+
+TEST(Cluster, ProbabilisticBranchSkipsSometimes) {
+  std::vector<ServiceConfig> svcs{
+      {.name = "root", .unit_quota = 1000, .demand_mean_ms = 1.0, .demand_sigma = 0.0},
+      {.name = "maybe", .unit_quota = 1000, .demand_mean_ms = 1.0, .demand_sigma = 0.0},
+  };
+  CallNode root{.service = 0,
+                .stages = {{CallNode{.service = 1, .probability = 0.5}}}};
+  Cluster c{svcs, {Api{"p", root}}, {.seed = 9}};
+  int taken = 0;
+  const int n = 400;
+  int done = 0;
+  for (int i = 0; i < n; ++i) {
+    c.submit_request(0, [&](const trace::RequestTrace& t) {
+      ++done;
+      if (t.visits[1] > 0) ++taken;
+    });
+  }
+  c.run_for(5.0);
+  EXPECT_EQ(done, n);
+  EXPECT_NEAR(static_cast<double>(taken) / n, 0.5, 0.1);
+}
+
+TEST(Cluster, MakeChainHelper) {
+  CallNode root = make_chain({0, 1});
+  EXPECT_EQ(root.service, 0);
+  ASSERT_EQ(root.stages.size(), 1u);
+  EXPECT_EQ(root.stages[0][0].service, 1);
+}
+
+TEST(Cluster, E2eWindowCollectsLatencies) {
+  Cluster c = make_chain_cluster();
+  for (int i = 0; i < 10; ++i) c.submit_request(0);
+  c.run_for(2.0);
+  EXPECT_EQ(c.e2e_latency_all().size(), 10u);
+  EXPECT_EQ(c.e2e_latency(0).size(), 10u);
+}
+
+TEST(Cluster, LocalLatencyExcludesChildren) {
+  Cluster c = make_chain_cluster(10.0, 20.0);
+  c.submit_request(0);
+  c.run_for(1.0);
+  // Service A's local latency is 10ms even though its subtree takes 30.
+  EXPECT_NEAR(c.service_latency(0).percentile(50.0), 10.0, 1e-6);
+  EXPECT_NEAR(c.service_latency(1).percentile(50.0), 20.0, 1e-6);
+}
+
+TEST(Cluster, TracerAccumulatesFanout) {
+  Cluster c = make_chain_cluster();
+  for (int i = 0; i < 20; ++i) c.submit_request(0);
+  c.run_for(2.0);
+  const auto f = c.tracer().fanout(0, 90.0);
+  EXPECT_DOUBLE_EQ(f[0], 1.0);
+  EXPECT_DOUBLE_EQ(f[1], 1.0);
+}
+
+TEST(Cluster, ApiQpsMeasuresArrivalRate) {
+  Cluster c = make_chain_cluster();
+  // 50 submissions over 5 seconds = 10 qps.
+  for (int i = 0; i < 50; ++i) {
+    c.events().schedule_at(i * 0.1, [&c] { c.submit_request(0); });
+  }
+  c.run_for(5.0);
+  EXPECT_NEAR(c.api_qps(0, 5.0), 10.0, 1.0);
+}
+
+TEST(Cluster, MetricsSeriesRecordsUtilization) {
+  Cluster c = make_chain_cluster(100.0, 100.0, 1000.0);
+  // Saturate service A: ~10 rps of 100 core-ms = 1 core of demand.
+  for (int i = 0; i < 50; ++i)
+    c.events().schedule_at(i * 0.1, [&c] { c.submit_request(0); });
+  c.run_for(6.0);
+  const auto& series = c.series(0);
+  ASSERT_FALSE(series.empty());
+  double peak = 0.0;
+  for (const auto& p : series) peak = std::max(peak, p.utilization);
+  EXPECT_GT(peak, 0.5);
+  EXPECT_GT(c.utilization_avg(0, 6.0), 0.2);
+  EXPECT_GT(c.qps_avg(0, 6.0), 2.0);
+}
+
+TEST(Cluster, HardResetDropsInflight) {
+  Cluster c = make_chain_cluster(1000.0, 1000.0, 100.0);  // very slow
+  for (int i = 0; i < 8; ++i) c.submit_request(0);
+  c.run_for(0.5);
+  EXPECT_GT(c.inflight(), 0u);
+  c.hard_reset_load();
+  EXPECT_EQ(c.inflight(), 0u);
+  c.run_for(30.0);
+  EXPECT_EQ(c.completed(), 0u);  // dropped, not completed
+}
+
+TEST(Cluster, ApplyTotalQuotaSplitsEvenly) {
+  Cluster c = make_chain_cluster();
+  c.apply_total_quota(0, 900.0, 250.0);
+  EXPECT_EQ(c.service(0).ready_count(), 4);  // ceil(900/250)
+  EXPECT_NEAR(c.service(0).unit_quota(), 225.0, 1e-9);
+  EXPECT_NEAR(c.service(0).total_quota(), 900.0, 1e-9);
+}
+
+TEST(Cluster, TotalsAggregate) {
+  Cluster c = make_chain_cluster();
+  EXPECT_EQ(c.total_ready_instances(), 2);
+  EXPECT_DOUBLE_EQ(c.total_quota(), 2000.0);
+  c.service(0).scale_to(3);
+  EXPECT_EQ(c.total_target_instances(), 4);
+}
+
+TEST(Cluster, LookupsByName) {
+  Cluster c = make_chain_cluster();
+  EXPECT_EQ(c.service_index("b"), 1);
+  EXPECT_EQ(c.service_index("zzz"), -1);
+  EXPECT_EQ(c.api_index("chain"), 0);
+  EXPECT_EQ(c.api_index("nope"), -1);
+}
+
+TEST(Cluster, ValidatesApis) {
+  std::vector<ServiceConfig> svcs{{.name = "a", .unit_quota = 100}};
+  CallNode bad{.service = 5};
+  EXPECT_THROW((Cluster{svcs, {Api{"bad", bad}}, {}}), std::invalid_argument);
+  CallNode bad_p{.service = 0, .probability = 1.5};
+  EXPECT_THROW((Cluster{svcs, {Api{"badp", bad_p}}, {}}), std::invalid_argument);
+}
+
+TEST(Cluster, SubmitRejectsBadApi) {
+  Cluster c = make_chain_cluster();
+  EXPECT_THROW(c.submit_request(7), std::out_of_range);
+}
+
+TEST(Cluster, DeterministicAcrossRuns) {
+  auto run = [] {
+    Cluster c = make_chain_cluster();
+    std::vector<double> latencies;
+    for (int i = 0; i < 20; ++i)
+      c.events().schedule_at(i * 0.05, [&c] { c.submit_request(0); });
+    c.run_for(3.0);
+    return c.e2e_latency_all().percentile(99.0);
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace graf::sim

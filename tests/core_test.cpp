@@ -1,0 +1,363 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/catalog.h"
+#include "core/configuration_solver.h"
+#include "core/cost_model.h"
+#include "core/latency_predictor.h"
+#include "core/resource_controller.h"
+#include "core/sample_collector.h"
+#include "core/state_collector.h"
+#include "core/workload_analyzer.h"
+#include "workload/open_loop.h"
+
+namespace graf::core {
+namespace {
+
+// ---- WorkloadAnalyzer -------------------------------------------------------
+
+TEST(WorkloadAnalyzer, DistributeIsLinear) {
+  WorkloadAnalyzer wa{2, 3};
+  wa.set_fanout({{1.0, 2.0, 0.0}, {1.0, 0.0, 1.5}});
+  std::vector<double> w{10.0, 20.0};
+  const auto l = wa.distribute(w);
+  EXPECT_DOUBLE_EQ(l[0], 30.0);   // both APIs hit service 0 once
+  EXPECT_DOUBLE_EQ(l[1], 20.0);   // 10 * 2
+  EXPECT_DOUBLE_EQ(l[2], 30.0);   // 20 * 1.5
+}
+
+TEST(WorkloadAnalyzer, ValidatesShapes) {
+  WorkloadAnalyzer wa{2, 3};
+  EXPECT_THROW(wa.set_fanout({{1.0, 2.0, 0.0}}), std::invalid_argument);
+  std::vector<double> w{1.0};
+  EXPECT_THROW(wa.distribute(w), std::invalid_argument);
+}
+
+TEST(WorkloadAnalyzer, ReadyAfterFanout) {
+  WorkloadAnalyzer wa{1, 2};
+  EXPECT_FALSE(wa.ready());
+  wa.set_fanout({{1.0, 0.5}});
+  EXPECT_TRUE(wa.ready());
+}
+
+TEST(WorkloadAnalyzer, UpdateFromLiveTraces) {
+  auto topo = apps::online_boutique();
+  sim::Cluster c = apps::make_cluster(topo, {.seed = 3});
+  workload::OpenLoopConfig g;
+  g.rate = workload::Schedule::constant(50.0);
+  g.api_weights = topo.api_weights;
+  workload::OpenLoopGenerator gen{c, g};
+  gen.start(15.0);
+  c.run_until(16.0);
+  WorkloadAnalyzer wa{c.api_count(), c.service_count()};
+  wa.update(c.tracer());
+  EXPECT_TRUE(wa.ready());
+  // cart-page (api 0) visits every service of the chain exactly once.
+  EXPECT_DOUBLE_EQ(wa.fanout()[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(wa.fanout()[0][4], 1.0);
+}
+
+TEST(ExpectedFanout, WeighsProbabilisticBranches) {
+  const auto topo = apps::online_boutique();
+  const auto f = expected_fanout(topo);
+  // home-page calls cart with probability 0.6.
+  EXPECT_NEAR(f[2][2], 0.6, 1e-12);
+  // product-page reaches product directly once plus 0.8x via recommendation.
+  EXPECT_NEAR(f[1][3], 1.8, 1e-12);
+}
+
+// ---- StateCollector ---------------------------------------------------------
+
+TEST(StateCollector, SnapshotsClusterState) {
+  auto topo = apps::bookinfo();
+  sim::Cluster c = apps::make_cluster(topo, {.seed = 5});
+  workload::OpenLoopConfig g;
+  g.rate = workload::Schedule::constant(30.0);
+  workload::OpenLoopGenerator gen{c, g};
+  gen.start(10.0);
+  c.run_until(10.0);
+  StateCollector sc{c, 5.0};
+  const auto st = sc.collect();
+  EXPECT_EQ(st.api_qps.size(), c.api_count());
+  EXPECT_NEAR(st.api_qps[0], 30.0, 8.0);
+  EXPECT_EQ(st.quota.size(), c.service_count());
+  for (double q : st.quota) EXPECT_GT(q, 0.0);
+  EXPECT_GT(st.utilization[0], 0.0);
+}
+
+// ---- ConfigurationSolver ----------------------------------------------------
+
+gnn::Dag chain2() {
+  gnn::Dag d;
+  d.add_node("a");
+  d.add_node("b");
+  d.add_edge(0, 1);
+  return d;
+}
+
+/// Train a tiny model on an analytic monotone function once for the suite.
+gnn::LatencyModel& solver_model() {
+  static gnn::LatencyModel model = [] {
+    gnn::MpnnConfig cfg;
+    cfg.embed_dim = 8;
+    cfg.mpnn_hidden = 8;
+    cfg.readout_hidden = 24;
+    cfg.dropout_p = 0.0;
+    gnn::LatencyModel m{chain2(), cfg, 13};
+    Rng rng{17};
+    gnn::Dataset data;
+    for (int i = 0; i < 2500; ++i) {
+      gnn::Sample s;
+      const double w = rng.uniform(20.0, 80.0);
+      s.workload = {w, w};
+      s.quota = {rng.uniform(300.0, 2000.0), rng.uniform(300.0, 2000.0)};
+      // latency ~ sum of demand/quota hyperbolae, ms
+      s.latency_ms = 40.0 * 1000.0 / s.quota[0] + 80.0 * 1000.0 / s.quota[1] +
+                     0.8 * w;
+      data.push_back(std::move(s));
+    }
+    gnn::TrainConfig tc;
+    tc.iterations = 2500;
+    tc.batch_size = 64;
+    tc.lr = 2e-3;
+    tc.lr_decay_every = 800;
+    tc.eval_every = 250;
+    m.fit(data, {}, tc);
+    return m;
+  }();
+  return model;
+}
+
+TEST(ConfigurationSolver, RespectsBounds) {
+  ConfigurationSolver solver{solver_model(), {}};
+  std::vector<double> w{50.0, 50.0};
+  std::vector<double> lo{400.0, 400.0};
+  std::vector<double> hi{1800.0, 1800.0};
+  const auto res = solver.solve(w, 200.0, lo, hi);
+  ASSERT_EQ(res.quota.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_GE(res.quota[i], lo[i] - 1e-9);
+    EXPECT_LE(res.quota[i], hi[i] + 1e-9);
+  }
+}
+
+TEST(ConfigurationSolver, TighterSloCostsMoreCpu) {
+  ConfigurationSolver solver{solver_model(), {}};
+  std::vector<double> w{50.0, 50.0};
+  std::vector<double> lo{300.0, 300.0};
+  std::vector<double> hi{2000.0, 2000.0};
+  const auto tight = solver.solve(w, 150.0, lo, hi);
+  const auto loose = solver.solve(w, 280.0, lo, hi);
+  const double total_tight = tight.quota[0] + tight.quota[1];
+  const double total_loose = loose.quota[0] + loose.quota[1];
+  EXPECT_GT(total_tight, total_loose);
+}
+
+TEST(ConfigurationSolver, AllocatesMoreToExpensiveService) {
+  // Service b has 2x the demand of a; minimizing total quota under the SLO
+  // must give b more CPU.
+  ConfigurationSolver solver{solver_model(), {}};
+  std::vector<double> w{50.0, 50.0};
+  std::vector<double> lo{300.0, 300.0};
+  std::vector<double> hi{2000.0, 2000.0};
+  const auto res = solver.solve(w, 180.0, lo, hi);
+  EXPECT_GT(res.quota[1], res.quota[0]);
+}
+
+TEST(ConfigurationSolver, PredictionNearSloWhenBinding) {
+  ConfigurationSolver solver{solver_model(), {}};
+  std::vector<double> w{60.0, 60.0};
+  std::vector<double> lo{300.0, 300.0};
+  std::vector<double> hi{2000.0, 2000.0};
+  const double slo = 160.0;
+  const auto res = solver.solve(w, slo, lo, hi);
+  // The solver minimizes until the (margin-adjusted) SLO binds.
+  EXPECT_LT(res.predicted_ms, slo * 1.05);
+  EXPECT_GT(res.predicted_ms, slo * 0.6);
+}
+
+TEST(ConfigurationSolver, ValidatesInputs) {
+  ConfigurationSolver solver{solver_model(), {}};
+  std::vector<double> w{50.0, 50.0};
+  std::vector<double> lo{300.0, 300.0};
+  std::vector<double> hi{200.0, 2000.0};  // lo > hi
+  EXPECT_THROW(solver.solve(w, 100.0, lo, hi), std::invalid_argument);
+  std::vector<double> hi_ok{2000.0, 2000.0};
+  EXPECT_THROW(solver.solve(w, -5.0, lo, hi_ok), std::invalid_argument);
+  std::vector<double> w_bad{50.0};
+  EXPECT_THROW(solver.solve(w_bad, 100.0, lo, hi_ok), std::invalid_argument);
+}
+
+TEST(ConfigurationSolver, LossAtMatchesStructure) {
+  ConfigurationSolver solver{solver_model(), {.rho = 50.0, .slo_margin = 1.0}};
+  std::vector<double> w{50.0, 50.0};
+  std::vector<double> hi{2000.0, 2000.0};
+  std::vector<double> generous{2000.0, 2000.0};
+  std::vector<double> starved{300.0, 300.0};
+  // Generous quotas: no penalty, loss == normalized quota == 1.
+  EXPECT_NEAR(solver.loss_at(w, 1e6, generous, hi), 1.0, 1e-9);
+  // Starved quotas at an impossible SLO: penalty dominates.
+  EXPECT_GT(solver.loss_at(w, 10.0, starved, hi), 1.0);
+}
+
+// ---- ResourceController -----------------------------------------------------
+
+TEST(ResourceController, Eq7CeilsToInstanceUnits) {
+  auto& model = solver_model();
+  ConfigurationSolver solver{model, {}};
+  WorkloadAnalyzer analyzer{1, 2};
+  analyzer.set_fanout({{1.0, 1.0}});
+  ResourceController rc{model, solver, analyzer, {300.0, 300.0}, {2000.0, 2000.0},
+                        {1000.0, 1000.0}};
+  gnn::Dataset ref;
+  gnn::Sample s;
+  s.workload = {60.0, 60.0};
+  s.quota = {1000.0, 1000.0};
+  s.latency_ms = 100.0;
+  ref.push_back(s);
+  rc.set_training_reference(ref);
+
+  std::vector<Qps> api{50.0};
+  const auto plan = rc.plan(api, 200.0);
+  ASSERT_EQ(plan.instances.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(plan.instances[i],
+              static_cast<int>(std::ceil(plan.quota[i] / 1000.0)));
+    EXPECT_GE(plan.instances[i], 1);
+  }
+  EXPECT_DOUBLE_EQ(plan.scale_factor, 1.0);  // within trained region
+}
+
+TEST(ResourceController, WorkloadScalingKicksInBeyondTrainedRegion) {
+  auto& model = solver_model();
+  ConfigurationSolver solver{model, {}};
+  WorkloadAnalyzer analyzer{1, 2};
+  analyzer.set_fanout({{1.0, 1.0}});
+  ResourceController rc{model, solver, analyzer, {300.0, 300.0}, {2000.0, 2000.0},
+                        {1000.0, 1000.0}};
+  gnn::Dataset ref;
+  gnn::Sample s;
+  s.workload = {60.0, 60.0};
+  s.quota = {1000.0, 1000.0};
+  s.latency_ms = 100.0;
+  ref.push_back(s);
+  rc.set_training_reference(ref);
+
+  std::vector<Qps> in_region{50.0};
+  std::vector<Qps> beyond{240.0};  // 4x the trained max
+  const auto base = rc.plan(in_region, 200.0);
+  const auto scaled = rc.plan(beyond, 200.0);
+  EXPECT_NEAR(scaled.scale_factor, 4.0, 1e-9);
+  // Quota scales roughly with the factor (same solver point rescaled).
+  const double base_total = base.quota[0] + base.quota[1];
+  const double scaled_total = scaled.quota[0] + scaled.quota[1];
+  EXPECT_GT(scaled_total, 2.0 * base_total);
+}
+
+TEST(ResourceController, ApplyScalesCluster) {
+  auto topo = apps::bookinfo();
+  sim::Cluster c = apps::make_cluster(topo, {.seed = 9});
+  AllocationPlan plan;
+  plan.instances = {3, 2, 4, 1};
+  plan.quota = {3000.0, 2000.0, 4000.0, 1000.0};
+  ResourceController::apply(c, plan);
+  EXPECT_EQ(c.service(0).target_count(), 3);
+  EXPECT_EQ(c.service(2).target_count(), 4);
+}
+
+// ---- SampleCollector --------------------------------------------------------
+
+TEST(SearchSpace, VolumeRatio) {
+  SearchSpace sp;
+  sp.lo = {500.0, 1000.0};
+  sp.hi = {1500.0, 2000.0};
+  // Each dimension keeps 1000/2000 = 0.5 -> 0.25 total.
+  EXPECT_NEAR(sp.volume_ratio(0.0, 2000.0), 0.25, 1e-12);
+}
+
+TEST(SampleCollector, CollectsLabeledSamples) {
+  auto topo = apps::bookinfo();
+  sim::Cluster c = apps::make_cluster(topo, {.seed = 21});
+  WorkloadAnalyzer analyzer{c.api_count(), c.service_count()};
+  SampleCollectorConfig cfg;
+  cfg.window = 4.0;
+  cfg.warmup = 1.0;
+  cfg.flush = 1.0;
+  SampleCollector collector{c, analyzer, cfg};
+  SearchSpace space;
+  space.lo.assign(4, 500.0);
+  space.hi.assign(4, 2000.0);
+  std::vector<Qps> base{40.0};
+  const auto ds = collector.collect(25, space, base, 0.6, 1.0);
+  ASSERT_EQ(ds.size(), 25u);
+  for (const auto& s : ds) {
+    EXPECT_EQ(s.workload.size(), 4u);
+    EXPECT_EQ(s.quota.size(), 4u);
+    EXPECT_GT(s.latency_ms, 0.0);
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_GE(s.quota[i], 500.0);
+      EXPECT_LE(s.quota[i], 2000.0);
+    }
+  }
+  EXPECT_TRUE(analyzer.ready());
+}
+
+TEST(SampleCollector, ReduceSearchSpaceShrinksVolume) {
+  auto topo = apps::bookinfo();
+  sim::Cluster c = apps::make_cluster(topo, {.seed = 23});
+  WorkloadAnalyzer analyzer{c.api_count(), c.service_count()};
+  SampleCollectorConfig cfg;
+  cfg.probe_window = 3.0;
+  cfg.warmup = 1.0;
+  cfg.flush = 0.5;
+  SampleCollector collector{c, analyzer, cfg};
+  std::vector<Qps> base{40.0};
+  const auto space = collector.reduce_search_space(base, 200.0);
+  ASSERT_EQ(space.lo.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_GE(space.lo[i], cfg.quota_floor);
+    EXPECT_LE(space.hi[i], cfg.quota_hi);
+    EXPECT_LT(space.lo[i], space.hi[i]);
+  }
+  EXPECT_LT(space.volume_ratio(cfg.quota_floor, cfg.quota_hi), 1.0);
+}
+
+TEST(SampleCollector, MeasureTailReturnsPositive) {
+  auto topo = apps::bookinfo();
+  sim::Cluster c = apps::make_cluster(topo, {.seed = 25});
+  WorkloadAnalyzer analyzer{c.api_count(), c.service_count()};
+  SampleCollector collector{c, analyzer, {}};
+  for (int s = 0; s < 4; ++s) c.apply_total_quota(s, 2000.0, 1000.0);
+  std::vector<Qps> base{40.0};
+  const double tail = collector.measure_tail(base, 8.0, 99.0);
+  EXPECT_GT(tail, 10.0);
+  EXPECT_LT(tail, 500.0);
+}
+
+// ---- Cost model (Table 3) ---------------------------------------------------
+
+TEST(CostModel, Table3PaperNumbers) {
+  const auto c = training_cost(50000, 15.0, 16.0);
+  EXPECT_NEAR(c.load_gen_hours, 208.3, 0.1);
+  EXPECT_NEAR(c.worker_hours, 208.3, 0.1);
+  EXPECT_NEAR(c.load_gen_usd, 20.83, 0.05);
+  EXPECT_NEAR(c.worker_usd, 82.92, 0.05);
+  EXPECT_NEAR(c.gpu_usd, 8.42, 0.05);
+  EXPECT_NEAR(c.total_usd, 112.17, 0.15);
+}
+
+TEST(CostModel, ProfitGrowsWithPeriodAndSaving) {
+  const auto c = training_cost(50000);
+  EXPECT_LT(net_profit_usd(10.0, 1.0, c), net_profit_usd(10.0, 30.0, c));
+  EXPECT_LT(net_profit_usd(5.0, 30.0, c), net_profit_usd(50.0, 30.0, c));
+}
+
+TEST(CostModel, BreakevenInverseInSaving) {
+  const auto c = training_cost(50000);
+  EXPECT_GT(breakeven_days(5.0, c), breakeven_days(50.0, c));
+  EXPECT_TRUE(std::isinf(breakeven_days(0.0, c)));
+}
+
+}  // namespace
+}  // namespace graf::core

@@ -1,0 +1,95 @@
+// The Fig. 1 instance-creation model: lone creations take `base` seconds,
+// batches complete staggered at `per_extra` intervals.
+#include "sim/deployment.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace graf::sim {
+namespace {
+
+TEST(Deployment, SingleCreationTakesBase) {
+  EventQueue q;
+  Deployment d{q, {.base = 5.5, .per_extra = 2.67, .nodes = 1}};
+  double ready_at = -1.0;
+  d.request_creation([&] { ready_at = q.now(); });
+  q.run_all();
+  EXPECT_NEAR(ready_at, 5.5, 1e-9);
+}
+
+TEST(Deployment, BatchCompletesStaggered) {
+  EventQueue q;
+  Deployment d{q, {.base = 5.5, .per_extra = 2.67, .nodes = 1}};
+  std::vector<double> ready;
+  for (int i = 0; i < 4; ++i)
+    d.request_creation([&] { ready.push_back(q.now()); });
+  q.run_all();
+  ASSERT_EQ(ready.size(), 4u);
+  EXPECT_NEAR(ready[0], 5.5, 1e-9);
+  EXPECT_NEAR(ready[1], 5.5 + 2.67, 1e-9);
+  EXPECT_NEAR(ready[2], 5.5 + 2.0 * 2.67, 1e-9);
+  EXPECT_NEAR(ready[3], 5.5 + 3.0 * 2.67, 1e-9);
+}
+
+TEST(Deployment, BatchTimesFitPaperFig1) {
+  // Paper measurements: 5.5 / 8.7 / 12.5 / 23.6 / 45.6 s for 1/2/4/8/16.
+  EventQueue q;
+  Deployment d{q, {}};
+  const double measured[] = {5.5, 8.7, 12.5, 23.6, 45.6};
+  const int batch[] = {1, 2, 4, 8, 16};
+  for (int i = 0; i < 5; ++i) {
+    const double model = d.batch_completion_time(batch[i]);
+    EXPECT_NEAR(model, measured[i], 0.08 * measured[i] + 0.6)
+        << "batch of " << batch[i];
+  }
+}
+
+TEST(Deployment, PipelineIdleAfterDrainResetsToBase) {
+  EventQueue q;
+  Deployment d{q, {.base = 5.0, .per_extra = 2.0, .nodes = 1}};
+  double first = -1.0;
+  double second = -1.0;
+  d.request_creation([&] { first = q.now(); });
+  q.run_all();
+  d.request_creation([&] { second = q.now(); });
+  q.run_all();
+  EXPECT_NEAR(first, 5.0, 1e-9);
+  EXPECT_NEAR(second, 10.0, 1e-9);  // 5.0 (idle restart) after the first
+}
+
+TEST(Deployment, CancelSuppressesCallback) {
+  EventQueue q;
+  Deployment d{q, {}};
+  bool fired = false;
+  const auto ticket = d.request_creation([&] { fired = true; });
+  d.cancel(ticket);
+  q.run_all();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(d.in_flight(), 0u);
+}
+
+TEST(Deployment, InFlightTracksPending) {
+  EventQueue q;
+  Deployment d{q, {}};
+  d.request_creation([] {});
+  d.request_creation([] {});
+  EXPECT_EQ(d.in_flight(), 2u);
+  q.run_all();
+  EXPECT_EQ(d.in_flight(), 0u);
+}
+
+TEST(Deployment, LateJoinerQueuesBehindBusyPipeline) {
+  EventQueue q;
+  Deployment d{q, {.base = 5.0, .per_extra = 2.0, .nodes = 1}};
+  std::vector<double> ready;
+  d.request_creation([&] { ready.push_back(q.now()); });
+  q.schedule_at(1.0, [&] { d.request_creation([&] { ready.push_back(q.now()); }); });
+  q.run_all();
+  ASSERT_EQ(ready.size(), 2u);
+  EXPECT_NEAR(ready[0], 5.0, 1e-9);
+  EXPECT_NEAR(ready[1], 7.0, 1e-9);  // behind the first completion
+}
+
+}  // namespace
+}  // namespace graf::sim

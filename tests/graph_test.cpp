@@ -1,0 +1,103 @@
+#include "gnn/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace graf::gnn {
+namespace {
+
+TEST(Dag, AddNodesAndLookup) {
+  Dag d;
+  EXPECT_EQ(d.add_node("a"), 0);
+  EXPECT_EQ(d.add_node("b"), 1);
+  EXPECT_EQ(d.node_count(), 2u);
+  EXPECT_EQ(d.index_of("b"), 1);
+  EXPECT_EQ(d.index_of("zzz"), -1);
+  EXPECT_EQ(d.name(0), "a");
+}
+
+TEST(Dag, DuplicateNameRejected) {
+  Dag d;
+  d.add_node("a");
+  EXPECT_THROW(d.add_node("a"), std::invalid_argument);
+}
+
+TEST(Dag, EdgesTrackParentsAndChildren) {
+  Dag d;
+  d.add_node("p");
+  d.add_node("c1");
+  d.add_node("c2");
+  d.add_edge(0, 1);
+  d.add_edge(0, 2);
+  EXPECT_EQ(d.children(0).size(), 2u);
+  EXPECT_EQ(d.parents(1).size(), 1u);
+  EXPECT_EQ(d.parents(1)[0], 0);
+  EXPECT_EQ(d.edge_count(), 2u);
+}
+
+TEST(Dag, SelfLoopRejected) {
+  Dag d;
+  d.add_node("a");
+  EXPECT_THROW(d.add_edge(0, 0), std::invalid_argument);
+}
+
+TEST(Dag, DuplicateEdgeRejected) {
+  Dag d;
+  d.add_node("a");
+  d.add_node("b");
+  d.add_edge(0, 1);
+  EXPECT_THROW(d.add_edge(0, 1), std::invalid_argument);
+}
+
+TEST(Dag, CycleRejected) {
+  Dag d;
+  d.add_node("a");
+  d.add_node("b");
+  d.add_node("c");
+  d.add_edge(0, 1);
+  d.add_edge(1, 2);
+  EXPECT_THROW(d.add_edge(2, 0), std::invalid_argument);
+}
+
+TEST(Dag, BadIndexRejected) {
+  Dag d;
+  d.add_node("a");
+  EXPECT_THROW(d.add_edge(0, 5), std::out_of_range);
+  EXPECT_THROW(d.add_edge(-1, 0), std::out_of_range);
+}
+
+TEST(Dag, RootsAreParentless) {
+  Dag d;
+  d.add_node("r1");
+  d.add_node("r2");
+  d.add_node("c");
+  d.add_edge(0, 2);
+  d.add_edge(1, 2);
+  const auto roots = d.roots();
+  EXPECT_EQ(roots, (std::vector<int>{0, 1}));
+}
+
+TEST(Dag, TopologicalOrderRespectsEdges) {
+  Dag d;
+  for (int i = 0; i < 6; ++i) d.add_node("n" + std::to_string(i));
+  d.add_edge(0, 1);
+  d.add_edge(0, 2);
+  d.add_edge(1, 3);
+  d.add_edge(2, 3);
+  d.add_edge(3, 4);
+  d.add_edge(3, 5);
+  const auto order = d.topological_order();
+  ASSERT_EQ(order.size(), 6u);
+  auto pos = [&](int n) {
+    return std::find(order.begin(), order.end(), n) - order.begin();
+  };
+  EXPECT_LT(pos(0), pos(1));
+  EXPECT_LT(pos(1), pos(3));
+  EXPECT_LT(pos(2), pos(3));
+  EXPECT_LT(pos(3), pos(4));
+  EXPECT_LT(pos(3), pos(5));
+}
+
+}  // namespace
+}  // namespace graf::gnn

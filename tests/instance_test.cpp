@@ -1,0 +1,152 @@
+// Processor-sharing semantics of a single instance: exact completion times
+// under sharing, the 1-core-per-job cap, vertical quota changes, and CPU
+// accounting.
+#include "sim/instance.h"
+
+#include <gtest/gtest.h>
+
+namespace graf::sim {
+namespace {
+
+TEST(Instance, SingleJobAtLowQuotaRunsAtQuotaSpeed) {
+  EventQueue q;
+  Instance inst{1, 0.5, q};  // half a core
+  double done_at = -1.0;
+  inst.add_job(0.1, [&] { done_at = q.now(); });  // 0.1 core-seconds
+  q.run_all();
+  EXPECT_NEAR(done_at, 0.2, 1e-9);  // 0.1 / 0.5
+}
+
+TEST(Instance, SingleJobCappedAtOneCore) {
+  EventQueue q;
+  Instance inst{1, 4.0, q};  // plenty of quota
+  double done_at = -1.0;
+  inst.add_job(0.1, [&] { done_at = q.now(); });
+  q.run_all();
+  EXPECT_NEAR(done_at, 0.1, 1e-9);  // a single-threaded job can't exceed 1 core
+}
+
+TEST(Instance, TwoJobsShareQuota) {
+  EventQueue q;
+  Instance inst{1, 1.0, q};
+  double first = -1.0;
+  double second = -1.0;
+  inst.add_job(0.1, [&] { first = q.now(); });
+  inst.add_job(0.1, [&] { second = q.now(); });
+  q.run_all();
+  // Both share 1 core: each runs at 0.5 cores until the first finishes at
+  // t=0.2; they have identical remaining work so both finish together.
+  EXPECT_NEAR(first, 0.2, 1e-9);
+  EXPECT_NEAR(second, 0.2, 1e-9);
+}
+
+TEST(Instance, UnequalJobsFinishInWorkOrder) {
+  EventQueue q;
+  Instance inst{1, 1.0, q};
+  double small = -1.0;
+  double big = -1.0;
+  inst.add_job(0.1, [&] { small = q.now(); });
+  inst.add_job(0.3, [&] { big = q.now(); });
+  q.run_all();
+  // Shared at 0.5 cores each: small done at 0.2 (0.1/0.5). Then big has
+  // 0.3 - 0.1 = 0.2 left, alone at 1.0 core: done at 0.4.
+  EXPECT_NEAR(small, 0.2, 1e-9);
+  EXPECT_NEAR(big, 0.4, 1e-9);
+}
+
+TEST(Instance, LateArrivalSharesRemaining) {
+  EventQueue q;
+  Instance inst{1, 1.0, q};
+  double a = -1.0;
+  double b = -1.0;
+  inst.add_job(0.2, [&] { a = q.now(); });
+  q.schedule_at(0.1, [&] { inst.add_job(0.2, [&] { b = q.now(); }); });
+  q.run_all();
+  // a alone until 0.1 (0.1 done), then shares: each at 0.5. a needs 0.1
+  // more -> done at 0.3. b then alone with 0.1 left -> done at 0.4.
+  EXPECT_NEAR(a, 0.3, 1e-9);
+  EXPECT_NEAR(b, 0.4, 1e-9);
+}
+
+TEST(Instance, JobRateReflectsSharingAndCap) {
+  EventQueue q;
+  Instance inst{1, 2.0, q};
+  EXPECT_DOUBLE_EQ(inst.job_rate(), 0.0);
+  inst.add_job(10.0, [] {});
+  EXPECT_DOUBLE_EQ(inst.job_rate(), 1.0);  // capped
+  inst.add_job(10.0, [] {});
+  EXPECT_DOUBLE_EQ(inst.job_rate(), 1.0);  // 2 cores / 2 jobs
+  inst.add_job(10.0, [] {});
+  EXPECT_NEAR(inst.job_rate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Instance, QuotaChangeMidFlight) {
+  EventQueue q;
+  Instance inst{1, 0.5, q};
+  double done = -1.0;
+  inst.add_job(0.2, [&] { done = q.now(); });
+  q.schedule_at(0.2, [&] { inst.set_quota_cores(1.0); });
+  q.run_all();
+  // 0.1 core-s done by t=0.2 at 0.5 cores; remaining 0.1 at 1.0 core.
+  EXPECT_NEAR(done, 0.3, 1e-9);
+}
+
+TEST(Instance, CpuUsageAccounting) {
+  EventQueue q;
+  Instance inst{1, 0.5, q};
+  inst.add_job(0.1, [] {});
+  q.run_all();  // finishes at 0.2s having burned 0.1 core-seconds
+  EXPECT_NEAR(inst.drain_cpu_usage(), 0.1, 1e-9);
+  EXPECT_NEAR(inst.drain_cpu_usage(), 0.0, 1e-12);  // drained
+}
+
+TEST(Instance, CpuUsageWithSharing) {
+  EventQueue q;
+  Instance inst{1, 1.0, q};
+  inst.add_job(0.2, [] {});
+  inst.add_job(0.2, [] {});
+  q.run_all();
+  EXPECT_NEAR(inst.drain_cpu_usage(), 0.4, 1e-9);
+}
+
+TEST(Instance, ClearJobsSuppressesCallbacks) {
+  EventQueue q;
+  Instance inst{1, 1.0, q};
+  bool fired = false;
+  inst.add_job(1.0, [&] { fired = true; });
+  q.schedule_at(0.1, [&] { inst.clear_jobs(); });
+  q.run_all();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(inst.idle());
+}
+
+TEST(Instance, RetireFlagDoesNotStopResidentJobs) {
+  EventQueue q;
+  Instance inst{1, 1.0, q};
+  bool fired = false;
+  inst.add_job(0.1, [&] { fired = true; });
+  inst.retire();
+  q.run_all();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Instance, RejectsNonPositiveQuota) {
+  EventQueue q;
+  EXPECT_THROW((Instance{1, 0.0, q}), std::invalid_argument);
+  Instance inst{1, 1.0, q};
+  EXPECT_THROW(inst.set_quota_cores(-1.0), std::invalid_argument);
+}
+
+TEST(Instance, CompletionCallbackMayAddJob) {
+  EventQueue q;
+  Instance inst{1, 1.0, q};
+  double second_done = -1.0;
+  inst.add_job(0.1, [&] {
+    inst.add_job(0.1, [&] { second_done = q.now(); });
+  });
+  q.run_all();
+  EXPECT_NEAR(second_done, 0.2, 1e-9);
+}
+
+}  // namespace
+}  // namespace graf::sim

@@ -1,0 +1,180 @@
+// End-to-end integration: the full GRAF pipeline (Algorithm 1 -> sample
+// collection -> GNN training -> gradient-descent solving -> deployment)
+// against a live simulated cluster, plus the closed control loop reacting
+// to workload change. Uses a small Bookinfo stack so the whole suite stays
+// in tens of seconds.
+#include <gtest/gtest.h>
+
+#include "apps/catalog.h"
+#include "core/configuration_solver.h"
+#include "core/graf_controller.h"
+#include "core/latency_predictor.h"
+#include "core/resource_controller.h"
+#include "core/sample_collector.h"
+#include "core/workload_analyzer.h"
+#include "workload/closed_loop.h"
+#include "workload/open_loop.h"
+
+namespace graf {
+namespace {
+
+constexpr double kSlo = 130.0;
+
+/// One trained Bookinfo stack for the whole file.
+struct MiniStack {
+  apps::Topology topo = apps::bookinfo();
+  core::SearchSpace space;
+  std::vector<std::vector<double>> fanout;
+  gnn::Dataset dataset;
+  std::unique_ptr<core::LatencyPredictor> predictor;
+  std::vector<Qps> base{45.0};
+};
+
+MiniStack& mini_stack() {
+  static MiniStack stack = [] {
+    MiniStack st;
+    sim::Cluster cluster = apps::make_cluster(st.topo, {.seed = 101});
+    core::WorkloadAnalyzer analyzer{cluster.api_count(), cluster.service_count()};
+    core::SampleCollectorConfig scfg;
+    scfg.window = 6.0;
+    scfg.warmup = 1.5;
+    scfg.flush = 1.0;
+    scfg.probe_window = 3.0;
+    core::SampleCollector collector{cluster, analyzer, scfg};
+    st.space = collector.reduce_search_space(st.base, kSlo);
+    st.dataset = collector.collect(1200, st.space, st.base, 0.5, 1.1);
+    st.fanout = analyzer.fanout();
+    st.predictor = std::make_unique<core::LatencyPredictor>(
+        apps::make_dag(st.topo), gnn::MpnnConfig{}, 103);
+    gnn::TrainConfig tcfg;
+    tcfg.iterations = 3000;
+    tcfg.batch_size = 128;
+    tcfg.lr = 1e-3;
+    tcfg.lr_decay_every = 800;
+    tcfg.eval_every = 300;
+    st.predictor->train(st.dataset, tcfg);
+    return st;
+  }();
+  return stack;
+}
+
+TEST(Integration, SearchSpaceIsReduced) {
+  auto& st = mini_stack();
+  core::SampleCollectorConfig scfg;
+  const double ratio = st.space.volume_ratio(scfg.quota_floor, scfg.quota_hi);
+  EXPECT_LT(ratio, 1.0);
+  for (std::size_t s = 0; s < st.space.lo.size(); ++s)
+    EXPECT_LT(st.space.lo[s], st.space.hi[s]);
+}
+
+TEST(Integration, DatasetLabelsSpanTheSloRegion) {
+  auto& st = mini_stack();
+  ASSERT_GE(st.dataset.size(), 1000u);
+  double below = 0.0;
+  double above = 0.0;
+  for (const auto& s : st.dataset) (s.latency_ms <= kSlo ? below : above) += 1.0;
+  // Both sides of the SLO boundary are represented.
+  EXPECT_GT(below, 50.0);
+  EXPECT_GT(above, 50.0);
+}
+
+TEST(Integration, ModelAccuracyIsUsable) {
+  auto& st = mini_stack();
+  const auto acc = st.predictor->model().evaluate_accuracy(st.predictor->test_set());
+  EXPECT_LT(acc.mean_abs_pct_error, 35.0);  // paper reports 21-32%
+}
+
+TEST(Integration, SolveDeployMeasureMeetsRelaxedSlo) {
+  auto& st = mini_stack();
+  core::ConfigurationSolver solver{st.predictor->model()};
+  core::WorkloadAnalyzer analyzer{1, st.topo.service_count()};
+  analyzer.set_fanout(st.fanout);
+  const auto workload = analyzer.distribute(st.base);
+  const auto res = solver.solve(workload, kSlo, st.space.lo, st.space.hi);
+
+  sim::Cluster cluster = apps::make_cluster(st.topo, {.seed = 107});
+  for (std::size_t s = 0; s < res.quota.size(); ++s)
+    cluster.apply_total_quota(static_cast<int>(s), res.quota[s], 1000.0);
+  core::SampleCollector measurer{cluster, analyzer, {}};
+  const double measured = measurer.measure_tail(st.base, 15.0, 99.0);
+  // Prediction-error tolerance: the measured tail stays within 1.6x of the
+  // SLO (the paper's Fig. 17 scatter hugs the target similarly).
+  EXPECT_GT(measured, 0.0);
+  EXPECT_LT(measured, kSlo * 1.6);
+}
+
+TEST(Integration, TighterSloDeploysMoreCpu) {
+  auto& st = mini_stack();
+  core::ConfigurationSolver solver{st.predictor->model()};
+  core::WorkloadAnalyzer analyzer{1, st.topo.service_count()};
+  analyzer.set_fanout(st.fanout);
+  const auto workload = analyzer.distribute(st.base);
+  const auto tight = solver.solve(workload, kSlo * 0.85, st.space.lo, st.space.hi);
+  const auto loose = solver.solve(workload, kSlo * 1.8, st.space.lo, st.space.hi);
+  double tight_total = 0.0;
+  double loose_total = 0.0;
+  for (double q : tight.quota) tight_total += q;
+  for (double q : loose.quota) loose_total += q;
+  EXPECT_GT(tight_total, loose_total);
+}
+
+TEST(Integration, GrafControllerReactsToWorkloadChange) {
+  auto& st = mini_stack();
+  core::ConfigurationSolver solver{st.predictor->model()};
+  core::WorkloadAnalyzer analyzer{1, st.topo.service_count()};
+  analyzer.set_fanout(st.fanout);
+  std::vector<Millicores> units(st.topo.service_count(), 1000.0);
+  core::ResourceController rc{st.predictor->model(), solver, analyzer,
+                              st.space.lo, st.space.hi, units};
+  rc.set_training_reference(st.dataset);
+  core::GrafController graf{rc, {.slo_ms = kSlo, .control_interval = 5.0}};
+
+  sim::Cluster cluster = apps::make_cluster(st.topo, {.seed = 109});
+  graf.attach(cluster, 400.0);
+
+  workload::OpenLoopConfig g;
+  g.rate = workload::Schedule::step(20.0, 45.0, 120.0);
+  workload::OpenLoopGenerator gen{cluster, g};
+  gen.start(400.0);
+
+  cluster.run_until(110.0);
+  const int before = cluster.total_target_instances();
+  EXPECT_GT(graf.solves(), 0u);
+  cluster.run_until(200.0);
+  const int after = cluster.total_target_instances();
+  // More traffic -> the controller planned (weakly) more instances.
+  EXPECT_GE(after, before);
+  // And the SLO holds in steady state after the change.
+  const double p99 = cluster.e2e_latency_all().percentile_since(160.0, 99.0);
+  EXPECT_LT(p99, kSlo * 1.6);
+}
+
+TEST(Integration, GrafScalesBackDownAfterLoadDrop) {
+  auto& st = mini_stack();
+  core::ConfigurationSolver solver{st.predictor->model()};
+  core::WorkloadAnalyzer analyzer{1, st.topo.service_count()};
+  analyzer.set_fanout(st.fanout);
+  std::vector<Millicores> units(st.topo.service_count(), 1000.0);
+  core::ResourceController rc{st.predictor->model(), solver, analyzer,
+                              st.space.lo, st.space.hi, units};
+  rc.set_training_reference(st.dataset);
+  core::GrafController graf{rc, {.slo_ms = kSlo, .control_interval = 5.0}};
+
+  sim::Cluster cluster = apps::make_cluster(st.topo, {.seed = 111});
+  graf.attach(cluster, 500.0);
+  workload::OpenLoopConfig g;
+  g.rate = workload::Schedule::piecewise({{0.0, 45.0}, {200.0, 15.0}});
+  workload::OpenLoopGenerator gen{cluster, g};
+  gen.start(500.0);
+
+  cluster.run_until(190.0);
+  const int high = cluster.total_target_instances();
+  cluster.run_until(400.0);
+  const int low = cluster.total_target_instances();
+  // GRAF follows the workload down without a 5-minute stabilization lag
+  // (paper Fig. 20's contrast with the HPA).
+  EXPECT_LE(low, high);
+}
+
+}  // namespace
+}  // namespace graf

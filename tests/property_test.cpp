@@ -1,0 +1,124 @@
+// Parameterized property sweeps across the numeric stack: autodiff
+// gradients on random composite graphs, loss-function shape invariants, and
+// solver feasibility across random SLOs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/autodiff.h"
+#include "nn/layers.h"
+#include "nn/loss.h"
+
+namespace graf::nn {
+namespace {
+
+// ---- Random composite-graph gradcheck ---------------------------------------
+
+class RandomGraphGradcheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomGraphGradcheck, MatchesFiniteDifferences) {
+  Rng rng{static_cast<std::uint64_t>(GetParam()) * 7919 + 3};
+  const std::size_t rows = 1 + static_cast<std::size_t>(rng.uniform_int(1, 3));
+  const std::size_t cols = 1 + static_cast<std::size_t>(rng.uniform_int(1, 3));
+
+  Tensor x0{rows, cols};
+  for (std::size_t i = 0; i < x0.size(); ++i) x0.data()[i] = rng.uniform(0.3, 2.0);
+  const Tensor w = [&] {
+    Tensor t{cols, 2};
+    for (std::size_t i = 0; i < t.size(); ++i) t.data()[i] = rng.uniform(-1.0, 1.0);
+    return t;
+  }();
+
+  // f(x) = mean(asym_huber(relu(xW)*0.7 - 0.2)) + 0.1*sum(1/x)
+  auto f = [&](Tape& t, Var x) {
+    Var h = relu(matmul(x, t.constant(w)));
+    Var g = add_scalar(scale(h, 0.7), -0.2);
+    Var a = mean_all(asym_huber(g, 0.3, 0.1));
+    Var b = scale(sum_all(reciprocal(x)), 0.1);
+    return add(a, b);
+  };
+
+  Tape tape;
+  Var x = tape.leaf(x0);
+  tape.backward(f(tape, x));
+  const Tensor analytic = tape.grad(x);
+
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < x0.size(); ++i) {
+    Tensor xp = x0;
+    Tensor xm = x0;
+    xp.data()[i] += eps;
+    xm.data()[i] -= eps;
+    Tape tp;
+    const double fp = tp.value(f(tp, tp.leaf(xp, false))).item();
+    Tape tm;
+    const double fm = tm.value(f(tm, tm.leaf(xm, false))).item();
+    EXPECT_NEAR(analytic.data()[i], (fp - fm) / (2.0 * eps), 2e-5)
+        << "entry " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphGradcheck, ::testing::Range(0, 8));
+
+// ---- Loss-shape invariants ---------------------------------------------------
+
+class LossShape : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(LossShape, NonNegativeZeroAtOriginContinuous) {
+  const auto [tu, to] = GetParam();
+  EXPECT_DOUBLE_EQ(asym_huber_value(0.0, tu, to), 0.0);
+  double prev = asym_huber_value(-3.0, tu, to);
+  for (double x = -3.0; x <= 3.0; x += 1e-3) {
+    const double v = asym_huber_value(x, tu, to);
+    EXPECT_GE(v, 0.0);
+    // Continuity: adjacent samples can't jump.
+    EXPECT_LT(std::abs(v - prev), 0.05);
+    prev = v;
+  }
+}
+
+TEST_P(LossShape, LinearTailSlopes) {
+  const auto [tu, to] = GetParam();
+  // Beyond the kinks the derivative is exactly 2*theta.
+  const double right = (asym_huber_value(2.0, tu, to) - asym_huber_value(1.5, tu, to)) / 0.5;
+  const double left = (asym_huber_value(-2.0, tu, to) - asym_huber_value(-1.5, tu, to)) / -0.5;
+  EXPECT_NEAR(right, 2.0 * to, 1e-9);
+  EXPECT_NEAR(left, -2.0 * tu, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, LossShape,
+                         ::testing::Values(std::pair{0.3, 0.1}, std::pair{0.1, 0.3},
+                                           std::pair{0.2, 0.2}, std::pair{0.5, 0.05}));
+
+// ---- Reciprocal op -----------------------------------------------------------
+
+TEST(Reciprocal, ValueAndGradient) {
+  Tape t;
+  Var x = t.leaf(Tensor{{2.0, 4.0}});
+  Var y = reciprocal(x);
+  EXPECT_DOUBLE_EQ(t.value(y)(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(t.value(y)(0, 1), 0.25);
+  t.backward(sum_all(y));
+  EXPECT_NEAR(t.grad(x)(0, 0), -0.25, 1e-12);    // -1/x^2
+  EXPECT_NEAR(t.grad(x)(0, 1), -0.0625, 1e-12);
+}
+
+// ---- Dropout statistics (parameterized over p) -------------------------------
+
+class DropoutRate : public ::testing::TestWithParam<double> {};
+
+TEST_P(DropoutRate, InvertedScalingPreservesMean) {
+  const double p = GetParam();
+  Rng rng{77};
+  Tape t;
+  Var x = t.constant(Tensor{200, 50, 1.0});
+  Var y = dropout(x, p, rng, true);
+  const double mean = t.value(y).sum() / 10000.0;
+  EXPECT_NEAR(mean, 1.0, 0.06);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, DropoutRate, ::testing::Values(0.1, 0.25, 0.5, 0.75));
+
+}  // namespace
+}  // namespace graf::nn

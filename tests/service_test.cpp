@@ -1,0 +1,173 @@
+#include "sim/service.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/deployment.h"
+
+namespace graf::sim {
+namespace {
+
+struct ServiceFixture : ::testing::Test {
+  EventQueue q;
+  Deployment dep{q, {.base = 5.5, .per_extra = 2.67}};
+
+  Service make(ServiceConfig cfg) { return Service{0, std::move(cfg), q, dep}; }
+};
+
+TEST_F(ServiceFixture, BootstrapCreatesReadyInstances) {
+  Service s = make({.name = "svc", .unit_quota = 500, .initial_instances = 3});
+  EXPECT_EQ(s.ready_count(), 3);
+  EXPECT_EQ(s.creating_count(), 0);
+  EXPECT_DOUBLE_EQ(s.total_quota(), 1500.0);
+}
+
+TEST_F(ServiceFixture, SubmitCompletesWithLatency) {
+  Service s = make({.name = "svc", .unit_quota = 1000, .initial_instances = 1});
+  double latency = -1.0;
+  s.submit(20.0, [&](double ms) { latency = ms; });  // 20 core-ms at 1 core
+  q.run_all();
+  EXPECT_NEAR(latency, 20.0, 1e-6);
+  EXPECT_EQ(s.completions(), 1u);
+}
+
+TEST_F(ServiceFixture, LeastLoadedBalancing) {
+  Service s = make({.name = "svc", .unit_quota = 1000, .initial_instances = 2,
+                    .max_concurrency = 4});
+  // Two long jobs should land on different instances and finish at the
+  // same time (no sharing).
+  double a = -1.0;
+  double b = -1.0;
+  s.submit(50.0, [&](double ms) { a = ms; });
+  s.submit(50.0, [&](double ms) { b = ms; });
+  q.run_all();
+  EXPECT_NEAR(a, 50.0, 1e-6);
+  EXPECT_NEAR(b, 50.0, 1e-6);
+}
+
+TEST_F(ServiceFixture, QueueWhenConcurrencyExhausted) {
+  Service s = make({.name = "svc", .unit_quota = 1000, .initial_instances = 1,
+                    .max_concurrency = 1});
+  double first = -1.0;
+  double second = -1.0;
+  s.submit(30.0, [&](double ms) { first = ms; });
+  s.submit(30.0, [&](double ms) { second = ms; });
+  EXPECT_EQ(s.queue_length(), 1u);
+  q.run_all();
+  EXPECT_NEAR(first, 30.0, 1e-6);
+  EXPECT_NEAR(second, 60.0, 1e-6);  // waited 30 ms in queue
+  EXPECT_EQ(s.queue_length(), 0u);
+}
+
+TEST_F(ServiceFixture, ScaleUpPaysStartupDelay) {
+  Service s = make({.name = "svc", .unit_quota = 500, .initial_instances = 1});
+  s.scale_to(3);
+  EXPECT_EQ(s.ready_count(), 1);
+  EXPECT_EQ(s.creating_count(), 2);
+  q.run_until(5.5 + 2.67 + 0.01);
+  EXPECT_EQ(s.ready_count(), 3);
+  EXPECT_EQ(s.creating_count(), 0);
+}
+
+TEST_F(ServiceFixture, ScaleDownRetiresIdleImmediately) {
+  Service s = make({.name = "svc", .unit_quota = 500, .initial_instances = 4});
+  s.scale_to(2);
+  EXPECT_EQ(s.ready_count(), 2);
+  EXPECT_EQ(s.retiring_count(), 0);
+}
+
+TEST_F(ServiceFixture, ScaleDownDrainsBusyInstances) {
+  Service s = make({.name = "svc", .unit_quota = 1000, .initial_instances = 2,
+                    .max_concurrency = 4});
+  bool done = false;
+  s.submit(100.0, [&](double) { done = true; });
+  s.submit(100.0, [&](double) {});
+  s.scale_to(1);
+  // One instance retired; since both are busy the retired one drains.
+  EXPECT_EQ(s.ready_count(), 1);
+  EXPECT_EQ(s.retiring_count(), 1);
+  q.run_all();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(s.retiring_count(), 0);  // reaped after drain
+}
+
+TEST_F(ServiceFixture, ScaleDownCancelsPendingCreationsFirst) {
+  Service s = make({.name = "svc", .unit_quota = 500, .initial_instances = 1});
+  s.scale_to(5);
+  EXPECT_EQ(s.creating_count(), 4);
+  s.scale_to(2);
+  EXPECT_EQ(s.creating_count(), 1);
+  EXPECT_EQ(s.ready_count(), 1);
+}
+
+TEST_F(ServiceFixture, ForceScaleIsImmediate) {
+  Service s = make({.name = "svc", .unit_quota = 500, .initial_instances = 1});
+  s.force_scale(4);
+  EXPECT_EQ(s.ready_count(), 4);
+  EXPECT_EQ(s.creating_count(), 0);
+  s.force_scale(2);
+  EXPECT_EQ(s.ready_count(), 2);
+}
+
+TEST_F(ServiceFixture, TargetNeverBelowOne) {
+  Service s = make({.name = "svc", .unit_quota = 500, .initial_instances = 2});
+  s.scale_to(0);
+  EXPECT_GE(s.ready_count(), 1);
+}
+
+TEST_F(ServiceFixture, MaxInstancesRespected) {
+  Service s = make({.name = "svc", .unit_quota = 500, .initial_instances = 1,
+                    .max_instances = 3});
+  s.scale_to(10);
+  EXPECT_LE(s.ready_count() + s.creating_count(), 3);
+}
+
+TEST_F(ServiceFixture, SetUnitQuotaAffectsServiceSpeed) {
+  Service s = make({.name = "svc", .unit_quota = 500, .initial_instances = 1});
+  s.set_unit_quota(1000.0);
+  double latency = -1.0;
+  s.submit(20.0, [&](double ms) { latency = ms; });
+  q.run_all();
+  EXPECT_NEAR(latency, 20.0, 1e-6);
+}
+
+TEST_F(ServiceFixture, AbortAllDropsWork) {
+  Service s = make({.name = "svc", .unit_quota = 500, .initial_instances = 1,
+                    .max_concurrency = 1});
+  bool fired = false;
+  s.submit(100.0, [&](double) { fired = true; });
+  s.submit(100.0, [&](double) { fired = true; });
+  s.abort_all();
+  q.run_all();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(s.queue_length(), 0u);
+  EXPECT_EQ(s.active_jobs(), 0u);
+}
+
+TEST_F(ServiceFixture, CpuUsageDrain) {
+  Service s = make({.name = "svc", .unit_quota = 1000, .initial_instances = 1});
+  s.submit(40.0, [](double) {});
+  q.run_all();
+  EXPECT_NEAR(s.drain_cpu_core_seconds(), 0.04, 1e-9);
+}
+
+TEST_F(ServiceFixture, QueuedWorkDispatchedWhenInstanceBecomesReady) {
+  Service s = make({.name = "svc", .unit_quota = 1000, .initial_instances = 1,
+                    .max_concurrency = 1});
+  double second = -1.0;
+  s.submit(10000.0, [](double) {});         // occupies the only worker 10s
+  s.submit(10.0, [&](double ms) { second = ms; });
+  s.scale_to(2);                            // new instance ready at ~5.5s
+  q.run_all();
+  // The queued job should run on the new instance once it arrives, well
+  // before the first job's 1s + queue path would allow.
+  EXPECT_GT(second, 0.0);
+  EXPECT_NEAR(second, 5500.0 + 10.0, 50.0);
+}
+
+TEST_F(ServiceFixture, RejectsBadConfig) {
+  EXPECT_THROW(make({.name = "svc", .unit_quota = 0.0}), std::invalid_argument);
+  EXPECT_THROW(make({.name = "svc", .max_concurrency = 0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace graf::sim

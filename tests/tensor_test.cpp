@@ -1,0 +1,126 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace graf::nn {
+namespace {
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t{2, 3};
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(t(i, j), 0.0);
+}
+
+TEST(Tensor, InitializerList) {
+  Tensor t{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(t(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(t(1, 0), 3.0);
+}
+
+TEST(Tensor, RaggedInitializerThrows) {
+  EXPECT_THROW((Tensor{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Tensor, ScalarAndItem) {
+  EXPECT_DOUBLE_EQ(Tensor::scalar(3.5).item(), 3.5);
+  Tensor t{2, 2};
+  EXPECT_THROW(t.item(), std::logic_error);
+}
+
+TEST(Tensor, RowVector) {
+  Tensor r = Tensor::row({1.0, 2.0, 3.0});
+  EXPECT_EQ(r.rows(), 1u);
+  EXPECT_EQ(r.cols(), 3u);
+  EXPECT_DOUBLE_EQ(r(0, 2), 3.0);
+}
+
+TEST(Tensor, AddSub) {
+  Tensor a{{1.0, 2.0}};
+  Tensor b{{10.0, 20.0}};
+  Tensor c = a + b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 11.0);
+  Tensor d = b - a;
+  EXPECT_DOUBLE_EQ(d(0, 1), 18.0);
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+  Tensor a{1, 2};
+  Tensor b{2, 1};
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(hadamard(a, b), std::invalid_argument);
+}
+
+TEST(Tensor, ScalarMultiply) {
+  Tensor a{{1.0, -2.0}};
+  Tensor b = 3.0 * a;
+  EXPECT_DOUBLE_EQ(b(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(b(0, 1), -6.0);
+}
+
+TEST(Tensor, Hadamard) {
+  Tensor a{{2.0, 3.0}};
+  Tensor b{{4.0, 5.0}};
+  Tensor c = hadamard(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 8.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 15.0);
+}
+
+TEST(Tensor, AddScaled) {
+  Tensor a{{1.0, 1.0}};
+  Tensor b{{2.0, 4.0}};
+  a.add_scaled(b, 0.5);
+  EXPECT_DOUBLE_EQ(a(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 3.0);
+}
+
+TEST(Tensor, MatmulKnownResult) {
+  Tensor a{{1.0, 2.0}, {3.0, 4.0}};
+  Tensor b{{5.0, 6.0}, {7.0, 8.0}};
+  Tensor c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Tensor, MatmulIdentity) {
+  Tensor a{{1.0, 2.0}, {3.0, 4.0}};
+  Tensor id{{1.0, 0.0}, {0.0, 1.0}};
+  Tensor c = matmul(a, id);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j) EXPECT_DOUBLE_EQ(c(i, j), a(i, j));
+}
+
+TEST(Tensor, MatmulDimensionCheck) {
+  Tensor a{2, 3};
+  Tensor b{2, 3};
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+}
+
+TEST(Tensor, TransposedProductsMatchExplicit) {
+  Tensor a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};  // 2x3
+  Tensor b{{1.0, 0.5}, {2.0, 1.5}};            // 2x2
+  Tensor tn = matmul_tn(a, b);                 // a^T b: 3x2
+  Tensor explicit_tn = matmul(transpose(a), b);
+  ASSERT_TRUE(tn.same_shape(explicit_tn));
+  for (std::size_t i = 0; i < tn.size(); ++i)
+    EXPECT_DOUBLE_EQ(tn.data()[i], explicit_tn.data()[i]);
+
+  Tensor c{{1.0, 2.0, 3.0}};  // 1x3
+  Tensor nt = matmul_nt(a, c);  // a c^T: 2x1
+  Tensor explicit_nt = matmul(a, transpose(c));
+  ASSERT_TRUE(nt.same_shape(explicit_nt));
+  for (std::size_t i = 0; i < nt.size(); ++i)
+    EXPECT_DOUBLE_EQ(nt.data()[i], explicit_nt.data()[i]);
+}
+
+TEST(Tensor, SumAndMaxAbs) {
+  Tensor a{{1.0, -5.0}, {2.0, 0.0}};
+  EXPECT_DOUBLE_EQ(a.sum(), -2.0);
+  EXPECT_DOUBLE_EQ(a.max_abs(), 5.0);
+}
+
+}  // namespace
+}  // namespace graf::nn

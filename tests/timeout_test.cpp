@@ -1,0 +1,126 @@
+// Request-timeout semantics: per-hop queue timeouts, end-to-end deadlines,
+// and their effect on cluster accounting — the mechanism that keeps surge
+// experiments bounded (DESIGN.md deviation #4).
+#include <gtest/gtest.h>
+
+#include "sim/cluster.h"
+#include "sim/deployment.h"
+#include "sim/service.h"
+
+namespace graf::sim {
+namespace {
+
+TEST(QueueTimeout, DropCallbackFires) {
+  EventQueue q;
+  Deployment dep{q, {.nodes = 1}};
+  Service svc{0, {.name = "s", .unit_quota = 1000, .initial_instances = 1,
+                  .max_concurrency = 1, .queue_timeout = 1.0},
+              q, dep};
+  bool done = false;
+  bool dropped = false;
+  svc.submit(5000.0, [&](double) { done = true; });  // 5 s of work blocks
+  svc.submit(10.0, [&](double) { done = true; }, [&] { dropped = true; });
+  q.run_all();
+  // The queued job waited 5 s > 1 s timeout: dropped when the worker freed.
+  EXPECT_TRUE(dropped);
+  EXPECT_EQ(svc.drops(), 1u);
+}
+
+TEST(QueueTimeout, FastQueueNotDropped) {
+  EventQueue q;
+  Deployment dep{q, {.nodes = 1}};
+  Service svc{0, {.name = "s", .unit_quota = 1000, .initial_instances = 1,
+                  .max_concurrency = 1, .queue_timeout = 1.0},
+              q, dep};
+  int done = 0;
+  svc.submit(100.0, [&](double) { ++done; });
+  svc.submit(100.0, [&](double) { ++done; }, [] { FAIL() << "dropped"; });
+  q.run_all();
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(svc.drops(), 0u);
+}
+
+TEST(Deadline, AbsoluteDeadlineDropsBeforeQueueTimeout) {
+  EventQueue q;
+  Deployment dep{q, {.nodes = 1}};
+  Service svc{0, {.name = "s", .unit_quota = 1000, .initial_instances = 1,
+                  .max_concurrency = 1, .queue_timeout = 100.0},
+              q, dep};
+  bool dropped = false;
+  svc.submit(3000.0, [](double) {});  // blocks 3 s
+  svc.submit(10.0, [](double) { FAIL() << "completed"; }, [&] { dropped = true; },
+             /*deadline=*/1.0);
+  q.run_all();
+  EXPECT_TRUE(dropped);
+}
+
+Cluster slow_cluster(Seconds request_timeout) {
+  std::vector<ServiceConfig> svcs{
+      {.name = "a", .unit_quota = 1000, .initial_instances = 1,
+       .max_concurrency = 1, .demand_mean_ms = 2000.0, .demand_sigma = 0.0},
+  };
+  CallNode root{.service = 0};
+  ClusterConfig cfg;
+  cfg.request_timeout = request_timeout;
+  return Cluster{svcs, {Api{"slow", root}}, cfg};
+}
+
+TEST(Deadline, RequestFailsWhenQueuedPastClientTimeout) {
+  Cluster c = slow_cluster(3.0);
+  // Three 2-second jobs on a single worker: the third waits 4 s > 3 s.
+  int ok = 0;
+  int failed = 0;
+  for (int i = 0; i < 3; ++i) {
+    c.submit_request(0, [&](const trace::RequestTrace& t) {
+      if (t.ok) {
+        ++ok;
+      } else {
+        ++failed;
+      }
+    });
+  }
+  c.run_for(30.0);
+  EXPECT_EQ(ok + failed, 3);
+  EXPECT_GE(failed, 1);
+  EXPECT_EQ(c.failed(), static_cast<std::uint64_t>(failed));
+}
+
+TEST(Deadline, LateCompletionCountsAsFailure) {
+  // The job *runs* (no queueing) but takes 2 s against a 1 s client
+  // timeout: the client has gone, so the trace is not ok and the latency
+  // is not recorded.
+  Cluster c = slow_cluster(1.0);
+  bool ok = true;
+  c.submit_request(0, [&](const trace::RequestTrace& t) { ok = t.ok; });
+  c.run_for(10.0);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(c.completed(), 0u);
+  EXPECT_EQ(c.failed(), 1u);
+  EXPECT_TRUE(c.e2e_latency_all().empty());
+}
+
+TEST(Deadline, FailurePropagatesThroughChain) {
+  // Parent -> child; the child's queue drops -> whole request fails.
+  std::vector<ServiceConfig> svcs{
+      {.name = "parent", .unit_quota = 1000, .initial_instances = 2,
+       .max_concurrency = 4, .demand_mean_ms = 1.0, .demand_sigma = 0.0},
+      {.name = "child", .unit_quota = 1000, .initial_instances = 1,
+       .max_concurrency = 1, .demand_mean_ms = 2000.0, .demand_sigma = 0.0},
+  };
+  CallNode root{.service = 0, .stages = {{CallNode{.service = 1}}}};
+  ClusterConfig cfg;
+  cfg.request_timeout = 3.0;
+  Cluster c{svcs, {Api{"chain", root}}, cfg};
+  int failed = 0;
+  for (int i = 0; i < 3; ++i) {
+    c.submit_request(0, [&](const trace::RequestTrace& t) {
+      if (!t.ok) ++failed;
+    });
+  }
+  c.run_for(30.0);
+  EXPECT_GE(failed, 1);
+  EXPECT_EQ(c.inflight(), 0u);
+}
+
+}  // namespace
+}  // namespace graf::sim

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "apps/catalog.h"
+#include "workload/azure_trace.h"
+#include "workload/closed_loop.h"
+#include "workload/open_loop.h"
+#include "workload/schedule.h"
+
+namespace graf::workload {
+namespace {
+
+TEST(Schedule, ConstantEverywhere) {
+  const auto s = Schedule::constant(42.0);
+  EXPECT_DOUBLE_EQ(s.at(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(s.at(1e6), 42.0);
+  EXPECT_DOUBLE_EQ(s.max_value(), 42.0);
+}
+
+TEST(Schedule, StepSwitchesAtBoundary) {
+  const auto s = Schedule::step(10.0, 50.0, 30.0);
+  EXPECT_DOUBLE_EQ(s.at(29.999), 10.0);
+  EXPECT_DOUBLE_EQ(s.at(30.0), 50.0);
+  EXPECT_DOUBLE_EQ(s.max_value(), 50.0);
+}
+
+TEST(Schedule, PiecewiseHoldsLastValue) {
+  const auto s = Schedule::piecewise({{0.0, 1.0}, {10.0, 2.0}, {20.0, 3.0}});
+  EXPECT_DOUBLE_EQ(s.at(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.at(15.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.at(100.0), 3.0);
+}
+
+TEST(Schedule, RejectsUnsortedAndEmpty) {
+  EXPECT_THROW(Schedule::piecewise({}), std::invalid_argument);
+  EXPECT_THROW(Schedule::piecewise({{5.0, 1.0}, {1.0, 2.0}}), std::invalid_argument);
+}
+
+sim::Cluster quick_cluster() {
+  return apps::make_cluster(apps::bookinfo(), {.seed = 3});
+}
+
+TEST(OpenLoop, HitsTargetRate) {
+  sim::Cluster c = quick_cluster();
+  OpenLoopConfig cfg;
+  cfg.rate = Schedule::constant(50.0);
+  OpenLoopGenerator gen{c, cfg};
+  gen.start(20.0);
+  c.run_until(20.0);
+  EXPECT_NEAR(static_cast<double>(gen.generated()) / 20.0, 50.0, 5.0);
+}
+
+TEST(OpenLoop, FixedPacingIsExact) {
+  sim::Cluster c = quick_cluster();
+  OpenLoopConfig cfg;
+  cfg.rate = Schedule::constant(10.0);
+  cfg.poisson = false;
+  OpenLoopGenerator gen{c, cfg};
+  gen.start(10.0);
+  c.run_until(10.0);
+  EXPECT_NEAR(static_cast<double>(gen.generated()), 100.0, 2.0);
+}
+
+TEST(OpenLoop, StopHaltsGeneration) {
+  sim::Cluster c = quick_cluster();
+  OpenLoopConfig cfg;
+  cfg.rate = Schedule::constant(100.0);
+  OpenLoopGenerator gen{c, cfg};
+  gen.start(100.0);
+  c.run_until(5.0);
+  gen.stop();
+  const auto before = gen.generated();
+  c.run_until(20.0);
+  EXPECT_EQ(gen.generated(), before);
+}
+
+TEST(OpenLoop, SurvivesGeneratorDestruction) {
+  sim::Cluster c = quick_cluster();
+  {
+    OpenLoopConfig cfg;
+    cfg.rate = Schedule::constant(50.0);
+    OpenLoopGenerator gen{c, cfg};
+    gen.start(5.0);
+    c.run_until(2.0);
+  }  // generator destroyed with its arrival chain still armed
+  c.run_until(30.0);  // must not crash; chain stops at until
+  EXPECT_GT(c.completed(), 0u);
+}
+
+TEST(OpenLoop, ApiMixFollowsWeights) {
+  sim::Cluster c = apps::make_cluster(apps::online_boutique(), {.seed = 4});
+  OpenLoopConfig cfg;
+  cfg.rate = Schedule::constant(200.0);
+  cfg.api_weights = {0.5, 0.25, 0.25};
+  OpenLoopGenerator gen{c, cfg};
+  gen.start(20.0);
+  c.run_until(25.0);
+  const double q0 = c.api_qps(0, 20.0);
+  const double q1 = c.api_qps(1, 20.0);
+  EXPECT_NEAR(q0 / (q0 + 2.0 * q1), 0.5, 0.12);
+}
+
+TEST(OpenLoop, CompletionHookFires) {
+  sim::Cluster c = quick_cluster();
+  int done = 0;
+  OpenLoopConfig cfg;
+  cfg.rate = Schedule::constant(20.0);
+  cfg.on_complete = [&](const trace::RequestTrace& t) {
+    EXPECT_TRUE(t.ok);
+    ++done;
+  };
+  OpenLoopGenerator gen{c, cfg};
+  gen.start(10.0);
+  c.run_until(12.0);
+  EXPECT_GT(done, 100);
+}
+
+TEST(ClosedLoop, PopulationTracksSchedule) {
+  sim::Cluster c = quick_cluster();
+  ClosedLoopConfig cfg;
+  cfg.users = Schedule::step(20.0, 60.0, 30.0);
+  ClosedLoopGenerator gen{c, cfg};
+  gen.start(60.0);
+  c.run_until(25.0);
+  EXPECT_EQ(gen.active_users(), 20);
+  c.run_until(55.0);
+  EXPECT_EQ(gen.active_users(), 60);
+}
+
+TEST(ClosedLoop, ScaleDownKillsUsers) {
+  sim::Cluster c = quick_cluster();
+  ClosedLoopConfig cfg;
+  cfg.users = Schedule::step(50.0, 10.0, 20.0);
+  cfg.max_think = 2.0;
+  ClosedLoopGenerator gen{c, cfg};
+  gen.start(60.0);
+  c.run_until(40.0);
+  EXPECT_LE(gen.active_users(), 12);
+}
+
+TEST(ClosedLoop, ThroughputBoundedByThinkTime) {
+  // 100 users with think time U(0,5) (mean 2.5 s) generate at most
+  // ~100/2.5 = 40 qps, regardless of service speed.
+  sim::Cluster c = quick_cluster();
+  ClosedLoopConfig cfg;
+  cfg.users = Schedule::constant(100.0);
+  ClosedLoopGenerator gen{c, cfg};
+  gen.start(60.0);
+  c.run_until(60.0);
+  const double qps = c.api_qps(0, 30.0);
+  EXPECT_GT(qps, 25.0);
+  EXPECT_LT(qps, 45.0);
+}
+
+TEST(AzureTrace, DeterministicAndPositive) {
+  AzureTraceConfig cfg;
+  const auto a = azure_invocation_series(cfg);
+  const auto b = azure_invocation_series(cfg);
+  ASSERT_EQ(a.size(), cfg.minutes);
+  EXPECT_EQ(a, b);
+  for (double v : a) EXPECT_GT(v, 0.0);
+}
+
+TEST(AzureTrace, SeedChangesSeries) {
+  AzureTraceConfig a{};
+  AzureTraceConfig b{};
+  b.seed = 999;
+  EXPECT_NE(azure_invocation_series(a), azure_invocation_series(b));
+}
+
+TEST(AzureTrace, RescaleMapsToRange) {
+  const auto s = rescale_series({1.0, 2.0, 3.0}, 30.0, 80.0);
+  EXPECT_DOUBLE_EQ(s[0], 30.0);
+  EXPECT_DOUBLE_EQ(s[1], 55.0);
+  EXPECT_DOUBLE_EQ(s[2], 80.0);
+}
+
+TEST(AzureTrace, UserScheduleWithinBounds) {
+  AzureTraceConfig cfg;
+  const auto sched = azure_user_schedule(cfg, 30.0, 80.0);
+  for (double t = 0.0; t < 60.0 * static_cast<double>(cfg.minutes); t += 30.0) {
+    EXPECT_GE(sched.at(t), 30.0);
+    EXPECT_LE(sched.at(t), 80.0);
+  }
+}
+
+TEST(AzureTrace, HasVariation) {
+  const auto s = azure_invocation_series({});
+  const auto [mn, mx] = std::minmax_element(s.begin(), s.end());
+  EXPECT_GT(*mx / *mn, 1.5);  // bursts + diurnal swing
+}
+
+}  // namespace
+}  // namespace graf::workload
