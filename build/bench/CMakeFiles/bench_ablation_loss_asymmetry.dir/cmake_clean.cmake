@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_loss_asymmetry.dir/bench_ablation_loss_asymmetry.cpp.o"
+  "CMakeFiles/bench_ablation_loss_asymmetry.dir/bench_ablation_loss_asymmetry.cpp.o.d"
+  "bench_ablation_loss_asymmetry"
+  "bench_ablation_loss_asymmetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_loss_asymmetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_03_cascading.dir/bench_fig02_03_cascading.cpp.o"
+  "CMakeFiles/bench_fig02_03_cascading.dir/bench_fig02_03_cascading.cpp.o.d"
+  "bench_fig02_03_cascading"
+  "bench_fig02_03_cascading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_03_cascading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

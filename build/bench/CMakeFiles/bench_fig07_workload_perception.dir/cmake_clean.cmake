@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_workload_perception.dir/bench_fig07_workload_perception.cpp.o"
+  "CMakeFiles/bench_fig07_workload_perception.dir/bench_fig07_workload_perception.cpp.o.d"
+  "bench_fig07_workload_perception"
+  "bench_fig07_workload_perception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_workload_perception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

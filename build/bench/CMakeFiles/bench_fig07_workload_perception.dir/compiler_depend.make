@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig07_workload_perception.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_16_resource_saving.dir/bench_fig14_16_resource_saving.cpp.o"
+  "CMakeFiles/bench_fig14_16_resource_saving.dir/bench_fig14_16_resource_saving.cpp.o.d"
+  "bench_fig14_16_resource_saving"
+  "bench_fig14_16_resource_saving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_16_resource_saving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

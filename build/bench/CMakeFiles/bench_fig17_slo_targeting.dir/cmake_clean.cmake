@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_slo_targeting.dir/bench_fig17_slo_targeting.cpp.o"
+  "CMakeFiles/bench_fig17_slo_targeting.dir/bench_fig17_slo_targeting.cpp.o.d"
+  "bench_fig17_slo_targeting"
+  "bench_fig17_slo_targeting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_slo_targeting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

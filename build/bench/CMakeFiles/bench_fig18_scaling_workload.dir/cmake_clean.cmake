@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_scaling_workload.dir/bench_fig18_scaling_workload.cpp.o"
+  "CMakeFiles/bench_fig18_scaling_workload.dir/bench_fig18_scaling_workload.cpp.o.d"
+  "bench_fig18_scaling_workload"
+  "bench_fig18_scaling_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_scaling_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

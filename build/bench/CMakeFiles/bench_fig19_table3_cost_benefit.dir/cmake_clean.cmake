@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_table3_cost_benefit.dir/bench_fig19_table3_cost_benefit.cpp.o"
+  "CMakeFiles/bench_fig19_table3_cost_benefit.dir/bench_fig19_table3_cost_benefit.cpp.o.d"
+  "bench_fig19_table3_cost_benefit"
+  "bench_fig19_table3_cost_benefit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_table3_cost_benefit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

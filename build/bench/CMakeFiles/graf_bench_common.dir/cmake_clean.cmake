@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graf_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/graf_bench_common.dir/bench_common.cpp.o.d"
+  "libgraf_bench_common.a"
+  "libgraf_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graf_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgraf_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slo_autoscaling.dir/slo_autoscaling.cpp.o"
+  "CMakeFiles/slo_autoscaling.dir/slo_autoscaling.cpp.o.d"
+  "slo_autoscaling"
+  "slo_autoscaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slo_autoscaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

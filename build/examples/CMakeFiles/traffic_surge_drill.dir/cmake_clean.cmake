@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_surge_drill.dir/traffic_surge_drill.cpp.o"
+  "CMakeFiles/traffic_surge_drill.dir/traffic_surge_drill.cpp.o.d"
+  "traffic_surge_drill"
+  "traffic_surge_drill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_surge_drill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/catalog.cpp" "src/CMakeFiles/graf.dir/apps/catalog.cpp.o" "gcc" "src/CMakeFiles/graf.dir/apps/catalog.cpp.o.d"
+  "/root/repo/src/apps/topology.cpp" "src/CMakeFiles/graf.dir/apps/topology.cpp.o" "gcc" "src/CMakeFiles/graf.dir/apps/topology.cpp.o.d"
+  "/root/repo/src/autoscalers/firm_like.cpp" "src/CMakeFiles/graf.dir/autoscalers/firm_like.cpp.o" "gcc" "src/CMakeFiles/graf.dir/autoscalers/firm_like.cpp.o.d"
+  "/root/repo/src/autoscalers/k8s_hpa.cpp" "src/CMakeFiles/graf.dir/autoscalers/k8s_hpa.cpp.o" "gcc" "src/CMakeFiles/graf.dir/autoscalers/k8s_hpa.cpp.o.d"
+  "/root/repo/src/autoscalers/miras_like.cpp" "src/CMakeFiles/graf.dir/autoscalers/miras_like.cpp.o" "gcc" "src/CMakeFiles/graf.dir/autoscalers/miras_like.cpp.o.d"
+  "/root/repo/src/autoscalers/proactive_oracle.cpp" "src/CMakeFiles/graf.dir/autoscalers/proactive_oracle.cpp.o" "gcc" "src/CMakeFiles/graf.dir/autoscalers/proactive_oracle.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/graf.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/graf.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/graf.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/graf.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/graf.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/graf.dir/common/table.cpp.o.d"
+  "/root/repo/src/core/configuration_solver.cpp" "src/CMakeFiles/graf.dir/core/configuration_solver.cpp.o" "gcc" "src/CMakeFiles/graf.dir/core/configuration_solver.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "src/CMakeFiles/graf.dir/core/cost_model.cpp.o" "gcc" "src/CMakeFiles/graf.dir/core/cost_model.cpp.o.d"
+  "/root/repo/src/core/graf_controller.cpp" "src/CMakeFiles/graf.dir/core/graf_controller.cpp.o" "gcc" "src/CMakeFiles/graf.dir/core/graf_controller.cpp.o.d"
+  "/root/repo/src/core/integer_refiner.cpp" "src/CMakeFiles/graf.dir/core/integer_refiner.cpp.o" "gcc" "src/CMakeFiles/graf.dir/core/integer_refiner.cpp.o.d"
+  "/root/repo/src/core/latency_predictor.cpp" "src/CMakeFiles/graf.dir/core/latency_predictor.cpp.o" "gcc" "src/CMakeFiles/graf.dir/core/latency_predictor.cpp.o.d"
+  "/root/repo/src/core/resource_controller.cpp" "src/CMakeFiles/graf.dir/core/resource_controller.cpp.o" "gcc" "src/CMakeFiles/graf.dir/core/resource_controller.cpp.o.d"
+  "/root/repo/src/core/sample_collector.cpp" "src/CMakeFiles/graf.dir/core/sample_collector.cpp.o" "gcc" "src/CMakeFiles/graf.dir/core/sample_collector.cpp.o.d"
+  "/root/repo/src/core/state_collector.cpp" "src/CMakeFiles/graf.dir/core/state_collector.cpp.o" "gcc" "src/CMakeFiles/graf.dir/core/state_collector.cpp.o.d"
+  "/root/repo/src/core/workload_analyzer.cpp" "src/CMakeFiles/graf.dir/core/workload_analyzer.cpp.o" "gcc" "src/CMakeFiles/graf.dir/core/workload_analyzer.cpp.o.d"
+  "/root/repo/src/gnn/graph.cpp" "src/CMakeFiles/graf.dir/gnn/graph.cpp.o" "gcc" "src/CMakeFiles/graf.dir/gnn/graph.cpp.o.d"
+  "/root/repo/src/gnn/latency_model.cpp" "src/CMakeFiles/graf.dir/gnn/latency_model.cpp.o" "gcc" "src/CMakeFiles/graf.dir/gnn/latency_model.cpp.o.d"
+  "/root/repo/src/gnn/mpnn.cpp" "src/CMakeFiles/graf.dir/gnn/mpnn.cpp.o" "gcc" "src/CMakeFiles/graf.dir/gnn/mpnn.cpp.o.d"
+  "/root/repo/src/gnn/partitioned_model.cpp" "src/CMakeFiles/graf.dir/gnn/partitioned_model.cpp.o" "gcc" "src/CMakeFiles/graf.dir/gnn/partitioned_model.cpp.o.d"
+  "/root/repo/src/nn/autodiff.cpp" "src/CMakeFiles/graf.dir/nn/autodiff.cpp.o" "gcc" "src/CMakeFiles/graf.dir/nn/autodiff.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/CMakeFiles/graf.dir/nn/layers.cpp.o" "gcc" "src/CMakeFiles/graf.dir/nn/layers.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/graf.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/graf.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/optim.cpp" "src/CMakeFiles/graf.dir/nn/optim.cpp.o" "gcc" "src/CMakeFiles/graf.dir/nn/optim.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/CMakeFiles/graf.dir/nn/tensor.cpp.o" "gcc" "src/CMakeFiles/graf.dir/nn/tensor.cpp.o.d"
+  "/root/repo/src/sim/cluster.cpp" "src/CMakeFiles/graf.dir/sim/cluster.cpp.o" "gcc" "src/CMakeFiles/graf.dir/sim/cluster.cpp.o.d"
+  "/root/repo/src/sim/deployment.cpp" "src/CMakeFiles/graf.dir/sim/deployment.cpp.o" "gcc" "src/CMakeFiles/graf.dir/sim/deployment.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/graf.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/graf.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/instance.cpp" "src/CMakeFiles/graf.dir/sim/instance.cpp.o" "gcc" "src/CMakeFiles/graf.dir/sim/instance.cpp.o.d"
+  "/root/repo/src/sim/service.cpp" "src/CMakeFiles/graf.dir/sim/service.cpp.o" "gcc" "src/CMakeFiles/graf.dir/sim/service.cpp.o.d"
+  "/root/repo/src/trace/latency_window.cpp" "src/CMakeFiles/graf.dir/trace/latency_window.cpp.o" "gcc" "src/CMakeFiles/graf.dir/trace/latency_window.cpp.o.d"
+  "/root/repo/src/trace/span.cpp" "src/CMakeFiles/graf.dir/trace/span.cpp.o" "gcc" "src/CMakeFiles/graf.dir/trace/span.cpp.o.d"
+  "/root/repo/src/trace/tracer.cpp" "src/CMakeFiles/graf.dir/trace/tracer.cpp.o" "gcc" "src/CMakeFiles/graf.dir/trace/tracer.cpp.o.d"
+  "/root/repo/src/workload/azure_trace.cpp" "src/CMakeFiles/graf.dir/workload/azure_trace.cpp.o" "gcc" "src/CMakeFiles/graf.dir/workload/azure_trace.cpp.o.d"
+  "/root/repo/src/workload/closed_loop.cpp" "src/CMakeFiles/graf.dir/workload/closed_loop.cpp.o" "gcc" "src/CMakeFiles/graf.dir/workload/closed_loop.cpp.o.d"
+  "/root/repo/src/workload/open_loop.cpp" "src/CMakeFiles/graf.dir/workload/open_loop.cpp.o" "gcc" "src/CMakeFiles/graf.dir/workload/open_loop.cpp.o.d"
+  "/root/repo/src/workload/schedule.cpp" "src/CMakeFiles/graf.dir/workload/schedule.cpp.o" "gcc" "src/CMakeFiles/graf.dir/workload/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graf_integration_tests.dir/integration_test.cpp.o"
+  "CMakeFiles/graf_integration_tests.dir/integration_test.cpp.o.d"
+  "CMakeFiles/graf_integration_tests.dir/solver_property_test.cpp.o"
+  "CMakeFiles/graf_integration_tests.dir/solver_property_test.cpp.o.d"
+  "graf_integration_tests"
+  "graf_integration_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graf_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

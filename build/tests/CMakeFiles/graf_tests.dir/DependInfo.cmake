@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps_test.cpp" "tests/CMakeFiles/graf_tests.dir/apps_test.cpp.o" "gcc" "tests/CMakeFiles/graf_tests.dir/apps_test.cpp.o.d"
+  "/root/repo/tests/autodiff_test.cpp" "tests/CMakeFiles/graf_tests.dir/autodiff_test.cpp.o" "gcc" "tests/CMakeFiles/graf_tests.dir/autodiff_test.cpp.o.d"
+  "/root/repo/tests/autoscalers_test.cpp" "tests/CMakeFiles/graf_tests.dir/autoscalers_test.cpp.o" "gcc" "tests/CMakeFiles/graf_tests.dir/autoscalers_test.cpp.o.d"
+  "/root/repo/tests/cluster_test.cpp" "tests/CMakeFiles/graf_tests.dir/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/graf_tests.dir/cluster_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/graf_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/graf_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/deployment_test.cpp" "tests/CMakeFiles/graf_tests.dir/deployment_test.cpp.o" "gcc" "tests/CMakeFiles/graf_tests.dir/deployment_test.cpp.o.d"
+  "/root/repo/tests/event_queue_test.cpp" "tests/CMakeFiles/graf_tests.dir/event_queue_test.cpp.o" "gcc" "tests/CMakeFiles/graf_tests.dir/event_queue_test.cpp.o.d"
+  "/root/repo/tests/extensions_test.cpp" "tests/CMakeFiles/graf_tests.dir/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/graf_tests.dir/extensions_test.cpp.o.d"
+  "/root/repo/tests/graph_test.cpp" "tests/CMakeFiles/graf_tests.dir/graph_test.cpp.o" "gcc" "tests/CMakeFiles/graf_tests.dir/graph_test.cpp.o.d"
+  "/root/repo/tests/instance_test.cpp" "tests/CMakeFiles/graf_tests.dir/instance_test.cpp.o" "gcc" "tests/CMakeFiles/graf_tests.dir/instance_test.cpp.o.d"
+  "/root/repo/tests/latency_model_test.cpp" "tests/CMakeFiles/graf_tests.dir/latency_model_test.cpp.o" "gcc" "tests/CMakeFiles/graf_tests.dir/latency_model_test.cpp.o.d"
+  "/root/repo/tests/layers_optim_test.cpp" "tests/CMakeFiles/graf_tests.dir/layers_optim_test.cpp.o" "gcc" "tests/CMakeFiles/graf_tests.dir/layers_optim_test.cpp.o.d"
+  "/root/repo/tests/loss_test.cpp" "tests/CMakeFiles/graf_tests.dir/loss_test.cpp.o" "gcc" "tests/CMakeFiles/graf_tests.dir/loss_test.cpp.o.d"
+  "/root/repo/tests/mpnn_test.cpp" "tests/CMakeFiles/graf_tests.dir/mpnn_test.cpp.o" "gcc" "tests/CMakeFiles/graf_tests.dir/mpnn_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/graf_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/graf_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/rng_test.cpp" "tests/CMakeFiles/graf_tests.dir/rng_test.cpp.o" "gcc" "tests/CMakeFiles/graf_tests.dir/rng_test.cpp.o.d"
+  "/root/repo/tests/service_test.cpp" "tests/CMakeFiles/graf_tests.dir/service_test.cpp.o" "gcc" "tests/CMakeFiles/graf_tests.dir/service_test.cpp.o.d"
+  "/root/repo/tests/stats_test.cpp" "tests/CMakeFiles/graf_tests.dir/stats_test.cpp.o" "gcc" "tests/CMakeFiles/graf_tests.dir/stats_test.cpp.o.d"
+  "/root/repo/tests/table_test.cpp" "tests/CMakeFiles/graf_tests.dir/table_test.cpp.o" "gcc" "tests/CMakeFiles/graf_tests.dir/table_test.cpp.o.d"
+  "/root/repo/tests/tensor_test.cpp" "tests/CMakeFiles/graf_tests.dir/tensor_test.cpp.o" "gcc" "tests/CMakeFiles/graf_tests.dir/tensor_test.cpp.o.d"
+  "/root/repo/tests/timeout_test.cpp" "tests/CMakeFiles/graf_tests.dir/timeout_test.cpp.o" "gcc" "tests/CMakeFiles/graf_tests.dir/timeout_test.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/graf_tests.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/graf_tests.dir/trace_test.cpp.o.d"
+  "/root/repo/tests/workload_test.cpp" "tests/CMakeFiles/graf_tests.dir/workload_test.cpp.o" "gcc" "tests/CMakeFiles/graf_tests.dir/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/graf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
