@@ -1,0 +1,124 @@
+// Serving-path micro-benchmarks (google-benchmark): the costs the online
+// stack adds to the control loop — binary checkpoint save/load, registry
+// publish + promote, and the hot-swap a planner pays when the trainer
+// promotes a new model mid-flight.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "common/rng.h"
+#include "gnn/latency_model.h"
+#include "serve/checkpoint.h"
+#include "serve/model_registry.h"
+#include "serve/serving_handle.h"
+
+namespace {
+
+using namespace graf;
+
+gnn::Dag chain(std::size_t n) {
+  gnn::Dag d;
+  for (std::size_t i = 0; i < n; ++i) d.add_node("s" + std::to_string(i));
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    d.add_edge(static_cast<int>(i), static_cast<int>(i + 1));
+  return d;
+}
+
+gnn::Dataset tiny_dataset(std::size_t nodes, std::size_t count) {
+  Rng rng{1};
+  gnn::Dataset out;
+  for (std::size_t i = 0; i < count; ++i) {
+    gnn::Sample s;
+    for (std::size_t n = 0; n < nodes; ++n) {
+      s.workload.push_back(rng.uniform(10.0, 100.0));
+      s.quota.push_back(rng.uniform(300.0, 2000.0));
+    }
+    s.latency_ms = rng.uniform(50.0, 500.0);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+/// A lightly trained model sized like the paper's applications (state=nodes).
+gnn::LatencyModel& shared_model(std::size_t nodes) {
+  static std::map<std::size_t, gnn::LatencyModel> models;
+  auto it = models.find(nodes);
+  if (it == models.end()) {
+    gnn::LatencyModel m{chain(nodes), gnn::MpnnConfig{}, 3};
+    gnn::TrainConfig cfg;
+    cfg.iterations = 40;
+    cfg.batch_size = 64;
+    cfg.eval_every = 40;
+    m.fit(tiny_dataset(nodes, 256), {}, cfg);
+    it = models.emplace(nodes, std::move(m)).first;
+  }
+  return it->second;
+}
+
+serve::CheckpointMeta bench_meta() {
+  return {.application = "bench", .slo_ms = 100.0, .train_samples = 256,
+          .val_error_pct = 10.0, .created_sim_time = 0.0};
+}
+
+void BM_CheckpointSave(benchmark::State& state) {
+  auto& model = shared_model(static_cast<std::size_t>(state.range(0)));
+  std::string bytes;
+  for (auto _ : state) {
+    std::ostringstream os{std::ios::binary};
+    serve::save_checkpoint(os, model, bench_meta());
+    bytes = os.str();
+    benchmark::DoNotOptimize(bytes.data());
+  }
+  state.counters["bytes"] = static_cast<double>(bytes.size());
+}
+
+void BM_CheckpointLoad(benchmark::State& state) {
+  auto& model = shared_model(static_cast<std::size_t>(state.range(0)));
+  std::ostringstream os{std::ios::binary};
+  serve::save_checkpoint(os, model, bench_meta());
+  const std::string bytes = os.str();
+  for (auto _ : state) {
+    std::istringstream is{bytes, std::ios::binary};
+    serve::LoadedCheckpoint loaded = serve::load_checkpoint(is);
+    benchmark::DoNotOptimize(loaded.model.node_count());
+  }
+}
+
+void BM_RegistryPublishPromote(benchmark::State& state) {
+  auto& model = shared_model(6);
+  serve::ModelRegistry registry;  // in-memory: isolates the copy + bookkeeping
+  serve::ServingHandle handle;
+  const serve::ModelKey key{.application = "bench", .slo_ms = 100.0};
+  registry.attach_handle(key, &handle);
+  for (auto _ : state) {
+    const auto v = registry.publish(key, model, bench_meta());
+    registry.promote(key, v);
+    benchmark::DoNotOptimize(handle.acquire());
+  }
+}
+
+/// What the planner pays when a promotion lands: one handle swap plus the
+/// acquire on the next plan(). This is the "hot-swap cost" the design doc
+/// promises stays off the allocation path.
+void BM_HandleSwapAcquire(benchmark::State& state) {
+  auto& model = shared_model(6);
+  serve::ServingHandle handle;
+  auto a = std::make_shared<gnn::LatencyModel>(model.clone());
+  auto b = std::make_shared<gnn::LatencyModel>(model.clone());
+  bool flip = false;
+  for (auto _ : state) {
+    handle.swap(flip ? a : b);
+    flip = !flip;
+    benchmark::DoNotOptimize(handle.acquire());
+  }
+}
+
+BENCHMARK(BM_CheckpointSave)->Arg(6)->Arg(12)->Arg(24);
+BENCHMARK(BM_CheckpointLoad)->Arg(6)->Arg(12)->Arg(24);
+BENCHMARK(BM_RegistryPublishPromote);
+BENCHMARK(BM_HandleSwapAcquire);
+
+}  // namespace

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 gate: warnings-as-errors build + full test suite.
+#
+#   scripts/ci.sh             # plain gate
+#   GRAF_SANITIZE=1 scripts/ci.sh   # same gate under ASan/UBSan
+#
+# Uses a dedicated build dir so it never disturbs an existing ./build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-ci}
+SANITIZE_FLAG=$([[ "${GRAF_SANITIZE:-0}" != 0 ]] && echo ON || echo OFF)
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_CXX_FLAGS=-Werror \
+  -DGRAF_SANITIZE="$SANITIZE_FLAG"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -11,8 +11,14 @@
 namespace graf::core {
 
 ConfigurationSolver::ConfigurationSolver(gnn::LatencyModel& model, SolverConfig cfg)
-    : model_{model}, cfg_{cfg} {
+    : model_{&model}, cfg_{cfg} {
   if (cfg_.rho <= 0.0) throw std::invalid_argument{"SolverConfig: rho must be > 0"};
+}
+
+void ConfigurationSolver::rebind(gnn::LatencyModel& model) {
+  if (model.node_count() != model_->node_count())
+    throw std::invalid_argument{"ConfigurationSolver::rebind: node count mismatch"};
+  model_ = &model;
 }
 
 SolverResult ConfigurationSolver::solve(std::span<const double> workload,
@@ -20,7 +26,7 @@ SolverResult ConfigurationSolver::solve(std::span<const double> workload,
                                         std::span<const Millicores> lo,
                                         std::span<const Millicores> hi,
                                         std::span<const Millicores> init) {
-  const std::size_t n = model_.node_count();
+  const std::size_t n = model_->node_count();
   if (workload.size() != n || lo.size() != n || hi.size() != n)
     throw std::invalid_argument{"ConfigurationSolver::solve: dimension mismatch"};
   if (slo_ms <= 0.0) throw std::invalid_argument{"solve: slo must be > 0"};
@@ -49,7 +55,7 @@ SolverResult ConfigurationSolver::solve(std::span<const double> workload,
   for (std::size_t it = 1; it <= cfg_.max_iterations; ++it) {
     tape.reset();
     nn::Var rv = tape.param(r);
-    nn::Var pred = model_.predict_var(tape, workload, rv);
+    nn::Var pred = model_->predict_var(tape, workload, rv);
     // sum(r)/sum(hi) + rho * max(0, pred/target - 1)
     nn::Var quota_term = nn::scale(nn::sum_all(rv), quota_norm);
     nn::Var violation =
@@ -81,7 +87,7 @@ SolverResult ConfigurationSolver::solve(std::span<const double> workload,
 
   res.quota.assign(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) res.quota[i] = r.value(0, i);
-  res.predicted_ms = model_.predict(workload, res.quota);
+  res.predicted_ms = model_->predict(workload, res.quota);
   res.solve_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return res;
@@ -94,7 +100,7 @@ double ConfigurationSolver::loss_at(std::span<const double> workload, double slo
   for (double h : hi) hi_total += h;
   double total = 0.0;
   for (double q : quota) total += q;
-  const double pred = model_.predict(workload, quota);
+  const double pred = model_->predict(workload, quota);
   return total / hi_total + cfg_.rho * std::max(0.0, pred / slo_ms - 1.0);
 }
 

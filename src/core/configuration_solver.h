@@ -65,8 +65,12 @@ class ConfigurationSolver {
 
   const SolverConfig& config() const { return cfg_; }
 
+  /// Swap the model the solver descends through (hot-swap path, src/serve).
+  /// The new model must predict over the same node count.
+  void rebind(gnn::LatencyModel& model);
+
  private:
-  gnn::LatencyModel& model_;
+  gnn::LatencyModel* model_;
   SolverConfig cfg_;
 };
 

@@ -13,6 +13,10 @@ void GrafController::set_slo(double slo_ms) {
   slo_dirty_ = true;
 }
 
+void GrafController::set_serving_handle(serve::ServingHandle* handle) {
+  controller_.set_serving_handle(handle);
+}
+
 void GrafController::attach(sim::Cluster& cluster, Seconds until) {
   cluster_ = &cluster;
   until_ = until;

@@ -33,6 +33,10 @@ class GrafController : public autoscalers::Autoscaler {
 
   void set_slo(double slo_ms);
 
+  /// Delegate to ResourceController::set_serving_handle: allocation
+  /// decisions follow the hot-swapped model published via src/serve.
+  void set_serving_handle(serve::ServingHandle* handle);
+
   std::uint64_t solves() const { return solves_; }
   const AllocationPlan& last_plan() const { return last_plan_; }
 

@@ -88,6 +88,11 @@ double LatencyPredictor::overall_signed_error() {
   return model_.evaluate_accuracy(split_.test).mean_pct_error;
 }
 
+double LatencyPredictor::validation_error_pct() {
+  if (split_.val.empty()) return 0.0;
+  return model_.evaluate_accuracy(split_.val).mean_abs_pct_error;
+}
+
 void LatencyPredictor::save_model(const std::string& path) {
   std::ofstream os{path};
   if (!os) throw std::runtime_error{"save_model: cannot open " + path};

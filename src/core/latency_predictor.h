@@ -39,6 +39,13 @@ class LatencyPredictor {
   gnn::LatencyModel& model() { return model_; }
   const gnn::Dataset& test_set() const { return split_.test; }
   const gnn::Dataset& train_set() const { return split_.train; }
+  const gnn::Dataset& val_set() const { return split_.val; }
+
+  /// Mean |%error| on the validation split (0 when no split is installed).
+  /// This is the number recorded as CheckpointMeta::val_error_pct when the
+  /// trained model is published to a serve::ModelRegistry — the online
+  /// trainer's drift baseline.
+  double validation_error_pct();
 
   /// Table 2: mean absolute percentage error per latency region, plus the
   /// overall signed error (the "over-estimate" column).

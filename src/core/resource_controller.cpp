@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "serve/serving_handle.h"
+
 namespace graf::core {
 
 ResourceController::ResourceController(gnn::LatencyModel& model,
@@ -12,16 +14,38 @@ ResourceController::ResourceController(gnn::LatencyModel& model,
                                        std::vector<Millicores> lo,
                                        std::vector<Millicores> hi,
                                        std::vector<Millicores> unit_mc)
-    : model_{model}, solver_{solver}, analyzer_{analyzer}, lo_{std::move(lo)},
+    : model_{&model}, solver_{solver}, analyzer_{analyzer}, lo_{std::move(lo)},
       hi_{std::move(hi)}, unit_{std::move(unit_mc)} {
-  const std::size_t n = model_.node_count();
+  const std::size_t n = model_->node_count();
   if (lo_.size() != n || hi_.size() != n || unit_.size() != n)
     throw std::invalid_argument{"ResourceController: bound/unit dimension mismatch"};
   train_max_workload_.assign(n, 0.0);
 }
 
+void ResourceController::set_serving_handle(serve::ServingHandle* handle) {
+  handle_ = handle;
+  refresh_model();
+}
+
+void ResourceController::refresh_model() {
+  if (handle_ == nullptr) return;
+  std::shared_ptr<gnn::LatencyModel> current = handle_->acquire();
+  if (current == nullptr || current.get() == model_) return;
+  if (current->node_count() != lo_.size())
+    throw std::invalid_argument{
+        "ResourceController: served model node count mismatch"};
+  pinned_ = std::move(current);
+  model_ = pinned_.get();
+  solver_.rebind(*model_);
+}
+
+gnn::LatencyModel& ResourceController::active_model() {
+  refresh_model();
+  return *model_;
+}
+
 void ResourceController::set_training_reference(const gnn::Dataset& train) {
-  const std::size_t n = model_.node_count();
+  const std::size_t n = model_->node_count();
   train_max_workload_.assign(n, 0.0);
   for (const auto& s : train)
     for (std::size_t i = 0; i < n; ++i)
@@ -29,7 +53,8 @@ void ResourceController::set_training_reference(const gnn::Dataset& train) {
 }
 
 AllocationPlan ResourceController::plan(std::span<const Qps> api_qps, double slo_ms) {
-  const std::size_t n = model_.node_count();
+  refresh_model();  // pick up any model hot-swapped since the last decision
+  const std::size_t n = model_->node_count();
   std::vector<double> node_workload = analyzer_.distribute(api_qps);
 
   // Workload scaling (§3.6): shrink into the trained region by a common

@@ -10,6 +10,7 @@
 //     (Eq. 7), applied through the normal deployment pipeline.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -18,6 +19,10 @@
 #include "core/workload_analyzer.h"
 #include "gnn/latency_model.h"
 #include "sim/cluster.h"
+
+namespace graf::serve {
+class ServingHandle;
+}
 
 namespace graf::core {
 
@@ -50,10 +55,24 @@ class ResourceController {
   const std::vector<Millicores>& lower_bounds() const { return lo_; }
   const std::vector<Millicores>& upper_bounds() const { return hi_; }
 
+  /// Serve the model published through `handle` instead of the constructor
+  /// model: every plan() starts by acquiring the handle's current model, so
+  /// the online trainer can hot-swap between allocation decisions without
+  /// pausing the control loop. Pass nullptr to detach.
+  void set_serving_handle(serve::ServingHandle* handle);
+
+  /// The model the next plan() will solve through.
+  gnn::LatencyModel& active_model();
+
  private:
-  gnn::LatencyModel& model_;
+  void refresh_model();
+
+  gnn::LatencyModel* model_;
   ConfigurationSolver& solver_;
   WorkloadAnalyzer& analyzer_;
+  serve::ServingHandle* handle_ = nullptr;
+  /// Keeps the hot-swapped model alive while plans reference it.
+  std::shared_ptr<gnn::LatencyModel> pinned_;
   std::vector<Millicores> lo_;
   std::vector<Millicores> hi_;
   std::vector<Millicores> unit_;

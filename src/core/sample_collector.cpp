@@ -182,6 +182,7 @@ gnn::Dataset SampleCollector::collect(std::size_t n, const SearchSpace& space,
     }
     s.quota = quota;
     s.latency_ms = e2e.percentile_since(since, cfg_.tail_rank);
+    if (sink_) sink_(s, cluster_.now());
     out.push_back(std::move(s));
 
     analyzer_.update(cluster_.tracer());

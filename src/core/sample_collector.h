@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/rng.h"
@@ -81,6 +82,12 @@ class SampleCollector {
   /// Total simulated seconds spent collecting (cost accounting, Table 3).
   Seconds simulated_seconds() const { return simulated_seconds_; }
 
+  /// Streaming consumer invoked for every accepted sample, with the
+  /// simulation time it was measured at. The online trainer (src/serve)
+  /// subscribes here to monitor drift and fine-tune while collection runs.
+  using SampleSink = std::function<void(const gnn::Sample&, Seconds)>;
+  void set_sample_sink(SampleSink sink) { sink_ = std::move(sink); }
+
  private:
   void apply_quota(const std::vector<Millicores>& quota);
   void run_load(const std::vector<Qps>& api_qps, Seconds duration);
@@ -91,6 +98,7 @@ class SampleCollector {
   SampleCollectorConfig cfg_;
   Rng rng_;
   Seconds simulated_seconds_ = 0.0;
+  SampleSink sink_;
 };
 
 }  // namespace graf::core

@@ -13,11 +13,41 @@
 
 namespace graf::gnn {
 
+namespace {
+
+std::vector<std::string> snapshot_names(const Dag& graph) {
+  std::vector<std::string> names;
+  names.reserve(graph.node_count());
+  for (std::size_t i = 0; i < graph.node_count(); ++i)
+    names.push_back(graph.name(static_cast<int>(i)));
+  return names;
+}
+
+}  // namespace
+
 LatencyModel::LatencyModel(const Dag& graph, const MpnnConfig& cfg, std::uint64_t seed)
-    : node_count_{graph.node_count()}, rng_{seed}, model_{graph, cfg, rng_} {
+    : node_count_{graph.node_count()}, node_names_{snapshot_names(graph)},
+      rng_{seed}, model_{graph, cfg, rng_} {
   if (cfg.node_features != kNodeFeatures)
     throw std::invalid_argument{
         "LatencyModel: MpnnConfig::node_features must equal kNodeFeatures"};
+}
+
+Dag LatencyModel::rebuild_graph() const {
+  Dag g;
+  for (const std::string& name : node_names_) g.add_node(name);
+  const auto& parents = model_.parents();
+  for (std::size_t child = 0; child < parents.size(); ++child)
+    for (int parent : parents[child]) g.add_edge(parent, static_cast<int>(child));
+  return g;
+}
+
+void LatencyModel::set_scalers(const ScalerState& s) {
+  w_scale_ = s.w_scale;
+  q_scale_ = s.q_scale;
+  q_min_mc_ = s.q_min_mc;
+  ratio_max_ = s.ratio_max;
+  label_ref_ = s.label_ref;
 }
 
 void LatencyModel::fit_scalers(const Dataset& train) {

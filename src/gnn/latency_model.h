@@ -62,6 +62,17 @@ struct AccuracyReport {
   std::size_t count = 0;
 };
 
+/// Input/output normalization statistics fitted from the training set.
+/// Exposed as one value struct so checkpoints (src/serve) can persist and
+/// restore them exactly.
+struct ScalerState {
+  double w_scale = 1.0;
+  double q_scale = 1.0;
+  double q_min_mc = 1.0;
+  double ratio_max = 1.0;
+  double label_ref = 1.0;
+};
+
 class LatencyModel {
  public:
   /// Features per node: workload, quota, 1/quota, workload/quota — the raw
@@ -109,6 +120,31 @@ class LatencyModel {
   double quota_scale() const { return q_scale_; }
   double label_ref_ms() const { return label_ref_; }
 
+  // --- Model-store hooks (src/serve) ---------------------------------------
+
+  /// Node names captured from the construction DAG (checkpoint metadata).
+  const std::vector<std::string>& node_names() const { return node_names_; }
+  const MpnnConfig& mpnn_config() const { return model_.config(); }
+  /// Adjacency (parents per node) captured from the construction DAG.
+  const std::vector<std::vector<int>>& graph_parents() const { return model_.parents(); }
+  /// Reconstruct an equivalent Dag from the captured names + adjacency.
+  Dag rebuild_graph() const;
+
+  ScalerState scalers() const {
+    return {w_scale_, q_scale_, q_min_mc_, ratio_max_, label_ref_};
+  }
+  void set_scalers(const ScalerState& s);
+
+  /// Copies of all weights / overwrite weights (shape-checked).
+  std::vector<nn::Tensor> state_dict() { return model_.state_dict(); }
+  void load_state_dict(const std::vector<nn::Tensor>& state) {
+    model_.load_state_dict(state);
+  }
+
+  /// Independent deep copy (weights, scalers, rng state). The clone can be
+  /// fine-tuned in the background while `this` keeps serving.
+  LatencyModel clone() const { return *this; }
+
  private:
   struct Batch {
     std::vector<nn::Tensor> features;  // per node: batch x F
@@ -120,6 +156,7 @@ class LatencyModel {
   void fit_scalers(const Dataset& train);
 
   std::size_t node_count_;
+  std::vector<std::string> node_names_;
   Rng rng_;  // declared before model_ so it can seed weight initialization
   MpnnModel model_;
   double w_scale_ = 1.0;

@@ -46,6 +46,9 @@ class MpnnModel : public nn::Module {
 
   const MpnnConfig& config() const { return cfg_; }
   std::size_t graph_size() const { return parents_.size(); }
+  /// Adjacency snapshot (parents per node) — lets the model store
+  /// serialize the graph structure alongside the weights.
+  const std::vector<std::vector<int>>& parents() const { return parents_; }
 
   void collect_params(std::vector<nn::Param*>& out) override;
 

@@ -17,6 +17,22 @@ Tensor kaiming_uniform(std::size_t in, std::size_t out, Rng& rng) {
 
 }  // namespace
 
+std::vector<Tensor> Module::state_dict() {
+  std::vector<Tensor> out;
+  for (Param* p : params()) out.push_back(p->value);
+  return out;
+}
+
+void Module::load_state_dict(const std::vector<Tensor>& state) {
+  auto ps = params();
+  if (state.size() != ps.size())
+    throw std::runtime_error{"load_state_dict: parameter count mismatch"};
+  for (std::size_t i = 0; i < ps.size(); ++i)
+    if (!state[i].same_shape(ps[i]->value))
+      throw std::runtime_error{"load_state_dict: shape mismatch"};
+  for (std::size_t i = 0; i < ps.size(); ++i) ps[i]->value = state[i];
+}
+
 Linear::Linear(std::size_t in, std::size_t out, Rng& rng)
     : in_{in}, out_{out}, w_{kaiming_uniform(in, out, rng)}, b_{Tensor{1, out}} {}
 

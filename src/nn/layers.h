@@ -38,6 +38,15 @@ class Module {
     for (Param* p : params()) n += p->value.size();
     return n;
   }
+
+  /// Copies of all parameter tensors, in collect_params order. Together
+  /// with load_state_dict this is the serialization / cloning hook used by
+  /// the model store (src/serve).
+  std::vector<Tensor> state_dict();
+
+  /// Overwrite parameters from `state` (collect_params order). Throws on
+  /// count or shape mismatch; parameters are untouched on failure.
+  void load_state_dict(const std::vector<Tensor>& state);
 };
 
 /// Fully-connected layer: y = x W + b, Kaiming-uniform initialized.

@@ -1,0 +1,307 @@
+#include "serve/checkpoint.h"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace graf::serve {
+
+namespace {
+
+constexpr char kMagic[8] = {'G', 'R', 'A', 'F', 'C', 'K', 'P', 'T'};
+constexpr std::uint32_t kEndianTag = 0x01020304u;
+
+// Payload sanity bounds: a corrupted length field must fail fast with a
+// diagnostic instead of driving a multi-gigabyte allocation.
+constexpr std::uint64_t kMaxNodes = 1u << 20;
+constexpr std::uint64_t kMaxStringLen = 1u << 16;
+constexpr std::uint64_t kMaxParams = 1u << 20;
+constexpr std::uint64_t kMaxTensorElems = 1u << 28;
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+/// Appends raw fields to a byte buffer.
+class Writer {
+ public:
+  void bytes(const void* p, std::size_t n) {
+    const char* c = static_cast<const char*>(p);
+    buf_.insert(buf_.end(), c, c + n);
+  }
+  void u8(std::uint8_t v) { bytes(&v, sizeof v); }
+  void u32(std::uint32_t v) { bytes(&v, sizeof v); }
+  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+  void i32(std::int32_t v) { bytes(&v, sizeof v); }
+  void f64(double v) { bytes(&v, sizeof v); }
+  void str(const std::string& s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+
+  const std::string& buffer() const { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+/// Reads raw fields from a byte buffer; throws CheckpointError on overrun.
+class Reader {
+ public:
+  Reader(const char* data, std::size_t len) : data_{data}, len_{len} {}
+
+  void bytes(void* out, std::size_t n) {
+    if (pos_ + n > len_) throw CheckpointError{"payload truncated"};
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+  }
+  std::uint8_t u8() { return read<std::uint8_t>(); }
+  std::uint32_t u32() { return read<std::uint32_t>(); }
+  std::uint64_t u64() { return read<std::uint64_t>(); }
+  std::int32_t i32() { return read<std::int32_t>(); }
+  double f64() { return read<double>(); }
+  std::string str() {
+    const std::uint64_t n = u64();
+    if (n > kMaxStringLen) throw CheckpointError{"implausible string length"};
+    std::string s(static_cast<std::size_t>(n), '\0');
+    bytes(s.data(), s.size());
+    return s;
+  }
+
+  bool exhausted() const { return pos_ == len_; }
+
+ private:
+  template <typename T>
+  T read() {
+    T v;
+    bytes(&v, sizeof v);
+    return v;
+  }
+
+  const char* data_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+};
+
+void write_payload(Writer& w, gnn::LatencyModel& model, const CheckpointMeta& meta) {
+  // [config]
+  const gnn::MpnnConfig& cfg = model.mpnn_config();
+  w.u64(cfg.node_features);
+  w.u64(cfg.embed_dim);
+  w.u64(cfg.mpnn_hidden);
+  w.u64(cfg.readout_hidden);
+  w.u64(cfg.message_steps);
+  w.f64(cfg.dropout_p);
+  w.u8(cfg.use_mpnn ? 1 : 0);
+
+  // [graph]
+  const auto& names = model.node_names();
+  const auto& parents = model.graph_parents();
+  w.u64(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    w.str(names[i]);
+    w.u64(parents[i].size());
+    for (int p : parents[i]) w.i32(p);
+  }
+
+  // [scalers]
+  const gnn::ScalerState s = model.scalers();
+  w.f64(s.w_scale);
+  w.f64(s.q_scale);
+  w.f64(s.q_min_mc);
+  w.f64(s.ratio_max);
+  w.f64(s.label_ref);
+
+  // [meta]
+  w.str(meta.application);
+  w.f64(meta.slo_ms);
+  w.u64(meta.train_samples);
+  w.f64(meta.val_error_pct);
+  w.f64(meta.created_sim_time);
+
+  // [params]
+  const auto state = model.state_dict();
+  w.u64(state.size());
+  for (const nn::Tensor& t : state) {
+    w.u64(t.rows());
+    w.u64(t.cols());
+    w.bytes(t.data(), t.size() * sizeof(double));
+  }
+}
+
+LoadedCheckpoint read_payload(Reader& r) {
+  // [config]
+  gnn::MpnnConfig cfg;
+  cfg.node_features = static_cast<std::size_t>(r.u64());
+  cfg.embed_dim = static_cast<std::size_t>(r.u64());
+  cfg.mpnn_hidden = static_cast<std::size_t>(r.u64());
+  cfg.readout_hidden = static_cast<std::size_t>(r.u64());
+  cfg.message_steps = static_cast<std::size_t>(r.u64());
+  cfg.dropout_p = r.f64();
+  cfg.use_mpnn = r.u8() != 0;
+  if (cfg.node_features != gnn::LatencyModel::kNodeFeatures)
+    throw CheckpointError{"config: unexpected node feature count"};
+
+  // [graph]
+  const std::uint64_t node_count = r.u64();
+  if (node_count == 0 || node_count > kMaxNodes)
+    throw CheckpointError{"graph: implausible node count"};
+  gnn::Dag graph;
+  std::vector<std::vector<int>> parents(static_cast<std::size_t>(node_count));
+  for (std::uint64_t i = 0; i < node_count; ++i) {
+    graph.add_node(r.str());
+    const std::uint64_t np = r.u64();
+    if (np > node_count) throw CheckpointError{"graph: implausible parent count"};
+    for (std::uint64_t p = 0; p < np; ++p) {
+      const std::int32_t parent = r.i32();
+      if (parent < 0 || static_cast<std::uint64_t>(parent) >= node_count)
+        throw CheckpointError{"graph: parent index out of range"};
+      parents[static_cast<std::size_t>(i)].push_back(parent);
+    }
+  }
+  for (std::size_t child = 0; child < parents.size(); ++child)
+    for (int parent : parents[child]) graph.add_edge(parent, static_cast<int>(child));
+
+  // [scalers]
+  gnn::ScalerState scalers;
+  scalers.w_scale = r.f64();
+  scalers.q_scale = r.f64();
+  scalers.q_min_mc = r.f64();
+  scalers.ratio_max = r.f64();
+  scalers.label_ref = r.f64();
+
+  // [meta]
+  CheckpointMeta meta;
+  meta.application = r.str();
+  meta.slo_ms = r.f64();
+  meta.train_samples = r.u64();
+  meta.val_error_pct = r.f64();
+  meta.created_sim_time = r.f64();
+
+  // [params]
+  const std::uint64_t param_count = r.u64();
+  if (param_count > kMaxParams) throw CheckpointError{"params: implausible count"};
+  std::vector<nn::Tensor> state;
+  state.reserve(static_cast<std::size_t>(param_count));
+  for (std::uint64_t i = 0; i < param_count; ++i) {
+    const std::uint64_t rows = r.u64();
+    const std::uint64_t cols = r.u64();
+    if (rows == 0 || cols == 0 || rows * cols > kMaxTensorElems)
+      throw CheckpointError{"params: implausible tensor shape"};
+    nn::Tensor t{static_cast<std::size_t>(rows), static_cast<std::size_t>(cols)};
+    r.bytes(t.data(), t.size() * sizeof(double));
+    state.push_back(std::move(t));
+  }
+  if (!r.exhausted()) throw CheckpointError{"trailing bytes after params"};
+
+  // The weight-initialization seed is irrelevant: every weight is
+  // immediately overwritten from the checkpoint state.
+  gnn::LatencyModel model{graph, cfg, /*seed=*/1};
+  model.set_scalers(scalers);
+  try {
+    model.load_state_dict(state);
+  } catch (const std::runtime_error& e) {
+    throw CheckpointError{std::string{"params: "} + e.what()};
+  }
+  return {std::move(model), std::move(meta)};
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed) {
+  const auto& table = crc_table();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed;
+  for (std::size_t i = 0; i < len; ++i) c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+void save_checkpoint(std::ostream& os, gnn::LatencyModel& model,
+                     const CheckpointMeta& meta) {
+  Writer payload;
+  write_payload(payload, model, meta);
+  const std::string& body = payload.buffer();
+
+  Writer header;
+  header.bytes(kMagic, sizeof kMagic);
+  header.u32(kCheckpointFormatVersion);
+  header.u32(kEndianTag);
+  header.u64(body.size());
+
+  os.write(header.buffer().data(),
+           static_cast<std::streamsize>(header.buffer().size()));
+  os.write(body.data(), static_cast<std::streamsize>(body.size()));
+  const std::uint32_t crc = crc32(body.data(), body.size());
+  os.write(reinterpret_cast<const char*>(&crc), sizeof crc);
+  if (!os) throw CheckpointError{"write failed"};
+}
+
+void save_checkpoint_file(const std::string& path, gnn::LatencyModel& model,
+                          const CheckpointMeta& meta) {
+  std::ofstream os{path, std::ios::binary | std::ios::trunc};
+  if (!os) throw CheckpointError{"cannot open " + path + " for writing"};
+  save_checkpoint(os, model, meta);
+}
+
+LoadedCheckpoint load_checkpoint(std::istream& is) {
+  char magic[sizeof kMagic];
+  if (!is.read(magic, sizeof magic)) throw CheckpointError{"truncated header"};
+  if (std::memcmp(magic, kMagic, sizeof kMagic) != 0)
+    throw CheckpointError{"bad magic (not a .grafck file)"};
+
+  std::uint32_t version = 0;
+  std::uint32_t endian = 0;
+  std::uint64_t payload_size = 0;
+  if (!is.read(reinterpret_cast<char*>(&version), sizeof version) ||
+      !is.read(reinterpret_cast<char*>(&endian), sizeof endian) ||
+      !is.read(reinterpret_cast<char*>(&payload_size), sizeof payload_size))
+    throw CheckpointError{"truncated header"};
+  if (version != kCheckpointFormatVersion)
+    throw CheckpointError{"unsupported format version " + std::to_string(version)};
+  if (endian != kEndianTag)
+    throw CheckpointError{"endianness mismatch (file written on a foreign host)"};
+  if (payload_size > (std::uint64_t{1} << 34))
+    throw CheckpointError{"implausible payload size"};
+
+  std::string body(static_cast<std::size_t>(payload_size), '\0');
+  if (!is.read(body.data(), static_cast<std::streamsize>(body.size())))
+    throw CheckpointError{"payload truncated"};
+
+  std::uint32_t stored_crc = 0;
+  if (!is.read(reinterpret_cast<char*>(&stored_crc), sizeof stored_crc))
+    throw CheckpointError{"missing CRC"};
+  const std::uint32_t actual_crc = crc32(body.data(), body.size());
+  if (stored_crc != actual_crc) throw CheckpointError{"CRC mismatch (corrupted file)"};
+
+  Reader r{body.data(), body.size()};
+  try {
+    return read_payload(r);
+  } catch (const CheckpointError&) {
+    throw;
+  } catch (const std::exception& e) {
+    // e.g. Dag reconstruction rejecting a crafted payload that passed CRC.
+    throw CheckpointError{e.what()};
+  }
+}
+
+LoadedCheckpoint load_checkpoint_file(const std::string& path) {
+  std::ifstream is{path, std::ios::binary};
+  if (!is) throw CheckpointError{"cannot open " + path};
+  return load_checkpoint(is);
+}
+
+}  // namespace graf::serve

@@ -1,0 +1,112 @@
+#include "serve/model_registry.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace graf::serve {
+
+std::string ModelKey::str() const {
+  std::ostringstream os;
+  os << application << "_slo";
+  // Round to a tenth of a millisecond so the key survives text round-trips.
+  os << static_cast<long long>(slo_ms * 10.0 + 0.5);
+  return os.str();
+}
+
+ModelRegistry::ModelRegistry(std::string store_dir) : store_dir_{std::move(store_dir)} {}
+
+std::string ModelRegistry::checkpoint_path(const ModelKey& key,
+                                           std::uint64_t version) const {
+  if (store_dir_.empty()) return "";
+  return store_dir_ + "/" + key.str() + ".v" + std::to_string(version) + ".grafck";
+}
+
+std::uint64_t ModelRegistry::publish(const ModelKey& key, gnn::LatencyModel& model,
+                                     CheckpointMeta meta) {
+  Entry& e = entries_[key.str()];
+  const std::uint64_t version = e.next_version++;
+  meta.application = key.application;
+  meta.slo_ms = key.slo_ms;
+  auto copy = std::make_shared<gnn::LatencyModel>(model.clone());
+  const std::string path = checkpoint_path(key, version);
+  if (!path.empty()) save_checkpoint_file(path, *copy, meta);
+  e.versions.push_back({{version, std::move(meta)}, std::move(copy)});
+  return version;
+}
+
+std::uint64_t ModelRegistry::restore(const ModelKey& key,
+                                     const std::string& checkpoint_path) {
+  LoadedCheckpoint loaded = load_checkpoint_file(checkpoint_path);
+  return publish(key, loaded.model, std::move(loaded.meta));
+}
+
+const ModelRegistry::Version* ModelRegistry::find(const Entry& e,
+                                                  std::uint64_t version) const {
+  for (const Version& v : e.versions)
+    if (v.info.version == version) return &v;
+  return nullptr;
+}
+
+void ModelRegistry::sync_handle(Entry& e) {
+  if (e.handle == nullptr) return;
+  const Version* v = find(e, e.active);
+  e.handle->swap(v != nullptr ? v->model : nullptr);
+}
+
+bool ModelRegistry::promote(const ModelKey& key, std::uint64_t version) {
+  auto it = entries_.find(key.str());
+  if (it == entries_.end()) return false;
+  Entry& e = it->second;
+  if (find(e, version) == nullptr) return false;
+  if (e.active == version) return true;
+  e.active = version;
+  e.promote_history.push_back(version);
+  sync_handle(e);
+  return true;
+}
+
+bool ModelRegistry::rollback(const ModelKey& key) {
+  auto it = entries_.find(key.str());
+  if (it == entries_.end()) return false;
+  Entry& e = it->second;
+  if (e.promote_history.size() < 2) return false;
+  e.promote_history.pop_back();
+  e.active = e.promote_history.back();
+  sync_handle(e);
+  return true;
+}
+
+std::shared_ptr<gnn::LatencyModel> ModelRegistry::active(const ModelKey& key) const {
+  auto it = entries_.find(key.str());
+  if (it == entries_.end()) return nullptr;
+  const Version* v = find(it->second, it->second.active);
+  return v != nullptr ? v->model : nullptr;
+}
+
+std::uint64_t ModelRegistry::active_version(const ModelKey& key) const {
+  auto it = entries_.find(key.str());
+  return it == entries_.end() ? 0 : it->second.active;
+}
+
+CheckpointMeta ModelRegistry::active_meta(const ModelKey& key) const {
+  auto it = entries_.find(key.str());
+  if (it == entries_.end()) return {};
+  const Version* v = find(it->second, it->second.active);
+  return v != nullptr ? v->info.meta : CheckpointMeta{};
+}
+
+std::vector<VersionInfo> ModelRegistry::versions(const ModelKey& key) const {
+  std::vector<VersionInfo> out;
+  auto it = entries_.find(key.str());
+  if (it == entries_.end()) return out;
+  for (const Version& v : it->second.versions) out.push_back(v.info);
+  return out;
+}
+
+void ModelRegistry::attach_handle(const ModelKey& key, ServingHandle* handle) {
+  Entry& e = entries_[key.str()];
+  e.handle = handle;
+  sync_handle(e);
+}
+
+}  // namespace graf::serve

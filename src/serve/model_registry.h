@@ -1,0 +1,94 @@
+// Versioned model store keyed by (application, SLO).
+//
+// The paper fine-tunes one latency model per SLO target (§5.3) and retrains
+// when the workload leaves the trained region; the registry is where those
+// models live. Every publish() creates a new immutable version holding a
+// deep copy of the model plus its checkpoint metadata; promote() selects
+// the version that serves traffic (swapping any attached ServingHandle);
+// rollback() restores the previously promoted version. With a store
+// directory configured, every published version is also persisted as a
+// .grafck checkpoint so a restarted process can restore() it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/checkpoint.h"
+#include "serve/serving_handle.h"
+
+namespace graf::serve {
+
+struct ModelKey {
+  std::string application;
+  double slo_ms = 0.0;
+
+  /// Stable string form, used as map key and checkpoint file stem.
+  std::string str() const;
+};
+
+struct VersionInfo {
+  std::uint64_t version = 0;
+  CheckpointMeta meta;
+};
+
+class ModelRegistry {
+ public:
+  /// `store_dir`, when non-empty, must be an existing directory; published
+  /// versions are written there as "<key>.v<version>.grafck".
+  explicit ModelRegistry(std::string store_dir = "");
+
+  /// Store a new version (deep copy of `model`). Returns its version id
+  /// (monotonic per key, starting at 1). Does not change what serves.
+  std::uint64_t publish(const ModelKey& key, gnn::LatencyModel& model,
+                        CheckpointMeta meta);
+
+  /// Load a .grafck checkpoint and publish it under `key`.
+  std::uint64_t restore(const ModelKey& key, const std::string& checkpoint_path);
+
+  /// Make `version` the serving model for `key`; swaps the attached handle.
+  /// Returns false if the version does not exist.
+  bool promote(const ModelKey& key, std::uint64_t version);
+
+  /// Re-promote the version that was serving before the current one.
+  /// Returns false if there is no promotion history to unwind.
+  bool rollback(const ModelKey& key);
+
+  /// Currently promoted model (nullptr when nothing is promoted).
+  std::shared_ptr<gnn::LatencyModel> active(const ModelKey& key) const;
+  /// Currently promoted version id (0 when nothing is promoted).
+  std::uint64_t active_version(const ModelKey& key) const;
+  /// Metadata of the currently promoted version.
+  CheckpointMeta active_meta(const ModelKey& key) const;
+
+  std::vector<VersionInfo> versions(const ModelKey& key) const;
+
+  /// Promotions and rollbacks keep `handle` pointing at the active model.
+  void attach_handle(const ModelKey& key, ServingHandle* handle);
+
+  /// Path a version's checkpoint is stored at ("" without a store dir).
+  std::string checkpoint_path(const ModelKey& key, std::uint64_t version) const;
+
+ private:
+  struct Version {
+    VersionInfo info;
+    std::shared_ptr<gnn::LatencyModel> model;
+  };
+  struct Entry {
+    std::vector<Version> versions;
+    std::uint64_t next_version = 1;
+    std::uint64_t active = 0;                 // 0 = none promoted
+    std::vector<std::uint64_t> promote_history;  // promoted ids, oldest first
+    ServingHandle* handle = nullptr;
+  };
+
+  const Version* find(const Entry& e, std::uint64_t version) const;
+  void sync_handle(Entry& e);
+
+  std::string store_dir_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace graf::serve

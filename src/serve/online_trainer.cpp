@@ -1,0 +1,118 @@
+#include "serve/online_trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace graf::serve {
+
+OnlineTrainer::OnlineTrainer(ModelRegistry& registry, ServingHandle& handle,
+                             ModelKey key, OnlineTrainerConfig cfg)
+    : registry_{registry}, handle_{handle}, key_{std::move(key)}, cfg_{cfg} {
+  if (registry_.active(key_) == nullptr)
+    throw std::invalid_argument{"OnlineTrainer: no promoted model for key"};
+  if (cfg_.holdout_fraction <= 0.0 || cfg_.holdout_fraction >= 1.0)
+    throw std::invalid_argument{"OnlineTrainer: holdout_fraction must be in (0,1)"};
+  adopt_active_baseline();
+  stats_.error_ewma_pct = stats_.baseline_error_pct;
+}
+
+double OnlineTrainer::drift_threshold_pct() const {
+  return std::max(cfg_.drift_factor * stats_.baseline_error_pct,
+                  cfg_.drift_floor_pct);
+}
+
+void OnlineTrainer::adopt_active_baseline() {
+  stats_.baseline_error_pct = registry_.active_meta(key_).val_error_pct;
+}
+
+bool OnlineTrainer::ingest(const gnn::Sample& sample, double now) {
+  auto model = handle_.acquire();
+  if (model == nullptr) throw std::runtime_error{"OnlineTrainer: empty serving handle"};
+
+  const double pred = model->predict(sample.workload, sample.quota);
+  const double err_pct =
+      std::abs(pred - sample.latency_ms) / std::max(sample.latency_ms, 1e-9) * 100.0;
+  stats_.error_ewma_pct += cfg_.ewma_alpha * (err_pct - stats_.error_ewma_pct);
+  ++stats_.samples_seen;
+  ++since_attempt_;
+
+  window_.push_back(sample);
+  while (window_.size() > cfg_.window_capacity) window_.pop_front();
+
+  // Post-promotion watchdog: a candidate that validated well on the holdout
+  // but regresses on live traffic is unwound to the previous version.
+  if (watch_left_ > 0) {
+    --watch_left_;
+    if (stats_.error_ewma_pct >
+        cfg_.regress_factor * std::max(ewma_at_promotion_, 1e-9)) {
+      watch_left_ = 0;
+      if (registry_.rollback(key_)) {
+        ++stats_.rollbacks;
+        adopt_active_baseline();
+        stats_.error_ewma_pct = stats_.baseline_error_pct;
+        drifted_ = false;
+        since_attempt_ = 0;
+        return true;
+      }
+    }
+  }
+
+  if (!drifted_ && stats_.error_ewma_pct > drift_threshold_pct()) {
+    drifted_ = true;
+    ++stats_.drift_events;
+  }
+
+  if (drifted_ && window_.size() >= cfg_.min_samples &&
+      since_attempt_ >= cfg_.cooldown) {
+    since_attempt_ = 0;
+    return fine_tune_and_maybe_promote(now);
+  }
+  return false;
+}
+
+bool OnlineTrainer::fine_tune_and_maybe_promote(double now) {
+  auto active = handle_.acquire();
+
+  // Interleaved split: every k-th sample validates, the rest fine-tune.
+  // Both halves span the whole window, so the holdout reflects the same
+  // regime mix the candidate trains on.
+  const auto k = static_cast<std::size_t>(
+      std::max(2.0, std::round(1.0 / cfg_.holdout_fraction)));
+  gnn::Dataset train;
+  gnn::Dataset holdout;
+  std::size_t i = 0;
+  for (const gnn::Sample& s : window_) {
+    if (i++ % k == 0) holdout.push_back(s);
+    else train.push_back(s);
+  }
+  if (train.empty() || holdout.empty()) return false;
+
+  gnn::LatencyModel candidate = active->clone();
+  candidate.fit(train, holdout, cfg_.fine_tune);
+  ++stats_.fine_tunes;
+
+  const double cand_err = candidate.evaluate_accuracy(holdout).mean_abs_pct_error;
+  const double incumbent_err = active->evaluate_accuracy(holdout).mean_abs_pct_error;
+  if (cand_err > cfg_.promote_margin * incumbent_err) {
+    ++stats_.rejects;  // candidate regressed on the holdout: keep serving
+    return false;
+  }
+
+  CheckpointMeta meta;
+  meta.train_samples = train.size();
+  meta.val_error_pct = cand_err;
+  meta.created_sim_time = now;
+  const std::uint64_t version = registry_.publish(key_, candidate, std::move(meta));
+  registry_.promote(key_, version);
+  ++stats_.promotions;
+
+  adopt_active_baseline();
+  stats_.error_ewma_pct = stats_.baseline_error_pct;
+  ewma_at_promotion_ = std::max(stats_.error_ewma_pct, 1e-9);
+  watch_left_ = cfg_.watch_samples;
+  drifted_ = false;
+  return true;
+}
+
+}  // namespace graf::serve

@@ -1,0 +1,56 @@
+// Hot-swappable handle to the latency model currently in service.
+//
+// The control plane (ResourceController / GrafController) acquires the
+// active model at the start of every allocation decision; the online
+// trainer (src/serve/online_trainer.h) swaps a freshly fine-tuned model in
+// between decisions. Shared ownership keeps a model alive for the duration
+// of any plan() computed against it even if it is demoted mid-flight, so
+// swapping never pauses allocation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "gnn/latency_model.h"
+
+namespace graf::serve {
+
+class ServingHandle {
+ public:
+  using ModelPtr = std::shared_ptr<gnn::LatencyModel>;
+
+  ServingHandle() = default;
+  explicit ServingHandle(ModelPtr initial) : active_{std::move(initial)} {}
+
+  /// The model currently in service (may be null before the first swap).
+  ModelPtr acquire() const {
+    std::lock_guard lock{mu_};
+    return active_;
+  }
+
+  /// Atomically replace the active model; returns the previous one.
+  ModelPtr swap(ModelPtr next) {
+    std::lock_guard lock{mu_};
+    active_.swap(next);
+    ++swaps_;
+    return next;
+  }
+
+  bool empty() const {
+    std::lock_guard lock{mu_};
+    return active_ == nullptr;
+  }
+
+  std::uint64_t swap_count() const {
+    std::lock_guard lock{mu_};
+    return swaps_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  ModelPtr active_;
+  std::uint64_t swaps_ = 0;
+};
+
+}  // namespace graf::serve

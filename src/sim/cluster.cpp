@@ -64,7 +64,8 @@ int Cluster::api_index(const std::string& name) const {
 }
 
 double Cluster::sample_demand(const CallNode& node, const Service& svc) {
-  const double mean = node.demand_ms >= 0.0 ? node.demand_ms : svc.config().demand_mean_ms;
+  const double mean = demand_scale_ *
+      (node.demand_ms >= 0.0 ? node.demand_ms : svc.config().demand_mean_ms);
   const double sigma = svc.config().demand_sigma;
   if (sigma <= 0.0) return mean;
   // Mean-preserving lognormal: E[exp(N(-s^2/2, s))] = 1.

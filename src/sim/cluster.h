@@ -91,6 +91,13 @@ class Cluster {
   /// assumption). Applies immediately, bypassing the deployment pipeline.
   void apply_total_quota(int s, Millicores total, Millicores max_per_instance);
 
+  /// Multiply every per-visit CPU demand by `s` from now on — drift
+  /// injection (a rollout that made the services more expensive). The
+  /// latency function the GNN learned no longer matches the cluster; the
+  /// online serving stack (src/serve) must detect and absorb this.
+  void set_demand_scale(double s) { demand_scale_ = s; }
+  double demand_scale() const { return demand_scale_; }
+
   // -- observability ----------------------------------------------------------
   trace::Tracer& tracer() { return tracer_; }
   /// Local (queue + processing, children excluded) latency per service.
@@ -147,6 +154,7 @@ class Cluster {
   ClusterConfig cfg_;
   EventQueue events_;
   Rng rng_;
+  double demand_scale_ = 1.0;
   Deployment deployment_;
   std::vector<std::unique_ptr<Service>> services_;
   std::vector<Api> apis_;
