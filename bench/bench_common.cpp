@@ -19,6 +19,29 @@ std::string artifacts_dir() {
   return "graf_artifacts";
 }
 
+std::string bench_out_path(const std::string& filename) {
+  if (const char* env = std::getenv("GRAF_BENCH_OUT"))
+    return (fs::path{env} / filename).string();
+  return filename;
+}
+
+telemetry::BenchExporter& results() {
+  static telemetry::BenchExporter exporter;
+  return exporter;
+}
+
+bool write_bench_results(const std::string& filename) {
+  if (results().empty()) return false;
+  const std::string path = bench_out_path(filename);
+  if (!results().write_json_file(path)) {
+    std::cerr << "bench: failed to write " << path << "\n";
+    return false;
+  }
+  std::cerr << "bench: wrote " << results().rows().size() << " results to " << path
+            << "\n";
+  return true;
+}
+
 bool full_scale() {
   const char* env = std::getenv("GRAF_SCALE");
   return env != nullptr && std::string{env} == "full";

@@ -21,11 +21,25 @@
 #include "core/workload_analyzer.h"
 #include "gnn/latency_model.h"
 #include "sim/cluster.h"
+#include "telemetry/exporter.h"
 
 namespace graf::bench {
 
 /// Where cached datasets/models live.
 std::string artifacts_dir();
+
+/// Where machine-readable bench results (`BENCH_*.json`) are written:
+/// env GRAF_BENCH_OUT when set, else the current directory.
+std::string bench_out_path(const std::string& filename);
+
+/// Process-wide sink for machine-readable results. Bench binaries record
+/// `name -> value/unit/timestamp` rows here (bench_perf_micro does it
+/// automatically via its reporter) and flush with write_bench_results().
+telemetry::BenchExporter& results();
+
+/// Write accumulated results to bench_out_path(filename); prints the
+/// destination to stderr. No-op (returns false) when nothing was recorded.
+bool write_bench_results(const std::string& filename);
 
 /// Benchmark-scale knobs. The paper's full-scale constants (50k samples,
 /// 70k iterations) are impractical on one CPU core; these defaults keep a

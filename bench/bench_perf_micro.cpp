@@ -1,6 +1,11 @@
 // Performance micro-benchmarks (google-benchmark): the per-operation costs
 // behind GRAF's control loop — GNN inference, a full solver run, simulator
-// event throughput, and the numeric kernels.
+// event throughput, the numeric kernels, and the telemetry layer itself
+// (histogram record cost, scoped-timer overhead, tail-query strategies).
+//
+// Results are mirrored through the telemetry BenchExporter into
+// BENCH_perf.json (see bench_common.h: env GRAF_BENCH_OUT relocates it), so
+// the perf trajectory is machine-readable instead of table-only.
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
@@ -8,6 +13,9 @@
 #include "core/configuration_solver.h"
 #include "gnn/latency_model.h"
 #include "nn/tensor.h"
+#include "telemetry/metrics.h"
+#include "telemetry/profiler.h"
+#include "trace/latency_window.h"
 #include "workload/open_loop.h"
 
 namespace {
@@ -93,6 +101,30 @@ void BM_SimulatorEventThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorEventThroughput)->Unit(benchmark::kMillisecond);
 
+// Same workload with a full telemetry registry attached (per-service
+// instruments, e2e histograms, event-pop profiling): the all-in overhead of
+// observing the simulator.
+void BM_SimulatorEventThroughputTelemetry(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto topo = apps::online_boutique();
+    sim::Cluster cluster = apps::make_cluster(topo, {.seed = 5});
+    telemetry::MetricsRegistry registry;
+    cluster.set_metrics(&registry);
+    workload::OpenLoopConfig g;
+    g.rate = workload::Schedule::constant(200.0);
+    g.api_weights = topo.api_weights;
+    workload::OpenLoopGenerator gen{cluster, g};
+    gen.start(30.0);
+    state.ResumeTiming();
+    cluster.run_until(30.0);
+    state.counters["events/s"] = benchmark::Counter(
+        static_cast<double>(cluster.events().processed()),
+        benchmark::Counter::kIsIterationInvariantRate);
+  }
+}
+BENCHMARK(BM_SimulatorEventThroughputTelemetry)->Unit(benchmark::kMillisecond);
+
 void BM_Matmul(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   nn::Tensor a{n, n, 0.5};
@@ -113,6 +145,133 @@ void BM_Percentile(benchmark::State& state) {
 }
 BENCHMARK(BM_Percentile);
 
+// -- telemetry layer ---------------------------------------------------------
+
+void BM_LogHistogramRecord(benchmark::State& state) {
+  telemetry::LogHistogram h;
+  Rng rng{11};
+  std::vector<double> vals;
+  for (int i = 0; i < 1024; ++i) vals.push_back(rng.uniform(0.1, 900.0));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    h.record(vals[i++ & 1023]);
+  }
+  benchmark::DoNotOptimize(h.total());
+}
+BENCHMARK(BM_LogHistogramRecord);
+
+void BM_LogHistogramPercentile(benchmark::State& state) {
+  telemetry::LogHistogram h;
+  Rng rng{11};
+  for (int i = 0; i < 10000; ++i) h.record(rng.uniform(0.1, 900.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.percentile(99.0));
+  }
+}
+BENCHMARK(BM_LogHistogramPercentile);
+
+void BM_ScopedTimerDisabled(benchmark::State& state) {
+  for (auto _ : state) {
+    telemetry::ScopedTimer t{nullptr};
+    benchmark::DoNotOptimize(&t);
+  }
+}
+BENCHMARK(BM_ScopedTimerDisabled);
+
+void BM_ScopedTimerEnabled(benchmark::State& state) {
+  telemetry::LogHistogram h;
+  for (auto _ : state) {
+    telemetry::ScopedTimer t{&h};
+    benchmark::DoNotOptimize(&t);
+  }
+}
+BENCHMARK(BM_ScopedTimerEnabled);
+
+// -- tail-query strategies ---------------------------------------------------
+//
+// The control-tick pattern: a window of ~10k latency samples, one new
+// sample per tick, then several rank queries over the same cutoff. The
+// legacy implementation copied + sorted per *query*; the sorted cache sorts
+// once per tick, and the telemetry histogram needs no sort at all.
+
+constexpr int kWindowSamples = 10000;
+
+trace::LatencyWindow filled_window() {
+  trace::LatencyWindow win{1e18};
+  Rng rng{13};
+  for (int i = 0; i < kWindowSamples; ++i)
+    win.add(static_cast<double>(i) * 0.01, rng.uniform(1.0, 500.0));
+  return win;
+}
+
+// Legacy cost: one copy+sort for every rank queried.
+void BM_TailQueryCopySortPerRank(benchmark::State& state) {
+  Rng rng{13};
+  std::vector<double> v;
+  for (int i = 0; i < kWindowSamples; ++i) v.push_back(rng.uniform(1.0, 500.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(percentile(v, 50.0));
+    benchmark::DoNotOptimize(percentile(v, 95.0));
+    benchmark::DoNotOptimize(percentile(v, 99.0));
+  }
+}
+BENCHMARK(BM_TailQueryCopySortPerRank);
+
+// Sorted-cache cost: the add invalidates, the first rank sorts, the rest
+// hit the cache (FIRM's p50+p95 tick, the scraper's multi-rank export).
+void BM_TailQueryWindowCached(benchmark::State& state) {
+  trace::LatencyWindow win = filled_window();
+  double t = kWindowSamples * 0.01;
+  for (auto _ : state) {
+    win.add(t, 42.0);
+    t += 0.01;
+    benchmark::DoNotOptimize(win.percentile_since(-1e300, 50.0));
+    benchmark::DoNotOptimize(win.percentile_since(-1e300, 95.0));
+    benchmark::DoNotOptimize(win.percentile_since(-1e300, 99.0));
+  }
+}
+BENCHMARK(BM_TailQueryWindowCached);
+
+// Telemetry-histogram cost: record is O(1), every rank query O(buckets).
+void BM_TailQueryLogHistogram(benchmark::State& state) {
+  telemetry::LogHistogram h;
+  Rng rng{13};
+  for (int i = 0; i < kWindowSamples; ++i) h.record(rng.uniform(1.0, 500.0));
+  for (auto _ : state) {
+    h.record(42.0);
+    benchmark::DoNotOptimize(h.percentile(50.0));
+    benchmark::DoNotOptimize(h.percentile(95.0));
+    benchmark::DoNotOptimize(h.percentile(99.0));
+  }
+}
+BENCHMARK(BM_TailQueryLogHistogram);
+
+/// Mirrors every finished benchmark into the machine-readable result sink
+/// while keeping the normal console table.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      const std::string name = run.benchmark_name();
+      graf::bench::results().record(name, run.GetAdjustedRealTime(),
+                                    benchmark::GetTimeUnitString(run.time_unit));
+      for (const auto& [counter_name, counter] : run.counters)
+        graf::bench::results().record(name + "." + counter_name, counter.value,
+                                      "counter");
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  graf::bench::write_bench_results("BENCH_perf.json");
+  return 0;
+}

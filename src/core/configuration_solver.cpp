@@ -7,12 +7,19 @@
 #include <stdexcept>
 
 #include "nn/optim.h"
+#include "telemetry/profiler.h"
 
 namespace graf::core {
 
 ConfigurationSolver::ConfigurationSolver(gnn::LatencyModel& model, SolverConfig cfg)
     : model_{&model}, cfg_{cfg} {
   if (cfg_.rho <= 0.0) throw std::invalid_argument{"SolverConfig: rho must be > 0"};
+}
+
+void ConfigurationSolver::set_metrics(telemetry::MetricsRegistry* registry) {
+  iter_timer_ = registry != nullptr ? &registry->histogram("core.solver_iter_us") : nullptr;
+  iter_counter_ =
+      registry != nullptr ? &registry->counter("core.solver_iterations_total") : nullptr;
 }
 
 void ConfigurationSolver::rebind(gnn::LatencyModel& model) {
@@ -53,6 +60,8 @@ SolverResult ConfigurationSolver::solve(std::span<const double> workload,
   std::size_t calm = 0;
   nn::Tape tape;
   for (std::size_t it = 1; it <= cfg_.max_iterations; ++it) {
+    telemetry::ScopedTimer iter_timer{iter_timer_};
+    if (iter_counter_ != nullptr) iter_counter_->add();
     tape.reset();
     nn::Var rv = tape.param(r);
     nn::Var pred = model_->predict_var(tape, workload, rv);

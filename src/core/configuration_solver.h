@@ -17,6 +17,7 @@
 
 #include "common/units.h"
 #include "gnn/latency_model.h"
+#include "telemetry/metrics.h"
 
 namespace graf::core {
 
@@ -69,9 +70,15 @@ class ConfigurationSolver {
   /// The new model must predict over the same node count.
   void rebind(gnn::LatencyModel& model);
 
+  /// Profile each descent iteration into `core.solver_iter_us` and count
+  /// them in `core.solver_iterations_total`. nullptr detaches (default).
+  void set_metrics(telemetry::MetricsRegistry* registry);
+
  private:
   gnn::LatencyModel* model_;
   SolverConfig cfg_;
+  telemetry::LogHistogram* iter_timer_ = nullptr;
+  telemetry::Counter* iter_counter_ = nullptr;
 };
 
 }  // namespace graf::core

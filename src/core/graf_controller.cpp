@@ -17,6 +17,35 @@ void GrafController::set_serving_handle(serve::ServingHandle* handle) {
   controller_.set_serving_handle(handle);
 }
 
+void GrafController::set_metrics(telemetry::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    solves_total_ = nullptr;
+    slo_gauge_ = measured_p99_ = nullptr;
+  } else {
+    solves_total_ = &registry->counter("core.solves_total");
+    slo_gauge_ = &registry->gauge("core.slo_ms");
+    measured_p99_ = &registry->gauge("core.measured_p99_ms");
+  }
+  have_last_e2e_ = false;
+  controller_.set_metrics(registry);
+}
+
+void GrafController::record_measured_tail() {
+  if (measured_p99_ == nullptr || cluster_ == nullptr) return;
+  telemetry::LogHistogram* hist = cluster_->e2e_histogram();
+  if (hist == nullptr) return;
+  // Interval p99 from bucket-count deltas: O(buckets), no copy, no sort.
+  telemetry::HistogramSnapshot now = hist->snapshot();
+  if (have_last_e2e_) {
+    const telemetry::HistogramSnapshot interval = now.delta_since(last_e2e_);
+    if (!interval.empty()) measured_p99_->set(interval.percentile(99.0));
+  } else if (!now.empty()) {
+    measured_p99_->set(now.percentile(99.0));
+  }
+  last_e2e_ = std::move(now);
+  have_last_e2e_ = true;
+}
+
 void GrafController::attach(sim::Cluster& cluster, Seconds until) {
   cluster_ = &cluster;
   until_ = until;
@@ -43,7 +72,10 @@ void GrafController::tick() {
     last_applied_qps_ = qps;
     slo_dirty_ = false;
     ++solves_;
+    if (solves_total_ != nullptr) solves_total_->add();
   }
+  if (slo_gauge_ != nullptr) slo_gauge_->set(cfg_.slo_ms);
+  record_measured_tail();
   cluster_->events().schedule_in(cfg_.control_interval, [this] { tick(); });
 }
 

@@ -37,11 +37,21 @@ class GrafController : public autoscalers::Autoscaler {
   /// decisions follow the hot-swapped model published via src/serve.
   void set_serving_handle(serve::ServingHandle* handle);
 
+  /// Publish control-loop telemetry (forwards to the resource controller
+  /// and solver too): `core.solves_total`, `core.slo_ms`, and — when the
+  /// attached cluster also has telemetry — `core.measured_p99_ms`, the
+  /// per-control-interval e2e p99 derived from the cluster's mergeable
+  /// log-histogram via snapshot deltas (the Prometheus
+  /// histogram_quantile(rate(...)) idiom) instead of LatencyWindow's exact
+  /// copy-and-sort, which stays available for tests.
+  void set_metrics(telemetry::MetricsRegistry* registry);
+
   std::uint64_t solves() const { return solves_; }
   const AllocationPlan& last_plan() const { return last_plan_; }
 
  private:
   void tick();
+  void record_measured_tail();
 
   ResourceController& controller_;
   GrafControllerConfig cfg_;
@@ -51,6 +61,12 @@ class GrafController : public autoscalers::Autoscaler {
   AllocationPlan last_plan_;
   std::uint64_t solves_ = 0;
   bool slo_dirty_ = true;
+  telemetry::Counter* solves_total_ = nullptr;
+  telemetry::Gauge* slo_gauge_ = nullptr;
+  telemetry::Gauge* measured_p99_ = nullptr;
+  /// e2e histogram state at the previous tick, for interval percentiles.
+  telemetry::HistogramSnapshot last_e2e_;
+  bool have_last_e2e_ = false;
 };
 
 }  // namespace graf::core

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "serve/serving_handle.h"
+#include "telemetry/profiler.h"
 
 namespace graf::core {
 
@@ -20,6 +21,22 @@ ResourceController::ResourceController(gnn::LatencyModel& model,
   if (lo_.size() != n || hi_.size() != n || unit_.size() != n)
     throw std::invalid_argument{"ResourceController: bound/unit dimension mismatch"};
   train_max_workload_.assign(n, 0.0);
+}
+
+void ResourceController::set_metrics(telemetry::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    plan_timer_ = nullptr;
+    plans_total_ = nullptr;
+    solver_iterations_ = predicted_p99_ = scale_factor_ = planned_quota_ = nullptr;
+  } else {
+    plan_timer_ = &registry->histogram("core.plan_us");
+    plans_total_ = &registry->counter("core.plans_total");
+    solver_iterations_ = &registry->gauge("core.solver_iterations");
+    predicted_p99_ = &registry->gauge("core.predicted_p99_ms");
+    scale_factor_ = &registry->gauge("core.scale_factor");
+    planned_quota_ = &registry->gauge("core.planned_quota_mc");
+  }
+  solver_.set_metrics(registry);
 }
 
 void ResourceController::set_serving_handle(serve::ServingHandle* handle) {
@@ -53,6 +70,7 @@ void ResourceController::set_training_reference(const gnn::Dataset& train) {
 }
 
 AllocationPlan ResourceController::plan(std::span<const Qps> api_qps, double slo_ms) {
+  telemetry::ScopedTimer plan_timer{plan_timer_};
   refresh_model();  // pick up any model hot-swapped since the last decision
   const std::size_t n = model_->node_count();
   std::vector<double> node_workload = analyzer_.distribute(api_qps);
@@ -78,6 +96,15 @@ AllocationPlan ResourceController::plan(std::span<const Qps> api_qps, double slo
     // Eq. 7: round the continuous quota up to whole instance units.
     plan.instances[i] =
         std::max(1, static_cast<int>(std::ceil(plan.quota[i] / unit_[i])));
+  }
+  if (plans_total_ != nullptr) {
+    plans_total_->add();
+    solver_iterations_->set(static_cast<double>(plan.solver.iterations));
+    predicted_p99_->set(plan.predicted_ms);
+    scale_factor_->set(plan.scale_factor);
+    double total_mc = 0.0;
+    for (double q : plan.quota) total_mc += q;
+    planned_quota_->set(total_mc);
   }
   return plan;
 }

@@ -64,6 +64,12 @@ class ResourceController {
   /// The model the next plan() will solve through.
   gnn::LatencyModel& active_model();
 
+  /// Publish planning telemetry: `core.plan_us` (wall time per plan()),
+  /// `core.plans_total`, and gauges for the last plan's solver iterations,
+  /// predicted p99, scale factor, and total quota. Also forwards to the
+  /// solver's per-iteration profiling. nullptr detaches (default).
+  void set_metrics(telemetry::MetricsRegistry* registry);
+
  private:
   void refresh_model();
 
@@ -77,6 +83,12 @@ class ResourceController {
   std::vector<Millicores> hi_;
   std::vector<Millicores> unit_;
   std::vector<double> train_max_workload_;
+  telemetry::LogHistogram* plan_timer_ = nullptr;
+  telemetry::Counter* plans_total_ = nullptr;
+  telemetry::Gauge* solver_iterations_ = nullptr;
+  telemetry::Gauge* predicted_p99_ = nullptr;
+  telemetry::Gauge* scale_factor_ = nullptr;
+  telemetry::Gauge* planned_quota_ = nullptr;
 };
 
 }  // namespace graf::core

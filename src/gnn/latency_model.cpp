@@ -10,6 +10,7 @@
 
 #include "nn/loss.h"
 #include "nn/optim.h"
+#include "telemetry/profiler.h"
 
 namespace graf::gnn {
 
@@ -99,10 +100,17 @@ LatencyModel::Batch LatencyModel::assemble(const Dataset& data,
 
 nn::Var LatencyModel::forward_batch(nn::Tape& tape, const Batch& b, Rng& rng,
                                     bool training) {
+  telemetry::ScopedTimer timer{forward_timer_};
   std::vector<nn::Var> feats;
   feats.reserve(b.features.size());
   for (const auto& f : b.features) feats.push_back(tape.constant(f));
   return model_.forward(tape, feats, rng, training);
+}
+
+void LatencyModel::set_metrics(telemetry::MetricsRegistry* registry) {
+  forward_timer_ = registry != nullptr ? &registry->histogram("gnn.forward_us") : nullptr;
+  backward_timer_ =
+      registry != nullptr ? &registry->histogram("gnn.backward_us") : nullptr;
 }
 
 TrainHistory LatencyModel::fit(const Dataset& train, const Dataset& val,
@@ -144,7 +152,10 @@ TrainHistory LatencyModel::fit(const Dataset& train, const Dataset& val,
     nn::Var pred = forward_batch(tape, b, rng, /*training=*/true);
     nn::Var loss = nn::asym_huber_pct_loss(pred, b.labels, cfg.theta_under, cfg.theta_over);
     model_.zero_grad();
-    tape.backward(loss);
+    {
+      telemetry::ScopedTimer bwd_timer{backward_timer_};
+      tape.backward(loss);
+    }
     opt.step();
 
     running_loss += tape.value(loss).item();
@@ -183,6 +194,7 @@ double LatencyModel::predict(std::span<const double> workload_qps,
                              std::span<const double> quota_millicores) {
   if (workload_qps.size() != node_count_ || quota_millicores.size() != node_count_)
     throw std::invalid_argument{"LatencyModel::predict: dimension mismatch"};
+  telemetry::ScopedTimer timer{forward_timer_};
   nn::Tape tape;
   std::vector<nn::Var> feats;
   feats.reserve(node_count_);

@@ -15,6 +15,7 @@
 #include "gnn/graph.h"
 #include "gnn/mpnn.h"
 #include "nn/autodiff.h"
+#include "telemetry/metrics.h"
 
 namespace graf::gnn {
 
@@ -142,8 +143,14 @@ class LatencyModel {
   }
 
   /// Independent deep copy (weights, scalers, rng state). The clone can be
-  /// fine-tuned in the background while `this` keeps serving.
+  /// fine-tuned in the background while `this` keeps serving. Telemetry
+  /// attachment (histogram pointers into an external registry) is shared.
   LatencyModel clone() const { return *this; }
+
+  /// Profile MPNN wall time into `gnn.forward_us` (every batched forward:
+  /// training, evaluation, predict) and `gnn.backward_us` (the training
+  /// loop's backprop). nullptr detaches (default, zero overhead).
+  void set_metrics(telemetry::MetricsRegistry* registry);
 
  private:
   struct Batch {
@@ -164,6 +171,8 @@ class LatencyModel {
   double q_min_mc_ = 1.0;    ///< min training quota; scales the 1/q feature
   double ratio_max_ = 1.0;   ///< max training workload/quota ratio
   double label_ref_ = 1.0;
+  telemetry::LogHistogram* forward_timer_ = nullptr;
+  telemetry::LogHistogram* backward_timer_ = nullptr;
 };
 
 }  // namespace graf::gnn

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "telemetry/profiler.h"
+
 namespace graf::serve {
 
 OnlineTrainer::OnlineTrainer(ModelRegistry& registry, ServingHandle& handle,
@@ -24,6 +26,33 @@ double OnlineTrainer::drift_threshold_pct() const {
 
 void OnlineTrainer::adopt_active_baseline() {
   stats_.baseline_error_pct = registry_.active_meta(key_).val_error_pct;
+}
+
+void OnlineTrainer::set_metrics(telemetry::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    tel_drifts_ = tel_fine_tunes_ = tel_promotions_ = tel_rejects_ = tel_rollbacks_ =
+        nullptr;
+    tel_ewma_ = tel_baseline_ = tel_threshold_ = nullptr;
+    tel_fine_tune_timer_ = nullptr;
+    return;
+  }
+  tel_drifts_ = &registry->counter("serve.drift_events");
+  tel_fine_tunes_ = &registry->counter("serve.fine_tunes");
+  tel_promotions_ = &registry->counter("serve.promotions");
+  tel_rejects_ = &registry->counter("serve.rejects");
+  tel_rollbacks_ = &registry->counter("serve.rollbacks");
+  tel_ewma_ = &registry->gauge("serve.error_ewma_pct");
+  tel_baseline_ = &registry->gauge("serve.baseline_error_pct");
+  tel_threshold_ = &registry->gauge("serve.drift_threshold_pct");
+  tel_fine_tune_timer_ = &registry->histogram("serve.fine_tune_us");
+  sync_gauges();
+}
+
+void OnlineTrainer::sync_gauges() {
+  if (tel_ewma_ == nullptr) return;
+  tel_ewma_->set(stats_.error_ewma_pct);
+  tel_baseline_->set(stats_.baseline_error_pct);
+  tel_threshold_->set(drift_threshold_pct());
 }
 
 bool OnlineTrainer::ingest(const gnn::Sample& sample, double now) {
@@ -49,10 +78,12 @@ bool OnlineTrainer::ingest(const gnn::Sample& sample, double now) {
       watch_left_ = 0;
       if (registry_.rollback(key_)) {
         ++stats_.rollbacks;
+        if (tel_rollbacks_ != nullptr) tel_rollbacks_->add();
         adopt_active_baseline();
         stats_.error_ewma_pct = stats_.baseline_error_pct;
         drifted_ = false;
         since_attempt_ = 0;
+        sync_gauges();
         return true;
       }
     }
@@ -61,8 +92,10 @@ bool OnlineTrainer::ingest(const gnn::Sample& sample, double now) {
   if (!drifted_ && stats_.error_ewma_pct > drift_threshold_pct()) {
     drifted_ = true;
     ++stats_.drift_events;
+    if (tel_drifts_ != nullptr) tel_drifts_->add();
   }
 
+  sync_gauges();
   if (drifted_ && window_.size() >= cfg_.min_samples &&
       since_attempt_ >= cfg_.cooldown) {
     since_attempt_ = 0;
@@ -89,13 +122,18 @@ bool OnlineTrainer::fine_tune_and_maybe_promote(double now) {
   if (train.empty() || holdout.empty()) return false;
 
   gnn::LatencyModel candidate = active->clone();
-  candidate.fit(train, holdout, cfg_.fine_tune);
+  {
+    telemetry::ScopedTimer timer{tel_fine_tune_timer_};
+    candidate.fit(train, holdout, cfg_.fine_tune);
+  }
   ++stats_.fine_tunes;
+  if (tel_fine_tunes_ != nullptr) tel_fine_tunes_->add();
 
   const double cand_err = candidate.evaluate_accuracy(holdout).mean_abs_pct_error;
   const double incumbent_err = active->evaluate_accuracy(holdout).mean_abs_pct_error;
   if (cand_err > cfg_.promote_margin * incumbent_err) {
     ++stats_.rejects;  // candidate regressed on the holdout: keep serving
+    if (tel_rejects_ != nullptr) tel_rejects_->add();
     return false;
   }
 
@@ -106,12 +144,14 @@ bool OnlineTrainer::fine_tune_and_maybe_promote(double now) {
   const std::uint64_t version = registry_.publish(key_, candidate, std::move(meta));
   registry_.promote(key_, version);
   ++stats_.promotions;
+  if (tel_promotions_ != nullptr) tel_promotions_->add();
 
   adopt_active_baseline();
   stats_.error_ewma_pct = stats_.baseline_error_pct;
   ewma_at_promotion_ = std::max(stats_.error_ewma_pct, 1e-9);
   watch_left_ = cfg_.watch_samples;
   drifted_ = false;
+  sync_gauges();
   return true;
 }
 

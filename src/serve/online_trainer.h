@@ -19,6 +19,7 @@
 
 #include "serve/model_registry.h"
 #include "serve/serving_handle.h"
+#include "telemetry/metrics.h"
 
 namespace graf::serve {
 
@@ -76,9 +77,17 @@ class OnlineTrainer {
   double drift_threshold_pct() const;
   std::size_t window_size() const { return window_.size(); }
 
+  /// Publish serving telemetry: counters `serve.drift_events`,
+  /// `serve.fine_tunes`, `serve.promotions`, `serve.rejects`,
+  /// `serve.rollbacks`; gauges `serve.error_ewma_pct` (the live drift
+  /// score), `serve.baseline_error_pct`, `serve.drift_threshold_pct`; and
+  /// the `serve.fine_tune_us` wall-time histogram. nullptr detaches.
+  void set_metrics(telemetry::MetricsRegistry* registry);
+
  private:
   bool fine_tune_and_maybe_promote(double now);
   void adopt_active_baseline();
+  void sync_gauges();
 
   ModelRegistry& registry_;
   ServingHandle& handle_;
@@ -92,6 +101,16 @@ class OnlineTrainer {
   // Post-promotion watchdog state.
   std::size_t watch_left_ = 0;
   double ewma_at_promotion_ = 0.0;
+  // Telemetry instruments (nullptr while detached).
+  telemetry::Counter* tel_drifts_ = nullptr;
+  telemetry::Counter* tel_fine_tunes_ = nullptr;
+  telemetry::Counter* tel_promotions_ = nullptr;
+  telemetry::Counter* tel_rejects_ = nullptr;
+  telemetry::Counter* tel_rollbacks_ = nullptr;
+  telemetry::Gauge* tel_ewma_ = nullptr;
+  telemetry::Gauge* tel_baseline_ = nullptr;
+  telemetry::Gauge* tel_threshold_ = nullptr;
+  telemetry::LogHistogram* tel_fine_tune_timer_ = nullptr;
 };
 
 }  // namespace graf::serve

@@ -63,6 +63,43 @@ int Cluster::api_index(const std::string& name) const {
   return -1;
 }
 
+void Cluster::set_metrics(telemetry::MetricsRegistry* registry) {
+  telemetry_ = registry;
+  svc_tel_.clear();
+  e2e_api_hist_.clear();
+  e2e_hist_ = nullptr;
+  tel_submitted_ = tel_completed_ = tel_failed_ = nullptr;
+  events_.set_pop_timer(nullptr);
+  if (registry == nullptr) return;
+
+  telemetry::MetricsRegistry& reg = *registry;
+  events_.set_pop_timer(&reg.histogram("sim.event_us"));
+  tel_submitted_ = &reg.counter("sim.requests_submitted");
+  tel_completed_ = &reg.counter("sim.requests_completed");
+  tel_failed_ = &reg.counter("sim.requests_failed");
+  e2e_hist_ = &reg.histogram("sim.e2e_latency_ms");
+  for (const Api& api : apis_)
+    e2e_api_hist_.push_back(
+        &reg.histogram("sim.e2e_latency_ms", {{"api", api.name}}));
+  svc_tel_.resize(services_.size());
+  for (std::size_t s = 0; s < services_.size(); ++s) {
+    const telemetry::Labels labels{{"service", services_[s]->name()}};
+    ServiceTelemetry& t = svc_tel_[s];
+    t.queue_depth = &reg.gauge("sim.queue_depth", labels);
+    t.utilization = &reg.gauge("sim.utilization", labels);
+    t.ready = &reg.gauge("sim.ready_instances", labels);
+    t.creating = &reg.gauge("sim.creating_instances", labels);
+    t.qps = &reg.gauge("sim.qps", labels);
+    t.creations = &reg.counter("sim.instance_creations", labels);
+    t.drops = &reg.counter("sim.queue_drops", labels);
+    t.local_latency = &reg.histogram("sim.service_latency_ms", labels);
+    // Counters pick up from the cluster's cumulative totals so a registry
+    // attached mid-run only reports what happens from now on.
+    t.last_creations = services_[s]->creations_started();
+    t.last_drops = services_[s]->drops();
+  }
+}
+
 double Cluster::sample_demand(const CallNode& node, const Service& svc) {
   const double mean = demand_scale_ *
       (node.demand_ms >= 0.0 ? node.demand_ms : svc.config().demand_mean_ms);
@@ -85,6 +122,8 @@ void Cluster::exec_node(const std::shared_ptr<Ctx>& ctx, const CallNode& node,
       work,
       [this, ctx, sid, np, shared_done](double local_ms) {
         local_latency_[static_cast<std::size_t>(sid)].add(events_.now(), local_ms);
+        if (!svc_tel_.empty())
+          svc_tel_[static_cast<std::size_t>(sid)].local_latency->record(local_ms);
         run_stages(ctx, np, 0, [shared_done](bool ok) { (*shared_done)(ok); });
       },
       [shared_done] { (*shared_done)(false); }, ctx->deadline);
@@ -130,6 +169,7 @@ void Cluster::submit_request(int api, CompletionFn on_complete) {
                                        std::move(on_complete)});
   ++submitted_;
   ++inflight_;
+  if (tel_submitted_ != nullptr) tel_submitted_->add();
   api_arrivals_[static_cast<std::size_t>(api)].add(events_.now(), 1.0);
   exec_node(ctx, apis_[static_cast<std::size_t>(api)].root, [this, ctx](bool ok) {
     // A response that arrives after the client timeout is a failure too.
@@ -141,8 +181,14 @@ void Cluster::submit_request(int api, CompletionFn on_complete) {
       e2e_all_.add(events_.now(), t.e2e_ms());
       e2e_latency_[static_cast<std::size_t>(ctx->api)].add(events_.now(), t.e2e_ms());
       ++completed_;
+      if (e2e_hist_ != nullptr) {
+        e2e_hist_->record(t.e2e_ms());
+        e2e_api_hist_[static_cast<std::size_t>(ctx->api)]->record(t.e2e_ms());
+        tel_completed_->add();
+      }
     } else {
       ++failed_;
+      if (tel_failed_ != nullptr) tel_failed_->add();
     }
     if (ctx->on_complete) ctx->on_complete(t);
     // Only complete executions inform the workload analyzer's fan-out.
@@ -170,6 +216,19 @@ void Cluster::metrics_tick() {
     auto& ring = series_[s];
     ring.push_back(p);
     if (ring.size() > cfg_.series_capacity) ring.pop_front();
+    if (!svc_tel_.empty()) {
+      ServiceTelemetry& t = svc_tel_[s];
+      t.queue_depth->set(static_cast<double>(p.queue_len));
+      t.utilization->set(p.utilization);
+      t.ready->set(static_cast<double>(p.ready));
+      t.creating->set(static_cast<double>(p.creating));
+      t.qps->set(p.qps);
+      t.creations->add(
+          static_cast<double>(svc.creations_started() - t.last_creations));
+      t.last_creations = svc.creations_started();
+      t.drops->add(static_cast<double>(svc.drops() - t.last_drops));
+      t.last_drops = svc.drops();
+    }
   }
   events_.schedule_in(dt, [this] { metrics_tick(); });
 }

@@ -20,6 +20,7 @@
 #include "sim/event_queue.h"
 #include "sim/request.h"
 #include "sim/service.h"
+#include "telemetry/metrics.h"
 #include "trace/latency_window.h"
 #include "trace/tracer.h"
 
@@ -99,6 +100,23 @@ class Cluster {
   double demand_scale() const { return demand_scale_; }
 
   // -- observability ----------------------------------------------------------
+
+  /// Attach a telemetry registry: the metrics ticker then publishes
+  /// per-service gauges (queue depth, utilization, ready/creating, qps) and
+  /// counters (instance creations, queue drops), request completions feed
+  /// `sim.e2e_latency_ms` log-histograms (overall + per API) and per-service
+  /// `sim.service_latency_ms`, and the event queue's pop cost is profiled
+  /// into `sim.event_us`. Pass nullptr to detach (the default: zero
+  /// overhead). The registry must outlive the cluster or the next
+  /// set_metrics call.
+  void set_metrics(telemetry::MetricsRegistry* registry);
+  telemetry::MetricsRegistry* metrics() const { return telemetry_; }
+
+  /// End-to-end latency log-histogram over all APIs (O(1) mergeable tail
+  /// estimates for controllers); nullptr while telemetry is detached.
+  /// Exact-percentile queries stay available through e2e_latency_all().
+  telemetry::LogHistogram* e2e_histogram() { return e2e_hist_; }
+
   trace::Tracer& tracer() { return tracer_; }
   /// Local (queue + processing, children excluded) latency per service.
   trace::LatencyWindow& service_latency(int s) {
@@ -151,6 +169,21 @@ class Cluster {
   void metrics_tick();
   void validate_api(const CallNode& node) const;
 
+  /// Interned per-service telemetry instruments (stable pointers into the
+  /// attached registry; see set_metrics).
+  struct ServiceTelemetry {
+    telemetry::Gauge* queue_depth = nullptr;
+    telemetry::Gauge* utilization = nullptr;
+    telemetry::Gauge* ready = nullptr;
+    telemetry::Gauge* creating = nullptr;
+    telemetry::Gauge* qps = nullptr;
+    telemetry::Counter* creations = nullptr;
+    telemetry::Counter* drops = nullptr;
+    telemetry::LogHistogram* local_latency = nullptr;
+    std::uint64_t last_creations = 0;
+    std::uint64_t last_drops = 0;
+  };
+
   ClusterConfig cfg_;
   EventQueue events_;
   Rng rng_;
@@ -165,6 +198,13 @@ class Cluster {
   std::vector<trace::LatencyWindow> api_arrivals_;
   std::vector<std::deque<ServicePoint>> series_;
   std::vector<std::uint64_t> last_arrivals_;
+  telemetry::MetricsRegistry* telemetry_ = nullptr;
+  std::vector<ServiceTelemetry> svc_tel_;
+  telemetry::LogHistogram* e2e_hist_ = nullptr;
+  std::vector<telemetry::LogHistogram*> e2e_api_hist_;
+  telemetry::Counter* tel_submitted_ = nullptr;
+  telemetry::Counter* tel_completed_ = nullptr;
+  telemetry::Counter* tel_failed_ = nullptr;
   std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t failed_ = 0;

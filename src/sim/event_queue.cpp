@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "telemetry/profiler.h"
+
 namespace graf::sim {
 
 void EventQueue::schedule_at(Seconds t, EventFn fn) {
@@ -15,6 +17,7 @@ void EventQueue::schedule_in(Seconds dt, EventFn fn) {
 
 bool EventQueue::step() {
   if (heap_.empty()) return false;
+  telemetry::ScopedTimer timer{pop_timer_};
   // priority_queue::top is const; the event is copied out, then popped,
   // before running: handlers may schedule new events.
   Event ev = heap_.top();

@@ -12,6 +12,10 @@
 
 #include "common/units.h"
 
+namespace graf::telemetry {
+class LogHistogram;
+}
+
 namespace graf::sim {
 
 using EventFn = std::function<void()>;
@@ -40,6 +44,11 @@ class EventQueue {
   std::size_t pending() const { return heap_.size(); }
   std::uint64_t processed() const { return processed_; }
 
+  /// Profile each step() — heap pop + handler dispatch — into `h`
+  /// (microseconds of wall time). nullptr (the default) disables the two
+  /// clock reads entirely; this is the simulator's hottest loop.
+  void set_pop_timer(telemetry::LogHistogram* h) { pop_timer_ = h; }
+
  private:
   struct Event {
     Seconds time;
@@ -54,6 +63,7 @@ class EventQueue {
   };
 
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  telemetry::LogHistogram* pop_timer_ = nullptr;
   Seconds now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;

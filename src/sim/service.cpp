@@ -103,6 +103,7 @@ void Service::request_one_creation() {
     pump();
   });
   creations_.push_back(ticket);
+  ++creations_started_;
 }
 
 void Service::scale_to(int target) {

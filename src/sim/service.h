@@ -99,6 +99,10 @@ class Service {
   std::uint64_t arrivals() const { return arrivals_; }
   std::uint64_t completions() const { return completions_; }
   std::uint64_t drops() const { return drops_; }
+  /// Instance creations ever requested through the deployment pipeline
+  /// (telemetry's `sim.instance_creations`; cancelled ones still count —
+  /// the pipeline slot was consumed either way).
+  std::uint64_t creations_started() const { return creations_started_; }
 
  private:
   struct Pending {
@@ -129,6 +133,7 @@ class Service {
   std::uint64_t arrivals_ = 0;
   std::uint64_t completions_ = 0;
   std::uint64_t drops_ = 0;
+  std::uint64_t creations_started_ = 0;
 };
 
 }  // namespace graf::sim

@@ -1,0 +1,152 @@
+#include "telemetry/exporter.h"
+
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <ostream>
+
+namespace graf::telemetry {
+
+namespace {
+
+/// Shortest round-trip double formatting (%.17g is exact but noisy; %.12g
+/// keeps files readable and is far below metric noise).
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_series_json(std::ostream& os, const TimeSeriesStore& store) {
+  os << "{\n  \"series\": [";
+  bool first_series = true;
+  for (const auto& [key, points] : store.series()) {
+    if (!first_series) os << ",";
+    first_series = false;
+    os << "\n    {\"key\": \"" << json_escape(key) << "\", \"points\": [";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << "[" << num(points[i].time) << ", " << num(points[i].value) << "]";
+    }
+    os << "]}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+void write_series_csv(std::ostream& os, const TimeSeriesStore& store) {
+  os << "key,time,value\n";
+  for (const auto& [key, points] : store.series()) {
+    // Keys may contain commas inside label braces; quote them.
+    for (const SeriesPoint& p : points)
+      os << "\"" << key << "\"," << num(p.time) << "," << num(p.value) << "\n";
+  }
+}
+
+void write_snapshot_json(std::ostream& os, const RegistrySnapshot& snapshot) {
+  os << "{\n  \"metrics\": [";
+  bool first = true;
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    {\"name\": \"" << json_escape(m.name) << "\", \"labels\": {";
+    for (std::size_t i = 0; i < m.labels.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << "\"" << json_escape(m.labels[i].first) << "\": \""
+         << json_escape(m.labels[i].second) << "\"";
+    }
+    os << "}, \"type\": \"" << metric_type_name(m.type) << "\"";
+    if (m.type == MetricType::kHistogram) {
+      const HistogramSnapshot& h = *m.histogram;
+      os << ", \"count\": " << h.total << ", \"sum\": " << num(h.sum);
+      if (h.total > 0) {
+        os << ", \"min\": " << num(h.min) << ", \"max\": " << num(h.max)
+           << ", \"p50\": " << num(h.percentile(50.0))
+           << ", \"p95\": " << num(h.percentile(95.0))
+           << ", \"p99\": " << num(h.percentile(99.0));
+      }
+    } else {
+      os << ", \"value\": " << num(m.value);
+    }
+    os << "}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+namespace {
+
+template <typename Fn>
+bool export_to_file(const std::string& path, Fn&& write) {
+  std::ofstream os{path};
+  if (!os) return false;
+  write(os);
+  return static_cast<bool>(os);
+}
+
+}  // namespace
+
+bool export_series_json(const std::string& path, const TimeSeriesStore& store) {
+  return export_to_file(path, [&](std::ostream& os) { write_series_json(os, store); });
+}
+
+bool export_series_csv(const std::string& path, const TimeSeriesStore& store) {
+  return export_to_file(path, [&](std::ostream& os) { write_series_csv(os, store); });
+}
+
+bool export_snapshot_json(const std::string& path, const RegistrySnapshot& snapshot) {
+  return export_to_file(path,
+                        [&](std::ostream& os) { write_snapshot_json(os, snapshot); });
+}
+
+void BenchExporter::record(const std::string& name, double value,
+                           const std::string& unit) {
+  record_at(name, value, unit, static_cast<std::int64_t>(std::time(nullptr)));
+}
+
+void BenchExporter::record_at(const std::string& name, double value,
+                              const std::string& unit, std::int64_t unix_seconds) {
+  rows_.push_back({name, value, unit, unix_seconds});
+}
+
+void BenchExporter::write_json(std::ostream& os) const {
+  os << "{\n  \"results\": [";
+  bool first = true;
+  for (const Row& r : rows_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    {\"name\": \"" << json_escape(r.name) << "\", \"value\": "
+       << num(r.value) << ", \"unit\": \"" << json_escape(r.unit)
+       << "\", \"timestamp\": " << r.timestamp << "}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+bool BenchExporter::write_json_file(const std::string& path) const {
+  return export_to_file(path, [&](std::ostream& os) { write_json(os); });
+}
+
+}  // namespace graf::telemetry

@@ -1,0 +1,122 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace graf::telemetry {
+
+namespace {
+
+Labels sorted_labels(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+}  // namespace
+
+std::string series_key(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  Labels sorted = sorted_labels(labels);
+  std::string out = name + "{";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) out += ",";
+    out += sorted[i].first + "=\"" + sorted[i].second + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+const char* metric_type_name(MetricType t) {
+  switch (t) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+const MetricSnapshot* RegistrySnapshot::find(const std::string& name,
+                                             const Labels& labels) const {
+  const std::string key = series_key(name, labels);
+  for (const auto& m : metrics)
+    if (m.key() == key) return &m;
+  return nullptr;
+}
+
+void RegistrySnapshot::merge(const RegistrySnapshot& other) {
+  for (const auto& theirs : other.metrics) {
+    const std::string key = theirs.key();
+    auto it = std::find_if(metrics.begin(), metrics.end(),
+                           [&](const MetricSnapshot& m) { return m.key() == key; });
+    if (it == metrics.end()) {
+      metrics.push_back(theirs);
+      continue;
+    }
+    if (it->type != theirs.type)
+      throw std::invalid_argument{"RegistrySnapshot::merge: type mismatch for " + key};
+    if (it->type == MetricType::kHistogram) {
+      it->histogram->merge(*theirs.histogram);
+    } else {
+      it->value += theirs.value;
+    }
+  }
+  std::sort(metrics.begin(), metrics.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.key() < b.key();
+            });
+}
+
+MetricsRegistry::Entry& MetricsRegistry::intern(const std::string& name,
+                                                const Labels& labels,
+                                                MetricType type) {
+  Labels sorted = sorted_labels(labels);
+  const std::string key = series_key(name, sorted);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    if (it->second.type != type)
+      throw std::invalid_argument{"MetricsRegistry: " + key + " already registered as " +
+                                  metric_type_name(it->second.type)};
+    return it->second;
+  }
+  Entry e{name, std::move(sorted), type, nullptr, nullptr, nullptr};
+  return entries_.emplace(key, std::move(e)).first->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const Labels& labels) {
+  Entry& e = intern(name, labels, MetricType::kCounter);
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  Entry& e = intern(name, labels, MetricType::kGauge);
+  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+LogHistogram& MetricsRegistry::histogram(const std::string& name, const Labels& labels,
+                                         const LogHistogramConfig& cfg) {
+  Entry& e = intern(name, labels, MetricType::kHistogram);
+  if (!e.histogram) e.histogram = std::make_unique<LogHistogram>(cfg);
+  return *e.histogram;
+}
+
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  RegistrySnapshot out;
+  out.metrics.reserve(entries_.size());
+  for (const auto& [key, e] : entries_) {
+    MetricSnapshot m;
+    m.name = e.name;
+    m.labels = e.labels;
+    m.type = e.type;
+    switch (e.type) {
+      case MetricType::kCounter: m.value = e.counter->value(); break;
+      case MetricType::kGauge: m.value = e.gauge->value(); break;
+      case MetricType::kHistogram: m.histogram = e.histogram->snapshot(); break;
+    }
+    out.metrics.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace graf::telemetry

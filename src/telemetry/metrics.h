@@ -1,0 +1,112 @@
+// Metrics registry: named counters, gauges, and log-bucket histograms keyed
+// by metric name + label set — the reproduction's stand-in for the
+// Prometheus/cAdvisor metric surface the paper's control loop reads.
+//
+// Registration is idempotent: asking for the same (name, labels) pair again
+// returns the same instrument, so call sites can intern a pointer once and
+// record through it with no lookup on the hot path. References stay stable
+// for the registry's lifetime. Snapshots are value types that merge across
+// replicas (counters/histograms by sum, gauges by sum — the aggregation a
+// Prometheus `sum by (name)` would produce).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/log_histogram.h"
+
+namespace graf::telemetry {
+
+/// Label set as (key, value) pairs; sorted by key when interned so that
+/// `{a=1,b=2}` and `{b=2,a=1}` name the same series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Canonical series key: `name` or `name{k="v",k2="v2"}` (labels sorted).
+std::string series_key(const std::string& name, const Labels& labels);
+
+/// Monotonically increasing sum (requests served, drift events, ...).
+class Counter {
+ public:
+  void add(double d = 1.0) { value_ += d; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Last-written instantaneous value (queue depth, utilization, ...).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double d) { value_ += d; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+const char* metric_type_name(MetricType t);
+
+struct MetricSnapshot {
+  std::string name;
+  Labels labels;
+  MetricType type = MetricType::kCounter;
+  double value = 0.0;  ///< counter / gauge value
+  std::optional<HistogramSnapshot> histogram;
+
+  std::string key() const { return series_key(name, labels); }
+};
+
+/// Point-in-time copy of a whole registry, in deterministic key order.
+struct RegistrySnapshot {
+  std::vector<MetricSnapshot> metrics;
+
+  const MetricSnapshot* find(const std::string& name,
+                             const Labels& labels = {}) const;
+  /// Cross-replica aggregation: counters and gauges add, histograms merge.
+  /// Metrics present on only one side are copied through.
+  void merge(const RegistrySnapshot& other);
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get or create. Throws std::invalid_argument when the same series key
+  /// was already registered as a different metric type.
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  /// `cfg` applies only on first registration; later calls return the
+  /// existing histogram regardless of `cfg`.
+  LogHistogram& histogram(const std::string& name, const Labels& labels = {},
+                          const LogHistogramConfig& cfg = {});
+
+  std::size_t size() const { return entries_.size(); }
+  RegistrySnapshot snapshot() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    Labels labels;
+    MetricType type;
+    // Exactly one is non-null, matching `type`. unique_ptr keeps references
+    // stable as the map rehashes/rebalances.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<LogHistogram> histogram;
+  };
+
+  Entry& intern(const std::string& name, const Labels& labels, MetricType type);
+
+  std::map<std::string, Entry> entries_;  ///< key -> entry, sorted for export
+};
+
+}  // namespace graf::telemetry

@@ -1,0 +1,80 @@
+#include "telemetry/scraper.h"
+
+#include <cmath>
+
+#include "sim/event_queue.h"
+
+namespace graf::telemetry {
+
+const std::vector<SeriesPoint>* TimeSeriesStore::find(const std::string& key) const {
+  auto it = series_.find(key);
+  return it != series_.end() ? &it->second : nullptr;
+}
+
+Scraper::Scraper(MetricsRegistry& registry, ScraperConfig cfg)
+    : registry_{registry}, cfg_{cfg} {}
+
+std::string Scraper::rank_suffix(double rank) {
+  // 50 -> "p50", 99 -> "p99", 99.9 -> "p99.9".
+  const double rounded = std::round(rank);
+  if (std::abs(rank - rounded) < 1e-9)
+    return "p" + std::to_string(static_cast<int>(rounded));
+  std::string s = std::to_string(rank);
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return "p" + s;
+}
+
+void Scraper::scrape(Seconds now) {
+  const RegistrySnapshot snap = registry_.snapshot();
+  const double dt = have_prev_ ? now - prev_time_ : 0.0;
+  for (const MetricSnapshot& m : snap.metrics) {
+    const std::string key = m.key();
+    const auto prev_it = prev_.find(key);
+    const MetricSnapshot* prev =
+        prev_it != prev_.end() ? &prev_it->second : nullptr;
+    switch (m.type) {
+      case MetricType::kGauge:
+        store_.append(key, now, m.value);
+        break;
+      case MetricType::kCounter: {
+        store_.append(key, now, m.value);
+        const double base = prev != nullptr ? prev->value : 0.0;
+        const double span = prev != nullptr ? dt : now;
+        if (span > 0.0)
+          store_.append(series_key(m.name + ".rate", m.labels), now,
+                        (m.value - base) / span);
+        break;
+      }
+      case MetricType::kHistogram: {
+        HistogramSnapshot interval = *m.histogram;
+        if (prev != nullptr && prev->histogram.has_value())
+          interval = interval.delta_since(*prev->histogram);
+        if (interval.total == 0) break;
+        store_.append(series_key(m.name + ".count", m.labels), now,
+                      static_cast<double>(interval.total));
+        store_.append(series_key(m.name + ".mean", m.labels), now,
+                      interval.mean());
+        for (double rank : cfg_.histogram_ranks)
+          store_.append(series_key(m.name + "." + rank_suffix(rank), m.labels),
+                        now, interval.percentile(rank));
+        break;
+      }
+    }
+    prev_[key] = m;
+  }
+  prev_time_ = now;
+  have_prev_ = true;
+  ++scrapes_;
+}
+
+void Scraper::attach(sim::EventQueue& events, Seconds until) {
+  const Seconds next = events.now() + cfg_.period;
+  if (next > until) return;
+  events.schedule_at(next, [this, &events, until] {
+    scrape(events.now());
+    attach(events, until);
+  });
+}
+
+}  // namespace graf::telemetry

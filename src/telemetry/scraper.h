@@ -1,0 +1,90 @@
+// Scrape loop: the reproduction's stand-in for Prometheus' pull model.
+//
+// Driven by the simulation clock (the paper syncs metrics every 15 s), the
+// Scraper periodically snapshots a MetricsRegistry and appends time-series
+// points to an in-memory store the Exporter serializes:
+//
+//   gauge      name{labels}            -> value
+//   counter    name{labels}            -> cumulative value
+//              name.rate{labels}       -> per-second rate over the interval
+//   histogram  name.count{labels}      -> observations this interval
+//              name.mean{labels}       -> interval mean
+//              name.p50/p95/p99{labels}-> interval percentiles
+//
+// Histogram series derive from snapshot *deltas* — exactly the Prometheus
+// histogram_quantile(rate(bucket[15s])) idiom — so each point describes the
+// scrape interval, not all of history. Intervals with no observations emit
+// no histogram points (a Prometheus query would return no sample either).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "telemetry/metrics.h"
+
+namespace graf::sim {
+class EventQueue;
+}
+
+namespace graf::telemetry {
+
+struct SeriesPoint {
+  Seconds time = 0.0;
+  double value = 0.0;
+};
+
+/// Ordered map series-key -> points; keys follow the scheme above.
+class TimeSeriesStore {
+ public:
+  void append(const std::string& key, Seconds t, double value) {
+    series_[key].push_back({t, value});
+  }
+  const std::map<std::string, std::vector<SeriesPoint>>& series() const {
+    return series_;
+  }
+  const std::vector<SeriesPoint>* find(const std::string& key) const;
+  bool empty() const { return series_.empty(); }
+  std::size_t size() const { return series_.size(); }
+
+ private:
+  std::map<std::string, std::vector<SeriesPoint>> series_;
+};
+
+struct ScraperConfig {
+  Seconds period = 15.0;  ///< the paper's metric sync period
+  std::vector<double> histogram_ranks = {50.0, 95.0, 99.0};
+};
+
+class Scraper {
+ public:
+  explicit Scraper(MetricsRegistry& registry, ScraperConfig cfg = {});
+
+  /// Take one scrape at simulated time `now`. Usable standalone (tests,
+  /// replicas driven by an external loop) or via attach().
+  void scrape(Seconds now);
+
+  /// Self-schedule on the simulation clock: one scrape every period until
+  /// (and including) `until`, starting one period from now.
+  void attach(sim::EventQueue& events, Seconds until);
+
+  const TimeSeriesStore& store() const { return store_; }
+  std::uint64_t scrapes() const { return scrapes_; }
+  const ScraperConfig& config() const { return cfg_; }
+
+ private:
+  static std::string rank_suffix(double rank);
+
+  MetricsRegistry& registry_;
+  ScraperConfig cfg_;
+  TimeSeriesStore store_;
+  /// Previous snapshot per series key, for counter rates / histogram deltas.
+  std::map<std::string, MetricSnapshot> prev_;
+  Seconds prev_time_ = 0.0;
+  bool have_prev_ = false;
+  std::uint64_t scrapes_ = 0;
+};
+
+}  // namespace graf::telemetry

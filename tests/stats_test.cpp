@@ -51,6 +51,24 @@ TEST(RunningStats, MergeMatchesCombined) {
   EXPECT_DOUBLE_EQ(a.max(), all.max());
 }
 
+TEST(RunningStats, MergeWithEmptyEitherSide) {
+  RunningStats filled;
+  for (double v : {1.0, 2.0, 3.0}) filled.add(v);
+  RunningStats empty;
+
+  RunningStats a = filled;
+  a.merge(empty);  // no-op
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+  RunningStats b = empty;
+  b.merge(filled);  // adopts other's moments
+  EXPECT_EQ(b.count(), 3u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(b.min(), 1.0);
+  EXPECT_DOUBLE_EQ(b.max(), 3.0);
+}
+
 TEST(Percentile, EndpointsAndMedian) {
   std::vector<double> v{10.0, 20.0, 30.0, 40.0, 50.0};
   EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
@@ -71,7 +89,16 @@ TEST(Percentile, UnsortedInputHandled) {
 
 TEST(Percentile, SingleElement) {
   std::vector<double> v{42.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 42.0);
   EXPECT_DOUBLE_EQ(percentile(v, 99.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 42.0);
+}
+
+TEST(Percentile, OutOfRangeRanksClampToExtremes) {
+  std::vector<double> v{10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(percentile(v, -5.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 140.0), 30.0);
 }
 
 TEST(Percentile, ThrowsOnEmpty) {
@@ -129,6 +156,21 @@ TEST(Histogram, PercentileApproximatesExact) {
   EXPECT_NEAR(h.percentile(95.0), percentile(v, 95.0), 0.5);
 }
 
+TEST(Histogram, EmptyPercentileThrows) {
+  Histogram h{0.0, 10.0, 5};
+  EXPECT_THROW(h.percentile(50.0), std::logic_error);
+}
+
+TEST(Histogram, SingleSamplePercentileStaysInBucket) {
+  Histogram h{0.0, 10.0, 5};
+  h.add(3.0);  // bucket [2, 4)
+  for (double rank : {0.0, 50.0, 100.0}) {
+    const double p = h.percentile(rank);
+    EXPECT_GE(p, 2.0);
+    EXPECT_LE(p, 4.0);
+  }
+}
+
 TEST(Histogram, RejectsBadConstruction) {
   EXPECT_THROW((Histogram{0.0, 0.0, 5}), std::invalid_argument);
   EXPECT_THROW((Histogram{0.0, 1.0, 0}), std::invalid_argument);
@@ -150,6 +192,13 @@ TEST(Ewma, FirstSampleSeeds) {
 TEST(Ewma, RejectsBadAlpha) {
   EXPECT_THROW(Ewma{0.0}, std::invalid_argument);
   EXPECT_THROW(Ewma{1.5}, std::invalid_argument);
+}
+
+TEST(Ewma, AlphaOneTracksLastSample) {
+  Ewma e{1.0};  // boundary alpha is accepted and degenerates to "latest"
+  e.add(3.0);
+  e.add(8.0);
+  EXPECT_DOUBLE_EQ(e.value(), 8.0);
 }
 
 }  // namespace
