@@ -10,7 +10,10 @@
 
 #include "bench_common.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
 #include "core/configuration_solver.h"
+#include "core/sample_collector.h"
+#include "core/workload_analyzer.h"
 #include "gnn/latency_model.h"
 #include "nn/tensor.h"
 #include "telemetry/metrics.h"
@@ -245,6 +248,74 @@ void BM_TailQueryLogHistogram(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TailQueryLogHistogram);
+
+// -- parallel execution layer -------------------------------------------------
+//
+// Thread-scaling of the three parallel paths (DESIGN.md §3.7). The Arg is
+// the pool size; the work decomposition (shards, sample streams, starts) is
+// identical at every setting, so the times below measure pure speedup.
+
+void BM_TrainScaling(benchmark::State& state) {
+  set_global_threads(static_cast<std::size_t>(state.range(0)));
+  gnn::Dataset data = tiny_dataset(6, 512);
+  for (auto _ : state) {
+    gnn::LatencyModel m{chain(6), gnn::MpnnConfig{}, 3};
+    gnn::TrainConfig cfg;
+    cfg.iterations = 20;
+    cfg.batch_size = 256;
+    cfg.shard_rows = 32;  // 8 shards per step
+    cfg.eval_every = 100;
+    m.fit(data, {}, cfg);
+    benchmark::DoNotOptimize(&m);
+  }
+  set_global_threads(0);
+}
+BENCHMARK(BM_TrainScaling)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_CollectScaling(benchmark::State& state) {
+  set_global_threads(static_cast<std::size_t>(state.range(0)));
+  auto topo = apps::bookinfo();
+  sim::Cluster cluster = apps::make_cluster(topo, {.seed = 31});
+  core::WorkloadAnalyzer analyzer{cluster.api_count(), cluster.service_count()};
+  core::SampleCollectorConfig cfg;
+  cfg.window = 2.0;
+  cfg.warmup = 0.5;
+  cfg.flush = 0.5;
+  cfg.seed = 9;
+  core::SearchSpace space;
+  space.lo.assign(4, 500.0);
+  space.hi.assign(4, 2000.0);
+  std::vector<Qps> base{40.0};
+  const auto factory = apps::make_cluster_factory(topo, {.seed = 31});
+  for (auto _ : state) {
+    core::SampleCollector collector{cluster, analyzer, cfg};
+    benchmark::DoNotOptimize(
+        collector.collect_sharded(16, space, base, 0.6, 1.0, factory));
+  }
+  set_global_threads(0);
+}
+BENCHMARK(BM_CollectScaling)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_SolveScalingMultiStart(benchmark::State& state) {
+  set_global_threads(static_cast<std::size_t>(state.range(0)));
+  auto& model = shared_model();
+  core::SolverConfig cfg;
+  cfg.max_iterations = 300;
+  cfg.multi_starts = 8;
+  core::ConfigurationSolver solver{model, cfg};
+  std::vector<double> w(6, 50.0);
+  std::vector<Millicores> lo(6, 300.0);
+  std::vector<Millicores> hi(6, 2000.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(w, 150.0, lo, hi));
+  }
+  set_global_threads(0);
+}
+BENCHMARK(BM_SolveScalingMultiStart)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 /// Mirrors every finished benchmark into the machine-readable result sink
 /// while keeping the normal console table.

@@ -1,15 +1,20 @@
 #!/usr/bin/env bash
 # Tier-1 gate: warnings-as-errors build + full test suite.
 #
-#   scripts/ci.sh             # plain gate
-#   GRAF_SANITIZE=1 scripts/ci.sh   # same gate under ASan/UBSan
+#   scripts/ci.sh                        # plain gate
+#   GRAF_SANITIZE=1 scripts/ci.sh        # same gate under ASan/UBSan
+#   GRAF_SANITIZE=thread scripts/ci.sh   # same gate under TSan (parallel layer)
 #
 # Uses a dedicated build dir so it never disturbs an existing ./build.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-ci}
-SANITIZE_FLAG=$([[ "${GRAF_SANITIZE:-0}" != 0 ]] && echo ON || echo OFF)
+case "${GRAF_SANITIZE:-0}" in
+  0) SANITIZE_FLAG=OFF ;;
+  1) SANITIZE_FLAG=address ;;
+  *) SANITIZE_FLAG=${GRAF_SANITIZE} ;;
+esac
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_CXX_FLAGS=-Werror \

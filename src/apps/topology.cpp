@@ -38,4 +38,11 @@ sim::Cluster make_cluster(const Topology& topo, sim::ClusterConfig cfg) {
   return sim::Cluster{topo.services, topo.apis, cfg};
 }
 
+std::function<std::unique_ptr<sim::Cluster>()> make_cluster_factory(
+    Topology topo, sim::ClusterConfig cfg) {
+  return [topo = std::move(topo), cfg] {
+    return std::make_unique<sim::Cluster>(topo.services, topo.apis, cfg);
+  };
+}
+
 }  // namespace graf::apps

@@ -22,12 +22,20 @@ int K8sHpa::desired_replicas(int ready, double utilization, double target,
 void K8sHpa::attach(sim::Cluster& cluster, Seconds until) {
   cluster_ = &cluster;
   until_ = until;
+  // Invalidate any tick chain scheduled by a previous attach(): a stale
+  // lambda still sitting in the old event queue would otherwise keep
+  // re-scheduling itself forever, double-stepping the autoscaler (and
+  // dereferencing a cluster the caller may have destroyed).
+  const std::uint64_t generation = ++generation_;
+  ticks_ = 0;
   recommendations_.assign(cluster.service_count(), {});
-  cluster.events().schedule_in(cfg_.sync_period, [this] { tick(); });
+  cluster.events().schedule_in(cfg_.sync_period, [this, generation] { tick(generation); });
 }
 
-void K8sHpa::tick() {
+void K8sHpa::tick(std::uint64_t generation) {
+  if (generation != generation_) return;  // superseded by a newer attach()
   if (cluster_->now() > until_) return;
+  ++ticks_;
   for (std::size_t s = 0; s < cluster_->service_count(); ++s) {
     sim::Service& svc = cluster_->service(static_cast<int>(s));
     const double u = cluster_->utilization_avg(static_cast<int>(s), cfg_.sync_period);
@@ -52,7 +60,8 @@ void K8sHpa::tick() {
 
     if (effective != svc.target_count()) svc.scale_to(effective);
   }
-  cluster_->events().schedule_in(cfg_.sync_period, [this] { tick(); });
+  cluster_->events().schedule_in(cfg_.sync_period,
+                                 [this, generation] { tick(generation); });
 }
 
 }  // namespace graf::autoscalers

@@ -45,12 +45,20 @@ class K8sHpa : public Autoscaler {
   static int desired_replicas(int ready, double utilization, double target,
                               double tolerance);
 
+  /// Sync ticks executed since the last attach() (observability / tests).
+  std::uint64_t ticks() const { return ticks_; }
+
  private:
-  void tick();
+  void tick(std::uint64_t generation);
 
   K8sHpaConfig cfg_;
   sim::Cluster* cluster_ = nullptr;
   Seconds until_ = 0.0;
+  /// Bumped by every attach(); a scheduled tick from a previous attachment
+  /// sees a stale generation and dies instead of running a second tick
+  /// chain against the new cluster.
+  std::uint64_t generation_ = 0;
+  std::uint64_t ticks_ = 0;
   /// Per-service history of (time, recommendation) for stabilization.
   std::vector<std::deque<std::pair<Seconds, int>>> recommendations_;
 };

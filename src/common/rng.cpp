@@ -45,8 +45,19 @@ double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   if (lo > hi) throw std::invalid_argument{"uniform_int: lo > hi"};
-  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
-  return lo + static_cast<std::int64_t>(next_u64() % span);
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Rejection sampling: `r % span` alone is biased toward small values
+  // whenever span does not divide 2^64 (severely so for spans near the top
+  // of the range). Reject draws from the incomplete final copy of [0, span).
+  const std::uint64_t rem = (UINT64_MAX % span + 1) % span;  // 2^64 mod span
+  std::uint64_t r = next_u64();
+  if (rem != 0) {
+    const std::uint64_t bound = 0 - rem;  // 2^64 - rem, a multiple of span
+    while (r >= bound) r = next_u64();
+  }
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + r % span);
 }
 
 double Rng::normal() {
@@ -95,5 +106,13 @@ std::size_t Rng::weighted_index(const std::vector<double>& weights) {
 }
 
 Rng Rng::fork() { return Rng{next_u64()}; }
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream) {
+  // Two splitmix64 steps over a golden-ratio combination: enough avalanche
+  // that adjacent (base, stream) pairs yield unrelated xoshiro seeds.
+  std::uint64_t x = base + (stream + 1) * 0x9e3779b97f4a7c15ULL;
+  (void)splitmix64(x);
+  return splitmix64(x);
+}
 
 }  // namespace graf

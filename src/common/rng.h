@@ -63,4 +63,11 @@ class Rng {
   double cached_normal_ = 0.0;
 };
 
+/// Deterministic seed derivation (splitmix64 finalizer over base + stream):
+/// hash-combines a base seed with a stream identifier — iteration counter,
+/// shard index, sample index — so every parallel unit of work owns an
+/// independent random stream that does not depend on the thread count or on
+/// how much randomness other units consumed (DESIGN.md §3.7).
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream);
+
 }  // namespace graf

@@ -1,0 +1,78 @@
+// Fixed-size thread pool: the parallel execution layer behind data-parallel
+// GNN training, sharded sample collection, and multi-start solving.
+//
+// Design rule: *work decomposition never depends on the thread count*.
+// Callers split work into deterministically-seeded shards and only hand the
+// shard list to `parallel_for`; threads are pure executors. Combined with
+// ordered reductions on the caller's thread, every parallel path in GRAF is
+// bit-identical at any GRAF_THREADS setting (DESIGN.md §3.7).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace graf {
+
+class ThreadPool {
+ public:
+  /// `threads` workers; 0 picks configured_threads(). A pool of size 1 runs
+  /// everything inline on the calling thread (no workers are spawned).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker count (>= 1; counts the calling thread for size-1 pools).
+  std::size_t size() const { return threads_; }
+
+  /// Enqueue a task; the future resolves with its result (or exception).
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    post([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Run fn(0), ..., fn(n-1), blocking until all complete. The calling
+  /// thread participates, so a size-1 pool degenerates to a plain loop.
+  /// Tasks are claimed through one atomic cursor: execution order is
+  /// unspecified, which is why callers must keep per-index work independent
+  /// and reduce in index order afterwards. Exceptions from `fn` are
+  /// rethrown on the calling thread (the first one, by index).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void post(std::function<void()> task);
+  void worker_loop();
+
+  std::size_t threads_;
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Worker count requested via env GRAF_THREADS (>= 1), defaulting to
+/// std::thread::hardware_concurrency().
+std::size_t configured_threads();
+
+/// Process-wide pool shared by the training, collection, and solver layers.
+/// Sized by configured_threads() on first use.
+ThreadPool& global_pool();
+
+/// Resize the global pool (tests and scaling benchmarks; not thread-safe
+/// against concurrent global_pool() users). 0 restores configured_threads().
+void set_global_threads(std::size_t threads);
+
+}  // namespace graf

@@ -5,7 +5,9 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <vector>
 
+#include "common/thread_pool.h"
 #include "nn/optim.h"
 #include "telemetry/profiler.h"
 
@@ -42,17 +44,76 @@ SolverResult ConfigurationSolver::solve(std::span<const double> workload,
       throw std::invalid_argument{"solve: need 0 < lo <= hi"};
 
   const auto t0 = std::chrono::steady_clock::now();
+
+  nn::Tensor r0{1, n};
+  for (std::size_t i = 0; i < n; ++i)
+    r0(0, i) = init.empty() ? hi[i] : std::clamp(init[i], lo[i], hi[i]);
+
+  if (cfg_.multi_starts <= 1) {
+    SolverResult res = descend(workload, slo_ms, lo, hi, r0, /*instrumented=*/true);
+    res.solve_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    return res;
+  }
+
+  // Multi-start: K independent descents over the shared (frozen) model. The
+  // start points depend only on (multi_start_seed, k), each descent is
+  // deterministic, and the winner is picked in start order — the result is
+  // identical at any thread count.
+  const std::size_t starts = cfg_.multi_starts;
+  std::vector<SolverResult> runs(starts);
+  global_pool().parallel_for(starts, [&](std::size_t k) {
+    nn::Tensor rk = r0;
+    if (k > 0) {
+      Rng start_rng{derive_seed(cfg_.multi_start_seed, k)};
+      for (std::size_t i = 0; i < n; ++i) rk(0, i) = start_rng.uniform(lo[i], hi[i]);
+    }
+    runs[k] = descend(workload, slo_ms, lo, hi, rk, /*instrumented=*/false);
+  });
+  if (iter_counter_ != nullptr)
+    for (const SolverResult& r : runs)
+      iter_counter_->add(static_cast<double>(r.iterations));
+
+  // Feasible minimum total quota; if no start is feasible, least-infeasible
+  // (lowest predicted latency). Strict comparisons keep the first (lowest
+  // index) winner on ties.
+  const double target_ms = slo_ms * cfg_.slo_margin;
+  auto total_quota = [](const SolverResult& r) {
+    double t = 0.0;
+    for (double q : r.quota) t += q;
+    return t;
+  };
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < starts; ++k) {
+    const bool best_ok = runs[best].predicted_ms <= target_ms;
+    const bool k_ok = runs[k].predicted_ms <= target_ms;
+    if (k_ok != best_ok) {
+      if (k_ok) best = k;
+      continue;
+    }
+    if (k_ok ? total_quota(runs[k]) < total_quota(runs[best])
+             : runs[k].predicted_ms < runs[best].predicted_ms)
+      best = k;
+  }
+  SolverResult res = std::move(runs[best]);
+  res.solve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return res;
+}
+
+SolverResult ConfigurationSolver::descend(std::span<const double> workload,
+                                          double slo_ms,
+                                          std::span<const Millicores> lo,
+                                          std::span<const Millicores> hi,
+                                          const nn::Tensor& r0, bool instrumented) {
+  const std::size_t n = model_->node_count();
   const double target_ms = slo_ms * cfg_.slo_margin;
 
   double hi_total = 0.0;
   for (double h : hi) hi_total += h;
   const double quota_norm = 1.0 / hi_total;
 
-  nn::Tensor r0{1, n};
-  for (std::size_t i = 0; i < n; ++i)
-    r0(0, i) = init.empty() ? hi[i] : std::clamp(init[i], lo[i], hi[i]);
   nn::Param r{r0};
-
   nn::Adam adam{{&r}, {.lr = cfg_.lr_mc}};
 
   SolverResult res;
@@ -60,10 +121,15 @@ SolverResult ConfigurationSolver::solve(std::span<const double> workload,
   std::size_t calm = 0;
   nn::Tape tape;
   for (std::size_t it = 1; it <= cfg_.max_iterations; ++it) {
-    telemetry::ScopedTimer iter_timer{iter_timer_};
-    if (iter_counter_ != nullptr) iter_counter_->add();
+    telemetry::ScopedTimer iter_timer{instrumented ? iter_timer_ : nullptr};
+    if (instrumented && iter_counter_ != nullptr) iter_counter_->add();
     tape.reset();
+    // The descent variable is a live param (Adam steps it); the model's
+    // weights are recorded frozen so concurrent descents never write into
+    // the shared Param::grad buffers.
+    tape.set_freeze_params(false);
     nn::Var rv = tape.param(r);
+    tape.set_freeze_params(!instrumented);
     nn::Var pred = model_->predict_var(tape, workload, rv);
     // sum(r)/sum(hi) + rho * max(0, pred/target - 1)
     nn::Var quota_term = nn::scale(nn::sum_all(rv), quota_norm);
@@ -93,12 +159,21 @@ SolverResult ConfigurationSolver::solve(std::span<const double> workload,
     }
     prev_loss = loss_val;
   }
+  tape.set_freeze_params(false);
 
   res.quota.assign(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) res.quota[i] = r.value(0, i);
-  res.predicted_ms = model_->predict(workload, res.quota);
-  res.solve_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (instrumented) {
+    res.predicted_ms = model_->predict(workload, res.quota);
+  } else {
+    // Worker-thread path: predict() profiles into a shared histogram, so
+    // evaluate through a private frozen tape instead.
+    tape.reset();
+    tape.set_freeze_params(true);
+    nn::Var quota_var = tape.constant(nn::Tensor{r.value});
+    nn::Var pred = model_->predict_var(tape, workload, quota_var);
+    res.predicted_ms = tape.value(pred).item();
+  }
   return res;
 }
 
@@ -110,7 +185,11 @@ double ConfigurationSolver::loss_at(std::span<const double> workload, double slo
   double total = 0.0;
   for (double q : quota) total += q;
   const double pred = model_->predict(workload, quota);
-  return total / hi_total + cfg_.rho * std::max(0.0, pred / slo_ms - 1.0);
+  // Same margined target as solve(): the reported landscape must be the
+  // objective the descent actually minimizes, or loss_at() shows a flat
+  // penalty region exactly where solve() still sees a gradient.
+  const double target_ms = slo_ms * cfg_.slo_margin;
+  return total / hi_total + cfg_.rho * std::max(0.0, pred / target_ms - 1.0);
 }
 
 }  // namespace graf::core

@@ -36,6 +36,14 @@ struct SolverConfig {
   /// explicit margin makes it robust to an unbiased model (set to 1.0 for
   /// the paper's exact objective).
   double slo_margin = 0.93;
+  /// Independent descents run concurrently on the global thread pool; the
+  /// feasible minimum-quota result wins (ties broken by start index, so the
+  /// outcome is identical at any GRAF_THREADS). Start 0 descends from the
+  /// caller's init (or the upper bounds); starts k >= 1 from uniform draws
+  /// in [lo, hi] seeded by derive_seed(multi_start_seed, k). 1 keeps the
+  /// sequential single-descent behavior.
+  std::size_t multi_starts = 1;
+  std::uint64_t multi_start_seed = 17;
 };
 
 struct SolverResult {
@@ -60,6 +68,8 @@ class ConfigurationSolver {
                      std::span<const Millicores> init = {});
 
   /// Eq. 5 value at a specific configuration (Fig. 12 loss landscape).
+  /// Applies the same slo_margin as solve(), so the landscape matches the
+  /// objective the descent actually minimizes.
   double loss_at(std::span<const double> workload, double slo_ms,
                  std::span<const Millicores> quota,
                  std::span<const Millicores> hi) const;
@@ -75,6 +85,15 @@ class ConfigurationSolver {
   void set_metrics(telemetry::MetricsRegistry* registry);
 
  private:
+  /// One gradient descent from `r0`. When `instrumented` is false the run
+  /// touches no telemetry instruments and freezes model params on its tape,
+  /// so any number of descents may execute concurrently over the shared
+  /// model (the coordinator aggregates iteration counts after the join).
+  SolverResult descend(std::span<const double> workload, double slo_ms,
+                       std::span<const Millicores> lo,
+                       std::span<const Millicores> hi, const nn::Tensor& r0,
+                       bool instrumented);
+
   gnn::LatencyModel* model_;
   SolverConfig cfg_;
   telemetry::LogHistogram* iter_timer_ = nullptr;

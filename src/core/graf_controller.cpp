@@ -26,8 +26,19 @@ void GrafController::set_metrics(telemetry::MetricsRegistry* registry) {
     slo_gauge_ = &registry->gauge("core.slo_ms");
     measured_p99_ = &registry->gauge("core.measured_p99_ms");
   }
-  have_last_e2e_ = false;
+  // Re-baseline against whatever the cluster's histogram holds right now, so
+  // the next tick publishes a true interval percentile.
+  seed_tail_baseline();
   controller_.set_metrics(registry);
+}
+
+void GrafController::seed_tail_baseline() {
+  have_last_e2e_ = false;
+  if (cluster_ == nullptr) return;
+  telemetry::LogHistogram* hist = cluster_->e2e_histogram();
+  if (hist == nullptr) return;
+  last_e2e_ = hist->snapshot();
+  have_last_e2e_ = true;
 }
 
 void GrafController::record_measured_tail() {
@@ -35,12 +46,13 @@ void GrafController::record_measured_tail() {
   telemetry::LogHistogram* hist = cluster_->e2e_histogram();
   if (hist == nullptr) return;
   // Interval p99 from bucket-count deltas: O(buckets), no copy, no sort.
+  // The baseline snapshot is seeded at attach(), so even the first tick
+  // reports only its own interval — never the cluster's cumulative history
+  // from before this controller was attached.
   telemetry::HistogramSnapshot now = hist->snapshot();
   if (have_last_e2e_) {
     const telemetry::HistogramSnapshot interval = now.delta_since(last_e2e_);
     if (!interval.empty()) measured_p99_->set(interval.percentile(99.0));
-  } else if (!now.empty()) {
-    measured_p99_->set(now.percentile(99.0));
   }
   last_e2e_ = std::move(now);
   have_last_e2e_ = true;
@@ -51,11 +63,20 @@ void GrafController::attach(sim::Cluster& cluster, Seconds until) {
   until_ = until;
   last_applied_qps_.assign(cluster.api_count(), 0.0);
   slo_dirty_ = true;
-  cluster.events().schedule_in(cfg_.control_interval, [this] { tick(); });
+  // Kill any tick chain from a previous attach() (stale lambdas in the old
+  // event queue must not keep double-solving against the new cluster), and
+  // baseline the tail-latency snapshot at the moment of attachment.
+  const std::uint64_t generation = ++generation_;
+  ticks_ = 0;
+  seed_tail_baseline();
+  cluster.events().schedule_in(cfg_.control_interval,
+                               [this, generation] { tick(generation); });
 }
 
-void GrafController::tick() {
+void GrafController::tick(std::uint64_t generation) {
+  if (generation != generation_) return;  // superseded by a newer attach()
   if (cluster_->now() > until_) return;
+  ++ticks_;
   std::vector<Qps> qps(cluster_->api_count());
   bool changed = slo_dirty_;
   for (std::size_t a = 0; a < qps.size(); ++a) {
@@ -76,7 +97,8 @@ void GrafController::tick() {
   }
   if (slo_gauge_ != nullptr) slo_gauge_->set(cfg_.slo_ms);
   record_measured_tail();
-  cluster_->events().schedule_in(cfg_.control_interval, [this] { tick(); });
+  cluster_->events().schedule_in(cfg_.control_interval,
+                                 [this, generation] { tick(generation); });
 }
 
 }  // namespace graf::core

@@ -47,19 +47,29 @@ class GrafController : public autoscalers::Autoscaler {
   void set_metrics(telemetry::MetricsRegistry* registry);
 
   std::uint64_t solves() const { return solves_; }
+  /// Control ticks executed since the last attach() (observability / tests:
+  /// exactly one tick chain may be live per attachment).
+  std::uint64_t ticks() const { return ticks_; }
   const AllocationPlan& last_plan() const { return last_plan_; }
 
  private:
-  void tick();
+  void tick(std::uint64_t generation);
   void record_measured_tail();
+  /// Snapshot the cluster's e2e histogram as the interval baseline (no
+  /// publish): the first tick after attach()/set_metrics() must report its
+  /// own interval, not the cluster's cumulative history.
+  void seed_tail_baseline();
 
   ResourceController& controller_;
   GrafControllerConfig cfg_;
   sim::Cluster* cluster_ = nullptr;
   Seconds until_ = 0.0;
+  /// Bumped by every attach(); stale scheduled ticks check it and die.
+  std::uint64_t generation_ = 0;
   std::vector<Qps> last_applied_qps_;
   AllocationPlan last_plan_;
   std::uint64_t solves_ = 0;
+  std::uint64_t ticks_ = 0;
   bool slo_dirty_ = true;
   telemetry::Counter* solves_total_ = nullptr;
   telemetry::Gauge* slo_gauge_ = nullptr;

@@ -4,10 +4,12 @@
 #include <cmath>
 #include <istream>
 #include <limits>
+#include <memory>
 #include <numeric>
 #include <ostream>
 #include <stdexcept>
 
+#include "common/thread_pool.h"
 #include "nn/loss.h"
 #include "nn/optim.h"
 #include "telemetry/profiler.h"
@@ -101,6 +103,11 @@ LatencyModel::Batch LatencyModel::assemble(const Dataset& data,
 nn::Var LatencyModel::forward_batch(nn::Tape& tape, const Batch& b, Rng& rng,
                                     bool training) {
   telemetry::ScopedTimer timer{forward_timer_};
+  return forward_features(tape, b, rng, training);
+}
+
+nn::Var LatencyModel::forward_features(nn::Tape& tape, const Batch& b, Rng& rng,
+                                       bool training) {
   std::vector<nn::Var> feats;
   feats.reserve(b.features.size());
   for (const auto& f : b.features) feats.push_back(tape.constant(f));
@@ -109,8 +116,8 @@ nn::Var LatencyModel::forward_batch(nn::Tape& tape, const Batch& b, Rng& rng,
 
 void LatencyModel::set_metrics(telemetry::MetricsRegistry* registry) {
   forward_timer_ = registry != nullptr ? &registry->histogram("gnn.forward_us") : nullptr;
-  backward_timer_ =
-      registry != nullptr ? &registry->histogram("gnn.backward_us") : nullptr;
+  train_step_timer_ =
+      registry != nullptr ? &registry->histogram("gnn.train_step_us") : nullptr;
 }
 
 TrainHistory LatencyModel::fit(const Dataset& train, const Dataset& val,
@@ -129,7 +136,21 @@ TrainHistory LatencyModel::fit(const Dataset& train, const Dataset& val,
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::size_t cursor = order.size();  // trigger initial shuffle
 
-  nn::Tape tape;
+  // Data-parallel plan: shard count is a pure function of the config, never
+  // of the thread count, so the shard boundaries, the per-shard dropout
+  // streams, and the shard-ordered gradient reduction below are identical
+  // whether the pool runs 1 or 64 threads — training is bit-deterministic.
+  const std::size_t shard_rows =
+      cfg.shard_rows == 0 ? cfg.batch_size : cfg.shard_rows;
+  const std::size_t shards = (cfg.batch_size + shard_rows - 1) / shard_rows;
+  std::vector<std::unique_ptr<nn::Tape>> tapes;
+  for (std::size_t s = 0; s < shards; ++s) {
+    tapes.push_back(std::make_unique<nn::Tape>());
+    tapes.back()->set_defer_param_grads(true);
+  }
+  std::vector<double> shard_loss(shards, 0.0);
+  ThreadPool& pool = global_pool();
+
   double running_loss = 0.0;
   std::size_t running_count = 0;
 
@@ -147,18 +168,40 @@ TrainHistory LatencyModel::fit(const Dataset& train, const Dataset& val,
       idx.push_back(order[cursor++]);
     }
 
-    Batch b = assemble(train, idx);
-    tape.reset();
-    nn::Var pred = forward_batch(tape, b, rng, /*training=*/true);
-    nn::Var loss = nn::asym_huber_pct_loss(pred, b.labels, cfg.theta_under, cfg.theta_over);
     model_.zero_grad();
+    const std::uint64_t iter_seed = derive_seed(cfg.seed, it);
     {
-      telemetry::ScopedTimer bwd_timer{backward_timer_};
-      tape.backward(loss);
+      telemetry::ScopedTimer step_timer{train_step_timer_};
+      pool.parallel_for(shards, [&](std::size_t s) {
+        const std::size_t begin = s * shard_rows;
+        const std::size_t len = std::min(shard_rows, cfg.batch_size - begin);
+        Batch b = assemble(train, {idx.data() + begin, len});
+        nn::Tape& tape = *tapes[s];
+        tape.reset();
+        // Dropout stream derived from (seed, iteration, shard): independent
+        // of sibling shards and of who executes this one.
+        Rng shard_rng{derive_seed(iter_seed, s)};
+        nn::Var pred = forward_features(tape, b, shard_rng, /*training=*/true);
+        nn::Var loss =
+            nn::asym_huber_pct_loss(pred, b.labels, cfg.theta_under, cfg.theta_over);
+        // Weight each shard by its share of the batch so the reduced
+        // gradient equals the full-batch mean-loss gradient.
+        const double weight =
+            static_cast<double>(len) / static_cast<double>(cfg.batch_size);
+        nn::Var contribution = nn::scale(loss, weight);
+        tape.backward(contribution);
+        shard_loss[s] = tape.value(contribution).item();
+      });
+      // Ordered reduction: shard 0's gradients land first, then shard 1's,
+      // ... — floating-point accumulation order is part of the determinism
+      // contract, so it must not follow completion order.
+      for (auto& tape : tapes) tape->flush_param_grads();
+      opt.step();
     }
-    opt.step();
 
-    running_loss += tape.value(loss).item();
+    double batch_loss = 0.0;
+    for (double l : shard_loss) batch_loss += l;
+    running_loss += batch_loss;
     ++running_count;
 
     if (cfg.lr_decay_every > 0 && it % cfg.lr_decay_every == 0)

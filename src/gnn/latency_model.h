@@ -47,6 +47,13 @@ struct TrainConfig {
   std::size_t eval_every = 250;
   std::uint64_t seed = 1;
   bool select_best = true;  ///< restore best-validation weights after training
+  /// Data-parallel sharding: each minibatch is split into ceil(batch_size /
+  /// shard_rows) shards executed on the global thread pool, with gradients
+  /// reduced into the shared Adam step in shard order. The decomposition —
+  /// and therefore the trained weights, bit-for-bit — depends only on this
+  /// value, never on the thread count (DESIGN.md §3.7). 0 disables sharding
+  /// (one shard, still thread-count independent).
+  std::size_t shard_rows = 32;
 };
 
 struct TrainHistory {
@@ -147,9 +154,11 @@ class LatencyModel {
   /// attachment (histogram pointers into an external registry) is shared.
   LatencyModel clone() const { return *this; }
 
-  /// Profile MPNN wall time into `gnn.forward_us` (every batched forward:
-  /// training, evaluation, predict) and `gnn.backward_us` (the training
-  /// loop's backprop). nullptr detaches (default, zero overhead).
+  /// Profile MPNN wall time into `gnn.forward_us` (evaluation / predict
+  /// forwards) and `gnn.train_step_us` (one fused data-parallel
+  /// forward+backward+reduce training step; recorded from the coordinating
+  /// thread so worker shards stay instrument-free and race-free). nullptr
+  /// detaches (default, zero overhead).
   void set_metrics(telemetry::MetricsRegistry* registry);
 
  private:
@@ -160,6 +169,11 @@ class LatencyModel {
 
   Batch assemble(const Dataset& data, std::span<const std::size_t> idx) const;
   nn::Var forward_batch(nn::Tape& tape, const Batch& b, Rng& rng, bool training);
+  /// Timer-free forward over an assembled batch — the worker-thread path;
+  /// `model_` parameters are read-only here, so concurrent shard tapes are
+  /// safe as long as each tape defers its param gradients.
+  nn::Var forward_features(nn::Tape& tape, const Batch& b, Rng& rng,
+                           bool training);
   void fit_scalers(const Dataset& train);
 
   std::size_t node_count_;
@@ -172,7 +186,7 @@ class LatencyModel {
   double ratio_max_ = 1.0;   ///< max training workload/quota ratio
   double label_ref_ = 1.0;
   telemetry::LogHistogram* forward_timer_ = nullptr;
-  telemetry::LogHistogram* backward_timer_ = nullptr;
+  telemetry::LogHistogram* train_step_timer_ = nullptr;
 };
 
 }  // namespace graf::gnn

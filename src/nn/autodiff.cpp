@@ -25,14 +25,22 @@ Var Tape::leaf(Tensor value, bool requires_grad) {
 }
 
 Var Tape::param(Param& p) {
-  // The leaf's backward flushes the tape-local gradient into the Param.
+  if (freeze_params_) return constant(p.value);
+  // The leaf's backward flushes the tape-local gradient into the Param
+  // (unless the tape defers; then flush_param_grads() does it serially).
   Node n{p.value, {}, true, false, &p, nullptr};
   n.backward = [](Tape& t, int id) {
+    if (t.defer_param_grads_) return;
     auto& self = t.node(id);
     self.param->grad += self.grad;
   };
   nodes_.push_back(std::move(n));
   return Var{this, static_cast<int>(nodes_.size()) - 1};
+}
+
+void Tape::flush_param_grads() {
+  for (auto& n : nodes_)
+    if (n.param != nullptr && n.grad_seen) n.param->grad += n.grad;
 }
 
 Var Tape::make_node(Tensor value, std::vector<int> deps,

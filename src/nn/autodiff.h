@@ -77,6 +77,29 @@ class Tape {
 
   std::size_t node_count() const { return nodes_.size(); }
 
+  // ---- Parallel-execution modes (DESIGN.md §3.7) --------------------------
+  //
+  // Both modes make a tape safe to run forward/backward on a worker thread
+  // while other tapes share the same Param objects: param *values* are only
+  // read, and nothing writes into the shared Param::grad until the caller
+  // says so.
+
+  /// When deferred, param-leaf gradients stay on the tape (readable through
+  /// grad()) instead of flushing into Param::grad during backward();
+  /// flush_param_grads() later accumulates them serially. Data-parallel
+  /// training defers on every worker tape and flushes in shard order, which
+  /// keeps the reduction deterministic at any thread count.
+  void set_defer_param_grads(bool defer) { defer_param_grads_ = defer; }
+  /// Accumulate every param leaf's tape gradient into its Param::grad, in
+  /// tape (recording) order. No-op for leaves backward() never reached.
+  void flush_param_grads();
+
+  /// When frozen, param() records the parameter's value as a constant: no
+  /// gradient flows to the Param at all. The configuration solver freezes
+  /// its tapes — it differentiates w.r.t. inputs only, and K concurrent
+  /// descents must not race on the shared model's Param::grad buffers.
+  void set_freeze_params(bool freeze) { freeze_params_ = freeze; }
+
  private:
   struct Node {
     Tensor value;
@@ -91,6 +114,8 @@ class Tape {
   const Node& node(int id) const;
 
   std::vector<Node> nodes_;
+  bool defer_param_grads_ = false;
+  bool freeze_params_ = false;
 };
 
 // ---- Operations -----------------------------------------------------------

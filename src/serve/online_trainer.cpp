@@ -73,8 +73,16 @@ bool OnlineTrainer::ingest(const gnn::Sample& sample, double now) {
   // but regresses on live traffic is unwound to the previous version.
   if (watch_left_ > 0) {
     --watch_left_;
-    if (stats_.error_ewma_pct >
-        cfg_.regress_factor * std::max(ewma_at_promotion_, 1e-9)) {
+    // The promotion baseline is the candidate's holdout error, which is
+    // optimistic (select_best picks the holdout minimizer), so a healthy
+    // model's live error can sit a constant factor above it. Floor the
+    // rollback threshold at the drift floor: a model whose live EWMA would
+    // not even register as drift is serving acceptably and must not be
+    // unwound.
+    const double regress_limit =
+        std::max(cfg_.regress_factor * std::max(ewma_at_promotion_, 1e-9),
+                 cfg_.drift_floor_pct);
+    if (stats_.error_ewma_pct > regress_limit) {
       watch_left_ = 0;
       if (registry_.rollback(key_)) {
         ++stats_.rollbacks;

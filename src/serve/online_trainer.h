@@ -38,7 +38,9 @@ struct OnlineTrainerConfig {
   /// Promote only when candidate holdout error <= margin * incumbent error.
   double promote_margin = 1.0;
   /// Post-promotion watchdog: over the next `watch_samples` samples, roll
-  /// back if the EWMA exceeds regress_factor * its value at promotion.
+  /// back if the EWMA exceeds regress_factor * its value at promotion AND
+  /// the drift floor — live error that would not even register as drift
+  /// never triggers a rollback.
   std::size_t watch_samples = 64;
   double regress_factor = 1.5;
   /// Fine-tune budget — a short warm-start run, not a from-scratch train.

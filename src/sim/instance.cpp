@@ -53,7 +53,11 @@ void Instance::schedule_next_completion() {
   for (const Job& j : jobs_) min_remaining = std::min(min_remaining, j.remaining);
   const double dt = std::max(min_remaining, 0.0) / job_rate();
   const std::uint64_t epoch = epoch_;
-  events_.schedule_in(dt, [this, epoch] { on_completion_check(epoch); });
+  events_.schedule_in(
+      dt, [this, epoch, alive = std::weak_ptr<char>(alive_)] {
+        if (alive.expired()) return;  // instance freed before the event fired
+        on_completion_check(epoch);
+      });
 }
 
 void Instance::on_completion_check(std::uint64_t epoch) {

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/units.h"
@@ -74,6 +75,10 @@ class Instance {
   std::vector<Job> jobs_;
   Seconds last_update_ = 0.0;
   std::uint64_t epoch_ = 0;  // invalidates stale completion events
+  /// Liveness token: scheduled completion checks hold a weak_ptr and bail
+  /// out if the instance was destroyed (reaped while retiring) before the
+  /// event fired — the epoch guard alone would still read freed memory.
+  std::shared_ptr<char> alive_ = std::make_shared<char>('\0');
   double cpu_used_ = 0.0;    // core-seconds since last drain
 };
 

@@ -82,6 +82,20 @@ TEST(K8sHpaIntegration, ScaleUpPolicyLimitsGrowthPerSync) {
   EXPECT_LE(c.total_target_instances(), 36);
 }
 
+TEST(K8sHpaIntegration, ReattachKillsStaleTickChain) {
+  // Regression: a second attach() used to leave the first attachment's tick
+  // chain alive in the event queue, so the autoscaler stepped twice per sync
+  // period forever after. The generation guard must kill the stale chain.
+  sim::Cluster c = saturated_cluster(11);
+  K8sHpa hpa{{}};  // sync_period = 15 s
+  hpa.attach(c, 1000.0);
+  c.run_until(50.0);  // first chain ticks at 15, 30, 45
+  EXPECT_EQ(hpa.ticks(), 3u);
+  hpa.attach(c, 1000.0);  // re-attach to the same cluster at t = 50
+  c.run_until(141.0);     // exactly one live chain: ticks at 65, 80, ..., 140
+  EXPECT_EQ(hpa.ticks(), 6u);
+}
+
 TEST(FirmLikeIntegration, ScalesUpOnTailRatio) {
   sim::Cluster c = saturated_cluster(9);
   FirmLike firm{{.sync_period = 5.0}};

@@ -201,6 +201,31 @@ TEST(ConfigurationSolver, LossAtMatchesStructure) {
   EXPECT_GT(solver.loss_at(w, 10.0, starved, hi), 1.0);
 }
 
+TEST(ConfigurationSolver, LossAtAppliesSloMargin) {
+  // Regression: loss_at() used to penalize against the raw SLO while solve()
+  // descends against slo_margin * SLO, so a prediction sitting between the
+  // margined target and the SLO reported a deceptively flat (zero-penalty)
+  // landscape. Place the prediction at 95% of the SLO with a 0.9 margin:
+  // the margin-aware loss must show a positive penalty there.
+  auto& model = solver_model();
+  std::vector<double> w{50.0, 50.0};
+  std::vector<double> hi{2000.0, 2000.0};
+  std::vector<double> quota{800.0, 800.0};
+  const double pred = model.predict(w, quota);
+  const double slo = pred / 0.95;
+  const double base = (quota[0] + quota[1]) / (hi[0] + hi[1]);
+
+  ConfigurationSolver margined{model, {.rho = 50.0, .slo_margin = 0.9}};
+  const double loss = margined.loss_at(w, slo, quota, hi);
+  EXPECT_NEAR(loss, base + 50.0 * (pred / (0.9 * slo) - 1.0), 1e-9);
+  EXPECT_GT(loss, base + 1e-6);
+
+  // With a unit margin the prediction is below target: pure quota term,
+  // exactly the objective solve() sees.
+  ConfigurationSolver unit{model, {.rho = 50.0, .slo_margin = 1.0}};
+  EXPECT_NEAR(unit.loss_at(w, slo, quota, hi), base, 1e-9);
+}
+
 // ---- ResourceController -----------------------------------------------------
 
 TEST(ResourceController, Eq7CeilsToInstanceUnits) {
@@ -321,6 +346,39 @@ TEST(SampleCollector, ReduceSearchSpaceShrinksVolume) {
     EXPECT_LT(space.lo[i], space.hi[i]);
   }
   EXPECT_LT(space.volume_ratio(cfg.quota_floor, cfg.quota_hi), 1.0);
+}
+
+TEST(SampleCollector, SimulatedSecondsTrackClusterClockAcrossRejections) {
+  // Regression: the rejected-sample path used to skip billing the flush,
+  // so simulated_seconds() under-reported the Table-3 time budget whenever
+  // a window was discarded. Every second the cluster clock advances during
+  // collection — calibration, warmup, window, and the flush after each
+  // rejected draw — must land in simulated_seconds().
+  auto topo = apps::bookinfo();
+  sim::Cluster c = apps::make_cluster(topo, {.seed = 27});
+  WorkloadAnalyzer analyzer{c.api_count(), c.service_count()};
+  SampleCollectorConfig cfg;
+  cfg.window = 1.0;
+  cfg.warmup = 0.5;
+  cfg.flush = 0.5;
+  cfg.min_completions = 1000000;  // unreachable: every window is rejected
+  SampleCollector collector{c, analyzer, cfg};
+  SearchSpace space;
+  space.lo.assign(4, 500.0);
+  space.hi.assign(4, 2000.0);
+  std::vector<Qps> base{40.0};
+  const Seconds t0 = c.now();
+  const auto rejected = collector.collect(1, space, base, 0.8, 1.0);
+  EXPECT_TRUE(rejected.empty());
+  EXPECT_NEAR(collector.simulated_seconds(), c.now() - t0, 1e-6);
+
+  // The accepted path must agree with the clock too.
+  cfg.min_completions = 10;
+  SampleCollector accepting{c, analyzer, cfg};
+  const Seconds t1 = c.now();
+  const auto ds = accepting.collect(3, space, base, 0.8, 1.0);
+  EXPECT_EQ(ds.size(), 3u);
+  EXPECT_NEAR(accepting.simulated_seconds(), c.now() - t1, 1e-6);
 }
 
 TEST(SampleCollector, MeasureTailReturnsPositive) {

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 namespace graf::sim {
 namespace {
 
@@ -146,6 +148,21 @@ TEST(Instance, CompletionCallbackMayAddJob) {
   });
   q.run_all();
   EXPECT_NEAR(second_done, 0.2, 1e-9);
+}
+
+TEST(Instance, PendingCompletionEventSurvivesDestruction) {
+  // Regression (caught by TSan/ASan): add_job schedules a completion check
+  // that captures the instance; clear_jobs() leaves the instance idle, a
+  // retiring instance is then reaped (destroyed) — and the still-queued
+  // event used to read the freed instance's epoch counter. The liveness
+  // token must make the stale event a no-op instead.
+  EventQueue q;
+  auto inst = std::make_unique<Instance>(1, 1.0, q);
+  inst->add_job(0.1, [] {});  // queues a completion check at t = 0.1
+  inst->clear_jobs();
+  inst.reset();  // freed with the event still pending
+  q.run_all();   // must not touch freed memory (sanitizers verify)
+  SUCCEED();
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 #include "core/resource_controller.h"
 #include "core/sample_collector.h"
 #include "core/workload_analyzer.h"
+#include "telemetry/metrics.h"
 #include "workload/closed_loop.h"
 #include "workload/open_loop.h"
 
@@ -174,6 +175,77 @@ TEST(Integration, GrafScalesBackDownAfterLoadDrop) {
   // GRAF follows the workload down without a 5-minute stabilization lag
   // (paper Fig. 20's contrast with the HPA).
   EXPECT_LE(low, high);
+}
+
+TEST(Integration, GrafReattachKillsStaleTickChain) {
+  // Regression: re-attaching the controller used to leave the previous
+  // attachment's tick chain alive in the event queue, doubling the control
+  // cadence (and double-solving) forever after.
+  auto& st = mini_stack();
+  core::ConfigurationSolver solver{st.predictor->model()};
+  core::WorkloadAnalyzer analyzer{1, st.topo.service_count()};
+  analyzer.set_fanout(st.fanout);
+  std::vector<Millicores> units(st.topo.service_count(), 1000.0);
+  core::ResourceController rc{st.predictor->model(), solver, analyzer,
+                              st.space.lo, st.space.hi, units};
+  core::GrafController graf{rc, {.slo_ms = kSlo, .control_interval = 5.0}};
+
+  sim::Cluster cluster = apps::make_cluster(st.topo, {.seed = 113});
+  graf.attach(cluster, 1000.0);
+  cluster.run_until(18.0);  // first chain ticks at 5, 10, 15
+  EXPECT_EQ(graf.ticks(), 3u);
+  graf.attach(cluster, 1000.0);  // re-attach to the same cluster
+  cluster.run_until(44.0);       // exactly one live chain afterwards
+  EXPECT_EQ(graf.ticks(), 5u);
+}
+
+TEST(Integration, GrafFirstTickPublishesIntervalP99NotCumulativeHistory) {
+  // Regression: the first tick after attach() used to publish the cluster's
+  // *cumulative* e2e p99 — history from before the controller existed —
+  // instead of the p99 of its own first control interval.
+  auto& st = mini_stack();
+  core::ConfigurationSolver solver{st.predictor->model()};
+  core::WorkloadAnalyzer analyzer{1, st.topo.service_count()};
+  analyzer.set_fanout(st.fanout);
+  std::vector<Millicores> units(st.topo.service_count(), 1000.0);
+  core::ResourceController rc{st.predictor->model(), solver, analyzer,
+                              st.space.lo, st.space.hi, units};
+  rc.set_training_reference(st.dataset);
+  core::GrafController graf{rc, {.slo_ms = kSlo, .control_interval = 5.0}};
+
+  telemetry::MetricsRegistry registry;
+  sim::Cluster cluster = apps::make_cluster(st.topo, {.seed = 115});
+  cluster.set_metrics(&registry);
+
+  // Phase 1 (pre-attach): starved quotas build a slow cumulative history.
+  for (int s = 0; s < static_cast<int>(st.topo.service_count()); ++s)
+    cluster.apply_total_quota(s, 300.0, 1000.0);
+  workload::OpenLoopConfig g1;
+  g1.rate = workload::Schedule::constant(45.0);
+  workload::OpenLoopGenerator gen1{cluster, g1};
+  gen1.start(60.0);
+  cluster.run_until(60.0);
+  const double cumulative_p99 =
+      cluster.e2e_histogram()->snapshot().percentile(99.0);
+  ASSERT_GT(cumulative_p99, kSlo);  // the history really is slow
+
+  // Phase 2: drain the backlog, give generous quotas, attach, run ONE tick.
+  cluster.hard_reset_load();
+  for (int s = 0; s < static_cast<int>(st.topo.service_count()); ++s)
+    cluster.apply_total_quota(s, 2500.0, 1000.0);
+  graf.set_metrics(&registry);
+  graf.attach(cluster, 1000.0);
+  workload::OpenLoopConfig g2;
+  g2.rate = workload::Schedule::constant(45.0);
+  workload::OpenLoopGenerator gen2{cluster, g2};
+  gen2.start(1000.0);
+  cluster.run_until(66.0);
+  ASSERT_EQ(graf.ticks(), 1u);
+
+  const double published = registry.gauge("core.measured_p99_ms").value();
+  ASSERT_GT(published, 0.0);
+  // Only the post-attach interval may be reflected, not the starved past.
+  EXPECT_LT(published, cumulative_p99 * 0.5);
 }
 
 }  // namespace

@@ -1,0 +1,241 @@
+// ThreadPool unit behaviour plus the DESIGN.md §3.7 determinism contract:
+// data-parallel training, sharded sample collection, and multi-start
+// solving must be *bit-identical* at any thread count, because work
+// decomposition and random streams are pure functions of configuration —
+// threads are only executors.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "apps/catalog.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/configuration_solver.h"
+#include "core/sample_collector.h"
+#include "core/workload_analyzer.h"
+#include "gnn/latency_model.h"
+#include "telemetry/metrics.h"
+
+namespace graf {
+namespace {
+
+// ---- ThreadPool -------------------------------------------------------------
+
+TEST(ThreadPool, SizeOnePoolRunsInline) {
+  ThreadPool pool{1};
+  EXPECT_EQ(pool.size(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran;
+  pool.parallel_for(1, [&](std::size_t) { ran = std::this_thread::get_id(); });
+  EXPECT_EQ(ran, caller);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool{4};
+  constexpr std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SubmitDeliversResultThroughFuture) {
+  ThreadPool pool{2};
+  auto fut = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstExceptionByIndex) {
+  ThreadPool pool{4};
+  try {
+    pool.parallel_for(100, [](std::size_t i) {
+      if (i == 7 || i == 63)
+        throw std::runtime_error{"boom " + std::to_string(i)};
+    });
+    FAIL() << "expected parallel_for to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 7");
+  }
+}
+
+TEST(ThreadPool, ConfiguredThreadsReadsEnv) {
+  ::setenv("GRAF_THREADS", "3", 1);
+  EXPECT_EQ(configured_threads(), 3u);
+  ::setenv("GRAF_THREADS", "0", 1);  // nonsense values fall back to >= 1
+  EXPECT_GE(configured_threads(), 1u);
+  ::unsetenv("GRAF_THREADS");
+  EXPECT_GE(configured_threads(), 1u);
+}
+
+// ---- §3.7 determinism contract ---------------------------------------------
+
+gnn::Dag chain2() {
+  gnn::Dag d;
+  d.add_node("a");
+  d.add_node("b");
+  d.add_edge(0, 1);
+  return d;
+}
+
+gnn::Dataset toy_dataset(int n) {
+  Rng rng{57};
+  gnn::Dataset data;
+  for (int i = 0; i < n; ++i) {
+    gnn::Sample s;
+    const double w = rng.uniform(20.0, 80.0);
+    s.workload = {w, w};
+    s.quota = {rng.uniform(300.0, 2000.0), rng.uniform(300.0, 2000.0)};
+    s.latency_ms =
+        40.0 * 1000.0 / s.quota[0] + 80.0 * 1000.0 / s.quota[1] + 0.8 * w;
+    data.push_back(std::move(s));
+  }
+  return data;
+}
+
+/// Train a fresh model at the given thread count and return a probe-grid of
+/// predictions (equal predictions on the grid <=> equal parameters for all
+/// practical purposes, and the comparison is exact, not approximate).
+std::vector<double> train_and_probe(std::size_t threads) {
+  set_global_threads(threads);
+  gnn::MpnnConfig mcfg;
+  mcfg.embed_dim = 8;
+  mcfg.mpnn_hidden = 8;
+  mcfg.readout_hidden = 16;
+  mcfg.dropout_p = 0.1;  // exercises the per-(seed, iter, shard) rng streams
+  gnn::LatencyModel model{chain2(), mcfg, 29};
+  gnn::TrainConfig tc;
+  tc.iterations = 120;
+  tc.batch_size = 64;
+  tc.shard_rows = 16;  // several shards per step even at this batch size
+  tc.lr = 2e-3;
+  tc.eval_every = 1000;
+  tc.seed = 7;
+  model.fit(toy_dataset(400), {}, tc);
+  std::vector<double> probes;
+  for (double w : {25.0, 50.0, 75.0})
+    for (double q : {400.0, 900.0, 1700.0}) {
+      std::vector<double> workload{w, w};
+      std::vector<double> quota{q, 2100.0 - q};
+      probes.push_back(model.predict(workload, quota));
+    }
+  set_global_threads(0);
+  return probes;
+}
+
+TEST(ParallelDeterminism, TrainingIsBitIdenticalAcrossThreadCounts) {
+  const std::vector<double> p1 = train_and_probe(1);
+  const std::vector<double> p2 = train_and_probe(2);
+  const std::vector<double> p8 = train_and_probe(8);
+  ASSERT_EQ(p1.size(), p2.size());
+  ASSERT_EQ(p1.size(), p8.size());
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_EQ(p1[i], p2[i]) << "probe " << i;
+    EXPECT_EQ(p1[i], p8[i]) << "probe " << i;
+  }
+}
+
+std::pair<gnn::Dataset, Seconds> collect_at(std::size_t threads) {
+  set_global_threads(threads);
+  auto topo = apps::bookinfo();
+  sim::Cluster c = apps::make_cluster(topo, {.seed = 31});
+  core::WorkloadAnalyzer analyzer{c.api_count(), c.service_count()};
+  core::SampleCollectorConfig cfg;
+  cfg.window = 2.0;
+  cfg.warmup = 0.5;
+  cfg.flush = 0.5;
+  cfg.seed = 9;
+  core::SampleCollector collector{c, analyzer, cfg};
+  core::SearchSpace space;
+  space.lo.assign(4, 500.0);
+  space.hi.assign(4, 2000.0);
+  std::vector<Qps> base{40.0};
+  telemetry::RegistrySnapshot telem;
+  gnn::Dataset ds = collector.collect_sharded(
+      12, space, base, 0.6, 1.0, apps::make_cluster_factory(topo, {.seed = 31}),
+      &telem);
+  set_global_threads(0);
+  return {std::move(ds), collector.simulated_seconds()};
+}
+
+TEST(ParallelDeterminism, ShardedCollectionIsBitIdenticalAcrossThreadCounts) {
+  const auto [d1, s1] = collect_at(1);
+  const auto [d2, s2] = collect_at(2);
+  const auto [d8, s8] = collect_at(8);
+  ASSERT_FALSE(d1.empty());
+  ASSERT_EQ(d1.size(), d2.size());
+  ASSERT_EQ(d1.size(), d8.size());
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1, s8);
+  for (std::size_t i = 0; i < d1.size(); ++i) {
+    EXPECT_EQ(d1[i].latency_ms, d2[i].latency_ms) << "sample " << i;
+    EXPECT_EQ(d1[i].latency_ms, d8[i].latency_ms) << "sample " << i;
+    EXPECT_EQ(d1[i].workload, d2[i].workload) << "sample " << i;
+    EXPECT_EQ(d1[i].quota, d8[i].quota) << "sample " << i;
+  }
+}
+
+/// One deterministically trained model shared by the solver tests.
+gnn::LatencyModel& parallel_solver_model() {
+  static gnn::LatencyModel model = [] {
+    set_global_threads(1);
+    gnn::MpnnConfig mcfg;
+    mcfg.embed_dim = 8;
+    mcfg.mpnn_hidden = 8;
+    mcfg.readout_hidden = 24;
+    mcfg.dropout_p = 0.0;
+    gnn::LatencyModel m{chain2(), mcfg, 13};
+    gnn::TrainConfig tc;
+    tc.iterations = 800;
+    tc.batch_size = 64;
+    tc.lr = 2e-3;
+    tc.eval_every = 1000;
+    m.fit(toy_dataset(1200), {}, tc);
+    set_global_threads(0);
+    return m;
+  }();
+  return model;
+}
+
+core::SolverResult solve_at(std::size_t threads, std::size_t starts) {
+  set_global_threads(threads);
+  core::ConfigurationSolver solver{parallel_solver_model(),
+                                   {.multi_starts = starts}};
+  std::vector<double> w{50.0, 50.0};
+  std::vector<double> lo{300.0, 300.0};
+  std::vector<double> hi{2000.0, 2000.0};
+  const core::SolverResult res = solver.solve(w, 180.0, lo, hi);
+  set_global_threads(0);
+  return res;
+}
+
+TEST(ParallelDeterminism, MultiStartSolveIsBitIdenticalAcrossThreadCounts) {
+  const auto r1 = solve_at(1, 6);
+  const auto r2 = solve_at(2, 6);
+  const auto r8 = solve_at(8, 6);
+  ASSERT_EQ(r1.quota.size(), 2u);
+  for (std::size_t i = 0; i < r1.quota.size(); ++i) {
+    EXPECT_EQ(r1.quota[i], r2.quota[i]) << "service " << i;
+    EXPECT_EQ(r1.quota[i], r8.quota[i]) << "service " << i;
+  }
+  EXPECT_EQ(r1.predicted_ms, r2.predicted_ms);
+  EXPECT_EQ(r1.predicted_ms, r8.predicted_ms);
+}
+
+TEST(ParallelDeterminism, MultiStartNeverLosesToSingleStart) {
+  // Extra starts may only improve (or tie) the feasible objective.
+  const auto single = solve_at(4, 1);
+  const auto multi = solve_at(4, 6);
+  const double single_total = single.quota[0] + single.quota[1];
+  const double multi_total = multi.quota[0] + multi.quota[1];
+  if (single.predicted_ms <= 180.0 && multi.predicted_ms <= 180.0)
+    EXPECT_LE(multi_total, single_total * 1.05);
+}
+
+}  // namespace
+}  // namespace graf
