@@ -228,6 +228,12 @@ GrafRuntime make_graf_runtime(TrainedStack& stack, double slo_ms,
   // The training reference must come from the *training* split, but per-node
   // maxima over the full dataset are equivalent for scaling purposes.
   rt.controller->set_training_reference(stack.dataset);
+  // Let the planner clamp (and re-predict) at each service's replica cap
+  // instead of Service::scale_to clamping silently after the fact.
+  std::vector<int> max_inst;
+  max_inst.reserve(stack.topo.service_count());
+  for (const auto& svc : stack.topo.services) max_inst.push_back(svc.max_instances);
+  rt.controller->set_max_instances(std::move(max_inst));
   cfg.slo_ms = slo_ms;
   rt.autoscaler = std::make_unique<core::GrafController>(*rt.controller, cfg);
   return rt;

@@ -21,3 +21,11 @@ cmake -B "$BUILD_DIR" -S . \
   -DGRAF_SANITIZE="$SANITIZE_FLAG"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+# The chaos group (fault injection + degraded-mode integration) again at
+# pinned thread counts: faulted runs must replay bit-identically whether the
+# pool has 1 worker or 8 (DESIGN.md §3.7/§3.8 determinism contract).
+for threads in 1 8; do
+  GRAF_THREADS=$threads \
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -L chaos
+done

@@ -36,8 +36,14 @@ void K8sHpa::tick(std::uint64_t generation) {
   if (generation != generation_) return;  // superseded by a newer attach()
   if (cluster_->now() > until_) return;
   ++ticks_;
+  // Metrics-unavailable guard (telemetry blackout): with no scrape points in
+  // the window, utilization_avg would read 0 and desired_replicas would see
+  // "idle" — a real HPA skips scaling when the metrics API errors out.
+  const Seconds gap_horizon =
+      std::max(cfg_.sync_period, 1.5 * cluster_->metrics_interval());
   for (std::size_t s = 0; s < cluster_->service_count(); ++s) {
     sim::Service& svc = cluster_->service(static_cast<int>(s));
+    if (cluster_->series_count_since(static_cast<int>(s), gap_horizon) == 0) continue;
     const double u = cluster_->utilization_avg(static_cast<int>(s), cfg_.sync_period);
     int desired = desired_replicas(svc.ready_count(), u, cfg_.target_utilization,
                                    cfg_.tolerance);

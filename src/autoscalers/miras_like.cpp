@@ -25,6 +25,12 @@ void MirasLike::tick() {
           std::min(svc.target_count() + cfg_.scale_step, cfg_.max_replicas);
       if (target != svc.target_count()) svc.scale_to(target);
     } else if (svc.queue_length() == 0 &&
+               // Blackout guard: an empty metrics window means "no data",
+               // not "0% utilized" — never scale down on a dark signal.
+               cluster_->series_count_since(
+                   static_cast<int>(s),
+                   std::max(cfg_.sync_period,
+                            1.5 * cluster_->metrics_interval())) > 0 &&
                cluster_->utilization_avg(static_cast<int>(s), cfg_.sync_period) <
                    cfg_.utilization_down &&
                cluster_->now() - last_scale_down_[s] >= cfg_.scale_down_cooldown) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
 
 namespace graf::core {
 
@@ -19,12 +20,17 @@ void GrafController::set_serving_handle(serve::ServingHandle* handle) {
 
 void GrafController::set_metrics(telemetry::MetricsRegistry* registry) {
   if (registry == nullptr) {
-    solves_total_ = nullptr;
-    slo_gauge_ = measured_p99_ = nullptr;
+    solves_total_ = fault_exceptions_ = fault_signal_loss_ = nullptr;
+    slo_gauge_ = measured_p99_ = degraded_gauge_ = nullptr;
   } else {
     solves_total_ = &registry->counter("core.solves_total");
+    fault_exceptions_ = &registry->counter("faults.controller_exceptions");
+    fault_signal_loss_ = &registry->counter("faults.signal_loss");
     slo_gauge_ = &registry->gauge("core.slo_ms");
     measured_p99_ = &registry->gauge("core.measured_p99_ms");
+    // Same interned instance as ResourceController's — one degraded signal
+    // for the whole control plane.
+    degraded_gauge_ = &registry->gauge("core.degraded");
   }
   // Re-baseline against whatever the cluster's histogram holds right now, so
   // the next tick publishes a true interval percentile.
@@ -63,6 +69,8 @@ void GrafController::attach(sim::Cluster& cluster, Seconds until) {
   until_ = until;
   last_applied_qps_.assign(cluster.api_count(), 0.0);
   slo_dirty_ = true;
+  signal_lost_ = false;
+  set_degraded(false);
   // Kill any tick chain from a previous attach() (stale lambdas in the old
   // event queue must not keep double-solving against the new cluster), and
   // baseline the tail-latency snapshot at the moment of attachment.
@@ -73,27 +81,63 @@ void GrafController::attach(sim::Cluster& cluster, Seconds until) {
                                [this, generation] { tick(generation); });
 }
 
+void GrafController::set_degraded(bool on) {
+  degraded_ = on;
+  if (degraded_gauge_ != nullptr) degraded_gauge_->set(on ? 1.0 : 0.0);
+}
+
 void GrafController::tick(std::uint64_t generation) {
   if (generation != generation_) return;  // superseded by a newer attach()
   if (cluster_->now() > until_) return;
   ++ticks_;
   std::vector<Qps> qps(cluster_->api_count());
   bool changed = slo_dirty_;
+  bool had_signal = false;
   for (std::size_t a = 0; a < qps.size(); ++a) {
     qps[a] = cluster_->api_qps(static_cast<int>(a), cfg_.rate_window);
+    had_signal = had_signal || last_applied_qps_[a] > 0.0;
     const double denom = std::max(last_applied_qps_[a], 1e-9);
     if (std::abs(qps[a] - last_applied_qps_[a]) / denom > cfg_.change_threshold)
       changed = true;
   }
   double total = 0.0;
   for (double q : qps) total += q;
-  if (changed && total > 0.0) {
-    last_plan_ = controller_.plan(qps, cfg_.slo_ms);
-    ResourceController::apply(*cluster_, last_plan_);
-    last_applied_qps_ = qps;
-    slo_dirty_ = false;
-    ++solves_;
-    if (solves_total_ != nullptr) solves_total_->add();
+  if (total <= 0.0 && had_signal && solves_ > 0) {
+    // The workload signal vanished after we had one (telemetry blackout, not
+    // a quiet cluster that never spoke): hold the last plan rather than
+    // scale to a phantom zero, and say so.
+    if (!signal_lost_) {
+      signal_lost_ = true;
+      if (fault_signal_loss_ != nullptr) fault_signal_loss_->add();
+      set_degraded(true);
+    }
+    // Keep last_applied_qps_: when the signal returns near its old level the
+    // hysteresis band sees no spurious "change" and the loop just resumes.
+  } else {
+    if (signal_lost_) {
+      // Signal is back; the plan in force is whatever we last applied.
+      signal_lost_ = false;
+      set_degraded(last_plan_.degraded);
+    }
+    if (changed && total > 0.0) {
+      // A fault anywhere under plan/apply (solver blowup, shape race,
+      // cluster apply) must not unwind through the event loop and kill the
+      // autoscaler: a dead control loop is strictly worse than one more
+      // interval on the previous plan.
+      try {
+        last_plan_ = controller_.plan(qps, cfg_.slo_ms);
+        ResourceController::apply(*cluster_, last_plan_);
+        last_applied_qps_ = qps;
+        slo_dirty_ = false;
+        ++solves_;
+        if (solves_total_ != nullptr) solves_total_->add();
+        set_degraded(last_plan_.degraded);
+      } catch (const std::exception&) {
+        ++plan_failures_;
+        if (fault_exceptions_ != nullptr) fault_exceptions_->add();
+        set_degraded(true);  // retry on the next tick, on the old plan
+      }
+    }
   }
   if (slo_gauge_ != nullptr) slo_gauge_->set(cfg_.slo_ms);
   record_measured_tail();

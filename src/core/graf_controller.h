@@ -52,6 +52,13 @@ class GrafController : public autoscalers::Autoscaler {
   std::uint64_t ticks() const { return ticks_; }
   const AllocationPlan& last_plan() const { return last_plan_; }
 
+  /// The loop is currently coasting on a stale plan: the last plan was a
+  /// fallback, a tick threw, or the workload signal vanished mid-run
+  /// (telemetry blackout). Clears on the next clean solve.
+  bool degraded() const { return degraded_; }
+  /// Ticks whose plan/apply step threw (swallowed; loop kept alive).
+  std::uint64_t plan_failures() const { return plan_failures_; }
+
  private:
   void tick(std::uint64_t generation);
   void record_measured_tail();
@@ -66,14 +73,22 @@ class GrafController : public autoscalers::Autoscaler {
   Seconds until_ = 0.0;
   /// Bumped by every attach(); stale scheduled ticks check it and die.
   std::uint64_t generation_ = 0;
+  void set_degraded(bool on);
+
   std::vector<Qps> last_applied_qps_;
   AllocationPlan last_plan_;
   std::uint64_t solves_ = 0;
   std::uint64_t ticks_ = 0;
+  std::uint64_t plan_failures_ = 0;
   bool slo_dirty_ = true;
+  bool degraded_ = false;
+  bool signal_lost_ = false;  // degraded specifically because qps went dark
   telemetry::Counter* solves_total_ = nullptr;
+  telemetry::Counter* fault_exceptions_ = nullptr;
+  telemetry::Counter* fault_signal_loss_ = nullptr;
   telemetry::Gauge* slo_gauge_ = nullptr;
   telemetry::Gauge* measured_p99_ = nullptr;
+  telemetry::Gauge* degraded_gauge_ = nullptr;
   /// e2e histogram state at the previous tick, for interval percentiles.
   telemetry::HistogramSnapshot last_e2e_;
   bool have_last_e2e_ = false;

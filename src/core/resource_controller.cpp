@@ -28,6 +28,8 @@ void ResourceController::set_metrics(telemetry::MetricsRegistry* registry) {
     plan_timer_ = nullptr;
     plans_total_ = nullptr;
     solver_iterations_ = predicted_p99_ = scale_factor_ = planned_quota_ = nullptr;
+    degraded_gauge_ = saturated_gauge_ = nullptr;
+    fault_model_mismatch_ = fault_analyzer_ = fault_nan_ = fault_infeasible_ = nullptr;
   } else {
     plan_timer_ = &registry->histogram("core.plan_us");
     plans_total_ = &registry->counter("core.plans_total");
@@ -35,6 +37,14 @@ void ResourceController::set_metrics(telemetry::MetricsRegistry* registry) {
     predicted_p99_ = &registry->gauge("core.predicted_p99_ms");
     scale_factor_ = &registry->gauge("core.scale_factor");
     planned_quota_ = &registry->gauge("core.planned_quota_mc");
+    // Interned by name: GrafController's signal-loss path sets the same
+    // gauge instance, so "the control plane is degraded" is one signal.
+    degraded_gauge_ = &registry->gauge("core.degraded");
+    saturated_gauge_ = &registry->gauge("core.plan_saturated");
+    fault_model_mismatch_ = &registry->counter("faults.model_shape_mismatch");
+    fault_analyzer_ = &registry->counter("faults.analyzer_not_ready");
+    fault_nan_ = &registry->counter("faults.solver_nan");
+    fault_infeasible_ = &registry->counter("faults.solver_infeasible");
   }
   solver_.set_metrics(registry);
 }
@@ -48,9 +58,16 @@ void ResourceController::refresh_model() {
   if (handle_ == nullptr) return;
   std::shared_ptr<gnn::LatencyModel> current = handle_->acquire();
   if (current == nullptr || current.get() == model_) return;
-  if (current->node_count() != lo_.size())
-    throw std::invalid_argument{
-        "ResourceController: served model node count mismatch"};
+  if (current->node_count() != lo_.size()) {
+    // A registry published a model for a different topology. Throwing here
+    // used to take the whole control loop down mid-tick; instead keep the
+    // previously pinned (correct-shape) model and answer from the degraded
+    // path until a compatible model is served.
+    model_mismatch_ = true;
+    if (fault_model_mismatch_ != nullptr) fault_model_mismatch_->add();
+    return;
+  }
+  model_mismatch_ = false;
   pinned_ = std::move(current);
   model_ = pinned_.get();
   solver_.rebind(*model_);
@@ -69,9 +86,63 @@ void ResourceController::set_training_reference(const gnn::Dataset& train) {
       train_max_workload_[i] = std::max(train_max_workload_[i], s.workload[i]);
 }
 
+void ResourceController::set_max_instances(std::vector<int> max_instances) {
+  if (!max_instances.empty() && max_instances.size() != unit_.size())
+    throw std::invalid_argument{"ResourceController: max_instances dimension mismatch"};
+  for (int m : max_instances)
+    if (m < 1) throw std::invalid_argument{"ResourceController: max_instances must be >= 1"};
+  max_instances_ = std::move(max_instances);
+}
+
+AllocationPlan ResourceController::degraded_plan(telemetry::Counter* cause) {
+  ++degraded_plans_;
+  if (cause != nullptr) cause->add();
+  AllocationPlan plan;
+  if (have_last_good_) {
+    plan = last_good_;
+  } else {
+    // No feasible plan yet (fault before the first clean solve): provision
+    // at the hi bounds — the most conservative allocation inside the
+    // trained region, close to what a best-effort solve would land on.
+    const std::size_t n = lo_.size();
+    plan.quota = hi_;
+    plan.instances.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      plan.instances[i] =
+          std::max(1, static_cast<int>(std::ceil(plan.quota[i] / unit_[i])));
+      if (!max_instances_.empty())
+        plan.instances[i] = std::min(plan.instances[i], max_instances_[i]);
+    }
+    plan.feasible = false;
+  }
+  plan.degraded = true;
+  publish_plan(plan);
+  return plan;
+}
+
+void ResourceController::publish_plan(const AllocationPlan& plan) {
+  if (plans_total_ == nullptr) return;
+  plans_total_->add();
+  solver_iterations_->set(static_cast<double>(plan.solver.iterations));
+  predicted_p99_->set(plan.predicted_ms);
+  scale_factor_->set(plan.scale_factor);
+  double total_mc = 0.0;
+  for (double q : plan.quota) total_mc += q;
+  planned_quota_->set(total_mc);
+  degraded_gauge_->set(plan.degraded ? 1.0 : 0.0);
+  saturated_gauge_->set(plan.saturated ? 1.0 : 0.0);
+}
+
 AllocationPlan ResourceController::plan(std::span<const Qps> api_qps, double slo_ms) {
   telemetry::ScopedTimer plan_timer{plan_timer_};
   refresh_model();  // pick up any model hot-swapped since the last decision
+  if (model_mismatch_) return degraded_plan(fault_model_mismatch_);
+  if (!analyzer_.ready()) {
+    // No fan-out observed (tracing blackout since attach, or cold start):
+    // distribute() would place zero workload everywhere and the solve would
+    // starve every service.
+    return degraded_plan(fault_analyzer_);
+  }
   const std::size_t n = model_->node_count();
   std::vector<double> node_workload = analyzer_.distribute(api_qps);
 
@@ -89,23 +160,49 @@ AllocationPlan ResourceController::plan(std::span<const Qps> api_qps, double slo
   plan.scale_factor = k;
   plan.solver = solver_.solve(scaled, slo_ms, lo_, hi_);
   plan.predicted_ms = plan.solver.predicted_ms;
+
+  // A corrupted model (mid-fine-tune swap, numerical blowup) can hand back
+  // NaN/inf quotas or predictions; applying them would wreck the cluster.
+  bool finite = std::isfinite(plan.predicted_ms);
+  for (double q : plan.solver.quota) finite = finite && std::isfinite(q);
+  if (!finite) return degraded_plan(fault_nan_);
+
   plan.quota.assign(n, 0.0);
   plan.instances.assign(n, 0);
+  std::vector<double> clamped_scaled_quota(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     plan.quota[i] = plan.solver.quota[i] * k;
     // Eq. 7: round the continuous quota up to whole instance units.
     plan.instances[i] =
         std::max(1, static_cast<int>(std::ceil(plan.quota[i] / unit_[i])));
+    // Clamp to the replica cap here, where the prediction can follow, rather
+    // than letting Service::scale_to clamp silently after the fact.
+    if (!max_instances_.empty() && plan.instances[i] > max_instances_[i]) {
+      plan.instances[i] = max_instances_[i];
+      plan.quota[i] =
+          std::min(plan.quota[i], unit_[i] * static_cast<double>(max_instances_[i]));
+      plan.saturated = true;
+    }
+    clamped_scaled_quota[i] = plan.quota[i] / k;
   }
-  if (plans_total_ != nullptr) {
-    plans_total_->add();
-    solver_iterations_->set(static_cast<double>(plan.solver.iterations));
-    predicted_p99_->set(plan.predicted_ms);
-    scale_factor_->set(plan.scale_factor);
-    double total_mc = 0.0;
-    for (double q : plan.quota) total_mc += q;
-    planned_quota_->set(total_mc);
+  if (plan.saturated) {
+    // predicted_ms must describe the allocation that actually lands.
+    plan.predicted_ms = model_->predict(scaled, clamped_scaled_quota);
+    if (!std::isfinite(plan.predicted_ms)) return degraded_plan(fault_nan_);
   }
+
+  plan.feasible = plan.predicted_ms <= slo_ms;
+  if (!plan.feasible) {
+    // The solver itself reports this point misses the SLO: don't walk the
+    // cluster onto it when a feasible allocation is still in hand.
+    if (have_last_good_) return degraded_plan(fault_infeasible_);
+    if (fault_infeasible_ != nullptr) fault_infeasible_->add();
+    // Nothing to fall back on: apply the best effort, flagged infeasible.
+  } else {
+    last_good_ = plan;
+    have_last_good_ = true;
+  }
+  publish_plan(plan);
   return plan;
 }
 

@@ -10,6 +10,7 @@
 //     (Eq. 7), applied through the normal deployment pipeline.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
@@ -32,6 +33,15 @@ struct AllocationPlan {
   double predicted_ms = 0.0;       ///< model estimate at the *scaled* point
   double scale_factor = 1.0;       ///< k applied to workload and quota
   SolverResult solver;             ///< raw solver diagnostics
+  /// predicted_ms meets the SLO (at the clamped point when saturated).
+  bool feasible = true;
+  /// Some quota/replica count hit a cap (hi bound x k, or max_instances);
+  /// predicted_ms was re-evaluated at the clamped allocation.
+  bool saturated = false;
+  /// Fallback plan: the solve could not be trusted (NaN/infeasible result,
+  /// analyzer not ready, served-model shape mismatch) and the controller
+  /// reused its last feasible plan (or the hi-bound default) instead.
+  bool degraded = false;
 };
 
 class ResourceController {
@@ -45,6 +55,13 @@ class ResourceController {
   /// Record the per-node workload maxima of the training set (the "region
   /// where GNN is trained" that observed workloads are scaled into).
   void set_training_reference(const gnn::Dataset& train);
+
+  /// Per-service replica caps (the cluster's ServiceConfig::max_instances).
+  /// plan() clamps to these and re-predicts at the clamped point instead of
+  /// letting Service::scale_to silently clamp later — the published
+  /// predicted_ms must describe the allocation that actually lands. Empty
+  /// (the default) means uncapped.
+  void set_max_instances(std::vector<int> max_instances);
 
   /// Produce the allocation plan for observed per-API workloads and an SLO.
   AllocationPlan plan(std::span<const Qps> api_qps, double slo_ms);
@@ -66,12 +83,26 @@ class ResourceController {
 
   /// Publish planning telemetry: `core.plan_us` (wall time per plan()),
   /// `core.plans_total`, and gauges for the last plan's solver iterations,
-  /// predicted p99, scale factor, and total quota. Also forwards to the
-  /// solver's per-iteration profiling. nullptr detaches (default).
+  /// predicted p99, scale factor, and total quota; degraded-mode visibility
+  /// via the `core.degraded` / `core.plan_saturated` gauges and the
+  /// `faults.model_shape_mismatch` / `faults.analyzer_not_ready` /
+  /// `faults.solver_nan` / `faults.solver_infeasible` counters. Also
+  /// forwards to the solver's per-iteration profiling. nullptr detaches
+  /// (default).
   void set_metrics(telemetry::MetricsRegistry* registry);
+
+  /// Plans answered from the fallback path since construction.
+  std::uint64_t degraded_plans() const { return degraded_plans_; }
+  /// A feasible (non-degraded) plan exists to fall back on.
+  bool has_last_good() const { return have_last_good_; }
 
  private:
   void refresh_model();
+  /// Fallback: last feasible plan if one exists, else the hi-bound default
+  /// (quota = hi — the most conservative allocation inside the trained
+  /// region, approximating what a best-effort solve would reach).
+  AllocationPlan degraded_plan(telemetry::Counter* cause);
+  void publish_plan(const AllocationPlan& plan);
 
   gnn::LatencyModel* model_;
   ConfigurationSolver& solver_;
@@ -82,13 +113,26 @@ class ResourceController {
   std::vector<Millicores> lo_;
   std::vector<Millicores> hi_;
   std::vector<Millicores> unit_;
+  std::vector<int> max_instances_;  // empty = uncapped
   std::vector<double> train_max_workload_;
+  /// True while the served model's shape doesn't match this controller's
+  /// topology: plans degrade instead of solving through the wrong graph.
+  bool model_mismatch_ = false;
+  AllocationPlan last_good_;
+  bool have_last_good_ = false;
+  std::uint64_t degraded_plans_ = 0;
   telemetry::LogHistogram* plan_timer_ = nullptr;
   telemetry::Counter* plans_total_ = nullptr;
   telemetry::Gauge* solver_iterations_ = nullptr;
   telemetry::Gauge* predicted_p99_ = nullptr;
   telemetry::Gauge* scale_factor_ = nullptr;
   telemetry::Gauge* planned_quota_ = nullptr;
+  telemetry::Gauge* degraded_gauge_ = nullptr;
+  telemetry::Gauge* saturated_gauge_ = nullptr;
+  telemetry::Counter* fault_model_mismatch_ = nullptr;
+  telemetry::Counter* fault_analyzer_ = nullptr;
+  telemetry::Counter* fault_nan_ = nullptr;
+  telemetry::Counter* fault_infeasible_ = nullptr;
 };
 
 }  // namespace graf::core

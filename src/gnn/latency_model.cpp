@@ -207,7 +207,7 @@ TrainHistory LatencyModel::fit(const Dataset& train, const Dataset& val,
     if (cfg.lr_decay_every > 0 && it % cfg.lr_decay_every == 0)
       opt.set_learning_rate(opt.learning_rate() * cfg.lr_decay_factor);
 
-    if (it % cfg.eval_every == 0 || it == cfg.iterations) {
+    if ((cfg.eval_every > 0 && it % cfg.eval_every == 0) || it == cfg.iterations) {
       const double train_loss = running_loss / static_cast<double>(running_count);
       running_loss = 0.0;
       running_count = 0;

@@ -44,7 +44,7 @@ struct TrainConfig {
   double lr_decay_factor = 0.5;
   double theta_under = 0.3;  ///< quadratic bound, under-estimation side
   double theta_over = 0.1;   ///< quadratic bound, over-estimation side
-  std::size_t eval_every = 250;
+  std::size_t eval_every = 250;  ///< history cadence; 0 = final iteration only
   std::uint64_t seed = 1;
   bool select_best = true;  ///< restore best-validation weights after training
   /// Data-parallel sharding: each minibatch is split into ceil(batch_size /

@@ -92,12 +92,28 @@ void Cluster::set_metrics(telemetry::MetricsRegistry* registry) {
     t.qps = &reg.gauge("sim.qps", labels);
     t.creations = &reg.counter("sim.instance_creations", labels);
     t.drops = &reg.counter("sim.queue_drops", labels);
+    t.creation_failures = &reg.counter("sim.creation_failures", labels);
+    t.creation_retries = &reg.counter("sim.creation_retries", labels);
     t.local_latency = &reg.histogram("sim.service_latency_ms", labels);
-    // Counters pick up from the cluster's cumulative totals so a registry
-    // attached mid-run only reports what happens from now on.
+  }
+  // Counters pick up from the cluster's cumulative totals so a registry
+  // attached mid-run only reports what happens from now on.
+  resync_telemetry_baselines();
+}
+
+void Cluster::resync_telemetry_baselines() {
+  for (std::size_t s = 0; s < svc_tel_.size(); ++s) {
+    ServiceTelemetry& t = svc_tel_[s];
     t.last_creations = services_[s]->creations_started();
     t.last_drops = services_[s]->drops();
+    t.last_creation_failures = services_[s]->creation_failures();
+    t.last_creation_retries = services_[s]->creation_retries();
   }
+}
+
+void Cluster::set_telemetry_blackout(bool on) {
+  if (blackout_ && !on) blackout_resync_ = true;  // recovered: next tick resyncs
+  blackout_ = on;
 }
 
 double Cluster::sample_demand(const CallNode& node, const Service& svc) {
@@ -121,9 +137,11 @@ void Cluster::exec_node(const std::shared_ptr<Ctx>& ctx, const CallNode& node,
   svc.submit(
       work,
       [this, ctx, sid, np, shared_done](double local_ms) {
-        local_latency_[static_cast<std::size_t>(sid)].add(events_.now(), local_ms);
-        if (!svc_tel_.empty())
-          svc_tel_[static_cast<std::size_t>(sid)].local_latency->record(local_ms);
+        if (!blackout_) {
+          local_latency_[static_cast<std::size_t>(sid)].add(events_.now(), local_ms);
+          if (!svc_tel_.empty())
+            svc_tel_[static_cast<std::size_t>(sid)].local_latency->record(local_ms);
+        }
         run_stages(ctx, np, 0, [shared_done](bool ok) { (*shared_done)(ok); });
       },
       [shared_done] { (*shared_done)(false); }, ctx->deadline);
@@ -169,8 +187,12 @@ void Cluster::submit_request(int api, CompletionFn on_complete) {
                                        std::move(on_complete)});
   ++submitted_;
   ++inflight_;
-  if (tel_submitted_ != nullptr) tel_submitted_->add();
-  api_arrivals_[static_cast<std::size_t>(api)].add(events_.now(), 1.0);
+  // Everything below the ground-truth counters is observability-plane:
+  // a telemetry blackout starves it, while the cluster itself keeps serving.
+  if (!blackout_) {
+    if (tel_submitted_ != nullptr) tel_submitted_->add();
+    api_arrivals_[static_cast<std::size_t>(api)].add(events_.now(), 1.0);
+  }
   exec_node(ctx, apis_[static_cast<std::size_t>(api)].root, [this, ctx](bool ok) {
     // A response that arrives after the client timeout is a failure too.
     ok = ok && events_.now() <= ctx->deadline;
@@ -178,27 +200,49 @@ void Cluster::submit_request(int api, CompletionFn on_complete) {
                           std::move(ctx->visits)};
     if (inflight_ > 0) --inflight_;
     if (ok) {
+      // Exact e2e windows are the experiments' ground truth — they see
+      // through blackouts (the harness measures reality, not Prometheus).
       e2e_all_.add(events_.now(), t.e2e_ms());
       e2e_latency_[static_cast<std::size_t>(ctx->api)].add(events_.now(), t.e2e_ms());
       ++completed_;
-      if (e2e_hist_ != nullptr) {
+      if (e2e_hist_ != nullptr && !blackout_) {
         e2e_hist_->record(t.e2e_ms());
         e2e_api_hist_[static_cast<std::size_t>(ctx->api)]->record(t.e2e_ms());
         tel_completed_->add();
       }
     } else {
       ++failed_;
-      if (tel_failed_ != nullptr) tel_failed_->add();
+      if (tel_failed_ != nullptr && !blackout_) tel_failed_->add();
     }
     if (ctx->on_complete) ctx->on_complete(t);
     // Only complete executions inform the workload analyzer's fan-out.
-    if (ok) tracer_.record(std::move(t));
+    if (ok && !blackout_) tracer_.record(std::move(t));
   });
 }
 
 void Cluster::metrics_tick() {
   const Seconds now = events_.now();
   const double dt = cfg_.metrics_interval;
+  if (blackout_) {
+    // Scrape lost: publish nothing, keep the ticker alive. Deltas and CPU
+    // usage accumulate in the services until the resync tick below.
+    events_.schedule_in(dt, [this] { metrics_tick(); });
+    return;
+  }
+  if (blackout_resync_) {
+    // First tick after a blackout: the accumulated interval would otherwise
+    // be misattributed to one dt-sized sample (a huge fake spike). Discard
+    // the dark interval's usage and counter deltas; fresh points resume on
+    // the next tick.
+    blackout_resync_ = false;
+    for (std::size_t s = 0; s < services_.size(); ++s) {
+      services_[s]->drain_cpu_core_seconds();
+      last_arrivals_[s] = services_[s]->arrivals();
+    }
+    resync_telemetry_baselines();
+    events_.schedule_in(dt, [this] { metrics_tick(); });
+    return;
+  }
   for (std::size_t s = 0; s < services_.size(); ++s) {
     Service& svc = *services_[s];
     ServicePoint p;
@@ -207,8 +251,14 @@ void Cluster::metrics_tick() {
     last_arrivals_[s] = svc.arrivals();
     p.cpu_cores = svc.drain_cpu_core_seconds() / dt;
     // Utilization against the Kubernetes *request* (limit * request_factor):
-    // bursting instances report >100%, exactly as cAdvisor/HPA see it.
-    const double requested = cores(svc.total_quota()) * svc.config().request_factor;
+    // bursting instances report >100%, exactly as cAdvisor/HPA see it. The
+    // denominator must cover every pod that can appear in the numerator —
+    // retiring (terminating-but-draining) pods still burn CPU, and cAdvisor
+    // still scrapes them, so their requests count too. Excluding them made
+    // utilization spike past ready capacity during scale-downs and tricked
+    // the HPA into immediate re-upscale.
+    const double requested =
+        cores(svc.total_quota() + svc.retiring_quota()) * svc.config().request_factor;
     p.utilization = requested > 0.0 ? p.cpu_cores / requested : 0.0;
     p.ready = svc.ready_count();
     p.creating = svc.creating_count();
@@ -228,6 +278,12 @@ void Cluster::metrics_tick() {
       t.last_creations = svc.creations_started();
       t.drops->add(static_cast<double>(svc.drops() - t.last_drops));
       t.last_drops = svc.drops();
+      t.creation_failures->add(
+          static_cast<double>(svc.creation_failures() - t.last_creation_failures));
+      t.last_creation_failures = svc.creation_failures();
+      t.creation_retries->add(
+          static_cast<double>(svc.creation_retries() - t.last_creation_retries));
+      t.last_creation_retries = svc.creation_retries();
     }
   }
   events_.schedule_in(dt, [this] { metrics_tick(); });
@@ -255,6 +311,14 @@ double Cluster::qps_avg(int s, Seconds horizon) const {
     ++n;
   }
   return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+std::size_t Cluster::series_count_since(int s, Seconds horizon) const {
+  const auto& ring = series_.at(static_cast<std::size_t>(s));
+  const Seconds since = events_.now() - horizon;
+  std::size_t n = 0;
+  for (auto it = ring.rbegin(); it != ring.rend() && it->time >= since; ++it) ++n;
+  return n;
 }
 
 int Cluster::total_ready_instances() const {

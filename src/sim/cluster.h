@@ -99,6 +99,17 @@ class Cluster {
   void set_demand_scale(double s) { demand_scale_ = s; }
   double demand_scale() const { return demand_scale_; }
 
+  /// Fault injection: black out the observability plane. While active, the
+  /// metrics ticker publishes nothing (series and telemetry gauges gap),
+  /// traces are not recorded, api_qps() sees no new arrivals, and the e2e /
+  /// per-service latency histograms stop recording. Ground-truth experiment
+  /// counters (submitted/completed/failed) and the exact e2e latency windows
+  /// keep running — the cluster still works; only its sensors go dark.
+  /// On recovery the ticker resynchronizes its deltas so the blackout
+  /// interval's backlog is discarded, not misattributed to one sample.
+  void set_telemetry_blackout(bool on);
+  bool telemetry_blackout() const { return blackout_; }
+
   // -- observability ----------------------------------------------------------
 
   /// Attach a telemetry registry: the metrics ticker then publishes
@@ -136,6 +147,10 @@ class Cluster {
   double utilization_avg(int s, Seconds horizon) const;
   /// Perceived qps of service `s` over the last `horizon` seconds.
   double qps_avg(int s, Seconds horizon) const;
+  /// Metric points of service `s` within the last `horizon` seconds — lets
+  /// metric consumers distinguish "no data" (blackout) from "data says 0".
+  std::size_t series_count_since(int s, Seconds horizon) const;
+  Seconds metrics_interval() const { return cfg_.metrics_interval; }
 
   /// Ready instances summed over all services.
   int total_ready_instances() const;
@@ -179,15 +194,25 @@ class Cluster {
     telemetry::Gauge* qps = nullptr;
     telemetry::Counter* creations = nullptr;
     telemetry::Counter* drops = nullptr;
+    telemetry::Counter* creation_failures = nullptr;
+    telemetry::Counter* creation_retries = nullptr;
     telemetry::LogHistogram* local_latency = nullptr;
     std::uint64_t last_creations = 0;
     std::uint64_t last_drops = 0;
+    std::uint64_t last_creation_failures = 0;
+    std::uint64_t last_creation_retries = 0;
   };
+
+  /// Advance every per-service telemetry delta baseline to the current
+  /// cumulative totals (registry attach, blackout recovery).
+  void resync_telemetry_baselines();
 
   ClusterConfig cfg_;
   EventQueue events_;
   Rng rng_;
   double demand_scale_ = 1.0;
+  bool blackout_ = false;
+  bool blackout_resync_ = false;  // first post-blackout tick must resync deltas
   Deployment deployment_;
   std::vector<std::unique_ptr<Service>> services_;
   std::vector<Api> apis_;

@@ -12,7 +12,8 @@ Deployment::Deployment(EventQueue& events, CreationModel model)
   nodes_.resize(static_cast<std::size_t>(model.nodes));
 }
 
-std::uint64_t Deployment::request_creation(std::function<void()> on_ready) {
+std::uint64_t Deployment::request_creation(std::function<void()> on_ready,
+                                           std::function<void()> on_fail) {
   const Seconds now = events_.now();
   // Place on the least-backlogged node's pipeline.
   std::size_t best = 0;
@@ -28,17 +29,30 @@ std::uint64_t Deployment::request_creation(std::function<void()> on_ready) {
     // serialize behind the most recent completion slot.
     ready = std::max(node.last_ready, now) + model_.per_extra;
   }
+  ready += fault_.extra_delay;  // injected slow-pull latency
   node.last_ready = ready;
   ++node.pending;
   const std::uint64_t ticket = next_ticket_++;
-  pending_.emplace(ticket, std::make_pair(std::move(on_ready), best));
-  events_.schedule_at(ready, [this, ticket] {
+  // Fault shape is captured at request time: pulls that started before an
+  // outage clears still fail, pulls requested after it clears succeed.
+  const bool fails = fault_.fail;
+  pending_.emplace(ticket,
+                   PendingCreation{std::move(on_ready), std::move(on_fail), best});
+  const Seconds fire_at = fails ? now + fault_.fail_after : ready;
+  events_.schedule_at(fire_at, [this, ticket, fails] {
     auto it = pending_.find(ticket);
     if (it == pending_.end()) return;  // cancelled
-    auto [fn, node_idx] = std::move(it->second);
+    PendingCreation pc = std::move(it->second);
     pending_.erase(it);
-    if (nodes_[node_idx].pending > 0) --nodes_[node_idx].pending;
-    fn();
+    if (nodes_[pc.node].pending > 0) --nodes_[pc.node].pending;
+    if (fails) {
+      ++failures_;
+      // The doomed pull still burned its pipeline slot (last_ready stays
+      // advanced), matching kubelet backoff behaviour under registry outages.
+      if (pc.on_fail) pc.on_fail();
+    } else {
+      pc.on_ready();
+    }
   });
   return ticket;
 }
@@ -46,7 +60,7 @@ std::uint64_t Deployment::request_creation(std::function<void()> on_ready) {
 void Deployment::cancel(std::uint64_t ticket) {
   auto it = pending_.find(ticket);
   if (it == pending_.end()) return;
-  const std::size_t node_idx = it->second.second;
+  const std::size_t node_idx = it->second.node;
   if (nodes_[node_idx].pending > 0) --nodes_[node_idx].pending;
   pending_.erase(it);
   // The pipeline slot itself stays occupied (the pull already started),

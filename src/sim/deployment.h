@@ -30,20 +30,44 @@ struct CreationModel {
   int nodes = 6;
 };
 
+/// Fault-injection shape for the creation pipeline (chaos: registry outage,
+/// image-pull failure, kubelet pressure). Applied to creations *requested*
+/// while a fault window is active — matching real outages, where pulls that
+/// started before the outage usually finish.
+struct CreationFault {
+  /// When true, affected creations never become ready: after `fail_after`
+  /// seconds the requester's failure callback fires instead.
+  bool fail = false;
+  Seconds fail_after = 10.0;
+  /// Extra startup latency added on top of the pipeline model (slow pulls).
+  Seconds extra_delay = 0.0;
+};
+
 class Deployment {
  public:
   Deployment(EventQueue& events, CreationModel model);
 
   /// Request one instance creation; `on_ready` fires when it becomes ready.
+  /// `on_fail` (optional) fires instead if the creation fails under an
+  /// injected fault; a ticket that failed will never fire `on_ready`.
   /// Returns a ticket usable with cancel().
-  std::uint64_t request_creation(std::function<void()> on_ready);
+  std::uint64_t request_creation(std::function<void()> on_ready,
+                                 std::function<void()> on_fail = {});
 
   /// Cancel a pending creation. No-op when already completed. (The
   /// cancelled slot still occupies the pipeline — matching kubelet, which
   /// has already begun the pull when a scale-down arrives.)
   void cancel(std::uint64_t ticket);
 
+  /// Fault injection: creations requested from now on are shaped by
+  /// `fault` until clear_creation_fault() is called.
+  void set_creation_fault(CreationFault fault) { fault_ = fault; }
+  void clear_creation_fault() { fault_ = CreationFault{}; }
+  const CreationFault& creation_fault() const { return fault_; }
+
   std::size_t in_flight() const { return pending_.size(); }
+  /// Creations that fired their failure callback (lifetime total).
+  std::uint64_t failures() const { return failures_; }
 
   /// Fig. 1 closed form: time for a batch of n requested at once *on one
   /// node* (how the paper measured it).
@@ -54,14 +78,19 @@ class Deployment {
     Seconds last_ready = -1.0;
     std::size_t pending = 0;
   };
+  struct PendingCreation {
+    std::function<void()> on_ready;
+    std::function<void()> on_fail;
+    std::size_t node;
+  };
 
   EventQueue& events_;
   CreationModel model_;
   std::vector<Node> nodes_;
   std::uint64_t next_ticket_ = 1;
-  /// ticket -> (callback, node index)
-  std::unordered_map<std::uint64_t, std::pair<std::function<void()>, std::size_t>>
-      pending_;
+  std::uint64_t failures_ = 0;
+  CreationFault fault_;
+  std::unordered_map<std::uint64_t, PendingCreation> pending_;
 };
 
 }  // namespace graf::sim

@@ -1,0 +1,145 @@
+// Deterministic chaos engine for the simulated cluster.
+//
+// GRAF's value proposition is keeping the p99 SLO through the moments a
+// cluster is least trustworthy (Fig. 1, Fig. 21-22) — so the simulator must
+// be able to make the substrate untrustworthy on purpose. The injector
+// schedules four fault classes on the cluster's own event clock:
+//
+//   kInstanceCrash      kill one ready instance; in-flight jobs abort or
+//                       re-queue; the replica set self-heals (Service).
+//   kCreationOutage     Deployment creations fail after a timeout or come up
+//                       late (registry outage / kubelet pressure) for a
+//                       window.
+//   kCpuThrottle        a service's effective CPU is squeezed by a factor
+//                       for a window (node pressure / noisy neighbor),
+//                       invisible to the utilization denominator.
+//   kTelemetryBlackout  the observability plane goes dark for a window
+//                       (metrics ticker, tracer, api_qps all gap) while the
+//                       cluster keeps serving.
+//
+// Determinism contract (DESIGN.md §3.7/§3.8): generate() is a pure function
+// of (FaultScheduleConfig, service_count) — it never reads the cluster or
+// the wall clock, and each fault class draws from its own derive_seed
+// stream, so two runs at the same seed replay bit-identical fault schedules
+// at any thread count. Random choices that depend on runtime state (which
+// instance to crash) are pre-drawn as raw u64 picks and reduced modulo the
+// live state at fire time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/cluster.h"
+#include "sim/service.h"
+#include "telemetry/metrics.h"
+
+namespace graf::sim {
+
+/// One scheduled fault. Windowed classes (outage/throttle/blackout) end at
+/// `at + duration`; crashes are instantaneous.
+struct FaultEvent {
+  enum class Kind { kInstanceCrash, kCreationOutage, kCpuThrottle, kTelemetryBlackout };
+
+  Kind kind = Kind::kInstanceCrash;
+  Seconds at = 0.0;
+  Seconds duration = 0.0;
+  /// Target service (crash/throttle); -1 for cluster-wide classes.
+  int service = -1;
+  /// Pre-drawn raw random, reduced against live state at fire time
+  /// (crash victim selection).
+  std::uint64_t pick = 0;
+  /// CPU capacity factor in (0, 1] while a throttle window is active.
+  double factor = 1.0;
+  CrashMode crash_mode = CrashMode::kRequeue;
+  /// Creation-outage shape (see sim::CreationFault).
+  bool creation_fail = true;
+  Seconds creation_fail_after = 10.0;
+  Seconds creation_extra_delay = 0.0;
+};
+
+/// Poisson-process fault mix over [from, until); rates are per minute.
+/// generate() maps this to a concrete schedule, purely.
+struct FaultScheduleConfig {
+  std::uint64_t seed = 97;
+  Seconds from = 0.0;
+  Seconds until = 600.0;
+
+  double crash_per_min = 0.0;
+  /// Fraction of crashes that abort in-flight jobs (the rest re-queue).
+  double crash_abort_fraction = 0.5;
+
+  double creation_outage_per_min = 0.0;
+  Seconds creation_outage_duration = 45.0;
+  Seconds creation_fail_after = 10.0;
+  Seconds creation_extra_delay = 0.0;
+
+  double throttle_per_min = 0.0;
+  Seconds throttle_duration = 60.0;
+  double throttle_factor_lo = 0.3;
+  double throttle_factor_hi = 0.7;
+
+  double blackout_per_min = 0.0;
+  Seconds blackout_duration = 30.0;
+};
+
+/// Schedules FaultEvents onto a cluster's event queue and applies/undoes
+/// them at fire time, bumping `faults.*` counters and the `faults.active`
+/// gauge when a registry is attached. The injector must outlive the run
+/// (events hold a pointer to it).
+class FaultInjector {
+ public:
+  explicit FaultInjector(Cluster& cluster);
+
+  /// Pure schedule synthesis: (config, service_count) -> events, sorted by
+  /// fire time. Never touches a cluster, the wall clock, or global state.
+  static std::vector<FaultEvent> generate(const FaultScheduleConfig& cfg,
+                                          std::size_t service_count);
+
+  // -- explicit fault construction (tests, bespoke drills) ------------------
+  void crash_instance(Seconds at, int service, std::uint64_t pick, CrashMode mode);
+  void degrade_creations(Seconds at, Seconds duration, bool fail,
+                         Seconds fail_after, Seconds extra_delay);
+  void throttle_cpu(Seconds at, Seconds duration, int service, double factor);
+  void blackout_telemetry(Seconds at, Seconds duration);
+  void add(const FaultEvent& ev) { schedule_.push_back(ev); }
+  void add(const std::vector<FaultEvent>& evs) {
+    schedule_.insert(schedule_.end(), evs.begin(), evs.end());
+  }
+
+  /// Install the accumulated schedule on the cluster's event queue. Call
+  /// once, before running; events in the past are dropped.
+  void arm();
+
+  /// Register `faults.*` counters and the `faults.active` gauge.
+  void set_metrics(telemetry::MetricsRegistry* registry);
+
+  const std::vector<FaultEvent>& schedule() const { return schedule_; }
+  std::size_t fired() const { return fired_; }
+
+ private:
+  void fire(const FaultEvent& ev);
+  void expire(const FaultEvent& ev);
+  void set_active_delta(int delta);
+  /// Recompute and apply a service's composite throttle factor.
+  void apply_throttle(int service);
+
+  Cluster& cluster_;
+  std::vector<FaultEvent> schedule_;
+  bool armed_ = false;
+  std::size_t fired_ = 0;
+  int active_ = 0;
+  /// Overlap bookkeeping: concurrently active windows stack (throttles
+  /// multiply; outages/blackouts clear when the last window ends).
+  std::vector<std::vector<double>> active_throttles_;  // per service
+  int active_outages_ = 0;
+  int active_blackouts_ = 0;
+
+  telemetry::Counter* crashes_ = nullptr;
+  telemetry::Counter* outages_ = nullptr;
+  telemetry::Counter* throttles_ = nullptr;
+  telemetry::Counter* blackouts_ = nullptr;
+  telemetry::Gauge* active_gauge_ = nullptr;
+};
+
+}  // namespace graf::sim

@@ -18,7 +18,7 @@ Instance::Instance(std::uint64_t id, double quota_cores, EventQueue& events)
 
 double Instance::job_rate() const {
   if (jobs_.empty()) return 0.0;
-  return std::min(quota_ / static_cast<double>(jobs_.size()), 1.0);
+  return std::min(quota_ * throttle_ / static_cast<double>(jobs_.size()), 1.0);
 }
 
 void Instance::advance() {
@@ -39,11 +39,26 @@ void Instance::set_quota_cores(double cores) {
   schedule_next_completion();
 }
 
-void Instance::add_job(double work_core_seconds, std::function<void()> on_done) {
+void Instance::set_throttle(double factor) {
+  if (factor <= 0.0 || factor > 1.0)
+    throw std::invalid_argument{"Instance: throttle factor must be in (0, 1]"};
+  advance();
+  throttle_ = factor;
+  schedule_next_completion();
+}
+
+void Instance::add_job(double work_core_seconds, std::function<void()> on_done,
+                       std::function<void()> on_abort) {
   if (work_core_seconds <= 0.0) work_core_seconds = kWorkEps;
   advance();
-  jobs_.push_back(Job{work_core_seconds, std::move(on_done)});
+  jobs_.push_back(Job{work_core_seconds, std::move(on_done), std::move(on_abort)});
   schedule_next_completion();
+}
+
+std::vector<Instance::Job> Instance::take_jobs() {
+  advance();
+  ++epoch_;  // any scheduled completion check is now stale
+  return std::exchange(jobs_, {});
 }
 
 void Instance::schedule_next_completion() {

@@ -22,6 +22,15 @@ namespace graf::sim {
 
 class Instance {
  public:
+  struct Job {
+    double remaining;  // core-seconds
+    std::function<void()> on_done;
+    /// Failure path: fired when the job is killed by an instance crash in
+    /// abort mode (or shed after a crash re-queue). Never fired by
+    /// clear_jobs(), which is experiment hygiene, not a fault.
+    std::function<void()> on_abort;
+  };
+
   /// on_job_done(instance) lets the owning Service dispatch queued work.
   Instance(std::uint64_t id, double quota_cores, EventQueue& events);
 
@@ -41,9 +50,23 @@ class Instance {
   /// Change quota (vertical scaling); resident jobs re-share immediately.
   void set_quota_cores(double cores);
 
+  /// Fault injection: scale the effective CPU capacity by `factor` in
+  /// (0, 1] — a node-level cgroup throttle the instance cannot see in its
+  /// own quota (utilization metrics keep the unthrottled denominator,
+  /// exactly as cAdvisor would). Resident jobs re-share immediately.
+  void set_throttle(double factor);
+  double throttle() const { return throttle_; }
+
   /// Enqueue `work` core-seconds of CPU; `on_done` fires at completion.
   /// The caller (Service) is responsible for concurrency admission.
-  void add_job(double work_core_seconds, std::function<void()> on_done);
+  /// `on_abort` (optional) fires instead if the job dies with the instance.
+  void add_job(double work_core_seconds, std::function<void()> on_done,
+               std::function<void()> on_abort = {});
+
+  /// Crash support: strip all resident jobs (with their callbacks intact)
+  /// so the owning Service can abort or re-queue them. Scheduled completion
+  /// checks are invalidated; CPU accounting up to now is kept.
+  std::vector<Job> take_jobs();
 
   /// Core-seconds consumed since the last drain (for utilization metrics).
   double drain_cpu_usage();
@@ -56,11 +79,6 @@ class Instance {
   double job_rate() const;
 
  private:
-  struct Job {
-    double remaining;  // core-seconds
-    std::function<void()> on_done;
-  };
-
   /// Advance resident jobs' remaining work to the current clock.
   void advance();
   /// (Re)schedule the completion check for the earliest-finishing job.
@@ -69,6 +87,7 @@ class Instance {
 
   std::uint64_t id_;
   double quota_;
+  double throttle_ = 1.0;  // fault-injected capacity factor, (0, 1]
   EventQueue& events_;
   bool ready_ = false;
   bool retiring_ = false;

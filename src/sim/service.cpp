@@ -1,6 +1,7 @@
 #include "sim/service.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -17,6 +18,7 @@ void Service::bootstrap(int n) {
   for (int i = 0; i < n; ++i) {
     auto inst = std::make_unique<Instance>(next_instance_id_++, cores(cfg_.unit_quota), events_);
     inst->set_ready();
+    if (cpu_throttle_ != 1.0) inst->set_throttle(cpu_throttle_);
     instances_.push_back(std::move(inst));
   }
   target_ = ready_count() + creating_count();
@@ -26,6 +28,10 @@ int Service::ready_count() const { return static_cast<int>(instances_.size()); }
 
 Millicores Service::total_quota() const {
   return cfg_.unit_quota * static_cast<double>(instances_.size());
+}
+
+Millicores Service::retiring_quota() const {
+  return cfg_.unit_quota * static_cast<double>(retiring_.size());
 }
 
 std::size_t Service::active_jobs() const {
@@ -49,24 +55,29 @@ void Service::submit(double work_core_ms, std::function<void(double)> on_done,
   ++arrivals_;
   const Seconds admitted = events_.now();
   if (Instance* inst = pick_instance()) {
-    start_job(*inst, work_core_ms, admitted, std::move(on_done));
+    // The job's drop path doubles as its crash-abort path once dispatched.
+    start_job(*inst, work_core_ms, admitted, std::move(on_done), std::move(on_drop));
   } else {
     queue_.push_back(Pending{work_core_ms, admitted, deadline, std::move(on_done),
-                             std::move(on_drop)});
+                             std::move(on_drop), {}});
   }
 }
 
 void Service::start_job(Instance& inst, double work_core_ms, Seconds admitted,
-                        std::function<void(double)> on_done) {
+                        std::function<void(double)> on_done,
+                        std::function<void()> on_abort) {
   auto done = std::move(on_done);
-  inst.add_job(work_core_ms / 1000.0, [this, admitted, cb = std::move(done)] {
-    ++completions_;
-    const double latency_ms = (events_.now() - admitted) * 1000.0;
-    // Free the worker slot for queued jobs before surfacing completion.
-    pump();
-    reap_retired();
-    cb(latency_ms);
-  });
+  inst.add_job(
+      work_core_ms / 1000.0,
+      [this, admitted, cb = std::move(done)] {
+        ++completions_;
+        const double latency_ms = (events_.now() - admitted) * 1000.0;
+        // Free the worker slot for queued jobs before surfacing completion.
+        pump();
+        reap_retired();
+        cb(latency_ms);
+      },
+      std::move(on_abort));
 }
 
 void Service::pump() {
@@ -85,7 +96,14 @@ void Service::pump() {
     if (inst == nullptr) return;
     Pending p = std::move(queue_.front());
     queue_.pop_front();
-    start_job(*inst, p.work_core_ms, p.enqueued, std::move(p.on_done));
+    if (p.resume_done) {
+      // Crash-requeued job: its original completion wrapper rides along.
+      inst->add_job(p.work_core_ms / 1000.0, std::move(p.resume_done),
+                    std::move(p.on_drop));
+    } else {
+      start_job(*inst, p.work_core_ms, p.enqueued, std::move(p.on_done),
+                std::move(p.on_drop));
+    }
   }
 }
 
@@ -93,17 +111,84 @@ void Service::reap_retired() {
   std::erase_if(retiring_, [](const std::unique_ptr<Instance>& i) { return i->idle(); });
 }
 
-void Service::request_one_creation() {
-  const std::uint64_t ticket = deployment_.request_creation([this] {
-    // The ticket has fired; forget it, then bring the instance up.
-    if (!creations_.empty()) creations_.erase(creations_.begin());
-    auto inst = std::make_unique<Instance>(next_instance_id_++, cores(cfg_.unit_quota), events_);
-    inst->set_ready();
-    instances_.push_back(std::move(inst));
-    pump();
-  });
+void Service::request_one_creation(int attempt) {
+  // Tickets can fire out of FIFO order across Deployment node pipelines, so
+  // the callbacks must name the exact ticket they belong to. The ticket id is
+  // only known after request_creation returns, but events can't fire during
+  // the call — a shared box filled in right after is race-free.
+  auto ticket_box = std::make_shared<std::uint64_t>(0);
+  const std::uint64_t ticket = deployment_.request_creation(
+      [this, ticket_box] { on_creation_ready(*ticket_box); },
+      [this, ticket_box, attempt] { on_creation_failed(*ticket_box, attempt); });
+  *ticket_box = ticket;
   creations_.push_back(ticket);
   ++creations_started_;
+}
+
+void Service::on_creation_ready(std::uint64_t ticket) {
+  auto it = std::find(creations_.begin(), creations_.end(), ticket);
+  if (it != creations_.end()) creations_.erase(it);
+  auto inst = std::make_unique<Instance>(next_instance_id_++, cores(cfg_.unit_quota), events_);
+  inst->set_ready();
+  if (cpu_throttle_ != 1.0) inst->set_throttle(cpu_throttle_);
+  instances_.push_back(std::move(inst));
+  pump();
+}
+
+void Service::on_creation_failed(std::uint64_t ticket, int attempt) {
+  auto it = std::find(creations_.begin(), creations_.end(), ticket);
+  if (it != creations_.end()) creations_.erase(it);
+  ++creation_failures_;
+  if (attempt >= cfg_.creation_max_retries) return;  // give up; next plan re-reconciles
+  if (ready_count() + creating_count() >= target_) return;  // scaled down meanwhile
+  const Seconds delay = std::min(
+      cfg_.creation_retry_backoff * std::pow(2.0, static_cast<double>(attempt)),
+      cfg_.creation_retry_backoff_cap);
+  events_.schedule_in(delay, [this, next = attempt + 1] {
+    // Re-check at fire time: a scale-down may have landed during the backoff.
+    if (ready_count() + creating_count() >= target_) return;
+    ++creation_retries_;
+    request_one_creation(next);
+  });
+}
+
+void Service::crash_one(std::uint64_t pick, CrashMode mode) {
+  if (instances_.empty()) return;
+  const std::size_t idx = static_cast<std::size_t>(pick % instances_.size());
+  auto victim = std::move(instances_[idx]);
+  instances_.erase(instances_.begin() + static_cast<std::ptrdiff_t>(idx));
+  ++crashes_;
+  auto jobs = victim->take_jobs();
+  victim.reset();  // pod gone; its liveness token no-ops queued events
+  if (mode == CrashMode::kAbort) {
+    for (auto& j : jobs) {
+      ++aborted_jobs_;
+      if (j.on_abort) j.on_abort();
+    }
+  } else {
+    // Push to the queue front in reverse so the original dispatch order is
+    // preserved. Remaining work is kept; the fresh enqueue time restarts the
+    // queue-timeout clock (the client is still waiting either way — its
+    // end-to-end deadline, if any, already fired through on_drop upstream).
+    const Seconds now = events_.now();
+    for (auto jt = jobs.rbegin(); jt != jobs.rend(); ++jt) {
+      ++requeued_jobs_;
+      queue_.push_front(Pending{jt->remaining * 1000.0, now,
+                                std::numeric_limits<double>::infinity(),
+                                {}, std::move(jt->on_abort), std::move(jt->on_done)});
+    }
+  }
+  // ReplicaSet self-heal: replace crashed capacity up to the declared target.
+  while (ready_count() + creating_count() < target_) request_one_creation();
+  pump();
+}
+
+void Service::set_cpu_throttle(double factor) {
+  if (factor <= 0.0 || factor > 1.0)
+    throw std::invalid_argument{"Service: cpu throttle must be in (0, 1]"};
+  cpu_throttle_ = factor;
+  for (auto& inst : instances_) inst->set_throttle(factor);
+  for (auto& inst : retiring_) inst->set_throttle(factor);
 }
 
 void Service::scale_to(int target) {

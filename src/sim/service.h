@@ -38,6 +38,18 @@ struct ServiceConfig {
   /// against the request — which is how real HPAs see >100% utilization and
   /// ramp fast under saturation.
   double request_factor = 0.5;
+  /// Failed instance creations (fault-injected registry outages) are retried
+  /// up to this many times with bounded exponential backoff, like a
+  /// ReplicaSet controller re-reconciling after pod-start failures.
+  int creation_max_retries = 3;
+  Seconds creation_retry_backoff = 1.0;
+  Seconds creation_retry_backoff_cap = 30.0;
+};
+
+/// What happens to a crashed instance's in-flight jobs.
+enum class CrashMode {
+  kAbort,    ///< jobs die with the pod; each request's failure path fires
+  kRequeue,  ///< jobs re-enter the admission queue with remaining work kept
 };
 
 class Service {
@@ -74,6 +86,20 @@ class Service {
   void set_unit_quota(Millicores mc);
   Millicores unit_quota() const { return cfg_.unit_quota; }
 
+  // -- fault injection -----------------------------------------------------
+
+  /// Kill one ready instance (chosen by `pick % ready_count()` so the
+  /// injector's pre-drawn random stays valid whatever the current replica
+  /// count). In-flight jobs abort or re-queue per `mode`; the replica set
+  /// self-heals by requesting replacements up to target_count().
+  void crash_one(std::uint64_t pick, CrashMode mode);
+
+  /// Node-level CPU throttle applied to every current and future instance
+  /// (factor in (0, 1]; 1.0 restores full speed). Invisible to the
+  /// utilization denominator, like a cgroup squeeze under node pressure.
+  void set_cpu_throttle(double factor);
+  double cpu_throttle() const { return cpu_throttle_; }
+
   int ready_count() const;
   int creating_count() const { return static_cast<int>(creations_.size()); }
   int retiring_count() const { return static_cast<int>(retiring_.size()); }
@@ -81,6 +107,10 @@ class Service {
   int target_count() const { return target_; }
   /// Total CPU quota across ready instances (millicores).
   Millicores total_quota() const;
+  /// Quota still held by retiring (draining) instances. Utilization must be
+  /// measured against ready + retiring quota, since drain_cpu_core_seconds()
+  /// includes retiring instances' usage.
+  Millicores retiring_quota() const;
 
   std::size_t queue_length() const { return queue_.size(); }
   std::size_t active_jobs() const;
@@ -103,6 +133,12 @@ class Service {
   /// (telemetry's `sim.instance_creations`; cancelled ones still count —
   /// the pipeline slot was consumed either way).
   std::uint64_t creations_started() const { return creations_started_; }
+  /// Fault-path counters (cumulative).
+  std::uint64_t crashes() const { return crashes_; }
+  std::uint64_t aborted_jobs() const { return aborted_jobs_; }
+  std::uint64_t requeued_jobs() const { return requeued_jobs_; }
+  std::uint64_t creation_failures() const { return creation_failures_; }
+  std::uint64_t creation_retries() const { return creation_retries_; }
 
  private:
   struct Pending {
@@ -111,14 +147,22 @@ class Service {
     Seconds deadline;
     std::function<void(double)> on_done;
     std::function<void()> on_drop;
+    /// Crash-requeued jobs carry the original instance-level completion
+    /// wrapper (which captured the original admit time); when set, pump
+    /// dispatches it directly instead of re-wrapping through start_job —
+    /// otherwise completions_ and latency would double-count.
+    std::function<void()> resume_done;
   };
 
   Instance* pick_instance();
   void pump();
   void start_job(Instance& inst, double work_core_ms, Seconds admitted,
-                 std::function<void(double)> on_done);
+                 std::function<void(double)> on_done,
+                 std::function<void()> on_abort = {});
   void reap_retired();
-  void request_one_creation();
+  void request_one_creation(int attempt = 0);
+  void on_creation_ready(std::uint64_t ticket);
+  void on_creation_failed(std::uint64_t ticket, int attempt);
 
   int id_;
   ServiceConfig cfg_;
@@ -126,6 +170,7 @@ class Service {
   Deployment& deployment_;
   int target_ = 0;
   std::uint64_t next_instance_id_ = 1;
+  double cpu_throttle_ = 1.0;  // fault-injected, applied to all instances
   std::vector<std::unique_ptr<Instance>> instances_;  // ready, serving
   std::vector<std::unique_ptr<Instance>> retiring_;   // draining
   std::vector<std::uint64_t> creations_;              // deployment tickets
@@ -134,6 +179,11 @@ class Service {
   std::uint64_t completions_ = 0;
   std::uint64_t drops_ = 0;
   std::uint64_t creations_started_ = 0;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t aborted_jobs_ = 0;
+  std::uint64_t requeued_jobs_ = 0;
+  std::uint64_t creation_failures_ = 0;
+  std::uint64_t creation_retries_ = 0;
 };
 
 }  // namespace graf::sim

@@ -1,8 +1,12 @@
 #include "telemetry/exporter.h"
 
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <ctime>
 #include <fstream>
+#include <iterator>
 #include <ostream>
 
 namespace graf::telemetry {
@@ -147,6 +151,151 @@ void BenchExporter::write_json(std::ostream& os) const {
 
 bool BenchExporter::write_json_file(const std::string& path) const {
   return export_to_file(path, [&](std::ostream& os) { write_json(os); });
+}
+
+namespace {
+
+/// Minimal recursive-descent reader for the flat bench format write_json
+/// emits ({"results": [{"name", "value", "unit", "timestamp"}, ...]}).
+/// Unknown keys are skipped; it is not a general JSON parser.
+struct BenchReader {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos])))
+      ++pos;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+
+  bool peek(char c) {
+    skip_ws();
+    return pos < text.size() && text[pos] == c;
+  }
+
+  bool read_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= text.size()) return false;
+      const char e = text[pos++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos + 4 > text.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          // The writer only escapes control bytes, so one byte suffices.
+          out += static_cast<char>(code);
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;
+  }
+
+  bool read_number(double& out) {
+    skip_ws();
+    const char* start = text.c_str() + pos;
+    char* end = nullptr;
+    out = std::strtod(start, &end);
+    if (end == start) return false;
+    pos += static_cast<std::size_t>(end - start);
+    return true;
+  }
+
+  /// One {"key": scalar, ...} object into a Row; unknown keys skipped.
+  bool read_row(BenchExporter::Row& row) {
+    if (!consume('{')) return false;
+    bool first = true;
+    while (!peek('}')) {
+      if (!first && !consume(',')) return false;
+      first = false;
+      std::string key;
+      if (!read_string(key) || !consume(':')) return false;
+      if (key == "name" || key == "unit") {
+        std::string value;
+        if (!read_string(value)) return false;
+        (key == "name" ? row.name : row.unit) = std::move(value);
+      } else if (peek('"')) {
+        std::string skipped;
+        if (!read_string(skipped)) return false;
+      } else {
+        double value = 0.0;
+        if (!read_number(value)) return false;
+        if (key == "value") row.value = value;
+        if (key == "timestamp") row.timestamp = static_cast<std::int64_t>(value);
+      }
+    }
+    return consume('}');
+  }
+
+  bool read_file(std::vector<BenchExporter::Row>& rows) {
+    if (!consume('{')) return false;
+    std::string key;
+    if (!read_string(key) || key != "results" || !consume(':') || !consume('['))
+      return false;
+    bool first = true;
+    while (!peek(']')) {
+      if (!first && !consume(',')) return false;
+      first = false;
+      BenchExporter::Row row;
+      if (!read_row(row)) return false;
+      rows.push_back(std::move(row));
+    }
+    return consume(']') && consume('}');
+  }
+};
+
+}  // namespace
+
+bool BenchExporter::merge_json_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return false;
+  std::string text{std::istreambuf_iterator<char>{in},
+                   std::istreambuf_iterator<char>{}};
+  std::vector<Row> file_rows;
+  BenchReader reader{text};
+  if (!reader.read_file(file_rows)) return false;
+  std::vector<Row> merged;
+  merged.reserve(file_rows.size() + rows_.size());
+  for (Row& r : file_rows) {
+    const bool overridden =
+        std::any_of(rows_.begin(), rows_.end(),
+                    [&](const Row& mine) { return mine.name == r.name; });
+    if (!overridden) merged.push_back(std::move(r));
+  }
+  merged.insert(merged.end(), std::make_move_iterator(rows_.begin()),
+                std::make_move_iterator(rows_.end()));
+  rows_ = std::move(merged);
+  return true;
 }
 
 }  // namespace graf::telemetry

@@ -55,6 +55,14 @@ class BenchExporter {
   void write_json(std::ostream& os) const;
   bool write_json_file(const std::string& path) const;
 
+  /// Merge rows from an existing bench JSON file (the format write_json
+  /// emits). File rows whose name is already recorded in this exporter are
+  /// dropped — fresh in-memory results win — and the survivors are placed
+  /// ahead of the in-memory rows, so binaries sharing one BENCH file can
+  /// refresh their own rows without clobbering each other's. Returns false
+  /// (exporter unchanged) when the file is missing or does not parse.
+  bool merge_json_file(const std::string& path);
+
  private:
   std::vector<Row> rows_;
 };

@@ -96,6 +96,51 @@ TEST(K8sHpaIntegration, ReattachKillsStaleTickChain) {
   EXPECT_EQ(hpa.ticks(), 6u);
 }
 
+// Regression: during a scale-down with in-flight jobs, the metrics ticker
+// used to divide the CPU of every still-draining pod by only the surviving
+// pods' request. The 800% utilization reading made the HPA balloon a
+// 4 -> 1 scale-down back up to 16 replicas. With retiring quota counted in
+// the denominator the reading is 200% — exactly the work that still exists
+// — and the HPA re-targets at most the original 4.
+TEST(K8sHpaIntegration, NoSpuriousUpscaleWhileDrainingScaleDown) {
+  std::vector<sim::ServiceConfig> svcs{
+      {.name = "s", .unit_quota = 1000, .initial_instances = 4,
+       .max_concurrency = 1, .demand_mean_ms = 10.0, .demand_sigma = 0.0}};
+  sim::Cluster c{svcs, {sim::Api{"one", sim::CallNode{.service = 0}}}, {}};
+  for (int i = 0; i < 4; ++i) c.service(0).submit(10000.0, [](double) {});
+  c.service(0).scale_to(1);  // three busy instances keep draining
+  ASSERT_EQ(c.service(0).ready_count(), 1);
+  ASSERT_EQ(c.service(0).retiring_count(), 3);
+  // Generous scale-up policy so the buggy 800% reading would really fire.
+  K8sHpa hpa{{.target_utilization = 0.5,
+              .sync_period = 1.0,
+              .stabilization_window = 0.0,
+              .scale_up_pods_limit = 100}};
+  hpa.attach(c, 10.0);
+  c.run_for(5.0);  // jobs run 10 s; every tick observes the drain
+  EXPECT_GE(hpa.ticks(), 4u);
+  EXPECT_LE(c.service(0).target_count(), 4);
+}
+
+// Blackout guard: an empty metrics window means "metrics API down", not
+// "0% utilized" — the HPA must hold its scale instead of collapsing to min.
+TEST(K8sHpaIntegration, HoldsScaleDuringTelemetryBlackout) {
+  std::vector<sim::ServiceConfig> svcs{
+      {.name = "s", .unit_quota = 1000, .initial_instances = 4,
+       .max_concurrency = 1, .demand_mean_ms = 10.0, .demand_sigma = 0.0}};
+  sim::Cluster c{svcs, {sim::Api{"one", sim::CallNode{.service = 0}}}, {}};
+  c.set_telemetry_blackout(true);
+  K8sHpa hpa{{.target_utilization = 0.5,
+              .sync_period = 1.0,
+              .stabilization_window = 0.0}};
+  hpa.attach(c, 60.0);
+  c.run_for(5.0);
+  EXPECT_EQ(c.service(0).target_count(), 4);  // held, not dropped to 1
+  c.set_telemetry_blackout(false);
+  c.run_for(6.0);  // scraping resumes; idle service now really scales down
+  EXPECT_EQ(c.service(0).target_count(), 1);
+}
+
 TEST(FirmLikeIntegration, ScalesUpOnTailRatio) {
   sim::Cluster c = saturated_cluster(9);
   FirmLike firm{{.sync_period = 5.0}};

@@ -199,6 +199,57 @@ TEST(Cluster, SubmitRejectsBadApi) {
   EXPECT_THROW(c.submit_request(7), std::out_of_range);
 }
 
+// Regression: the metrics ticker's CPU numerator includes retiring
+// (draining) instances, so the requested-capacity denominator must too.
+// Dividing 4 busy pods' burn by 1 surviving pod's request reported 800%
+// utilization during a scale-down and tricked threshold autoscalers into
+// spurious re-upscales.
+TEST(Cluster, UtilizationDuringScaleDownCountsRetiringQuota) {
+  std::vector<ServiceConfig> svcs{
+      {.name = "only", .unit_quota = 1000, .initial_instances = 4,
+       .max_concurrency = 1, .demand_mean_ms = 10.0, .demand_sigma = 0.0},
+  };
+  Cluster c{svcs, {Api{"one", CallNode{.service = 0}}}, {}};
+  // Pin every instance with a 10 s job, then retire three of them.
+  for (int i = 0; i < 4; ++i) c.service(0).submit(10000.0, [](double) {});
+  c.service(0).scale_to(1);
+  ASSERT_EQ(c.service(0).ready_count(), 1);
+  ASSERT_EQ(c.service(0).retiring_count(), 3);
+  c.run_for(2.0);
+  // 4 cores burned against (1 ready + 3 retiring) * 1 core * request_factor
+  // 0.5 = 2 cores requested: exactly 200%, and never past the physical
+  // 1/request_factor bound. The skewed version read 4 / 0.5 = 800%.
+  const double u = c.utilization_avg(0, 2.0);
+  EXPECT_NEAR(u, 2.0, 0.05);
+  EXPECT_LE(u, 1.0 / c.service(0).config().request_factor + 1e-9);
+}
+
+// Telemetry blackout: sensors gap, ground truth survives, recovery resyncs.
+TEST(Cluster, TelemetryBlackoutGapsSeriesButKeepsGroundTruth) {
+  Cluster c = make_chain_cluster();
+  for (int i = 0; i < 40; ++i)
+    c.events().schedule_at(i * 0.1, [&c] { c.submit_request(0); });
+  c.run_for(2.0);
+  EXPECT_GT(c.series_count_since(0, 2.0), 0u);
+  const std::size_t local_before = c.service_latency(0).size();
+  const std::size_t e2e_before = c.e2e_latency_all().size();
+
+  c.set_telemetry_blackout(true);
+  c.run_for(3.0);
+  EXPECT_EQ(c.series_count_since(0, 2.5), 0u);  // no scrape points landed
+  EXPECT_EQ(c.api_qps(0, 2.5), 0.0);            // arrival sensor dark too
+  EXPECT_EQ(c.service_latency(0).size(), local_before);  // sensors frozen
+  // ... but the ground-truth e2e window and counters see through it.
+  EXPECT_GT(c.e2e_latency_all().size(), e2e_before);
+  const std::uint64_t completed_dark = c.completed();
+  EXPECT_GT(completed_dark, 0u);
+
+  c.set_telemetry_blackout(false);
+  c.run_for(3.0);
+  EXPECT_GT(c.series_count_since(0, 1.5), 0u);  // scraping resumed
+  EXPECT_GE(c.completed(), completed_dark);
+}
+
 TEST(Cluster, DeterministicAcrossRuns) {
   auto run = [] {
     Cluster c = make_chain_cluster();

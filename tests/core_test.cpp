@@ -10,6 +10,7 @@
 #include "core/sample_collector.h"
 #include "core/state_collector.h"
 #include "core/workload_analyzer.h"
+#include "serve/serving_handle.h"
 #include "workload/open_loop.h"
 
 namespace graf::core {
@@ -289,6 +290,128 @@ TEST(ResourceController, ApplyScalesCluster) {
   ResourceController::apply(c, plan);
   EXPECT_EQ(c.service(0).target_count(), 3);
   EXPECT_EQ(c.service(2).target_count(), 4);
+}
+
+// Regression: after workload-scaling by k, quota[i] = solver.quota[i] * k
+// could exceed the replica cap that Service::scale_to silently enforces —
+// so the published predicted_ms described an allocation that never landed.
+// The plan must clamp, flag saturation, and re-predict at the clamped point.
+TEST(ResourceController, SaturatedPlanClampsAndRePredicts) {
+  auto& model = solver_model();
+  ConfigurationSolver solver{model, {}};
+  WorkloadAnalyzer analyzer{1, 2};
+  analyzer.set_fanout({{1.0, 1.0}});
+  ResourceController rc{model, solver, analyzer, {300.0, 300.0}, {2000.0, 2000.0},
+                        {1000.0, 1000.0}};
+  gnn::Dataset ref;
+  gnn::Sample s;
+  s.workload = {60.0, 60.0};
+  s.quota = {1000.0, 1000.0};
+  s.latency_ms = 100.0;
+  ref.push_back(s);
+  rc.set_training_reference(ref);
+  rc.set_max_instances({1, 1});  // 1 replica x 1000 mc cap per service
+
+  std::vector<Qps> beyond{240.0};  // k = 4: unclamped quota >= 4 * lo = 1200 mc
+  const auto plan = rc.plan(beyond, 200.0);
+  EXPECT_TRUE(plan.saturated);
+  ASSERT_EQ(plan.instances.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(plan.instances[i], 1);
+    EXPECT_LE(plan.quota[i], 1000.0 + 1e-9);
+  }
+  // predicted_ms reflects the clamped allocation (scaled back into the
+  // trained region by k), not the solver's unclamped optimum.
+  const double repredicted =
+      model.predict(std::vector<double>{60.0, 60.0},
+                    std::vector<double>{plan.quota[0] / 4.0, plan.quota[1] / 4.0});
+  EXPECT_NEAR(plan.predicted_ms, repredicted, 1e-9);
+  // Less CPU than the solver wanted cannot be faster (monotone model).
+  EXPECT_GE(plan.predicted_ms, plan.solver.predicted_ms - 1e-9);
+}
+
+TEST(ResourceController, DegradesWhenAnalyzerNotReady) {
+  auto& model = solver_model();
+  ConfigurationSolver solver{model, {}};
+  WorkloadAnalyzer analyzer{1, 2};  // no fan-out observed yet (cold start)
+  ResourceController rc{model, solver, analyzer, {300.0, 300.0}, {2000.0, 2000.0},
+                        {1000.0, 1000.0}};
+  std::vector<Qps> api{50.0};
+  const auto plan = rc.plan(api, 200.0);
+  EXPECT_TRUE(plan.degraded);
+  EXPECT_FALSE(plan.feasible);
+  // With no feasible plan in hand, the fallback provisions at the hi bounds.
+  ASSERT_EQ(plan.quota.size(), 2u);
+  EXPECT_DOUBLE_EQ(plan.quota[0], 2000.0);
+  EXPECT_EQ(plan.instances[0], 2);
+  EXPECT_EQ(rc.degraded_plans(), 1u);
+}
+
+TEST(ResourceController, InfeasibleSolveFallsBackToLastFeasiblePlan) {
+  auto& model = solver_model();
+  ConfigurationSolver solver{model, {}};
+  WorkloadAnalyzer analyzer{1, 2};
+  analyzer.set_fanout({{1.0, 1.0}});
+  ResourceController rc{model, solver, analyzer, {300.0, 300.0}, {2000.0, 2000.0},
+                        {1000.0, 1000.0}};
+  gnn::Dataset ref;
+  gnn::Sample s;
+  s.workload = {60.0, 60.0};
+  s.quota = {1000.0, 1000.0};
+  s.latency_ms = 100.0;
+  ref.push_back(s);
+  rc.set_training_reference(ref);
+
+  std::vector<Qps> api{50.0};
+  const auto good = rc.plan(api, 280.0);  // loose SLO: comfortably feasible
+  ASSERT_TRUE(good.feasible);
+  ASSERT_FALSE(good.degraded);
+  ASSERT_TRUE(rc.has_last_good());
+
+  const auto fallback = rc.plan(api, 1.0);  // impossible SLO: solve infeasible
+  EXPECT_TRUE(fallback.degraded);
+  EXPECT_EQ(fallback.instances, good.instances);
+  EXPECT_EQ(fallback.quota, good.quota);
+  EXPECT_EQ(rc.degraded_plans(), 1u);
+}
+
+TEST(ResourceController, ServedModelShapeMismatchDegradesInsteadOfThrowing) {
+  auto& model = solver_model();
+  ConfigurationSolver solver{model, {}};
+  WorkloadAnalyzer analyzer{1, 2};
+  analyzer.set_fanout({{1.0, 1.0}});
+  ResourceController rc{model, solver, analyzer, {300.0, 300.0}, {2000.0, 2000.0},
+                        {1000.0, 1000.0}};
+  gnn::Dataset ref;
+  gnn::Sample s;
+  s.workload = {60.0, 60.0};
+  s.quota = {1000.0, 1000.0};
+  s.latency_ms = 100.0;
+  ref.push_back(s);
+  rc.set_training_reference(ref);
+  std::vector<Qps> api{50.0};
+  const auto good = rc.plan(api, 280.0);
+  ASSERT_FALSE(good.degraded);
+
+  // Serve a model trained for a different topology (3 nodes, not 2).
+  gnn::Dag wrong;
+  wrong.add_node("a");
+  wrong.add_node("b");
+  wrong.add_node("c");
+  wrong.add_edge(0, 1);
+  wrong.add_edge(1, 2);
+  serve::ServingHandle handle{
+      std::make_shared<gnn::LatencyModel>(wrong, gnn::MpnnConfig{}, 7)};
+  rc.set_serving_handle(&handle);  // must not throw anymore
+
+  const auto plan = rc.plan(api, 280.0);
+  EXPECT_TRUE(plan.degraded);
+  EXPECT_EQ(plan.instances, good.instances);  // last feasible plan reused
+
+  // A compatible model heals the loop: back to clean solves.
+  handle.swap(std::make_shared<gnn::LatencyModel>(model.clone()));
+  const auto healed = rc.plan(api, 280.0);
+  EXPECT_FALSE(healed.degraded);
 }
 
 // ---- SampleCollector --------------------------------------------------------

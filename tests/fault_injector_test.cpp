@@ -1,0 +1,241 @@
+#include "sim/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/cluster.h"
+
+namespace graf::sim {
+namespace {
+
+/// One-service cluster with deterministic demand (ms of CPU per request).
+Cluster make_one(double demand_ms = 100.0) {
+  std::vector<ServiceConfig> svcs{
+      {.name = "s", .unit_quota = 1000, .initial_instances = 1,
+       .max_concurrency = 4, .demand_mean_ms = demand_ms, .demand_sigma = 0.0},
+  };
+  return Cluster{svcs, {Api{"one", CallNode{.service = 0}}}, {}};
+}
+
+TEST(FaultSchedule, GenerateIsPureAndDeterministic) {
+  FaultScheduleConfig cfg;
+  cfg.seed = 123;
+  cfg.until = 300.0;
+  cfg.crash_per_min = 2.0;
+  cfg.creation_outage_per_min = 1.0;
+  cfg.throttle_per_min = 1.5;
+  cfg.blackout_per_min = 0.5;
+  const auto a = FaultInjector::generate(cfg, 4);
+  const auto b = FaultInjector::generate(cfg, 4);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_DOUBLE_EQ(a[i].at, b[i].at);
+    EXPECT_DOUBLE_EQ(a[i].duration, b[i].duration);
+    EXPECT_EQ(a[i].service, b[i].service);
+    EXPECT_EQ(a[i].pick, b[i].pick);
+    EXPECT_DOUBLE_EQ(a[i].factor, b[i].factor);
+    EXPECT_EQ(a[i].crash_mode, b[i].crash_mode);
+  }
+  // Schedule invariants: sorted, in-window, valid targets and factors.
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (i > 0) EXPECT_GE(a[i].at, a[i - 1].at);
+    EXPECT_GE(a[i].at, cfg.from);
+    EXPECT_LT(a[i].at, cfg.until);
+    if (a[i].kind == FaultEvent::Kind::kInstanceCrash ||
+        a[i].kind == FaultEvent::Kind::kCpuThrottle) {
+      EXPECT_GE(a[i].service, 0);
+      EXPECT_LT(a[i].service, 4);
+    }
+    if (a[i].kind == FaultEvent::Kind::kCpuThrottle) {
+      EXPECT_GE(a[i].factor, cfg.throttle_factor_lo);
+      EXPECT_LE(a[i].factor, cfg.throttle_factor_hi);
+    }
+  }
+  // A different seed must not replay the same arrival times.
+  cfg.seed = 124;
+  const auto c = FaultInjector::generate(cfg, 4);
+  bool differs = c.size() != a.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i)
+    differs = a[i].at != c[i].at || a[i].kind != c[i].kind;
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultSchedule, PerClassStreamsAreIndependent) {
+  // Adding a second fault class must not perturb the first class's arrivals
+  // (each class draws from its own derive_seed stream).
+  FaultScheduleConfig only_crash;
+  only_crash.crash_per_min = 2.0;
+  FaultScheduleConfig both = only_crash;
+  both.blackout_per_min = 1.0;
+  auto crashes_of = [](const std::vector<FaultEvent>& evs) {
+    std::vector<double> at;
+    for (const auto& e : evs)
+      if (e.kind == FaultEvent::Kind::kInstanceCrash) at.push_back(e.at);
+    return at;
+  };
+  EXPECT_EQ(crashes_of(FaultInjector::generate(only_crash, 2)),
+            crashes_of(FaultInjector::generate(both, 2)));
+}
+
+TEST(FaultInjectorTest, CrashAbortFailsInflightAndSelfHeals) {
+  Cluster c = make_one(1000.0);  // 1 s of CPU per request
+  FaultInjector inj{c};
+  inj.crash_instance(0.5, 0, 7, CrashMode::kAbort);
+  inj.arm();
+  bool ok = true;
+  c.submit_request(0, [&](const trace::RequestTrace& t) { ok = t.ok; });
+  c.run_for(20.0);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(c.failed(), 1u);
+  EXPECT_EQ(c.completed(), 0u);
+  EXPECT_EQ(c.inflight(), 0u);  // nothing leaked
+  EXPECT_EQ(c.service(0).crashes(), 1u);
+  EXPECT_EQ(c.service(0).aborted_jobs(), 1u);
+  // ReplicaSet self-heal: the replacement pod came up on its own.
+  EXPECT_EQ(c.service(0).ready_count(), 1);
+  EXPECT_EQ(inj.fired(), 1u);
+}
+
+TEST(FaultInjectorTest, CrashRequeueReplaysWorkOnReplacement) {
+  Cluster c = make_one(1000.0);
+  FaultInjector inj{c};
+  inj.crash_instance(0.5, 0, 0, CrashMode::kRequeue);
+  inj.arm();
+  double e2e = -1.0;
+  std::uint64_t completions = 0;
+  c.submit_request(0, [&](const trace::RequestTrace& t) {
+    ++completions;
+    e2e = t.e2e_ms();
+  });
+  c.run_for(20.0);
+  // The job keeps its remaining 0.5 s of work and resumes on the replacement
+  // pod once it is ready (crash at 0.5 + 5.5 s creation + 0.5 s remaining),
+  // and exactly one completion is recorded — no double-count through requeue.
+  EXPECT_EQ(completions, 1u);
+  EXPECT_EQ(c.completed(), 1u);
+  EXPECT_EQ(c.failed(), 0u);
+  EXPECT_EQ(c.service(0).requeued_jobs(), 1u);
+  EXPECT_NEAR(e2e, 500.0 + 5500.0 + 500.0, 50.0);
+}
+
+TEST(FaultInjectorTest, ThrottleWindowStretchesExecution) {
+  Cluster c = make_one();
+  FaultInjector inj{c};
+  inj.throttle_cpu(0.0, 10.0, 0, 0.5);
+  inj.arm();
+  double latency = -1.0;
+  c.service(0).submit(100.0, [&](double ms) { latency = ms; });
+  c.run_for(1.0);
+  EXPECT_NEAR(latency, 200.0, 1e-6);  // 100 core-ms at half a core
+  EXPECT_DOUBLE_EQ(c.service(0).cpu_throttle(), 0.5);
+  c.run_for(10.0);  // window expired
+  EXPECT_DOUBLE_EQ(c.service(0).cpu_throttle(), 1.0);
+}
+
+TEST(FaultInjectorTest, OverlappingThrottlesCompose) {
+  Cluster c = make_one();
+  FaultInjector inj{c};
+  inj.throttle_cpu(1.0, 10.0, 0, 0.5);   // [1, 11)
+  inj.throttle_cpu(5.0, 10.0, 0, 0.5);   // [5, 15)
+  inj.arm();
+  c.run_until(2.0);
+  EXPECT_DOUBLE_EQ(c.service(0).cpu_throttle(), 0.5);
+  c.run_until(6.0);
+  EXPECT_DOUBLE_EQ(c.service(0).cpu_throttle(), 0.25);  // factors multiply
+  c.run_until(12.0);
+  EXPECT_DOUBLE_EQ(c.service(0).cpu_throttle(), 0.5);
+  c.run_until(16.0);
+  EXPECT_DOUBLE_EQ(c.service(0).cpu_throttle(), 1.0);  // bit-exact restore
+}
+
+TEST(FaultInjectorTest, CreationOutageFailsPullsUntilWindowEnds) {
+  Cluster c = make_one();
+  FaultInjector inj{c};
+  inj.degrade_creations(1.0, 5.0, /*fail=*/true, /*fail_after=*/1.0,
+                        /*extra_delay=*/0.0);
+  inj.arm();
+  c.events().schedule_at(1.5, [&c] { c.service(0).scale_to(2); });
+  c.run_for(30.0);
+  // Attempt 0 (t=1.5) and retry 1 (t=3.5) fail inside the window; retry 2
+  // (t=6.5, backoff 2 s) lands after it clears and succeeds.
+  EXPECT_EQ(c.service(0).creation_failures(), 2u);
+  EXPECT_EQ(c.service(0).creation_retries(), 2u);
+  EXPECT_EQ(c.service(0).ready_count(), 2);
+  EXPECT_EQ(c.deployment().failures(), 2u);
+}
+
+TEST(FaultInjectorTest, BlackoutWindowTogglesClusterFlag) {
+  Cluster c = make_one();
+  FaultInjector inj{c};
+  inj.blackout_telemetry(2.0, 3.0);
+  inj.blackout_telemetry(4.0, 3.0);  // overlapping: clears at 7, not 5
+  inj.arm();
+  c.run_until(1.0);
+  EXPECT_FALSE(c.telemetry_blackout());
+  c.run_until(3.0);
+  EXPECT_TRUE(c.telemetry_blackout());
+  c.run_until(6.0);
+  EXPECT_TRUE(c.telemetry_blackout());  // second window still active
+  c.run_until(8.0);
+  EXPECT_FALSE(c.telemetry_blackout());
+}
+
+TEST(FaultInjectorTest, ArmIsSingleShotAndDropsPastEvents) {
+  Cluster c = make_one();
+  c.run_for(10.0);
+  FaultInjector inj{c};
+  inj.crash_instance(5.0, 0, 0, CrashMode::kAbort);   // already in the past
+  inj.crash_instance(12.0, 0, 0, CrashMode::kAbort);  // still ahead
+  inj.arm();
+  EXPECT_THROW(inj.arm(), std::logic_error);
+  c.run_for(10.0);
+  EXPECT_EQ(inj.fired(), 1u);
+  EXPECT_EQ(c.service(0).crashes(), 1u);
+}
+
+// Whole-run determinism: identical seeds and schedules must reproduce the
+// exact same trajectory — counters and latency percentiles bit-identical.
+TEST(FaultInjectorTest, FaultedRunReplaysBitIdentically) {
+  struct Outcome {
+    std::uint64_t completed, failed, crashes, requeued, fired;
+    double p99;
+  };
+  auto run = [] {
+    Cluster c = make_one(50.0);
+    FaultScheduleConfig cfg;
+    cfg.seed = 8;  // this seed's crash stream is non-empty over the window
+    cfg.until = 60.0;
+    cfg.crash_per_min = 3.0;
+    cfg.throttle_per_min = 2.0;
+    cfg.blackout_per_min = 1.0;
+    cfg.creation_outage_per_min = 1.0;
+    FaultInjector inj{c};
+    inj.add(FaultInjector::generate(cfg, 1));
+    inj.arm();
+    for (int i = 0; i < 300; ++i)
+      c.events().schedule_at(i * 0.2, [&c] { c.submit_request(0); });
+    c.run_until(90.0);
+    // Conservation: every submitted request is accounted for.
+    EXPECT_EQ(c.submitted(),
+              c.completed() + c.failed() + c.inflight());
+    return Outcome{c.completed(), c.failed(), c.service(0).crashes(),
+                   c.service(0).requeued_jobs(), inj.fired(),
+                   c.e2e_latency_all().percentile(99.0)};
+  };
+  const Outcome a = run();
+  const Outcome b = run();
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.requeued, b.requeued);
+  EXPECT_EQ(a.fired, b.fired);
+  EXPECT_DOUBLE_EQ(a.p99, b.p99);
+  EXPECT_GT(a.crashes, 0u);  // the schedule actually did something
+}
+
+}  // namespace
+}  // namespace graf::sim

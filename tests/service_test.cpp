@@ -169,5 +169,89 @@ TEST_F(ServiceFixture, RejectsBadConfig) {
   EXPECT_THROW(make({.name = "svc", .max_concurrency = 0}), std::invalid_argument);
 }
 
+// Regression: creation tickets can complete out of FIFO order across the
+// Deployment's per-node pipelines. The ready callback used to erase
+// creations_.begin() unconditionally, so a later scale-down cancelled an
+// already-fired ticket while the still-live one survived — over-scaling
+// past target_count().
+TEST_F(ServiceFixture, OutOfOrderTicketCompletionDoesNotOverScale) {
+  Deployment two_nodes{q, {.base = 5.5, .per_extra = 2.67, .nodes = 2}};
+  // Pre-occupy node 0 so the service's two creations land on different
+  // pipelines with inverted completion order.
+  two_nodes.request_creation([] {});  // node 0, ready at 5.5
+  Service s{0, {.name = "svc", .unit_quota = 500, .initial_instances = 1}, q,
+            two_nodes};
+  q.run_until(4.0);
+  // T1 -> idle node 1: ready at 4 + 5.5 = 9.5.
+  // T2 -> busy node 0: ready at 5.5 + 2.67 = 8.17 — T2 fires FIRST.
+  s.scale_to(3);
+  ASSERT_EQ(s.creating_count(), 2);
+  q.run_until(8.5);  // T2 has fired, T1 is still in flight
+  ASSERT_EQ(s.ready_count(), 2);
+  ASSERT_EQ(s.creating_count(), 1);
+  // Scale down by one: must cancel the *live* ticket (T1), not the id of
+  // the already-completed T2.
+  s.scale_to(2);
+  q.run_all();
+  EXPECT_EQ(s.ready_count(), 2);
+  EXPECT_EQ(s.creating_count(), 0);
+  EXPECT_EQ(s.target_count(), 2);
+}
+
+// Failed creations (fault-injected registry outage) retry with bounded
+// exponential backoff and eventually converge once the outage clears.
+TEST_F(ServiceFixture, CreationFailureRetriesWithBackoffThenSucceeds) {
+  Service s = make({.name = "svc",
+                    .unit_quota = 500,
+                    .initial_instances = 1,
+                    .creation_max_retries = 3,
+                    .creation_retry_backoff = 1.0});
+  dep.set_creation_fault({.fail = true, .fail_after = 2.0});
+  s.scale_to(2);
+  // Attempt 0 fails at t=2; retry waits 1 s (backoff * 2^0) and re-requests
+  // at t=3 — after the outage below has cleared, so it succeeds.
+  q.run_until(2.5);
+  EXPECT_EQ(s.creation_failures(), 1u);
+  EXPECT_EQ(s.ready_count(), 1);
+  dep.clear_creation_fault();
+  q.run_all();
+  EXPECT_EQ(s.ready_count(), 2);
+  EXPECT_EQ(s.creation_retries(), 1u);
+  EXPECT_EQ(s.target_count(), 2);
+}
+
+TEST_F(ServiceFixture, CreationFailureGivesUpAfterMaxRetries) {
+  Service s = make({.name = "svc",
+                    .unit_quota = 500,
+                    .initial_instances = 1,
+                    .creation_max_retries = 2,
+                    .creation_retry_backoff = 1.0});
+  dep.set_creation_fault({.fail = true, .fail_after = 2.0});
+  s.scale_to(2);
+  q.run_all();
+  // Attempts 0, 1, 2 all fail; retries stop after creation_max_retries.
+  EXPECT_EQ(s.creation_failures(), 3u);
+  EXPECT_EQ(s.creation_retries(), 2u);
+  EXPECT_EQ(s.ready_count(), 1);
+  EXPECT_EQ(s.creating_count(), 0);
+}
+
+TEST_F(ServiceFixture, RetryAbandonedWhenScaledDownDuringBackoff) {
+  Service s = make({.name = "svc",
+                    .unit_quota = 500,
+                    .initial_instances = 1,
+                    .creation_max_retries = 3,
+                    .creation_retry_backoff = 5.0});
+  dep.set_creation_fault({.fail = true, .fail_after = 1.0});
+  s.scale_to(2);
+  q.run_until(2.0);  // attempt 0 failed; retry scheduled for t=6
+  EXPECT_EQ(s.creation_failures(), 1u);
+  s.scale_to(1);  // operator changed their mind during the backoff
+  q.run_all();
+  EXPECT_EQ(s.creation_retries(), 0u);
+  EXPECT_EQ(s.ready_count(), 1);
+  EXPECT_EQ(s.creating_count(), 0);
+}
+
 }  // namespace
 }  // namespace graf::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 #include <vector>
 
@@ -368,6 +369,33 @@ TEST(Exporter, BenchExporterRows) {
   EXPECT_NE(json.find("\"name\": \"BM_X\""), std::string::npos);
   EXPECT_NE(json.find("\"unit\": \"ns\""), std::string::npos);
   EXPECT_NE(json.find("\"timestamp\": 1700000000"), std::string::npos);
+}
+
+TEST(Exporter, BenchExporterMergeKeepsForeignRowsAndOverridesOwn) {
+  const std::string path = "bench_merge_test.json";
+  {
+    BenchExporter old;
+    old.record_at("BM_micro", 10.0, "ns", 100);
+    old.record_at("chaos.violation_pct \"q\"", 9.0, "%", 100);
+    ASSERT_TRUE(old.write_json_file(path));
+  }
+  BenchExporter exp;
+  exp.record_at("chaos.violation_pct \"q\"", 4.0, "%", 200);  // fresh run wins
+  ASSERT_TRUE(exp.merge_json_file(path));
+  ASSERT_EQ(exp.rows().size(), 2u);
+  // Foreign row survives (first, original order), escaped name round-trips,
+  // and the in-memory row overrides the stale file row.
+  EXPECT_EQ(exp.rows()[0].name, "BM_micro");
+  EXPECT_DOUBLE_EQ(exp.rows()[0].value, 10.0);
+  EXPECT_EQ(exp.rows()[0].unit, "ns");
+  EXPECT_EQ(exp.rows()[0].timestamp, 100);
+  EXPECT_EQ(exp.rows()[1].name, "chaos.violation_pct \"q\"");
+  EXPECT_DOUBLE_EQ(exp.rows()[1].value, 4.0);
+  EXPECT_EQ(exp.rows()[1].timestamp, 200);
+  // Missing file: reports failure, exporter unchanged.
+  EXPECT_FALSE(exp.merge_json_file("no_such_bench_file.json"));
+  EXPECT_EQ(exp.rows().size(), 2u);
+  std::remove(path.c_str());
 }
 
 // -- Cluster integration -----------------------------------------------------
