@@ -33,6 +33,10 @@ telemetry::BenchExporter& results() {
 bool write_bench_results(const std::string& filename) {
   if (results().empty()) return false;
   const std::string path = bench_out_path(filename);
+  // Several binaries share one BENCH file (perf micro, chaos surge, ...):
+  // fold the rows already on disk in first — fresh same-name rows win, rows
+  // from other binaries survive the rewrite.
+  results().merge_json_file(path);
   if (!results().write_json_file(path)) {
     std::cerr << "bench: failed to write " << path << "\n";
     return false;

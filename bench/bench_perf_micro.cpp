@@ -138,6 +138,98 @@ void BM_Matmul(benchmark::State& state) {
 }
 BENCHMARK(BM_Matmul)->Arg(32)->Arg(128);
 
+// The PR-5 blocked kernel on its own row (BM_Matmul keeps the historical
+// name for trajectory continuity; both run the same kernel now), with the
+// reference triple loop alongside for the speedup denominator.
+void BM_MatmulBlocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  nn::Tensor a{n, n, 0.5};
+  nn::Tensor b{n, n, 0.25};
+  nn::Tensor out;
+  for (auto _ : state) {
+    nn::matmul_into(out, a, b);  // steady state: no allocation either
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_MatmulBlocked)->Arg(32)->Arg(128)->Arg(256);
+
+void BM_MatmulNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  nn::Tensor a{n, n, 0.5};
+  nn::Tensor b{n, n, 0.25};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::matmul_naive(a, b));
+  }
+}
+BENCHMARK(BM_MatmulNaive)->Arg(128);
+
+// Batched multi-start descent (one K x n tape) against the per-start
+// fan-out it replaced as the default; identical answers, different cost.
+void BM_SolveBatched(benchmark::State& state) {
+  auto& model = shared_model();
+  core::SolverConfig cfg;
+  cfg.max_iterations = 300;
+  cfg.multi_starts = static_cast<std::size_t>(state.range(0));
+  cfg.batched_multi_start = true;
+  core::ConfigurationSolver solver{model, cfg};
+  std::vector<double> w(6, 50.0);
+  std::vector<Millicores> lo(6, 300.0);
+  std::vector<Millicores> hi(6, 2000.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(w, 150.0, lo, hi));
+  }
+}
+BENCHMARK(BM_SolveBatched)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_SolveFanout(benchmark::State& state) {
+  auto& model = shared_model();
+  core::SolverConfig cfg;
+  cfg.max_iterations = 300;
+  cfg.multi_starts = static_cast<std::size_t>(state.range(0));
+  cfg.batched_multi_start = false;
+  core::ConfigurationSolver solver{model, cfg};
+  std::vector<double> w(6, 50.0);
+  std::vector<Millicores> lo(6, 300.0);
+  std::vector<Millicores> hi(6, 2000.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(w, 150.0, lo, hi));
+  }
+}
+BENCHMARK(BM_SolveFanout)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// A controller tick answered from the plan cache: the steady-state cost of
+// re-planning when traffic hasn't drifted out of its quantization bucket.
+void BM_PlanCacheHit(benchmark::State& state) {
+  auto& model = shared_model();
+  core::ConfigurationSolver solver{model, {}};
+  core::WorkloadAnalyzer analyzer{1, 6};
+  analyzer.set_fanout({{1.0, 1.0, 1.0, 1.0, 1.0, 1.0}});
+  std::vector<Millicores> lo(6, 300.0);
+  std::vector<Millicores> hi(6, 2000.0);
+  std::vector<Millicores> unit(6, 1000.0);
+  core::ResourceController rc{model, solver, analyzer, lo, hi, unit};
+  gnn::Dataset ref;
+  gnn::Sample s;
+  s.workload.assign(6, 60.0);
+  s.quota.assign(6, 1000.0);
+  s.latency_ms = 100.0;
+  ref.push_back(s);
+  rc.set_training_reference(ref);
+  std::vector<Qps> api{50.0};
+  // A loose SLO keeps the warm solve feasible (only feasible plans are
+  // cached; the toy model's labels are random, so a tight SLO degrades).
+  const double slo_ms = 1000.0;
+  benchmark::DoNotOptimize(rc.plan(api, slo_ms));  // warm: one real solve
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rc.plan(api, slo_ms));
+  }
+  state.counters["plan_cache.hits"] =
+      static_cast<double>(rc.plan_cache_hits());
+  state.counters["plan_cache.misses"] =
+      static_cast<double>(rc.plan_cache_misses());
+}
+BENCHMARK(BM_PlanCacheHit);
+
 void BM_Percentile(benchmark::State& state) {
   Rng rng{7};
   std::vector<double> v;

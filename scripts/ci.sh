@@ -29,3 +29,9 @@ for threads in 1 8; do
   GRAF_THREADS=$threads \
     ctest --test-dir "$BUILD_DIR" --output-on-failure -L chaos
 done
+
+# Perf smoke gate (plain leg only: sanitizer overhead would trip any time
+# threshold): >25% regression on the hot-path benchmarks vs BENCH_perf.json.
+if [ "$SANITIZE_FLAG" = OFF ]; then
+  python3 scripts/bench_check.py --build-dir "$BUILD_DIR"
+fi

@@ -12,6 +12,34 @@
 #include "telemetry/profiler.h"
 
 namespace graf::core {
+namespace {
+
+/// Feasible minimum total quota; if no start is feasible, least-infeasible
+/// (lowest predicted latency). Strict comparisons keep the first (lowest
+/// index) winner on ties. Shared by the concurrent and batched multi-start
+/// paths so both apply the identical rule.
+std::size_t pick_winner(const std::vector<SolverResult>& runs, double target_ms) {
+  auto total_quota = [](const SolverResult& r) {
+    double t = 0.0;
+    for (double q : r.quota) t += q;
+    return t;
+  };
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < runs.size(); ++k) {
+    const bool best_ok = runs[best].predicted_ms <= target_ms;
+    const bool k_ok = runs[k].predicted_ms <= target_ms;
+    if (k_ok != best_ok) {
+      if (k_ok) best = k;
+      continue;
+    }
+    if (k_ok ? total_quota(runs[k]) < total_quota(runs[best])
+             : runs[k].predicted_ms < runs[best].predicted_ms)
+      best = k;
+  }
+  return best;
+}
+
+}  // namespace
 
 ConfigurationSolver::ConfigurationSolver(gnn::LatencyModel& model, SolverConfig cfg)
     : model_{&model}, cfg_{cfg} {
@@ -59,43 +87,30 @@ SolverResult ConfigurationSolver::solve(std::span<const double> workload,
   // Multi-start: K independent descents over the shared (frozen) model. The
   // start points depend only on (multi_start_seed, k), each descent is
   // deterministic, and the winner is picked in start order — the result is
-  // identical at any thread count.
+  // identical at any thread count. The batched path runs the K descents as
+  // rows of one tape (the default); the concurrent path fans them out over
+  // the thread pool. Both produce the same per-start values bit for bit.
   const std::size_t starts = cfg_.multi_starts;
-  std::vector<SolverResult> runs(starts);
-  global_pool().parallel_for(starts, [&](std::size_t k) {
-    nn::Tensor rk = r0;
-    if (k > 0) {
-      Rng start_rng{derive_seed(cfg_.multi_start_seed, k)};
-      for (std::size_t i = 0; i < n; ++i) rk(0, i) = start_rng.uniform(lo[i], hi[i]);
-    }
-    runs[k] = descend(workload, slo_ms, lo, hi, rk, /*instrumented=*/false);
-  });
+  std::vector<SolverResult> runs;
+  if (cfg_.batched_multi_start) {
+    runs = descend_batched(workload, slo_ms, lo, hi, r0);
+  } else {
+    runs.resize(starts);
+    global_pool().parallel_for(starts, [&](std::size_t k) {
+      nn::Tensor rk = r0;
+      if (k > 0) {
+        Rng start_rng{derive_seed(cfg_.multi_start_seed, k)};
+        for (std::size_t i = 0; i < n; ++i) rk(0, i) = start_rng.uniform(lo[i], hi[i]);
+      }
+      runs[k] = descend(workload, slo_ms, lo, hi, rk, /*instrumented=*/false);
+    });
+  }
   if (iter_counter_ != nullptr)
     for (const SolverResult& r : runs)
       iter_counter_->add(static_cast<double>(r.iterations));
 
-  // Feasible minimum total quota; if no start is feasible, least-infeasible
-  // (lowest predicted latency). Strict comparisons keep the first (lowest
-  // index) winner on ties.
   const double target_ms = slo_ms * cfg_.slo_margin;
-  auto total_quota = [](const SolverResult& r) {
-    double t = 0.0;
-    for (double q : r.quota) t += q;
-    return t;
-  };
-  std::size_t best = 0;
-  for (std::size_t k = 1; k < starts; ++k) {
-    const bool best_ok = runs[best].predicted_ms <= target_ms;
-    const bool k_ok = runs[k].predicted_ms <= target_ms;
-    if (k_ok != best_ok) {
-      if (k_ok) best = k;
-      continue;
-    }
-    if (k_ok ? total_quota(runs[k]) < total_quota(runs[best])
-             : runs[k].predicted_ms < runs[best].predicted_ms)
-      best = k;
-  }
-  SolverResult res = std::move(runs[best]);
+  SolverResult res = std::move(runs[pick_winner(runs, target_ms)]);
   res.solve_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return res;
@@ -170,11 +185,113 @@ SolverResult ConfigurationSolver::descend(std::span<const double> workload,
     // evaluate through a private frozen tape instead.
     tape.reset();
     tape.set_freeze_params(true);
-    nn::Var quota_var = tape.constant(nn::Tensor{r.value});
+    nn::Var quota_var = tape.constant_ref(r.value);
     nn::Var pred = model_->predict_var(tape, workload, quota_var);
     res.predicted_ms = tape.value(pred).item();
   }
   return res;
+}
+
+std::vector<SolverResult> ConfigurationSolver::descend_batched(
+    std::span<const double> workload, double slo_ms, std::span<const Millicores> lo,
+    std::span<const Millicores> hi, const nn::Tensor& r0) {
+  const std::size_t n = model_->node_count();
+  const std::size_t starts = cfg_.multi_starts;
+  const double target_ms = slo_ms * cfg_.slo_margin;
+
+  double hi_total = 0.0;
+  for (double h : hi) hi_total += h;
+  const double quota_norm = 1.0 / hi_total;
+
+  // Row k is start k: row 0 the caller's init, rows k >= 1 the same
+  // derive_seed(multi_start_seed, k) uniform draws the concurrent path uses.
+  nn::Tensor starts_mat{starts, n};
+  for (std::size_t i = 0; i < n; ++i) starts_mat(0, i) = r0(0, i);
+  for (std::size_t k = 1; k < starts; ++k) {
+    Rng start_rng{derive_seed(cfg_.multi_start_seed, k)};
+    for (std::size_t i = 0; i < n; ++i) starts_mat(k, i) = start_rng.uniform(lo[i], hi[i]);
+  }
+
+  nn::Param r{std::move(starts_mat)};
+  nn::Adam adam{{&r}, {.lr = cfg_.lr_mc}};
+
+  // Why one ADAM over the K x n block equals K independent ADAMs: the update
+  // is elementwise, the moments never mix entries, and the bias-correction
+  // counter t equals the iteration index for every still-active start (all
+  // rows step every iteration; finished rows are overwritten with their
+  // frozen value right after, so extra steps can't change their outcome).
+  std::vector<SolverResult> runs(starts);
+  std::vector<double> prev_loss(starts, std::numeric_limits<double>::infinity());
+  std::vector<std::size_t> calm(starts, 0);
+  std::vector<char> done(starts, 0);
+  nn::Tensor frozen{starts, n};
+  std::size_t active = starts;
+
+  nn::Tape tape;
+  for (std::size_t it = 1; it <= cfg_.max_iterations && active > 0; ++it) {
+    tape.reset();
+    tape.set_freeze_params(false);
+    nn::Var rv = tape.param(r);
+    tape.set_freeze_params(true);
+    nn::Var pred = model_->predict_var(tape, workload, rv);  // K x 1
+    // Per-row Eq. 5: sum(r_k)/sum(hi) + rho * max(0, pred_k/target - 1).
+    // Rows never mix, so the summed scalar backpropagates each row exactly
+    // the gradient its serial descent would see (sum_all seeds every row
+    // with 1, and a NaN row cannot poison its siblings).
+    nn::Var quota_term = nn::scale(nn::sum_rows(rv), quota_norm);
+    nn::Var violation =
+        nn::relu(nn::add_scalar(nn::scale(pred, 1.0 / target_ms), -1.0));
+    nn::Var loss_rows = nn::add(quota_term, nn::scale(violation, cfg_.rho));
+    nn::Var total = nn::sum_all(loss_rows);
+
+    const nn::Tensor& loss_vals = tape.value(loss_rows);  // pre-step, per row
+    r.zero_grad();
+    tape.backward(total);
+    adam.step();
+    if (cfg_.lr_decay_every > 0 && it % cfg_.lr_decay_every == 0)
+      adam.set_learning_rate(adam.learning_rate() * cfg_.lr_decay_factor);
+    for (std::size_t k = 0; k < starts; ++k)
+      for (std::size_t i = 0; i < n; ++i)
+        r.value(k, i) = std::clamp(r.value(k, i), lo[i], hi[i]);
+    // A start that converged keeps its final projected value (its serial
+    // descent would have exited the loop there).
+    for (std::size_t k = 0; k < starts; ++k)
+      if (done[k])
+        for (std::size_t i = 0; i < n; ++i) r.value(k, i) = frozen(k, i);
+
+    for (std::size_t k = 0; k < starts; ++k) {
+      if (done[k]) continue;
+      const double loss_val = loss_vals(k, 0);
+      runs[k].iterations = it;
+      runs[k].loss = loss_val;
+      if (std::abs(loss_val - prev_loss[k]) < cfg_.tolerance) {
+        if (++calm[k] >= cfg_.patience) {
+          runs[k].converged = true;
+          done[k] = 1;
+          --active;
+          for (std::size_t i = 0; i < n; ++i) frozen(k, i) = r.value(k, i);
+          continue;
+        }
+      } else {
+        calm[k] = 0;
+      }
+      prev_loss[k] = loss_val;
+    }
+  }
+
+  for (std::size_t k = 0; k < starts; ++k) {
+    runs[k].quota.assign(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) runs[k].quota[i] = r.value(k, i);
+  }
+  // One batched frozen forward scores every start (row k bitwise equal to
+  // the 1-row predict the concurrent path runs).
+  tape.reset();
+  tape.set_freeze_params(true);
+  nn::Var quota_var = tape.constant_ref(r.value);
+  nn::Var pred = model_->predict_var(tape, workload, quota_var);
+  const nn::Tensor& pred_vals = tape.value(pred);
+  for (std::size_t k = 0; k < starts; ++k) runs[k].predicted_ms = pred_vals(k, 0);
+  return runs;
 }
 
 double ConfigurationSolver::loss_at(std::span<const double> workload, double slo_ms,

@@ -44,6 +44,14 @@ struct SolverConfig {
   /// sequential single-descent behavior.
   std::size_t multi_starts = 1;
   std::uint64_t multi_start_seed = 17;
+  /// Evaluate all starts as one K-row batched descent (K× fewer, K× wider
+  /// GEMMs) instead of K concurrent tapes. Bit-identical to the concurrent
+  /// path: rows never mix in the forward/backward (DESIGN.md §3.9), ADAM is
+  /// elementwise with a shared step counter, converged rows are frozen at
+  /// their final projected value, and the winner rule is unchanged. `false`
+  /// keeps the PR-3 thread-pool fan-out (the equivalence property test and
+  /// the scaling bench compare the two).
+  bool batched_multi_start = true;
 };
 
 struct SolverResult {
@@ -93,6 +101,14 @@ class ConfigurationSolver {
                        std::span<const Millicores> lo,
                        std::span<const Millicores> hi, const nn::Tensor& r0,
                        bool instrumented);
+
+  /// All multi_starts descents as one K x n batched tape; returns per-start
+  /// results in start order (same values the concurrent path produces).
+  std::vector<SolverResult> descend_batched(std::span<const double> workload,
+                                            double slo_ms,
+                                            std::span<const Millicores> lo,
+                                            std::span<const Millicores> hi,
+                                            const nn::Tensor& r0);
 
   gnn::LatencyModel* model_;
   SolverConfig cfg_;

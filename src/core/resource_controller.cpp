@@ -1,6 +1,7 @@
 #include "core/resource_controller.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 
@@ -8,6 +9,15 @@
 #include "telemetry/profiler.h"
 
 namespace graf::core {
+namespace {
+
+/// ~2% relative quantization: workloads within a bucket share a cached plan.
+/// log1p keeps zero workloads in a bucket of their own.
+std::int32_t workload_bucket(double w) {
+  return static_cast<std::int32_t>(std::llround(std::log1p(w) * 50.0));
+}
+
+}  // namespace
 
 ResourceController::ResourceController(gnn::LatencyModel& model,
                                        ConfigurationSolver& solver,
@@ -30,6 +40,8 @@ void ResourceController::set_metrics(telemetry::MetricsRegistry* registry) {
     solver_iterations_ = predicted_p99_ = scale_factor_ = planned_quota_ = nullptr;
     degraded_gauge_ = saturated_gauge_ = nullptr;
     fault_model_mismatch_ = fault_analyzer_ = fault_nan_ = fault_infeasible_ = nullptr;
+    cache_hits_counter_ = cache_misses_counter_ = cache_evictions_counter_ = nullptr;
+    cache_saved_us_ = nullptr;
   } else {
     plan_timer_ = &registry->histogram("core.plan_us");
     plans_total_ = &registry->counter("core.plans_total");
@@ -45,6 +57,10 @@ void ResourceController::set_metrics(telemetry::MetricsRegistry* registry) {
     fault_analyzer_ = &registry->counter("faults.analyzer_not_ready");
     fault_nan_ = &registry->counter("faults.solver_nan");
     fault_infeasible_ = &registry->counter("faults.solver_infeasible");
+    cache_hits_counter_ = &registry->counter("core.plan_cache.hits");
+    cache_misses_counter_ = &registry->counter("core.plan_cache.misses");
+    cache_evictions_counter_ = &registry->counter("core.plan_cache.evictions");
+    cache_saved_us_ = &registry->counter("core.plan_cache.saved_us");
   }
   solver_.set_metrics(registry);
 }
@@ -68,9 +84,27 @@ void ResourceController::refresh_model() {
     return;
   }
   model_mismatch_ = false;
+  // Rebind before dropping the old pin: rebind() sanity-checks the new
+  // model's node count against the solver's current one, and if this
+  // controller holds the last reference (the handle already swapped the
+  // old model out), reassigning pinned_ first would free what that check
+  // reads. Rebind also leaves the controller untouched if it throws.
+  solver_.rebind(*current);
   pinned_ = std::move(current);
   model_ = pinned_.get();
-  solver_.rebind(*model_);
+  // New weights mean cached plans no longer describe what the solver would
+  // produce; the generation bump also poisons any key already handed out.
+  invalidate_plan_cache();
+}
+
+void ResourceController::invalidate_plan_cache() {
+  plan_cache_.clear();
+  ++model_generation_;
+}
+
+void ResourceController::set_plan_cache_capacity(std::size_t capacity) {
+  plan_cache_capacity_ = capacity;
+  invalidate_plan_cache();
 }
 
 gnn::LatencyModel& ResourceController::active_model() {
@@ -84,6 +118,7 @@ void ResourceController::set_training_reference(const gnn::Dataset& train) {
   for (const auto& s : train)
     for (std::size_t i = 0; i < n; ++i)
       train_max_workload_[i] = std::max(train_max_workload_[i], s.workload[i]);
+  invalidate_plan_cache();  // the scale factor k changes with the reference
 }
 
 void ResourceController::set_max_instances(std::vector<int> max_instances) {
@@ -92,11 +127,16 @@ void ResourceController::set_max_instances(std::vector<int> max_instances) {
   for (int m : max_instances)
     if (m < 1) throw std::invalid_argument{"ResourceController: max_instances must be >= 1"};
   max_instances_ = std::move(max_instances);
+  invalidate_plan_cache();  // clamping rules are part of the cached result
 }
 
 AllocationPlan ResourceController::degraded_plan(telemetry::Counter* cause) {
   ++degraded_plans_;
   if (cause != nullptr) cause->add();
+  // Entering degraded mode signals the solve pipeline can't be trusted
+  // (model mismatch, analyzer blackout, NaN, infeasible) — stop serving
+  // cached products of that same pipeline until a clean solve lands.
+  invalidate_plan_cache();
   AllocationPlan plan;
   if (have_last_good_) {
     plan = last_good_;
@@ -145,6 +185,28 @@ AllocationPlan ResourceController::plan(std::span<const Qps> api_qps, double slo
   }
   const std::size_t n = model_->node_count();
   std::vector<double> node_workload = analyzer_.distribute(api_qps);
+
+  // Plan-cache lookup: post-distribute workloads fold fan-out/topology
+  // effects into the key, so two ticks that quantize alike would solve
+  // alike. A hit skips the solver outright (sub-millisecond tick).
+  std::vector<std::int32_t> key(n);
+  for (std::size_t i = 0; i < n; ++i) key[i] = workload_bucket(node_workload[i]);
+  const std::uint64_t slo_bits = std::bit_cast<std::uint64_t>(slo_ms);
+  for (CachedPlan& entry : plan_cache_) {
+    if (entry.generation != model_generation_ || entry.slo_bits != slo_bits ||
+        entry.workload_buckets != key)
+      continue;
+    entry.last_used = ++cache_tick_;
+    ++cache_hits_;
+    if (cache_hits_counter_ != nullptr) cache_hits_counter_->add();
+    if (cache_saved_us_ != nullptr) cache_saved_us_->add(entry.solve_seconds * 1e6);
+    last_good_ = entry.plan;  // cached plans are feasible by construction
+    have_last_good_ = true;
+    publish_plan(entry.plan);
+    return entry.plan;
+  }
+  ++cache_misses_;
+  if (cache_misses_counter_ != nullptr) cache_misses_counter_->add();
 
   // Workload scaling (§3.6): shrink into the trained region by a common
   // factor; quotas are scaled back up by the same factor afterwards.
@@ -201,6 +263,26 @@ AllocationPlan ResourceController::plan(std::span<const Qps> api_qps, double slo
   } else {
     last_good_ = plan;
     have_last_good_ = true;
+    // Only clean, feasible plans are worth replaying. LRU-evict at capacity.
+    if (plan_cache_capacity_ > 0) {
+      if (plan_cache_.size() >= plan_cache_capacity_) {
+        std::size_t victim = 0;
+        for (std::size_t e = 1; e < plan_cache_.size(); ++e)
+          if (plan_cache_[e].last_used < plan_cache_[victim].last_used) victim = e;
+        plan_cache_[victim] = plan_cache_.back();
+        plan_cache_.pop_back();
+        ++cache_evictions_;
+        if (cache_evictions_counter_ != nullptr) cache_evictions_counter_->add();
+      }
+      CachedPlan entry;
+      entry.workload_buckets = std::move(key);
+      entry.slo_bits = slo_bits;
+      entry.generation = model_generation_;
+      entry.plan = plan;
+      entry.solve_seconds = plan.solver.solve_seconds;
+      entry.last_used = ++cache_tick_;
+      plan_cache_.push_back(std::move(entry));
+    }
   }
   publish_plan(plan);
   return plan;

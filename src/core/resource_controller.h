@@ -96,8 +96,35 @@ class ResourceController {
   /// A feasible (non-degraded) plan exists to fall back on.
   bool has_last_good() const { return have_last_good_; }
 
+  // ---- Plan cache ----------------------------------------------------------
+  //
+  // plan() memoizes feasible, non-degraded results keyed by (the observed
+  // node workload quantized into ~2% log buckets, the SLO bits, the model
+  // generation). A repeat of a recent workload answers from the cache and
+  // skips the solve entirely — the expected steady state, where the
+  // controller re-plans every sync period but traffic only drifts. The
+  // generation counter bumps (and the cache clears) on model hot-swap,
+  // set_training_reference, set_max_instances, and every degraded-plan
+  // transition, so a stale model or topology can never serve a cached plan.
+
+  /// Max cached plans, LRU-evicted (0 disables caching; clears the cache).
+  void set_plan_cache_capacity(std::size_t capacity);
+  std::uint64_t plan_cache_hits() const { return cache_hits_; }
+  std::uint64_t plan_cache_misses() const { return cache_misses_; }
+  std::uint64_t plan_cache_evictions() const { return cache_evictions_; }
+
  private:
+  struct CachedPlan {
+    std::vector<std::int32_t> workload_buckets;
+    std::uint64_t slo_bits = 0;
+    std::uint64_t generation = 0;
+    AllocationPlan plan;
+    double solve_seconds = 0.0;  ///< what a hit saves (telemetry)
+    std::uint64_t last_used = 0;
+  };
+
   void refresh_model();
+  void invalidate_plan_cache();
   /// Fallback: last feasible plan if one exists, else the hi-bound default
   /// (quota = hi — the most conservative allocation inside the trained
   /// region, approximating what a best-effort solve would reach).
@@ -133,6 +160,19 @@ class ResourceController {
   telemetry::Counter* fault_analyzer_ = nullptr;
   telemetry::Counter* fault_nan_ = nullptr;
   telemetry::Counter* fault_infeasible_ = nullptr;
+
+  std::vector<CachedPlan> plan_cache_;
+  std::size_t plan_cache_capacity_ = 64;
+  std::uint64_t model_generation_ = 0;
+  std::uint64_t cache_tick_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+  std::uint64_t cache_evictions_ = 0;
+  telemetry::Counter* cache_hits_counter_ = nullptr;
+  telemetry::Counter* cache_misses_counter_ = nullptr;
+  telemetry::Counter* cache_evictions_counter_ = nullptr;
+  /// Solve time skipped by cache hits, microseconds.
+  telemetry::Counter* cache_saved_us_ = nullptr;
 };
 
 }  // namespace graf::core

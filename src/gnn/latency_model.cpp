@@ -110,7 +110,9 @@ nn::Var LatencyModel::forward_features(nn::Tape& tape, const Batch& b, Rng& rng,
                                        bool training) {
   std::vector<nn::Var> feats;
   feats.reserve(b.features.size());
-  for (const auto& f : b.features) feats.push_back(tape.constant(f));
+  // By reference: the Batch outlives every use of the tape (callers build it
+  // before forwarding and read results before rebuilding), so no copies.
+  for (const auto& f : b.features) feats.push_back(tape.constant_ref(f));
   return model_.forward(tape, feats, rng, training);
 }
 
@@ -247,7 +249,7 @@ double LatencyModel::predict(std::span<const double> workload_qps,
     f(0, 1) = quota_millicores[n] * q_scale_;
     f(0, 2) = q_min_mc_ / quota_millicores[n];
     f(0, 3) = workload_qps[n] / quota_millicores[n] / ratio_max_;
-    feats.push_back(tape.constant(f));
+    feats.push_back(tape.constant(std::move(f)));
   }
   nn::Var out = model_.forward(tape, feats, rng_, /*training=*/false);
   return tape.value(out).item() * label_ref_;
@@ -258,14 +260,15 @@ nn::Var LatencyModel::predict_var(nn::Tape& tape, std::span<const double> worklo
   if (workload_qps.size() != node_count_)
     throw std::invalid_argument{"LatencyModel::predict_var: dimension mismatch"};
   const nn::Tensor& q = tape.value(quota_mc);
-  if (q.rows() != 1 || q.cols() != node_count_)
-    throw std::invalid_argument{"LatencyModel::predict_var: quota must be 1 x n"};
+  if (q.rows() == 0 || q.cols() != node_count_)
+    throw std::invalid_argument{"LatencyModel::predict_var: quota must be B x n"};
+  const std::size_t batch = q.rows();
   std::vector<nn::Var> feats;
   feats.reserve(node_count_);
   for (std::size_t n = 0; n < node_count_; ++n) {
     nn::Var q_raw = nn::slice_cols(quota_mc, n, 1);
     nn::Var q_inv = nn::reciprocal(q_raw);
-    nn::Var w = tape.constant(nn::Tensor::scalar(workload_qps[n] * w_scale_));
+    nn::Var w = tape.constant_fill(batch, 1, workload_qps[n] * w_scale_);
     nn::Var qn = nn::scale(q_raw, q_scale_);
     nn::Var inv_feat = nn::scale(q_inv, q_min_mc_);
     nn::Var ratio_feat = nn::scale(q_inv, workload_qps[n] / ratio_max_);

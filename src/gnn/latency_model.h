@@ -106,9 +106,12 @@ class LatencyModel {
   double predict(std::span<const double> workload_qps,
                  std::span<const double> quota_millicores);
 
-  /// Differentiable prediction: `quota_mc` is a 1 x node_count Var holding
-  /// millicore quotas; the returned 1x1 Var is latency in ms. Gradients flow
-  /// back to `quota_mc` — this is what the configuration solver descends.
+  /// Differentiable prediction: `quota_mc` is a B x node_count Var holding
+  /// millicore quotas (one row per candidate); the returned B x 1 Var is
+  /// latency in ms per row. Gradients flow back to `quota_mc` — this is what
+  /// the configuration solver descends. Rows never mix: a B-row forward
+  /// equals B independent 1-row forwards, bit for bit (DESIGN.md §3.9),
+  /// which is what makes batched multi-start exact.
   nn::Var predict_var(nn::Tape& tape, std::span<const double> workload_qps,
                       nn::Var quota_mc);
 

@@ -66,7 +66,7 @@ nn::Var MpnnModel::forward(nn::Tape& tape, std::span<const nn::Var> node_feature
       for (std::size_t i = 0; i < n; ++i) {
         nn::Var agg;
         if (parents_[i].empty()) {
-          agg = tape.constant(nn::Tensor{batch, cfg_.embed_dim});
+          agg = tape.zeros(batch, cfg_.embed_dim);
         } else {
           agg = msg[static_cast<std::size_t>(parents_[i].front())];
           for (std::size_t p = 1; p < parents_[i].size(); ++p)

@@ -4,6 +4,17 @@
 #include <utility>
 
 namespace graf::nn {
+
+// Backdoor for the op implementations below: backward hooks are capture-less
+// function pointers, so they read their arguments (dependency ids, scalar
+// parameters, the dropout mask, ...) from fields on the node itself.
+struct OpAccess {
+  static Tape::Node& node(Tape& t, int id) { return t.node(id); }
+  static Tape::Node& staged(Tape& t) { return *t.nodes_[t.live_]; }
+  static const Tensor& val(Tape& t, int id) { return t.node_value(id); }
+  static Tensor& scratch(Tape& t) { return t.scratch_; }
+};
+
 namespace {
 
 Tape& same_tape(Var a, Var b) {
@@ -14,55 +25,138 @@ Tape& same_tape(Var a, Var b) {
 
 }  // namespace
 
-Var Tape::constant(Tensor value) {
-  nodes_.push_back(Node{std::move(value), {}, false, false, nullptr, nullptr});
-  return Var{this, static_cast<int>(nodes_.size()) - 1};
+// ---- Arena -----------------------------------------------------------------
+
+Tape::Node& Tape::acquire() {
+  if (live_ == nodes_.size()) nodes_.push_back(std::make_unique<Node>());
+  Node& n = *nodes_[live_];
+  n.ref = nullptr;
+  n.param = nullptr;
+  n.backward = nullptr;
+  n.deps.clear();  // keeps capacity
+  n.a = -1;
+  n.b = -1;
+  n.i0 = 0;
+  n.i1 = 0;
+  n.s0 = 0.0;
+  n.s1 = 0.0;
+  n.requires_grad = false;
+  n.grad_seen = false;
+  return n;
 }
 
+void Tape::reset() { live_ = 0; }
+
+Tape::Node& Tape::node(int id) { return *nodes_.at(static_cast<std::size_t>(id)); }
+
+const Tape::Node& Tape::node(int id) const {
+  return *nodes_.at(static_cast<std::size_t>(id));
+}
+
+const Tensor& Tape::node_value(int id) const {
+  const Node& n = node(id);
+  return n.ref != nullptr ? *n.ref : n.value;
+}
+
+// ---- Inputs ----------------------------------------------------------------
+
+Var Tape::constant(Tensor value) {
+  Node& n = acquire();
+  n.value = std::move(value);
+  return Var{this, static_cast<int>(live_++)};
+}
+
+Var Tape::constant_ref(const Tensor& value) {
+  Node& n = acquire();
+  n.ref = &value;
+  return Var{this, static_cast<int>(live_++)};
+}
+
+Var Tape::constant_fill(std::size_t rows, std::size_t cols, double v) {
+  Node& n = acquire();
+  n.value.resize_zero(rows, cols);
+  if (v != 0.0) n.value.fill(v);
+  return Var{this, static_cast<int>(live_++)};
+}
+
+Var Tape::zeros(std::size_t rows, std::size_t cols) { return constant_fill(rows, cols, 0.0); }
+
 Var Tape::leaf(Tensor value, bool requires_grad) {
-  nodes_.push_back(Node{std::move(value), {}, requires_grad, false, nullptr, nullptr});
-  return Var{this, static_cast<int>(nodes_.size()) - 1};
+  Node& n = acquire();
+  n.value = std::move(value);
+  n.requires_grad = requires_grad;
+  return Var{this, static_cast<int>(live_++)};
 }
 
 Var Tape::param(Param& p) {
-  if (freeze_params_) return constant(p.value);
+  if (freeze_params_) return constant_ref(p.value);
   // The leaf's backward flushes the tape-local gradient into the Param
   // (unless the tape defers; then flush_param_grads() does it serially).
-  Node n{p.value, {}, true, false, &p, nullptr};
+  Node& n = acquire();
+  n.ref = &p.value;
+  n.param = &p;
+  n.requires_grad = true;
   n.backward = [](Tape& t, int id) {
     if (t.defer_param_grads_) return;
-    auto& self = t.node(id);
+    auto& self = OpAccess::node(t, id);
     self.param->grad += self.grad;
   };
-  nodes_.push_back(std::move(n));
-  return Var{this, static_cast<int>(nodes_.size()) - 1};
+  return Var{this, static_cast<int>(live_++)};
 }
 
 void Tape::flush_param_grads() {
-  for (auto& n : nodes_)
+  for (std::size_t i = 0; i < live_; ++i) {
+    Node& n = *nodes_[i];
     if (n.param != nullptr && n.grad_seen) n.param->grad += n.grad;
+  }
 }
 
-Var Tape::make_node(Tensor value, std::vector<int> deps,
-                    std::function<void(Tape&, int)> backward) {
+// ---- Staged op nodes -------------------------------------------------------
+
+Tensor& Tape::stage(std::size_t rows, std::size_t cols) {
+  Node& n = acquire();
+  n.value.resize_zero(rows, cols);
+  return n.value;
+}
+
+Var Tape::commit_staged(BackwardFn backward, bool needs) {
+  Node& n = *nodes_[live_];
+  n.requires_grad = needs;
+  if (needs) n.backward = backward;
+  return Var{this, static_cast<int>(live_++)};
+}
+
+Var Tape::commit_constant() { return commit_staged(nullptr, false); }
+
+Var Tape::commit1(int a, BackwardFn backward) {
+  nodes_[live_]->a = a;
+  return commit_staged(backward, requires_grad(a));
+}
+
+Var Tape::commit2(int a, int b, BackwardFn backward) {
+  Node& n = *nodes_[live_];
+  n.a = a;
+  n.b = b;
+  return commit_staged(backward, requires_grad(a) || requires_grad(b));
+}
+
+Var Tape::commit_n(std::span<const int> deps, BackwardFn backward) {
+  Node& n = *nodes_[live_];
+  n.deps.assign(deps.begin(), deps.end());
   bool needs = false;
   for (int d : deps) needs = needs || requires_grad(d);
-  Node n{std::move(value), {}, needs, false, nullptr, nullptr};
-  if (needs) n.backward = std::move(backward);
-  nodes_.push_back(std::move(n));
-  return Var{this, static_cast<int>(nodes_.size()) - 1};
+  return commit_staged(backward, needs);
 }
 
-Tape::Node& Tape::node(int id) { return nodes_.at(static_cast<std::size_t>(id)); }
+// ---- Reads and gradient plumbing -------------------------------------------
 
-const Tape::Node& Tape::node(int id) const { return nodes_.at(static_cast<std::size_t>(id)); }
-
-const Tensor& Tape::value(Var v) const { return node(v.id).value; }
+const Tensor& Tape::value(Var v) const { return node_value(v.id); }
 
 const Tensor& Tape::grad(Var v) {
-  auto& n = node(v.id);
+  Node& n = node(v.id);
   if (!n.grad_seen) {
-    n.grad = Tensor{n.value.rows(), n.value.cols()};
+    const Tensor& val = node_value(v.id);
+    n.grad.resize_zero(val.rows(), val.cols());
     n.grad_seen = true;
   }
   return n.grad;
@@ -71,38 +165,73 @@ const Tensor& Tape::grad(Var v) {
 bool Tape::requires_grad(int id) const { return node(id).requires_grad; }
 
 void Tape::accumulate(int id, const Tensor& g) {
-  auto& n = node(id);
+  Node& n = node(id);
   if (!n.requires_grad) return;
   if (!n.grad_seen) {
-    n.grad = g;
+    n.grad.copy_from(g);
     n.grad_seen = true;
   } else {
     n.grad += g;
   }
 }
 
-void Tape::backward(Var out) {
-  if (!out.valid() || out.tape != this) throw std::invalid_argument{"backward: foreign var"};
-  if (node(out.id).value.size() != 1)
-    throw std::invalid_argument{"backward: output must be scalar"};
-  accumulate(out.id, Tensor::scalar(1.0));
-  for (int id = out.id; id >= 0; --id) {
-    auto& n = node(id);
-    if (n.requires_grad && n.grad_seen && n.backward) n.backward(*this, id);
+void Tape::accumulate_scaled(int id, const Tensor& g, double s) {
+  Node& n = node(id);
+  if (!n.requires_grad) return;
+  if (!n.grad_seen) {
+    n.grad.resize_zero(g.rows(), g.cols());
+    n.grad_seen = true;
   }
+  n.grad.add_scaled(g, s);
 }
 
-void Tape::reset() { nodes_.clear(); }
+void Tape::accumulate_product(int id, const Tensor& g, const Tensor& m) {
+  Node& n = node(id);
+  if (!n.requires_grad) return;
+  if (!g.same_shape(m)) throw std::invalid_argument{"accumulate_product: shape mismatch"};
+  if (!n.grad_seen) {
+    n.grad.resize_zero(g.rows(), g.cols());
+    n.grad_seen = true;
+  }
+  double* out = n.grad.data();
+  const double* gp = g.data();
+  const double* mp = m.data();
+  for (std::size_t i = 0; i < g.size(); ++i) out[i] += gp[i] * mp[i];
+}
+
+void Tape::backward(Var out) {
+  if (!out.valid() || out.tape != this) throw std::invalid_argument{"backward: foreign var"};
+  if (node_value(out.id).size() != 1)
+    throw std::invalid_argument{"backward: output must be scalar"};
+  Node& root = node(out.id);
+  if (root.requires_grad) {
+    if (!root.grad_seen) {
+      root.grad.resize_zero(1, 1);
+      root.grad_seen = true;
+    }
+    root.grad(0, 0) += 1.0;
+  }
+  for (int id = out.id; id >= 0; --id) {
+    Node& n = *nodes_[static_cast<std::size_t>(id)];
+    if (n.requires_grad && n.grad_seen && n.backward != nullptr) n.backward(*this, id);
+  }
+}
 
 // ---- Ops -------------------------------------------------------------------
 
 Var add(Var a, Var b) {
   Tape& t = same_tape(a, b);
-  Tensor out = t.value(a) + t.value(b);
-  return t.make_node(std::move(out), {a.id, b.id}, [a, b](Tape& t, int id) {
-    const Tensor& g = t.grad(Var{&t, id});
-    t.accumulate(a.id, g);
-    t.accumulate(b.id, g);
+  const Tensor& av = t.value(a);
+  const Tensor& bv = t.value(b);
+  if (!av.same_shape(bv)) throw std::invalid_argument{"add: shape mismatch"};
+  Tensor& out = t.stage(av.rows(), av.cols());
+  const double* ap = av.data();
+  const double* bp = bv.data();
+  for (std::size_t i = 0; i < av.size(); ++i) out.data()[i] = ap[i] + bp[i];
+  return t.commit2(a.id, b.id, [](Tape& t, int id) {
+    auto& n = OpAccess::node(t, id);
+    t.accumulate(n.a, n.grad);
+    t.accumulate(n.b, n.grad);
   });
 }
 
@@ -112,97 +241,168 @@ Var add_row_broadcast(Var a, Var b) {
   const Tensor& bv = t.value(b);
   if (bv.rows() != 1 || bv.cols() != av.cols())
     throw std::invalid_argument{"add_row_broadcast: bias must be 1 x cols(a)"};
-  Tensor out = av;
-  for (std::size_t i = 0; i < out.rows(); ++i)
-    for (std::size_t j = 0; j < out.cols(); ++j) out(i, j) += bv(0, j);
-  return t.make_node(std::move(out), {a.id, b.id}, [a, b](Tape& t, int id) {
-    const Tensor& g = t.grad(Var{&t, id});
-    t.accumulate(a.id, g);
-    if (t.requires_grad(b.id)) {
-      Tensor gb{1, g.cols()};
+  Tensor& out = t.stage(av.rows(), av.cols());
+  for (std::size_t i = 0; i < av.rows(); ++i)
+    for (std::size_t j = 0; j < av.cols(); ++j) out(i, j) = av(i, j) + bv(0, j);
+  return t.commit2(a.id, b.id, [](Tape& t, int id) {
+    auto& n = OpAccess::node(t, id);
+    const Tensor& g = n.grad;
+    t.accumulate(n.a, g);
+    if (t.requires_grad(n.b)) {
+      Tensor& gb = OpAccess::scratch(t);
+      gb.resize_zero(1, g.cols());
       for (std::size_t i = 0; i < g.rows(); ++i)
         for (std::size_t j = 0; j < g.cols(); ++j) gb(0, j) += g(i, j);
-      t.accumulate(b.id, gb);
+      t.accumulate(n.b, gb);
+    }
+  });
+}
+
+Var bias_relu(Var a, Var b) {
+  Tape& t = same_tape(a, b);
+  const Tensor& av = t.value(a);
+  const Tensor& bv = t.value(b);
+  if (bv.rows() != 1 || bv.cols() != av.cols())
+    throw std::invalid_argument{"bias_relu: bias must be 1 x cols(a)"};
+  Tensor& out = t.stage(av.rows(), av.cols());
+  bias_relu_into(out, av, bv);
+  // y > 0 iff the pre-activation was > 0, so the output doubles as the mask.
+  return t.commit2(a.id, b.id, [](Tape& t, int id) {
+    auto& n = OpAccess::node(t, id);
+    const Tensor& g = n.grad;
+    const Tensor& y = n.value;
+    Tensor& s = OpAccess::scratch(t);
+    s.resize_zero(g.rows(), g.cols());
+    for (std::size_t i = 0; i < g.size(); ++i)
+      s.data()[i] = y.data()[i] > 0.0 ? g.data()[i] : 0.0;
+    t.accumulate(n.a, s);
+    if (t.requires_grad(n.b)) {
+      // Column sums of the masked gradient; scratch is free again because
+      // accumulate() copied it.
+      s.resize_zero(1, g.cols());
+      for (std::size_t i = 0; i < g.rows(); ++i)
+        for (std::size_t j = 0; j < g.cols(); ++j)
+          if (y(i, j) > 0.0) s(0, j) += g(i, j);
+      t.accumulate(n.b, s);
     }
   });
 }
 
 Var sub(Var a, Var b) {
   Tape& t = same_tape(a, b);
-  Tensor out = t.value(a) - t.value(b);
-  return t.make_node(std::move(out), {a.id, b.id}, [a, b](Tape& t, int id) {
-    const Tensor& g = t.grad(Var{&t, id});
-    t.accumulate(a.id, g);
-    if (t.requires_grad(b.id)) {
-      Tensor neg = g;
-      neg *= -1.0;
-      t.accumulate(b.id, neg);
-    }
+  const Tensor& av = t.value(a);
+  const Tensor& bv = t.value(b);
+  if (!av.same_shape(bv)) throw std::invalid_argument{"sub: shape mismatch"};
+  Tensor& out = t.stage(av.rows(), av.cols());
+  const double* ap = av.data();
+  const double* bp = bv.data();
+  for (std::size_t i = 0; i < av.size(); ++i) out.data()[i] = ap[i] - bp[i];
+  return t.commit2(a.id, b.id, [](Tape& t, int id) {
+    auto& n = OpAccess::node(t, id);
+    t.accumulate(n.a, n.grad);
+    t.accumulate_scaled(n.b, n.grad, -1.0);
   });
 }
 
 Var mul(Var a, Var b) {
   Tape& t = same_tape(a, b);
-  Tensor out = hadamard(t.value(a), t.value(b));
-  return t.make_node(std::move(out), {a.id, b.id}, [a, b](Tape& t, int id) {
-    const Tensor& g = t.grad(Var{&t, id});
-    if (t.requires_grad(a.id)) t.accumulate(a.id, hadamard(g, t.value(b)));
-    if (t.requires_grad(b.id)) t.accumulate(b.id, hadamard(g, t.value(a)));
+  const Tensor& av = t.value(a);
+  const Tensor& bv = t.value(b);
+  if (!av.same_shape(bv)) throw std::invalid_argument{"mul: shape mismatch"};
+  Tensor& out = t.stage(av.rows(), av.cols());
+  const double* ap = av.data();
+  const double* bp = bv.data();
+  for (std::size_t i = 0; i < av.size(); ++i) out.data()[i] = ap[i] * bp[i];
+  return t.commit2(a.id, b.id, [](Tape& t, int id) {
+    auto& n = OpAccess::node(t, id);
+    if (t.requires_grad(n.a)) t.accumulate_product(n.a, n.grad, OpAccess::val(t, n.b));
+    if (t.requires_grad(n.b)) t.accumulate_product(n.b, n.grad, OpAccess::val(t, n.a));
   });
 }
 
 Var matmul(Var a, Var b) {
   Tape& t = same_tape(a, b);
-  Tensor out = matmul(t.value(a), t.value(b));
-  return t.make_node(std::move(out), {a.id, b.id}, [a, b](Tape& t, int id) {
-    const Tensor& g = t.grad(Var{&t, id});
-    if (t.requires_grad(a.id)) t.accumulate(a.id, matmul_nt(g, t.value(b)));
-    if (t.requires_grad(b.id)) t.accumulate(b.id, matmul_tn(t.value(a), g));
+  const Tensor& av = t.value(a);
+  const Tensor& bv = t.value(b);
+  if (av.cols() != bv.rows()) throw std::invalid_argument{"matmul: inner dims differ"};
+  Tensor& out = t.stage(av.rows(), bv.cols());
+  matmul_into(out, av, bv);
+  return t.commit2(a.id, b.id, [](Tape& t, int id) {
+    auto& n = OpAccess::node(t, id);
+    const Tensor& g = n.grad;
+    Tensor& s = OpAccess::scratch(t);
+    if (t.requires_grad(n.a)) {
+      matmul_nt_into(s, g, OpAccess::val(t, n.b));
+      t.accumulate(n.a, s);
+    }
+    if (t.requires_grad(n.b)) {
+      matmul_tn_into(s, OpAccess::val(t, n.a), g);
+      t.accumulate(n.b, s);
+    }
   });
 }
 
 Var scale(Var a, double s) {
   Tape& t = *a.tape;
-  return t.make_node(t.value(a) * s, {a.id}, [a, s](Tape& t, int id) {
-    t.accumulate(a.id, t.grad(Var{&t, id}) * s);
+  const Tensor& av = t.value(a);
+  Tensor& out = t.stage(av.rows(), av.cols());
+  const double* ap = av.data();
+  for (std::size_t i = 0; i < av.size(); ++i) out.data()[i] = ap[i] * s;
+  OpAccess::staged(t).s0 = s;
+  return t.commit1(a.id, [](Tape& t, int id) {
+    auto& n = OpAccess::node(t, id);
+    t.accumulate_scaled(n.a, n.grad, n.s0);
   });
 }
 
 Var add_scalar(Var a, double s) {
   Tape& t = *a.tape;
-  Tensor out = t.value(a);
-  for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] += s;
-  return t.make_node(std::move(out), {a.id}, [a](Tape& t, int id) {
-    t.accumulate(a.id, t.grad(Var{&t, id}));
+  const Tensor& av = t.value(a);
+  Tensor& out = t.stage(av.rows(), av.cols());
+  const double* ap = av.data();
+  for (std::size_t i = 0; i < av.size(); ++i) out.data()[i] = ap[i] + s;
+  return t.commit1(a.id, [](Tape& t, int id) {
+    auto& n = OpAccess::node(t, id);
+    t.accumulate(n.a, n.grad);
   });
 }
 
 Var relu(Var a) {
   Tape& t = *a.tape;
-  Tensor out = t.value(a);
-  for (std::size_t i = 0; i < out.size(); ++i)
-    if (out.data()[i] < 0.0) out.data()[i] = 0.0;
-  return t.make_node(std::move(out), {a.id}, [a](Tape& t, int id) {
-    const Tensor& g = t.grad(Var{&t, id});
-    const Tensor& in = t.value(a);
-    Tensor ga{g.rows(), g.cols()};
+  const Tensor& av = t.value(a);
+  Tensor& out = t.stage(av.rows(), av.cols());
+  const double* ap = av.data();
+  for (std::size_t i = 0; i < av.size(); ++i) {
+    const double v = ap[i];
+    out.data()[i] = v > 0.0 ? v : 0.0;
+  }
+  return t.commit1(a.id, [](Tape& t, int id) {
+    auto& n = OpAccess::node(t, id);
+    const Tensor& g = n.grad;
+    const Tensor& in = OpAccess::val(t, n.a);
+    Tensor& s = OpAccess::scratch(t);
+    s.resize_zero(g.rows(), g.cols());
     for (std::size_t i = 0; i < g.size(); ++i)
-      ga.data()[i] = in.data()[i] > 0.0 ? g.data()[i] : 0.0;
-    t.accumulate(a.id, ga);
+      s.data()[i] = in.data()[i] > 0.0 ? g.data()[i] : 0.0;
+    t.accumulate(n.a, s);
   });
 }
 
 Var reciprocal(Var a) {
   Tape& t = *a.tape;
-  Tensor out = t.value(a);
-  for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] = 1.0 / out.data()[i];
-  return t.make_node(std::move(out), {a.id}, [a](Tape& t, int id) {
-    const Tensor& g = t.grad(Var{&t, id});
-    const Tensor& y = t.value(Var{&t, id});  // y = 1/x, dy/dx = -y^2
-    Tensor ga{g.rows(), g.cols()};
+  const Tensor& av = t.value(a);
+  Tensor& out = t.stage(av.rows(), av.cols());
+  const double* ap = av.data();
+  for (std::size_t i = 0; i < av.size(); ++i) out.data()[i] = 1.0 / ap[i];
+  return t.commit1(a.id, [](Tape& t, int id) {
+    auto& n = OpAccess::node(t, id);
+    const Tensor& g = n.grad;
+    const Tensor& y = n.value;  // y = 1/x, dy/dx = -y^2
+    Tensor& s = OpAccess::scratch(t);
+    s.resize_zero(g.rows(), g.cols());
     for (std::size_t i = 0; i < g.size(); ++i)
-      ga.data()[i] = -g.data()[i] * y.data()[i] * y.data()[i];
-    t.accumulate(a.id, ga);
+      s.data()[i] = -g.data()[i] * y.data()[i] * y.data()[i];
+    t.accumulate(n.a, s);
   });
 }
 
@@ -211,13 +411,17 @@ Var dropout(Var a, double p, Rng& rng, bool training) {
   if (p >= 1.0) throw std::invalid_argument{"dropout: p must be < 1"};
   Tape& t = *a.tape;
   const Tensor& in = t.value(a);
-  Tensor mask{in.rows(), in.cols()};
+  Tensor& out = t.stage(in.rows(), in.cols());
+  auto& mask = OpAccess::staged(t).aux;
+  mask.resize_zero(in.rows(), in.cols());
   const double keep_scale = 1.0 / (1.0 - p);
   for (std::size_t i = 0; i < mask.size(); ++i)
     mask.data()[i] = rng.bernoulli(p) ? 0.0 : keep_scale;
-  Tensor out = hadamard(in, mask);
-  return t.make_node(std::move(out), {a.id}, [a, mask](Tape& t, int id) {
-    t.accumulate(a.id, hadamard(t.grad(Var{&t, id}), mask));
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out.data()[i] = in.data()[i] * mask.data()[i];
+  return t.commit1(a.id, [](Tape& t, int id) {
+    auto& n = OpAccess::node(t, id);
+    t.accumulate_product(n.a, n.grad, n.aux);
   });
 }
 
@@ -231,27 +435,33 @@ Var concat_cols(std::span<const Var> parts) {
     if (t.value(p).rows() != rows) throw std::invalid_argument{"concat_cols: row mismatch"};
     cols += t.value(p).cols();
   }
-  Tensor out{rows, cols};
+  Tensor& out = t.stage(rows, cols);
   std::size_t off = 0;
-  std::vector<int> deps;
-  std::vector<std::pair<int, std::size_t>> layout;  // (node id, column offset)
   for (Var p : parts) {
     const Tensor& v = t.value(p);
     for (std::size_t i = 0; i < rows; ++i)
       for (std::size_t j = 0; j < v.cols(); ++j) out(i, off + j) = v(i, j);
-    deps.push_back(p.id);
-    layout.emplace_back(p.id, off);
     off += v.cols();
   }
-  return t.make_node(std::move(out), std::move(deps), [layout](Tape& t, int id) {
-    const Tensor& g = t.grad(Var{&t, id});
-    for (const auto& [pid, offset] : layout) {
-      if (!t.requires_grad(pid)) continue;
-      const Tensor& v = t.value(Var{&t, pid});
-      Tensor gp{v.rows(), v.cols()};
-      for (std::size_t i = 0; i < v.rows(); ++i)
-        for (std::size_t j = 0; j < v.cols(); ++j) gp(i, j) = g(i, offset + j);
-      t.accumulate(pid, gp);
+  // Column offsets are recomputed from the dependency shapes on the way back,
+  // so no per-node layout vector is needed.
+  thread_local std::vector<int> dep_ids;
+  dep_ids.clear();
+  for (Var p : parts) dep_ids.push_back(p.id);
+  return t.commit_n(dep_ids, [](Tape& t, int id) {
+    auto& n = OpAccess::node(t, id);
+    const Tensor& g = n.grad;
+    std::size_t off = 0;
+    for (int pid : n.deps) {
+      const Tensor& v = OpAccess::val(t, pid);
+      if (t.requires_grad(pid)) {
+        Tensor& s = OpAccess::scratch(t);
+        s.resize_zero(v.rows(), v.cols());
+        for (std::size_t i = 0; i < v.rows(); ++i)
+          for (std::size_t j = 0; j < v.cols(); ++j) s(i, j) = g(i, off + j);
+        t.accumulate(pid, s);
+      }
+      off += v.cols();
     }
   });
 }
@@ -260,25 +470,58 @@ Var slice_cols(Var a, std::size_t start, std::size_t len) {
   Tape& t = *a.tape;
   const Tensor& in = t.value(a);
   if (start + len > in.cols()) throw std::invalid_argument{"slice_cols: out of range"};
-  Tensor out{in.rows(), len};
+  Tensor& out = t.stage(in.rows(), len);
   for (std::size_t i = 0; i < in.rows(); ++i)
     for (std::size_t j = 0; j < len; ++j) out(i, j) = in(i, start + j);
-  return t.make_node(std::move(out), {a.id}, [a, start, len](Tape& t, int id) {
-    const Tensor& g = t.grad(Var{&t, id});
-    const Tensor& in = t.value(a);
-    Tensor ga{in.rows(), in.cols()};
+  auto& staged = OpAccess::staged(t);
+  staged.i0 = start;
+  staged.i1 = len;
+  return t.commit1(a.id, [](Tape& t, int id) {
+    auto& n = OpAccess::node(t, id);
+    const Tensor& g = n.grad;
+    const Tensor& in = OpAccess::val(t, n.a);
+    Tensor& s = OpAccess::scratch(t);
+    s.resize_zero(in.rows(), in.cols());
     for (std::size_t i = 0; i < in.rows(); ++i)
-      for (std::size_t j = 0; j < len; ++j) ga(i, start + j) = g(i, j);
-    t.accumulate(a.id, ga);
+      for (std::size_t j = 0; j < n.i1; ++j) s(i, n.i0 + j) = g(i, j);
+    t.accumulate(n.a, s);
   });
 }
 
 Var sum_all(Var a) {
   Tape& t = *a.tape;
-  return t.make_node(Tensor::scalar(t.value(a).sum()), {a.id}, [a](Tape& t, int id) {
-    const double g = t.grad(Var{&t, id}).item();
-    const Tensor& in = t.value(a);
-    t.accumulate(a.id, Tensor::full(in.rows(), in.cols(), g));
+  const Tensor& in = t.value(a);
+  Tensor& out = t.stage(1, 1);
+  out(0, 0) = in.sum();
+  return t.commit1(a.id, [](Tape& t, int id) {
+    auto& n = OpAccess::node(t, id);
+    const double g = n.grad(0, 0);
+    const Tensor& in = OpAccess::val(t, n.a);
+    Tensor& s = OpAccess::scratch(t);
+    s.resize_zero(in.rows(), in.cols());
+    s.fill(g);
+    t.accumulate(n.a, s);
+  });
+}
+
+Var sum_rows(Var a) {
+  Tape& t = *a.tape;
+  const Tensor& in = t.value(a);
+  Tensor& out = t.stage(in.rows(), 1);
+  for (std::size_t i = 0; i < in.rows(); ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < in.cols(); ++j) acc += in(i, j);
+    out(i, 0) = acc;
+  }
+  return t.commit1(a.id, [](Tape& t, int id) {
+    auto& n = OpAccess::node(t, id);
+    const Tensor& g = n.grad;
+    const Tensor& in = OpAccess::val(t, n.a);
+    Tensor& s = OpAccess::scratch(t);
+    s.resize_zero(in.rows(), in.cols());
+    for (std::size_t i = 0; i < in.rows(); ++i)
+      for (std::size_t j = 0; j < in.cols(); ++j) s(i, j) = g(i, 0);
+    t.accumulate(n.a, s);
   });
 }
 
@@ -293,7 +536,7 @@ Var asym_huber(Var x, double theta_neg, double theta_pos) {
     throw std::invalid_argument{"asym_huber: thetas must be positive"};
   Tape& t = *x.tape;
   const Tensor& in = t.value(x);
-  Tensor out{in.rows(), in.cols()};
+  Tensor& out = t.stage(in.rows(), in.cols());
   for (std::size_t i = 0; i < in.size(); ++i) {
     const double v = in.data()[i];
     if (v < -theta_neg) {
@@ -304,23 +547,28 @@ Var asym_huber(Var x, double theta_neg, double theta_pos) {
       out.data()[i] = theta_pos * (2.0 * v - theta_pos);
     }
   }
-  return t.make_node(std::move(out), {x.id}, [x, theta_neg, theta_pos](Tape& t, int id) {
-    const Tensor& g = t.grad(Var{&t, id});
-    const Tensor& in = t.value(x);
-    Tensor gx{in.rows(), in.cols()};
+  auto& staged = OpAccess::staged(t);
+  staged.s0 = theta_neg;
+  staged.s1 = theta_pos;
+  return t.commit1(x.id, [](Tape& t, int id) {
+    auto& n = OpAccess::node(t, id);
+    const Tensor& g = n.grad;
+    const Tensor& in = OpAccess::val(t, n.a);
+    Tensor& s = OpAccess::scratch(t);
+    s.resize_zero(g.rows(), g.cols());
     for (std::size_t i = 0; i < in.size(); ++i) {
       const double v = in.data()[i];
       double d;
-      if (v < -theta_neg) {
-        d = -2.0 * theta_neg;
-      } else if (v < theta_pos) {
+      if (v < -n.s0) {
+        d = -2.0 * n.s0;
+      } else if (v < n.s1) {
         d = 2.0 * v;
       } else {
-        d = 2.0 * theta_pos;
+        d = 2.0 * n.s1;
       }
-      gx.data()[i] = d * g.data()[i];
+      s.data()[i] = d * g.data()[i];
     }
-    t.accumulate(x.id, gx);
+    t.accumulate(n.a, s);
   });
 }
 

@@ -10,11 +10,18 @@
 //     model with respect to its *inputs* (the CPU-quota vector).
 //
 // The tape is rebuilt every forward pass (define-by-run), exactly like the
-// PyTorch programs the paper uses.
+// PyTorch programs the paper uses — but the node storage is an arena:
+// reset() rewinds a cursor instead of destroying nodes, and every node's
+// value/gradient/aux tensors keep their heap buffers for the next pass.
+// Iterative workloads (the solver descends thousands of iterations with an
+// identical graph shape) therefore run with zero steady-state tape
+// allocation (DESIGN.md §3.9). Op backwards are plain function pointers
+// reading their arguments from per-node slots — no std::function captures,
+// no per-node heap.
 #pragma once
 
 #include <cstddef>
-#include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -44,21 +51,44 @@ struct Var {
 
 class Tape {
  public:
+  /// Op backward hook: reads grad(id) and accumulates into the node's
+  /// dependencies. Plain function pointer; per-op state lives on the node.
+  using BackwardFn = void (*)(Tape&, int);
+
   Tape() = default;
   Tape(const Tape&) = delete;
   Tape& operator=(const Tape&) = delete;
 
-  /// Non-differentiable input.
+  /// Non-differentiable input (moved into the node).
   Var constant(Tensor value);
+  /// Non-differentiable input recorded by reference — no copy. `value`
+  /// must outlive every use of this tape up to the next reset().
+  Var constant_ref(const Tensor& value);
+  /// Non-differentiable rows x cols tensor filled with `v`, built in the
+  /// node's recycled buffer (no allocation in steady state).
+  Var constant_fill(std::size_t rows, std::size_t cols, double v);
+  /// Non-differentiable rows x cols zero tensor (recycled buffer).
+  Var zeros(std::size_t rows, std::size_t cols);
   /// Differentiable input; gradient readable via grad() after backward().
   Var leaf(Tensor value, bool requires_grad = true);
   /// Parameter input; gradient accumulates into `p.grad` during backward().
+  /// Recorded by reference — `p` must outlive uses of this tape up to the
+  /// next reset() (it always does: optimizers step between passes).
   Var param(Param& p);
 
-  /// Record an op node. `backward` receives the tape and the node id of the
-  /// new node; it must read grad(node) and accumulate into its inputs.
-  Var make_node(Tensor value, std::vector<int> deps,
-                std::function<void(Tape&, int)> backward);
+  // ---- Op-authoring API (staged nodes) ------------------------------------
+  //
+  // An op stages the output buffer of the node about to be recorded (a
+  // recycled, zero-filled rows x cols tensor), fills it, then commits with
+  // its dependencies and backward hook. Exactly one node may be staged at a
+  // time; every op stages-fills-commits before the next op runs.
+
+  Tensor& stage(std::size_t rows, std::size_t cols);
+  /// Commit the staged node as a constant (no gradient).
+  Var commit_constant();
+  Var commit1(int a, BackwardFn backward);
+  Var commit2(int a, int b, BackwardFn backward);
+  Var commit_n(std::span<const int> deps, BackwardFn backward);
 
   const Tensor& value(Var v) const;
   /// Gradient of the last backward() w.r.t. `v`; zero tensor if untouched.
@@ -71,11 +101,16 @@ class Tape {
 
   /// Accumulate `g` into node `id`'s gradient (used by op backward fns).
   void accumulate(int id, const Tensor& g);
+  /// Accumulate `s * g` (no temporary).
+  void accumulate_scaled(int id, const Tensor& g, double s);
+  /// Accumulate the elementwise product `g ∘ m` (no temporary).
+  void accumulate_product(int id, const Tensor& g, const Tensor& m);
 
-  /// Drop all nodes (start the next forward pass).
+  /// Rewind the arena (start the next forward pass). Node slots and their
+  /// tensor buffers are kept for reuse.
   void reset();
 
-  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t node_count() const { return live_; }
 
   // ---- Parallel-execution modes (DESIGN.md §3.7) --------------------------
   //
@@ -101,19 +136,38 @@ class Tape {
   void set_freeze_params(bool freeze) { freeze_params_ = freeze; }
 
  private:
+  friend struct OpAccess;  // op backward internals (autodiff.cpp)
+
   struct Node {
-    Tensor value;
-    Tensor grad;  // lazily sized
+    Tensor value;             // owned value (unused when ref != nullptr)
+    Tensor grad;              // recycled; valid only when grad_seen
+    Tensor aux;               // op payload (e.g. dropout mask); recycled
+    const Tensor* ref = nullptr;  // external value (constant_ref / param)
+    Param* param = nullptr;
+    BackwardFn backward = nullptr;
+    std::vector<int> deps;    // variable-arity dependencies (concat_cols)
+    int a = -1;               // dependency ids for <=2-operand ops
+    int b = -1;
+    std::size_t i0 = 0;       // integer op args (e.g. slice start/len)
+    std::size_t i1 = 0;
+    double s0 = 0.0;          // scalar op args
+    double s1 = 0.0;
     bool requires_grad = false;
     bool grad_seen = false;
-    Param* param = nullptr;
-    std::function<void(Tape&, int)> backward;
   };
 
+  /// Slot at index live_, recycled or freshly created; fields cleared.
+  Node& acquire();
   Node& node(int id);
   const Node& node(int id) const;
+  const Tensor& node_value(int id) const;
+  Var commit_staged(BackwardFn backward, bool needs);
 
-  std::vector<Node> nodes_;
+  // unique_ptr slots: node addresses (and staged-value references) stay
+  // stable while the arena vector grows.
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::size_t live_ = 0;
+  Tensor scratch_;  // shared temp for backward hooks (serial, recycled)
   bool defer_param_grads_ = false;
   bool freeze_params_ = false;
 };
@@ -125,6 +179,9 @@ class Tape {
 Var add(Var a, Var b);
 /// a (B x C) + bias b (1 x C) broadcast over rows.
 Var add_row_broadcast(Var a, Var b);
+/// Fused max(0, a + broadcast_rows(b)) — one node instead of the
+/// add_row_broadcast + relu pair (the MLP hidden-layer hot path).
+Var bias_relu(Var a, Var b);
 /// Elementwise difference.
 Var sub(Var a, Var b);
 /// Elementwise (Hadamard) product.
@@ -149,6 +206,9 @@ Var concat_cols(std::span<const Var> parts);
 Var slice_cols(Var a, std::size_t start, std::size_t len);
 /// Sum of all entries -> 1x1.
 Var sum_all(Var a);
+/// Per-row sum: (B x C) -> (B x 1). Batched solves use this for the
+/// per-start quota term (each row is an independent descent).
+Var sum_rows(Var a);
 /// Mean of all entries -> 1x1.
 Var mean_all(Var a);
 /// Elementwise asymmetric Hüber (paper Eq. 4, continuity-corrected):

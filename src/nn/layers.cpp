@@ -42,6 +42,12 @@ Var Linear::forward(Tape& tape, Var x) {
   return add_row_broadcast(matmul(x, w), b);
 }
 
+Var Linear::forward_relu(Tape& tape, Var x) {
+  Var w = tape.param(w_);
+  Var b = tape.param(b_);
+  return bias_relu(matmul(x, w), b);
+}
+
 void Linear::collect_params(std::vector<Param*>& out) {
   out.push_back(&w_);
   out.push_back(&b_);
@@ -58,10 +64,11 @@ Mlp::Mlp(std::vector<std::size_t> dims, double dropout_p, Rng& rng)
 Var Mlp::forward(Tape& tape, Var x, Rng& rng, bool training) {
   Var h = x;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
-    h = layers_[i].forward(tape, h);
     const bool last = i + 1 == layers_.size();
-    if (!last) {
-      h = relu(h);
+    if (last) {
+      h = layers_[i].forward(tape, h);
+    } else {
+      h = layers_[i].forward_relu(tape, h);
       h = dropout(h, dropout_p_, rng, training);
     }
   }

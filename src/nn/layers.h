@@ -55,6 +55,9 @@ class Linear : public Module {
   Linear(std::size_t in, std::size_t out, Rng& rng);
 
   Var forward(Tape& tape, Var x);
+  /// Fused y = max(0, x W + b) — one tape node for the bias+ReLU pair
+  /// (hidden-layer hot path; see nn::bias_relu).
+  Var forward_relu(Tape& tape, Var x);
 
   std::size_t in_features() const { return in_; }
   std::size_t out_features() const { return out_; }

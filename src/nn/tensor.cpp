@@ -5,7 +5,174 @@
 #include <ostream>
 #include <stdexcept>
 
+#if defined(__AVX512F__) || (defined(__AVX2__) && defined(__FMA__))
+#include <immintrin.h>
+#endif
+
 namespace graf::nn {
+namespace {
+
+// ---- Blocked GEMM microkernel (DESIGN.md §3.9) ------------------------------
+//
+// Register tile: up to kMR rows of A against a kNR-column strip of B
+// (8 doubles = one AVX-512 / two AVX2 vectors). kKC bounds the k-panel per
+// pass. Each tile *continues* the chain by loading C into its accumulators
+// (C is zeroed before the first panel), so even K > kKC keeps every output
+// element a single ascending-k accumulation chain.
+//
+// Determinism: every kernel variant — vectorized full-width tiles, scalar
+// edge tiles, packed or unpacked B — computes the exact same per-element
+// chain acc = fma(a_ik, b_kj, acc) over ascending k (std::fma and the SIMD
+// fmadd lanes are the same correctly-rounded IEEE operation). Nothing in
+// the per-element arithmetic depends on M (row count), so batched K-row
+// forwards are bitwise equal, row for row, to 1-row forwards, and results
+// never depend on the thread count (the kernels are single-threaded).
+constexpr std::size_t kMR = 8;
+constexpr std::size_t kNR = 8;
+constexpr std::size_t kKC = 512;
+// Pack B into contiguous kNR-wide panels only when the row count amortizes
+// the copy. Packed and unpacked paths execute the same accumulation chain
+// (only the addressing differs), so the cutoff cannot change results.
+constexpr std::size_t kPackMinRows = 16;
+
+std::vector<double>& pack_buffer() {
+  thread_local std::vector<double> buf;
+  return buf;
+}
+
+// C[0..h)[0..w) += A-rows * B-strip over kb ascending k. `b` points at the
+// strip's (k=0, j=0) element with row stride ldb. Generic edge version;
+// trip counts are runtime values. Accumulators seed from C so a later
+// k-panel resumes the exact fma chain of the earlier ones.
+inline void micro_tile(double* c, std::size_t ldc, const double* a,
+                       std::size_t lda, const double* b, std::size_t ldb,
+                       std::size_t kb, std::size_t h, std::size_t w) {
+  double acc[kMR][kNR] = {};
+  for (std::size_t r = 0; r < h; ++r)
+    for (std::size_t u = 0; u < w; ++u) acc[r][u] = c[r * ldc + u];
+  for (std::size_t k = 0; k < kb; ++k) {
+    const double* brow = b + k * ldb;
+    for (std::size_t r = 0; r < h; ++r) {
+      const double av = a[r * lda + k];
+      for (std::size_t u = 0; u < w; ++u) acc[r][u] = std::fma(av, brow[u], acc[r][u]);
+    }
+  }
+  for (std::size_t r = 0; r < h; ++r)
+    for (std::size_t u = 0; u < w; ++u) c[r * ldc + u] = acc[r][u];
+}
+
+// Full-width (w == kNR) tile over H <= kMR rows, register-resident
+// accumulators. The ISA variants below are lane-for-lane the same fma chain
+// as the scalar fallback.
+#if defined(__AVX512F__)
+
+template <int H>
+inline void micro_tile_w8(double* c, std::size_t ldc, const double* a,
+                          std::size_t lda, const double* b, std::size_t ldb,
+                          std::size_t kb) {
+  __m512d acc[H];
+  for (int r = 0; r < H; ++r)
+    acc[r] = _mm512_loadu_pd(c + static_cast<std::size_t>(r) * ldc);
+  for (std::size_t k = 0; k < kb; ++k) {
+    const __m512d bv = _mm512_loadu_pd(b + k * ldb);
+    for (int r = 0; r < H; ++r)
+      acc[r] = _mm512_fmadd_pd(_mm512_set1_pd(a[static_cast<std::size_t>(r) * lda + k]),
+                               bv, acc[r]);
+  }
+  for (int r = 0; r < H; ++r)
+    _mm512_storeu_pd(c + static_cast<std::size_t>(r) * ldc, acc[r]);
+}
+
+#elif defined(__AVX2__) && defined(__FMA__)
+
+template <int H>
+inline void micro_tile_w8(double* c, std::size_t ldc, const double* a,
+                          std::size_t lda, const double* b, std::size_t ldb,
+                          std::size_t kb) {
+  __m256d acc[H][2];
+  for (int r = 0; r < H; ++r) {
+    const double* crow = c + static_cast<std::size_t>(r) * ldc;
+    acc[r][0] = _mm256_loadu_pd(crow);
+    acc[r][1] = _mm256_loadu_pd(crow + 4);
+  }
+  for (std::size_t k = 0; k < kb; ++k) {
+    const __m256d b0 = _mm256_loadu_pd(b + k * ldb);
+    const __m256d b1 = _mm256_loadu_pd(b + k * ldb + 4);
+    for (int r = 0; r < H; ++r) {
+      const __m256d av = _mm256_set1_pd(a[static_cast<std::size_t>(r) * lda + k]);
+      acc[r][0] = _mm256_fmadd_pd(av, b0, acc[r][0]);
+      acc[r][1] = _mm256_fmadd_pd(av, b1, acc[r][1]);
+    }
+  }
+  for (int r = 0; r < H; ++r) {
+    double* crow = c + static_cast<std::size_t>(r) * ldc;
+    _mm256_storeu_pd(crow, acc[r][0]);
+    _mm256_storeu_pd(crow + 4, acc[r][1]);
+  }
+}
+
+#else
+
+template <int H>
+inline void micro_tile_w8(double* c, std::size_t ldc, const double* a,
+                          std::size_t lda, const double* b, std::size_t ldb,
+                          std::size_t kb) {
+  double acc[H][kNR];
+  for (int r = 0; r < H; ++r)
+    for (std::size_t u = 0; u < kNR; ++u)
+      acc[r][u] = c[static_cast<std::size_t>(r) * ldc + u];
+  for (std::size_t k = 0; k < kb; ++k) {
+    const double* brow = b + k * ldb;
+    for (int r = 0; r < H; ++r) {
+      const double av = a[static_cast<std::size_t>(r) * lda + k];
+      for (std::size_t u = 0; u < kNR; ++u)
+        acc[r][u] = std::fma(av, brow[u], acc[r][u]);
+    }
+  }
+  for (int r = 0; r < H; ++r)
+    for (std::size_t u = 0; u < kNR; ++u)
+      c[static_cast<std::size_t>(r) * ldc + u] = acc[r][u];
+}
+
+#endif
+
+// Dispatch the row remainder to a compile-time tile height.
+inline void micro_tile_w8_h(double* c, std::size_t ldc, const double* a,
+                            std::size_t lda, const double* b, std::size_t ldb,
+                            std::size_t kb, std::size_t h) {
+  switch (h) {
+    case 8: micro_tile_w8<8>(c, ldc, a, lda, b, ldb, kb); break;
+    case 7: micro_tile_w8<7>(c, ldc, a, lda, b, ldb, kb); break;
+    case 6: micro_tile_w8<6>(c, ldc, a, lda, b, ldb, kb); break;
+    case 5: micro_tile_w8<5>(c, ldc, a, lda, b, ldb, kb); break;
+    case 4: micro_tile_w8<4>(c, ldc, a, lda, b, ldb, kb); break;
+    case 3: micro_tile_w8<3>(c, ldc, a, lda, b, ldb, kb); break;
+    case 2: micro_tile_w8<2>(c, ldc, a, lda, b, ldb, kb); break;
+    default: micro_tile_w8<1>(c, ldc, a, lda, b, ldb, kb); break;
+  }
+}
+
+// Dot-product tile for C = A * B^T: C[r][u] += dot(A-row r, B-row u). One
+// scalar-fma implementation for every tile, so the chain per element is
+// identical regardless of tile shape or batch size.
+inline void micro_tile_nt(double* c, std::size_t ldc, const double* a,
+                          std::size_t lda, const double* b, std::size_t ldb,
+                          std::size_t kb, std::size_t h, std::size_t w) {
+  double acc[kMR][kNR] = {};
+  for (std::size_t r = 0; r < h; ++r)
+    for (std::size_t u = 0; u < w; ++u) acc[r][u] = c[r * ldc + u];
+  for (std::size_t k = 0; k < kb; ++k) {
+    for (std::size_t r = 0; r < h; ++r) {
+      const double av = a[r * lda + k];
+      for (std::size_t u = 0; u < w; ++u)
+        acc[r][u] = std::fma(av, b[u * ldb + k], acc[r][u]);
+    }
+  }
+  for (std::size_t r = 0; r < h; ++r)
+    for (std::size_t u = 0; u < w; ++u) c[r * ldc + u] = acc[r][u];
+}
+
+}  // namespace
 
 Tensor::Tensor(std::size_t rows, std::size_t cols)
     : rows_{rows}, cols_{cols}, data_(rows * cols, 0.0) {}
@@ -41,6 +208,18 @@ double Tensor::item() const {
 }
 
 void Tensor::fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Tensor::resize_zero(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0);
+}
+
+void Tensor::copy_from(const Tensor& o) {
+  rows_ = o.rows_;
+  cols_ = o.cols_;
+  data_.assign(o.data_.begin(), o.data_.end());
+}
 
 Tensor& Tensor::operator+=(const Tensor& o) {
   if (!same_shape(o)) throw std::invalid_argument{"Tensor +=: shape mismatch"};
@@ -82,10 +261,41 @@ Tensor operator+(const Tensor& a, const Tensor& b) {
   return out;
 }
 
+Tensor operator+(Tensor&& a, const Tensor& b) {
+  a += b;
+  return std::move(a);
+}
+
+Tensor operator+(const Tensor& a, Tensor&& b) {
+  b += a;
+  return std::move(b);
+}
+
+Tensor operator+(Tensor&& a, Tensor&& b) {
+  a += b;
+  return std::move(a);
+}
+
 Tensor operator-(const Tensor& a, const Tensor& b) {
   Tensor out = a;
   out -= b;
   return out;
+}
+
+Tensor operator-(Tensor&& a, const Tensor& b) {
+  a -= b;
+  return std::move(a);
+}
+
+Tensor operator-(const Tensor& a, Tensor&& b) {
+  if (!a.same_shape(b)) throw std::invalid_argument{"Tensor -: shape mismatch"};
+  for (std::size_t i = 0; i < b.size(); ++i) b.data()[i] = a.data()[i] - b.data()[i];
+  return std::move(b);
+}
+
+Tensor operator-(Tensor&& a, Tensor&& b) {
+  a -= b;
+  return std::move(a);
 }
 
 Tensor hadamard(const Tensor& a, const Tensor& b) {
@@ -101,9 +311,127 @@ Tensor operator*(const Tensor& a, double s) {
   return out;
 }
 
+Tensor operator*(Tensor&& a, double s) {
+  a *= s;
+  return std::move(a);
+}
+
 Tensor operator*(double s, const Tensor& a) { return a * s; }
 
+Tensor operator*(double s, Tensor&& a) {
+  a *= s;
+  return std::move(a);
+}
+
+void matmul_into(Tensor& out, const Tensor& a, const Tensor& b) {
+  if (a.cols() != b.rows()) throw std::invalid_argument{"matmul: inner dims differ"};
+  const std::size_t M = a.rows();
+  const std::size_t K = a.cols();
+  const std::size_t N = b.cols();
+  out.resize_zero(M, N);
+  const double* A = a.data();
+  const double* B = b.data();
+  double* C = out.data();
+  const bool pack = M >= kPackMinRows && K * N >= 4 * kNR * kNR;
+  for (std::size_t k0 = 0; k0 < K; k0 += kKC) {
+    const std::size_t kb = std::min(kKC, K - k0);
+    const double* bpanel = B + k0 * N;
+    const double* packed = nullptr;
+    if (pack) {
+      auto& buf = pack_buffer();
+      const std::size_t strips = (N + kNR - 1) / kNR;
+      buf.assign(strips * kb * kNR, 0.0);
+      for (std::size_t s = 0; s < strips; ++s) {
+        const std::size_t j0 = s * kNR;
+        const std::size_t w = std::min(kNR, N - j0);
+        double* dst = buf.data() + s * kb * kNR;
+        for (std::size_t k = 0; k < kb; ++k)
+          for (std::size_t u = 0; u < w; ++u) dst[k * kNR + u] = bpanel[k * N + j0 + u];
+      }
+      packed = buf.data();
+    }
+    for (std::size_t j0 = 0; j0 < N; j0 += kNR) {
+      const std::size_t w = std::min(kNR, N - j0);
+      const double* bptr = pack ? packed + (j0 / kNR) * kb * kNR : bpanel + j0;
+      const std::size_t ldb = pack ? kNR : N;
+      for (std::size_t i0 = 0; i0 < M; i0 += kMR) {
+        const std::size_t h = std::min(kMR, M - i0);
+        double* cptr = C + i0 * N + j0;
+        const double* aptr = A + i0 * K + k0;
+        if (w == kNR)
+          micro_tile_w8_h(cptr, N, aptr, K, bptr, ldb, kb, h);
+        else
+          micro_tile(cptr, N, aptr, K, bptr, ldb, kb, h, w);
+      }
+    }
+  }
+}
+
 Tensor matmul(const Tensor& a, const Tensor& b) {
+  Tensor out;
+  matmul_into(out, a, b);
+  return out;
+}
+
+void matmul_tn_into(Tensor& out, const Tensor& a, const Tensor& b) {
+  if (a.rows() != b.rows()) throw std::invalid_argument{"matmul_tn: dims differ"};
+  const std::size_t K = a.rows();
+  const std::size_t M = a.cols();
+  const std::size_t N = b.cols();
+  out.resize_zero(M, N);
+  // k-outer streaming over both inputs' rows; out stays cache-resident
+  // (weight-gradient shapes are small). Per element the k chain ascends.
+  // The zero skip is hot here: `a` is usually a ReLU/dropout-masked
+  // activation, so whole lanes vanish.
+  for (std::size_t k = 0; k < K; ++k) {
+    const double* arow = a.data() + k * M;
+    const double* brow = b.data() + k * N;
+    for (std::size_t i = 0; i < M; ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* orow = out.data() + i * N;
+      for (std::size_t j = 0; j < N; ++j) orow[j] += aki * brow[j];
+    }
+  }
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  Tensor out;
+  matmul_tn_into(out, a, b);
+  return out;
+}
+
+void matmul_nt_into(Tensor& out, const Tensor& a, const Tensor& b) {
+  if (a.cols() != b.cols()) throw std::invalid_argument{"matmul_nt: dims differ"};
+  const std::size_t M = a.rows();
+  const std::size_t K = a.cols();
+  const std::size_t N = b.rows();
+  out.resize_zero(M, N);
+  const double* A = a.data();
+  const double* B = b.data();
+  double* C = out.data();
+  for (std::size_t k0 = 0; k0 < K; k0 += kKC) {
+    const std::size_t kb = std::min(kKC, K - k0);
+    for (std::size_t j0 = 0; j0 < N; j0 += kNR) {
+      const std::size_t w = std::min(kNR, N - j0);
+      const double* bptr = B + j0 * K + k0;
+      for (std::size_t i0 = 0; i0 < M; i0 += kMR) {
+        const std::size_t h = std::min(kMR, M - i0);
+        double* cptr = C + i0 * N + j0;
+        const double* aptr = A + i0 * K + k0;
+        micro_tile_nt(cptr, N, aptr, K, bptr, K, kb, h, w);
+      }
+    }
+  }
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  Tensor out;
+  matmul_nt_into(out, a, b);
+  return out;
+}
+
+Tensor matmul_naive(const Tensor& a, const Tensor& b) {
   if (a.cols() != b.rows()) throw std::invalid_argument{"matmul: inner dims differ"};
   Tensor out{a.rows(), b.cols()};
   // i-k-j order: streams over b's rows and out's rows (both row-major).
@@ -119,35 +447,20 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   return out;
 }
 
-Tensor matmul_tn(const Tensor& a, const Tensor& b) {
-  if (a.rows() != b.rows()) throw std::invalid_argument{"matmul_tn: dims differ"};
-  Tensor out{a.cols(), b.cols()};
-  for (std::size_t k = 0; k < a.rows(); ++k) {
-    const double* arow = a.data() + k * a.cols();
-    const double* brow = b.data() + k * b.cols();
-    for (std::size_t i = 0; i < a.cols(); ++i) {
-      const double aki = arow[i];
-      if (aki == 0.0) continue;
-      double* orow = out.data() + i * out.cols();
-      for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += aki * brow[j];
-    }
-  }
-  return out;
-}
-
-Tensor matmul_nt(const Tensor& a, const Tensor& b) {
-  if (a.cols() != b.cols()) throw std::invalid_argument{"matmul_nt: dims differ"};
-  Tensor out{a.rows(), b.rows()};
+void bias_relu_into(Tensor& out, const Tensor& a, const Tensor& bias) {
+  if (bias.rows() != 1 || bias.cols() != a.cols())
+    throw std::invalid_argument{"bias_relu: bias must be 1 x cols(a)"};
+  out.resize_zero(a.rows(), a.cols());
+  const std::size_t cols = a.cols();
+  const double* bp = bias.data();
   for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.data() + i * a.cols();
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      const double* brow = b.data() + j * b.cols();
-      double s = 0.0;
-      for (std::size_t k = 0; k < a.cols(); ++k) s += arow[k] * brow[k];
-      out(i, j) = s;
+    const double* ap = a.data() + i * cols;
+    double* op = out.data() + i * cols;
+    for (std::size_t j = 0; j < cols; ++j) {
+      const double v = ap[j] + bp[j];
+      op[j] = v > 0.0 ? v : 0.0;
     }
   }
-  return out;
 }
 
 Tensor transpose(const Tensor& a) {

@@ -1,14 +1,18 @@
 // Dense 2-D tensor (row-major, double precision).
 //
 // This is the numeric core under the autodiff tape (src/nn/autodiff.h).
-// Everything GRAF trains is small (tens of units per layer), so a simple
-// cache-friendly scalar implementation is more than fast enough and keeps
-// the code auditable.
+// The GEMM entry points run a cache-blocked, register-tiled microkernel
+// (DESIGN.md §3.9). The blocking is fixed at compile time and every output
+// element is one ascending-k accumulation chain, so results are independent
+// of the thread count *and* of how many rows share a call — a K-row batched
+// product equals K independent 1-row products, bit for bit. `matmul_naive`
+// keeps the original triple loop as the property-test reference.
 #pragma once
 
 #include <cstddef>
 #include <initializer_list>
 #include <iosfwd>
+#include <utility>
 #include <vector>
 
 namespace graf::nn {
@@ -47,6 +51,14 @@ class Tensor {
   void fill(double v);
   void zero() { fill(0.0); }
 
+  /// Reshape to rows x cols, zero-filled. Reuses the existing allocation
+  /// when capacity suffices — the tape arena calls this every iteration to
+  /// recycle node buffers without touching the heap.
+  void resize_zero(std::size_t rows, std::size_t cols);
+  /// Become an elementwise copy of `o`, reusing the existing allocation
+  /// when capacity suffices.
+  void copy_from(const Tensor& o);
+
   // In-place arithmetic (shape-checked).
   Tensor& operator+=(const Tensor& o);
   Tensor& operator-=(const Tensor& o);
@@ -64,13 +76,24 @@ class Tensor {
   std::vector<double> data_;
 };
 
-// Out-of-place arithmetic.
+// Out-of-place arithmetic. The rvalue overloads steal the temporary's
+// buffer, so expression chains like `a + b + c + d` allocate once instead
+// of once per operator (regression-tested by pointer identity in
+// tests/tensor_test.cpp).
 Tensor operator+(const Tensor& a, const Tensor& b);
+Tensor operator+(Tensor&& a, const Tensor& b);
+Tensor operator+(const Tensor& a, Tensor&& b);
+Tensor operator+(Tensor&& a, Tensor&& b);
 Tensor operator-(const Tensor& a, const Tensor& b);
+Tensor operator-(Tensor&& a, const Tensor& b);
+Tensor operator-(const Tensor& a, Tensor&& b);
+Tensor operator-(Tensor&& a, Tensor&& b);
 /// Elementwise (Hadamard) product.
 Tensor hadamard(const Tensor& a, const Tensor& b);
 Tensor operator*(const Tensor& a, double s);
+Tensor operator*(Tensor&& a, double s);
 Tensor operator*(double s, const Tensor& a);
+Tensor operator*(double s, Tensor&& a);
 
 /// Matrix product a(r x k) * b(k x c).
 Tensor matmul(const Tensor& a, const Tensor& b);
@@ -78,6 +101,21 @@ Tensor matmul(const Tensor& a, const Tensor& b);
 Tensor matmul_tn(const Tensor& a, const Tensor& b);
 /// a * b^T without materializing the transpose.
 Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+// Destination-reuse forms of the products above: `out` is reshaped with
+// resize_zero (recycling its buffer) and overwritten with the result. These
+// are what the autodiff ops call so a steady-state tape touches no heap.
+void matmul_into(Tensor& out, const Tensor& a, const Tensor& b);
+void matmul_tn_into(Tensor& out, const Tensor& a, const Tensor& b);
+void matmul_nt_into(Tensor& out, const Tensor& a, const Tensor& b);
+
+/// Reference triple-loop product (the pre-blocking implementation); kept as
+/// the ground truth for the blocked-kernel property tests and benchmarks.
+Tensor matmul_naive(const Tensor& a, const Tensor& b);
+
+/// Fused bias + ReLU: out = max(0, a + broadcast_rows(bias)), with bias
+/// 1 x cols(a). One pass instead of the add_row_broadcast + relu pair.
+void bias_relu_into(Tensor& out, const Tensor& a, const Tensor& bias);
 
 Tensor transpose(const Tensor& a);
 

@@ -3,11 +3,16 @@
 // Everything in the cluster simulator (request arrivals, processor-sharing
 // completions, instance readiness, autoscaler control ticks) is an event.
 // Ties are broken by insertion order so runs are deterministic.
+//
+// The heap is a hand-rolled 4-ary implicit heap rather than
+// std::priority_queue: the shallower tree halves the sift-down depth per
+// pop, the event is *moved* out of the root (priority_queue::top is const,
+// forcing a std::function copy — an allocation — per pop), and storage is
+// reserved up front so steady-state scheduling never reallocates.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/units.h"
@@ -22,6 +27,8 @@ using EventFn = std::function<void()>;
 
 class EventQueue {
  public:
+  EventQueue() { heap_.reserve(kInitialCapacity); }
+
   Seconds now() const { return now_; }
 
   /// Schedule at absolute time t (>= now, clamped up to now otherwise).
@@ -50,19 +57,24 @@ class EventQueue {
   void set_pop_timer(telemetry::LogHistogram* h) { pop_timer_ = h; }
 
  private:
+  static constexpr std::size_t kInitialCapacity = 1024;
+
   struct Event {
     Seconds time;
     std::uint64_t seq;
     EventFn fn;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  /// a fires before b (time, then insertion order).
+  static bool before(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  std::vector<Event> heap_;  // 4-ary: children of i are 4i+1 .. 4i+4
   telemetry::LogHistogram* pop_timer_ = nullptr;
   Seconds now_ = 0.0;
   std::uint64_t seq_ = 0;

@@ -4,11 +4,20 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <functional>
+#include <new>
 
 #include "common/rng.h"
 #include "nn/loss.h"
+
+/// Heap allocations since program start, counted by the global operator-new
+/// overrides at the bottom of this file. Constant-initialized, so it is
+/// valid even for allocations made before main().
+extern std::atomic<std::uint64_t> g_alloc_count;
 
 namespace graf::nn {
 namespace {
@@ -286,5 +295,113 @@ TEST(Loss, PercentageErrorValues) {
   EXPECT_NEAR(x(0, 1), -0.1, 1e-12);
 }
 
+// ---- Arena steady state (PR-5) ----------------------------------------------
+//
+// Once a graph shape has been seen, rebuilding the same graph after reset()
+// must recycle every node, value buffer, gradient buffer, and backward
+// scratch — the solver's descent loop runs thousands of tape passes per
+// plan and may not touch the allocator in steady state. The graph below
+// exercises the ops that dominate that loop: param, constant_ref,
+// matmul, fused bias_relu, concat_cols, slice_cols, relu, scale,
+// add_scalar, add, and sum_all, plus a full backward into a Param.
+TEST(Autodiff, SteadyStateTapeRunsAllocationFree) {
+  Rng rng{77};
+  const Tensor w1 = random_tensor(6, 16, rng, 0.3);
+  const Tensor b1 = random_tensor(1, 16, rng, 0.1);
+  const Tensor w2 = random_tensor(17, 1, rng, 0.3);
+  Param p{random_tensor(4, 6, rng)};
+  Tape tape;
+
+  auto run = [&] {
+    tape.reset();
+    Var x = tape.param(p);
+    Var h = bias_relu(matmul(x, tape.constant_ref(w1)), tape.constant_ref(b1));
+    const Var parts[] = {h, slice_cols(x, 0, 1)};
+    Var y = matmul(concat_cols(parts), tape.constant_ref(w2));
+    Var loss = sum_all(add(scale(y, 0.25), relu(add_scalar(y, -0.5))));
+    p.zero_grad();
+    tape.backward(loss);
+    return tape.value(loss).item();
+  };
+
+  const double warm = run();  // allocates every buffer once
+  run();                      // settles amortized capacities (dep lists etc.)
+
+  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  const double steady = run();
+  const std::uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - before;
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_DOUBLE_EQ(steady, warm);  // recycled buffers change nothing
+}
+
 }  // namespace
 }  // namespace graf::nn
+
+// ---- Global allocation counting ---------------------------------------------
+//
+// Every operator-new variant funnels through malloc and bumps the counter;
+// every delete variant frees with free. Overriding the full set keeps
+// new/delete pairs consistent (also under ASan, which then sees plain
+// malloc/free on both sides). glibc's aligned_alloc accepts free().
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+namespace {
+void* counted_alloc(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n > 0 ? n : 1);
+}
+void* counted_aligned_alloc(std::size_t n, std::size_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t rounded = (n + align - 1) / align * align;
+  return std::aligned_alloc(align, rounded > 0 ? rounded : align);
+}
+}  // namespace
+
+void* operator new(std::size_t n) {
+  if (void* p = counted_alloc(n)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  return counted_alloc(n);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  return counted_alloc(n);
+}
+void* operator new(std::size_t n, std::align_val_t al) {
+  if (void* p = counted_aligned_alloc(n, static_cast<std::size_t>(al))) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return ::operator new(n, al);
+}
+void* operator new(std::size_t n, std::align_val_t al,
+                   const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(n, static_cast<std::size_t>(al));
+}
+void* operator new[](std::size_t n, std::align_val_t al,
+                     const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(n, static_cast<std::size_t>(al));
+}
+
+// GCC's heuristic pairs the replaced new/delete against the originals and
+// flags free() here; with the full variant set replaced, malloc/free is the
+// single real allocator underneath, so the pairing is consistent.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+#pragma GCC diagnostic pop

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 
 #include "apps/catalog.h"
@@ -11,6 +12,7 @@
 #include "core/state_collector.h"
 #include "core/workload_analyzer.h"
 #include "serve/serving_handle.h"
+#include "telemetry/metrics.h"
 #include "workload/open_loop.h"
 
 namespace graf::core {
@@ -412,6 +414,118 @@ TEST(ResourceController, ServedModelShapeMismatchDegradesInsteadOfThrowing) {
   handle.swap(std::make_shared<gnn::LatencyModel>(model.clone()));
   const auto healed = rc.plan(api, 280.0);
   EXPECT_FALSE(healed.degraded);
+}
+
+// ---- Plan cache -------------------------------------------------------------
+
+TEST(ResourceController, PlanCacheHitsSkipSolverAndInvalidateOnSwap) {
+  auto& model = solver_model();
+  ConfigurationSolver solver{model, {}};
+  WorkloadAnalyzer analyzer{1, 2};
+  analyzer.set_fanout({{1.0, 1.0}});
+  ResourceController rc{model, solver, analyzer, {300.0, 300.0}, {2000.0, 2000.0},
+                        {1000.0, 1000.0}};
+  gnn::Dataset ref;
+  gnn::Sample s;
+  s.workload = {60.0, 60.0};
+  s.quota = {1000.0, 1000.0};
+  s.latency_ms = 100.0;
+  ref.push_back(s);
+  rc.set_training_reference(ref);
+  telemetry::MetricsRegistry registry;
+  rc.set_metrics(&registry);
+  auto& solver_iters = registry.counter("core.solver_iterations_total");
+
+  std::vector<Qps> api{50.0};
+  const auto first = rc.plan(api, 200.0);
+  ASSERT_FALSE(first.degraded);
+  EXPECT_EQ(rc.plan_cache_hits(), 0u);
+  EXPECT_EQ(rc.plan_cache_misses(), 1u);
+  const double iters_after_first = solver_iters.value();
+  EXPECT_GT(iters_after_first, 0.0);
+
+  // The steady state: identical workload and SLO next sync period. The
+  // cached plan must come back verbatim without touching the solver, and a
+  // hit must be far below solve cost (<1ms even on a loaded CI box).
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto second = rc.plan(api, 200.0);
+  const auto hit_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  EXPECT_EQ(rc.plan_cache_hits(), 1u);
+  EXPECT_EQ(solver_iters.value(), iters_after_first);  // solver skipped
+  EXPECT_DOUBLE_EQ(registry.counter("core.plan_cache.hits").value(), 1.0);
+  EXPECT_GT(registry.counter("core.plan_cache.saved_us").value(), 0.0);
+  EXPECT_EQ(second.quota, first.quota);
+  EXPECT_EQ(second.instances, first.instances);
+  EXPECT_DOUBLE_EQ(second.predicted_ms, first.predicted_ms);
+  EXPECT_LT(hit_us, 1000);
+
+  // A tiny workload wiggle stays inside the ~2% quantization bucket...
+  std::vector<Qps> wiggle{50.2};
+  rc.plan(wiggle, 200.0);
+  EXPECT_EQ(rc.plan_cache_hits(), 2u);
+  // ...but a different SLO is a different key.
+  rc.plan(api, 240.0);
+  EXPECT_EQ(rc.plan_cache_hits(), 2u);
+  EXPECT_EQ(rc.plan_cache_misses(), 2u);
+
+  // Hot-swapping the served model bumps the generation: the very same
+  // (workload, SLO) must re-solve through the new model, not serve a plan
+  // computed by the old one.
+  serve::ServingHandle handle{std::make_shared<gnn::LatencyModel>(model.clone())};
+  rc.set_serving_handle(&handle);
+  handle.swap(std::make_shared<gnn::LatencyModel>(model.clone()));
+  const auto after_swap = rc.plan(api, 200.0);
+  EXPECT_FALSE(after_swap.degraded);
+  EXPECT_EQ(rc.plan_cache_hits(), 2u);
+  EXPECT_GT(solver_iters.value(), iters_after_first);
+}
+
+TEST(ResourceController, PlanCacheInvalidatesOnDegradedEntryAndCanDisable) {
+  auto& model = solver_model();
+  ConfigurationSolver solver{model, {}};
+  WorkloadAnalyzer analyzer{1, 2};
+  analyzer.set_fanout({{1.0, 1.0}});
+  ResourceController rc{model, solver, analyzer, {300.0, 300.0}, {2000.0, 2000.0},
+                        {1000.0, 1000.0}};
+  gnn::Dataset ref;
+  gnn::Sample s;
+  s.workload = {60.0, 60.0};
+  s.quota = {1000.0, 1000.0};
+  s.latency_ms = 100.0;
+  ref.push_back(s);
+  rc.set_training_reference(ref);
+  telemetry::MetricsRegistry registry;
+  rc.set_metrics(&registry);
+  auto& solver_iters = registry.counter("core.solver_iterations_total");
+
+  std::vector<Qps> api{50.0};
+  rc.plan(api, 200.0);
+  rc.plan(api, 200.0);
+  ASSERT_EQ(rc.plan_cache_hits(), 1u);
+
+  // An impossible SLO forces the degraded path; entering it clears the
+  // cache, so the previously-hot key must miss and re-solve afterwards.
+  const auto degraded = rc.plan(api, 1.0);
+  ASSERT_TRUE(degraded.degraded);
+  const double iters_before = solver_iters.value();
+  rc.plan(api, 200.0);
+  EXPECT_EQ(rc.plan_cache_hits(), 1u);
+  EXPECT_GT(solver_iters.value(), iters_before);
+
+  // Degraded plans themselves are never cached: a repeat of the impossible
+  // SLO runs the full degraded path again (counted), not a cache hit.
+  rc.plan(api, 1.0);
+  rc.plan(api, 1.0);
+  EXPECT_EQ(rc.degraded_plans(), 3u);
+  EXPECT_EQ(rc.plan_cache_hits(), 1u);
+
+  // Capacity 0 disables caching entirely.
+  rc.set_plan_cache_capacity(0);
+  rc.plan(api, 200.0);
+  rc.plan(api, 200.0);
+  EXPECT_EQ(rc.plan_cache_hits(), 1u);
 }
 
 // ---- SampleCollector --------------------------------------------------------

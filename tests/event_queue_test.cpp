@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <vector>
+
+#include "common/rng.h"
 
 namespace graf::sim {
 namespace {
@@ -83,6 +88,45 @@ TEST(EventQueue, ProcessedCounter) {
 TEST(EventQueue, StepOnEmptyReturnsFalse) {
   EventQueue q;
   EXPECT_FALSE(q.step());
+}
+
+// Stress the 4-ary heap (PR-5): random times with heavy duplication, mixed
+// with pops, must still come out in nondecreasing time order with FIFO ties
+// — every sift path (root replacement, partial child groups, tail nodes)
+// gets exercised well past the reserved capacity.
+TEST(EventQueue, RandomizedStressKeepsHeapOrder) {
+  EventQueue q;
+  Rng rng{12345};
+  struct Seen {
+    double time;
+    int seq;
+  };
+  std::vector<Seen> seen;
+  int seq = 0;
+  // Interleave bursts of schedules with bursts of pops.
+  for (int round = 0; round < 40; ++round) {
+    const int pushes = 1 + static_cast<int>(rng.uniform(0.0, 200.0));
+    for (int i = 0; i < pushes; ++i) {
+      // Quantized times force many exact ties.
+      const double when =
+          q.now() + std::floor(rng.uniform(0.0, 32.0)) * 0.125;
+      const int id = seq++;
+      q.schedule_at(when, [&, id] { seen.push_back({q.now(), id}); });
+    }
+    const int pops = static_cast<int>(rng.uniform(0.0, 150.0));
+    for (int i = 0; i < pops && q.step(); ++i) {
+    }
+  }
+  q.run_all();
+  ASSERT_EQ(seen.size(), static_cast<std::size_t>(seq));
+  for (std::size_t i = 1; i < seen.size(); ++i) {
+    ASSERT_LE(seen[i - 1].time, seen[i].time) << "event " << i;
+    if (seen[i - 1].time == seen[i].time) {
+      ASSERT_LT(seen[i - 1].seq, seen[i].seq) << "tie at event " << i;
+    }
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.processed(), static_cast<std::uint64_t>(seq));
 }
 
 }  // namespace

@@ -42,7 +42,9 @@ TEST(FaultSchedule, GenerateIsPureAndDeterministic) {
   }
   // Schedule invariants: sorted, in-window, valid targets and factors.
   for (std::size_t i = 0; i < a.size(); ++i) {
-    if (i > 0) EXPECT_GE(a[i].at, a[i - 1].at);
+    if (i > 0) {
+      EXPECT_GE(a[i].at, a[i - 1].at);
+    }
     EXPECT_GE(a[i].at, cfg.from);
     EXPECT_LT(a[i].at, cfg.until);
     if (a[i].kind == FaultEvent::Kind::kInstanceCrash ||

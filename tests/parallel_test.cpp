@@ -21,6 +21,7 @@
 #include "core/sample_collector.h"
 #include "core/workload_analyzer.h"
 #include "gnn/latency_model.h"
+#include "nn/tensor.h"
 #include "telemetry/metrics.h"
 
 namespace graf {
@@ -202,10 +203,13 @@ gnn::LatencyModel& parallel_solver_model() {
   return model;
 }
 
-core::SolverResult solve_at(std::size_t threads, std::size_t starts) {
+core::SolverResult solve_at(std::size_t threads, std::size_t starts,
+                            bool batched = true) {
   set_global_threads(threads);
-  core::ConfigurationSolver solver{parallel_solver_model(),
-                                   {.multi_starts = starts}};
+  core::SolverConfig scfg;
+  scfg.multi_starts = starts;
+  scfg.batched_multi_start = batched;
+  core::ConfigurationSolver solver{parallel_solver_model(), scfg};
   std::vector<double> w{50.0, 50.0};
   std::vector<double> lo{300.0, 300.0};
   std::vector<double> hi{2000.0, 2000.0};
@@ -215,16 +219,54 @@ core::SolverResult solve_at(std::size_t threads, std::size_t starts) {
 }
 
 TEST(ParallelDeterminism, MultiStartSolveIsBitIdenticalAcrossThreadCounts) {
-  const auto r1 = solve_at(1, 6);
-  const auto r2 = solve_at(2, 6);
-  const auto r8 = solve_at(8, 6);
-  ASSERT_EQ(r1.quota.size(), 2u);
-  for (std::size_t i = 0; i < r1.quota.size(); ++i) {
-    EXPECT_EQ(r1.quota[i], r2.quota[i]) << "service " << i;
-    EXPECT_EQ(r1.quota[i], r8.quota[i]) << "service " << i;
+  // Both descent paths: the PR-5 batched K-row tape (thread count can't
+  // matter — one tape) and the PR-3 per-start fan-out (threads are only
+  // executors). Either way 1 == 2 == 8 threads, bit for bit.
+  for (bool batched : {true, false}) {
+    const auto r1 = solve_at(1, 6, batched);
+    const auto r2 = solve_at(2, 6, batched);
+    const auto r8 = solve_at(8, 6, batched);
+    ASSERT_EQ(r1.quota.size(), 2u);
+    for (std::size_t i = 0; i < r1.quota.size(); ++i) {
+      EXPECT_EQ(r1.quota[i], r2.quota[i]) << "batched=" << batched << " " << i;
+      EXPECT_EQ(r1.quota[i], r8.quota[i]) << "batched=" << batched << " " << i;
+    }
+    EXPECT_EQ(r1.predicted_ms, r2.predicted_ms) << "batched=" << batched;
+    EXPECT_EQ(r1.predicted_ms, r8.predicted_ms) << "batched=" << batched;
+    EXPECT_EQ(r1.loss, r2.loss) << "batched=" << batched;
+    EXPECT_EQ(r1.loss, r8.loss) << "batched=" << batched;
   }
-  EXPECT_EQ(r1.predicted_ms, r2.predicted_ms);
-  EXPECT_EQ(r1.predicted_ms, r8.predicted_ms);
+}
+
+TEST(ParallelDeterminism, BatchedAndConcurrentSolvesAgreeAtAnyThreadCount) {
+  // The two paths are bit-identical to *each other*, so mixing thread
+  // counts and paths still lands on the same answer.
+  const auto batched1 = solve_at(1, 6, true);
+  const auto fanout8 = solve_at(8, 6, false);
+  ASSERT_EQ(batched1.quota.size(), fanout8.quota.size());
+  for (std::size_t i = 0; i < batched1.quota.size(); ++i)
+    EXPECT_EQ(batched1.quota[i], fanout8.quota[i]) << "service " << i;
+  EXPECT_EQ(batched1.loss, fanout8.loss);
+  EXPECT_EQ(batched1.predicted_ms, fanout8.predicted_ms);
+  EXPECT_EQ(batched1.iterations, fanout8.iterations);
+}
+
+TEST(ParallelDeterminism, BlockedKernelsIgnoreThreadCount) {
+  // The PR-5 GEMM kernels are single-tape serial code; the global pool
+  // setting must not leak into them (guards against a future "parallel
+  // matmul" accidentally breaking the §3.7 contract).
+  Rng rng{67};
+  nn::Tensor a{23, 37};
+  nn::Tensor b{37, 17};
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] = rng.uniform(-1, 1);
+  for (std::size_t i = 0; i < b.size(); ++i) b.data()[i] = rng.uniform(-1, 1);
+  set_global_threads(1);
+  const nn::Tensor c1 = nn::matmul(a, b);
+  set_global_threads(8);
+  const nn::Tensor c8 = nn::matmul(a, b);
+  set_global_threads(0);
+  for (std::size_t i = 0; i < c1.size(); ++i)
+    EXPECT_EQ(c1.data()[i], c8.data()[i]);
 }
 
 TEST(ParallelDeterminism, MultiStartNeverLosesToSingleStart) {
@@ -233,8 +275,9 @@ TEST(ParallelDeterminism, MultiStartNeverLosesToSingleStart) {
   const auto multi = solve_at(4, 6);
   const double single_total = single.quota[0] + single.quota[1];
   const double multi_total = multi.quota[0] + multi.quota[1];
-  if (single.predicted_ms <= 180.0 && multi.predicted_ms <= 180.0)
+  if (single.predicted_ms <= 180.0 && multi.predicted_ms <= 180.0) {
     EXPECT_LE(multi_total, single_total * 1.05);
+  }
 }
 
 }  // namespace

@@ -2,8 +2,19 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <utility>
+
+#include "common/rng.h"
+
 namespace graf::nn {
 namespace {
+
+Tensor random_tensor(std::size_t r, std::size_t c, Rng& rng) {
+  Tensor t{r, c};
+  for (std::size_t i = 0; i < t.size(); ++i) t.data()[i] = rng.uniform(-1.0, 1.0);
+  return t;
+}
 
 TEST(Tensor, ZeroInitialized) {
   Tensor t{2, 3};
@@ -120,6 +131,124 @@ TEST(Tensor, SumAndMaxAbs) {
   Tensor a{{1.0, -5.0}, {2.0, 0.0}};
   EXPECT_DOUBLE_EQ(a.sum(), -2.0);
   EXPECT_DOUBLE_EQ(a.max_abs(), 5.0);
+}
+
+// ---- Blocked-kernel properties (PR-5) ---------------------------------------
+
+// The cache-blocked kernel must agree with the reference triple loop on
+// shapes that exercise every remainder path: odd dims, single rows/cols,
+// dims straddling the MR/NR/KC block boundaries. Both kernels chain
+// fma(a_ik, b_kj, acc) in ascending k, so the results are bitwise equal —
+// asserted at 1e-12 relative to stay honest about intent even if a future
+// kernel reassociates (bit-exactness itself is covered below).
+TEST(Tensor, BlockedMatmulMatchesNaiveOnAwkwardShapes) {
+  const struct {
+    std::size_t m, k, n;
+  } shapes[] = {{1, 7, 13},   {3, 129, 65}, {17, 96, 120}, {5, 5, 5},
+                {33, 31, 29}, {64, 1, 64},  {1, 1, 1},     {8, 513, 8},
+                {16, 512, 16}, {2, 1023, 3}};
+  Rng rng{101};
+  for (const auto& s : shapes) {
+    const Tensor a = random_tensor(s.m, s.k, rng);
+    const Tensor b = random_tensor(s.k, s.n, rng);
+    const Tensor fast = matmul(a, b);
+    const Tensor ref = matmul_naive(a, b);
+    ASSERT_TRUE(fast.same_shape(ref));
+    double max_rel = 0.0;
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+      const double denom = std::max(1.0, std::abs(ref.data()[i]));
+      max_rel = std::max(max_rel,
+                         std::abs(fast.data()[i] - ref.data()[i]) / denom);
+      EXPECT_EQ(fast.data()[i], ref.data()[i])
+          << s.m << "x" << s.k << "x" << s.n << " entry " << i;
+    }
+    EXPECT_LE(max_rel, 1e-12);
+  }
+}
+
+// Batched solver exactness hinges on this: row r of a K-row product must be
+// bitwise identical to the 1-row product of row r alone. The kernel never
+// mixes rows, so stacking starts into one matrix changes nothing.
+TEST(Tensor, BatchedRowsMatchSingleRowBitwise) {
+  Rng rng{103};
+  const std::size_t K = 6, k = 37, n = 11;
+  const Tensor b = random_tensor(k, n, rng);
+  const Tensor batch = random_tensor(K, k, rng);
+  const Tensor full = matmul(batch, b);
+  for (std::size_t r = 0; r < K; ++r) {
+    Tensor row{1, k};
+    for (std::size_t j = 0; j < k; ++j) row(0, j) = batch(r, j);
+    const Tensor single = matmul(row, b);
+    for (std::size_t j = 0; j < n; ++j)
+      EXPECT_EQ(full(r, j), single(0, j)) << "row " << r << " col " << j;
+  }
+}
+
+TEST(Tensor, TransposedVariantsMatchNaiveComposition) {
+  Rng rng{107};
+  const Tensor a = random_tensor(9, 21, rng);
+  const Tensor b = random_tensor(9, 5, rng);
+  const Tensor tn = matmul_tn(a, b);
+  const Tensor ref_tn = matmul_naive(transpose(a), b);
+  ASSERT_TRUE(tn.same_shape(ref_tn));
+  for (std::size_t i = 0; i < tn.size(); ++i)
+    EXPECT_EQ(tn.data()[i], ref_tn.data()[i]);
+
+  const Tensor c = random_tensor(7, 21, rng);
+  const Tensor nt = matmul_nt(a, c);
+  const Tensor ref_nt = matmul_naive(a, transpose(c));
+  ASSERT_TRUE(nt.same_shape(ref_nt));
+  for (std::size_t i = 0; i < nt.size(); ++i)
+    EXPECT_EQ(nt.data()[i], ref_nt.data()[i]);
+}
+
+TEST(Tensor, BiasReluFusionMatchesComposition) {
+  Rng rng{109};
+  const Tensor a = random_tensor(13, 19, rng);
+  const Tensor bias = random_tensor(1, 19, rng);
+  Tensor fused;
+  bias_relu_into(fused, a, bias);
+  ASSERT_EQ(fused.rows(), 13u);
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      const double want = std::max(0.0, a(i, j) + bias(0, j));
+      EXPECT_EQ(fused(i, j), want);
+    }
+}
+
+// The rvalue arithmetic overloads must recycle the dying operand's buffer
+// instead of allocating a fresh one — pointer identity is the contract the
+// tape's hot loop relies on.
+TEST(Tensor, RvalueArithmeticReusesBuffer) {
+  Tensor a{{1.0, 2.0}};
+  Tensor b{{3.0, 4.0}};
+  Tensor c{{5.0, 6.0}};
+  Tensor t = a + b;
+  const double* buf = t.data();
+  Tensor u = std::move(t) + c;
+  EXPECT_EQ(u.data(), buf);
+  EXPECT_DOUBLE_EQ(u(0, 0), 9.0);
+  Tensor v = std::move(u) - b;
+  EXPECT_EQ(v.data(), buf);
+  EXPECT_DOUBLE_EQ(v(0, 1), 8.0);
+  Tensor w = std::move(v) * 2.0;
+  EXPECT_EQ(w.data(), buf);
+  EXPECT_DOUBLE_EQ(w(0, 0), 12.0);
+}
+
+// matmul_into with a correctly-sized destination must keep the buffer.
+TEST(Tensor, MatmulIntoRecyclesDestination) {
+  Rng rng{113};
+  const Tensor a = random_tensor(4, 6, rng);
+  const Tensor b = random_tensor(6, 3, rng);
+  Tensor out;
+  matmul_into(out, a, b);
+  const double* buf = out.data();
+  matmul_into(out, a, b);
+  EXPECT_EQ(out.data(), buf);
+  const Tensor ref = matmul_naive(a, b);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(out.data()[i], ref.data()[i]);
 }
 
 }  // namespace
