@@ -14,6 +14,7 @@
 #include "core/configuration_solver.h"
 #include "core/sample_collector.h"
 #include "core/workload_analyzer.h"
+#include "fleet/fleet_server.h"
 #include "gnn/latency_model.h"
 #include "nn/tensor.h"
 #include "telemetry/metrics.h"
@@ -229,6 +230,50 @@ void BM_PlanCacheHit(benchmark::State& state) {
       static_cast<double>(rc.plan_cache_misses());
 }
 BENCHMARK(BM_PlanCacheHit);
+
+// Aggregate fleet planning throughput: 8 tenants per step, every tenant
+// forced to a fresh solve (plan cache off, zero hysteresis band), fanned
+// over the global pool at Arg(0) workers. The Arg(1)->Arg(8) pair is the
+// scaling claim: on a multi-core host aggregate plans/s at 8 threads runs
+// >= 2x the 1-thread row; on a single-core CI box the pair reads flat
+// wall-clock (the PR-3 caveat) while still exercising the full fan-out
+// path. Gated in scripts/bench_check.py on the /1 row only.
+void BM_FleetPlanThroughput(benchmark::State& state) {
+  set_global_threads(static_cast<std::size_t>(state.range(0)));
+  fleet::FleetServer server{{.ingest_capacity = 64}};
+  std::vector<fleet::TenantId> ids;
+  for (int i = 0; i < 8; ++i) {
+    fleet::TenantSpec spec;
+    spec.application = "tenant" + std::to_string(i);
+    // Loose SLO for the same reason as BM_PlanCacheHit: the toy model's
+    // labels are random, and a degraded-path shortcut would skip solves.
+    spec.slo_ms = 1000.0;
+    spec.model = &shared_model();
+    spec.lo.assign(6, 300.0);
+    spec.hi.assign(6, 2000.0);
+    spec.unit.assign(6, 1000.0);
+    spec.fanout = {{1.0, 1.0, 1.0, 1.0, 1.0, 1.0}};
+    spec.change_threshold = 0.0;   // never coast
+    spec.plan_cache_capacity = 0;  // never answer from cache
+    spec.solver.max_iterations = 60;
+    ids.push_back(server.add_tenant(spec));
+  }
+  double now = 0.0;
+  std::uint64_t plans = 0;
+  int round = 0;
+  for (auto _ : state) {
+    now += 1.0;
+    ++round;
+    const double qps = 40.0 + 9.0 * (round % 7);
+    for (const fleet::TenantId id : ids)
+      server.push({.tenant = id, .now = now, .api_qps = {qps}, .samples = {}});
+    plans += server.step().planned;
+  }
+  state.counters["plans/s"] = benchmark::Counter(
+      static_cast<double>(plans), benchmark::Counter::kIsRate);
+  set_global_threads(0);
+}
+BENCHMARK(BM_FleetPlanThroughput)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
 
 void BM_Percentile(benchmark::State& state) {
   Rng rng{7};

@@ -9,6 +9,9 @@ Gate rows (time-per-op, lower is better):
   BM_Matmul/128              blocked GEMM kernel
   BM_GnnInference            one latency-model forward
   BM_SimulatorEventThroughput  30 simulated seconds of online_boutique
+  BM_FleetPlanThroughput/1   8-tenant fleet step, single-threaded fan-out
+                             (the /8 row is ungated: on a single-core CI
+                             box its wall clock is flat vs /1 by design)
 
 Caveat: CI containers are typically pinned to a single core and share it
 with the rest of the job, so absolute timings are noisy. Smoke mode keeps
@@ -34,6 +37,7 @@ GATES = [
     "BM_Matmul/128",
     "BM_GnnInference",
     "BM_SimulatorEventThroughput",
+    "BM_FleetPlanThroughput/1",
 ]
 
 # ns per unit, for rows whose units differ between baseline and fresh runs.

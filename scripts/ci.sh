@@ -22,12 +22,15 @@ cmake -B "$BUILD_DIR" -S . \
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
-# The chaos group (fault injection + degraded-mode integration) again at
-# pinned thread counts: faulted runs must replay bit-identically whether the
-# pool has 1 worker or 8 (DESIGN.md §3.7/§3.8 determinism contract).
+# The chaos group (fault injection + degraded-mode integration) and the
+# fleet group (multi-tenant control plane) again at pinned thread counts:
+# faulted and fleet runs must replay bit-identically whether the pool has
+# 1 worker or 8 (DESIGN.md §3.7/§3.8/§3.10 determinism contract). Under
+# the sanitizer legs this doubles as the ASan/TSan pass over the fleet's
+# ingest ring, subscriber registry, and registry hot-swap paths.
 for threads in 1 8; do
   GRAF_THREADS=$threads \
-    ctest --test-dir "$BUILD_DIR" --output-on-failure -L chaos
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -L 'chaos|fleet'
 done
 
 # Perf smoke gate (plain leg only: sanitizer overhead would trip any time

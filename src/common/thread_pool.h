@@ -34,6 +34,13 @@ class ThreadPool {
   std::size_t size() const { return threads_; }
 
   /// Enqueue a task; the future resolves with its result (or exception).
+  ///
+  /// WARNING: do not block on the returned future from *inside* a pool
+  /// task. Unlike parallel_for (whose caller participates in the work),
+  /// future.get() parks the worker without draining the queue; if every
+  /// worker blocks this way the queued tasks they wait on can never run
+  /// and the pool deadlocks. From within a pool task, use parallel_for
+  /// for nested fan-out, or restructure so the join happens off-pool.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -49,6 +56,20 @@ class ThreadPool {
   /// unspecified, which is why callers must keep per-index work independent
   /// and reduce in index order afterwards. Exceptions from `fn` are
   /// rethrown on the calling thread (the first one, by index).
+  ///
+  /// Reentrancy: safe to call from *inside* a pool task (the fleet fan-out
+  /// solving through a multi-start solver does exactly this). The caller-
+  /// participates design is the deadlock guard: the inner call's own drain
+  /// loop claims every index no helper has taken, so it completes even when
+  /// all workers are busy with outer work — helpers are an acceleration,
+  /// never a dependency. The wait can only block on indices a worker has
+  /// already claimed and is actively executing, and workers executing fn
+  /// never block on this call's completion, so no cycle exists. Helper
+  /// tasks still queued when the call returns are inert: they bail on the
+  /// exhausted cursor without touching `fn`. First-exception-by-index holds
+  /// at any nesting depth; an inner rethrow is just an ordinary exception
+  /// to the outer level's fn. (Blocking on submit() futures from a pool
+  /// task has no such guard — see submit().)
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

@@ -1,0 +1,67 @@
+#include "fleet/ingest_queue.h"
+
+#include <utility>
+
+namespace graf::fleet {
+
+namespace {
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+IngestQueue::IngestQueue(std::size_t capacity)
+    : capacity_{round_up_pow2(capacity < 2 ? 2 : capacity)},
+      mask_{capacity_ - 1},
+      cells_{std::make_unique<Cell[]>(capacity_)} {
+  for (std::size_t i = 0; i < capacity_; ++i)
+    cells_[i].seq.store(i, std::memory_order_relaxed);
+}
+
+bool IngestQueue::push(TelemetryUpdate update) {
+  std::size_t pos = tail_.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell& cell = cells_[pos & mask_];
+    std::size_t seq = cell.seq.load(std::memory_order_acquire);
+    auto diff = static_cast<std::ptrdiff_t>(seq) - static_cast<std::ptrdiff_t>(pos);
+    if (diff == 0) {
+      // Our turn: claim the slot, then write + publish.
+      if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+        cell.item = std::move(update);
+        cell.seq.store(pos + 1, std::memory_order_release);
+        return true;
+      }
+      // CAS refreshed `pos`; retry with the new tail.
+    } else if (diff < 0) {
+      // Cell still holds last lap's item: the ring is full.
+      return false;
+    } else {
+      // Another producer claimed this slot; chase the tail.
+      pos = tail_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+bool IngestQueue::pop(TelemetryUpdate& out) {
+  std::size_t pos = head_.load(std::memory_order_relaxed);
+  Cell& cell = cells_[pos & mask_];
+  std::size_t seq = cell.seq.load(std::memory_order_acquire);
+  auto diff =
+      static_cast<std::ptrdiff_t>(seq) - static_cast<std::ptrdiff_t>(pos + 1);
+  if (diff < 0) return false;  // producer hasn't published this slot yet
+  out = std::move(cell.item);
+  cell.item = TelemetryUpdate{};  // don't pin producer payloads for a lap
+  cell.seq.store(pos + capacity_, std::memory_order_release);
+  head_.store(pos + 1, std::memory_order_relaxed);
+  return true;
+}
+
+std::size_t IngestQueue::size() const {
+  std::size_t tail = tail_.load(std::memory_order_relaxed);
+  std::size_t head = head_.load(std::memory_order_relaxed);
+  return tail >= head ? tail - head : 0;
+}
+
+}  // namespace graf::fleet

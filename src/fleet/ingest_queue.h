@@ -1,0 +1,59 @@
+// Bounded MPSC ring buffer decoupling telemetry producers from the fleet
+// step loop (the GMA_V3 dispatcher shape cited in ROADMAP.md).
+//
+// Vyukov bounded-queue scheme: each cell carries a sequence atomic that
+// encodes whose turn it is. Producers claim a slot with one fetch_add-style
+// CAS on the tail, write the payload, then publish by storing seq = pos + 1;
+// the consumer reads cells whose seq says "filled", consumes, and re-arms
+// the cell for the next lap with seq = pos + capacity. No locks anywhere,
+// so an ingest thread can never stall the planner (and vice versa); a full
+// ring rejects the push instead of blocking — the producer's fallback is
+// counted by the server as `fleet.ingest.dropped`.
+//
+// Multi-producer / single-consumer: push() is safe from any number of
+// threads concurrently; pop()/drain() must be called from one thread at a
+// time (the fleet server's step loop — its single-writer coordinator).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+#include "fleet/tenant.h"
+
+namespace graf::fleet {
+
+class IngestQueue {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit IngestQueue(std::size_t capacity);
+
+  IngestQueue(const IngestQueue&) = delete;
+  IngestQueue& operator=(const IngestQueue&) = delete;
+
+  /// Enqueue; returns false when the ring is full (never blocks).
+  bool push(TelemetryUpdate update);
+
+  /// Dequeue into `out`; returns false when empty. Single consumer only.
+  bool pop(TelemetryUpdate& out);
+
+  /// Updates currently buffered (approximate under concurrent pushes).
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq;
+    TelemetryUpdate item;
+  };
+
+  std::size_t capacity_;
+  std::size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  // Producers contend on tail; the consumer owns head. Separate cache lines
+  // keep the CAS loop from false-sharing with consumer progress.
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  alignas(64) std::atomic<std::size_t> head_{0};
+};
+
+}  // namespace graf::fleet

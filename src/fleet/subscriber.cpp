@@ -1,0 +1,55 @@
+#include "fleet/subscriber.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace graf::fleet {
+
+SubscriptionToken SubscriberRegistry::subscribe(PlanCallback cb,
+                                                std::optional<TenantId> filter) {
+  auto token = std::make_shared<Subscription>(std::move(cb), filter);
+  std::lock_guard lock{mu_};
+  subs_.push_back(token);
+  return token;
+}
+
+SubscriberRegistry::PublishStats SubscriberRegistry::publish(
+    const PlanUpdate& update) {
+  // Phase 1 (locked): pin matching live subscribers, prune dead entries.
+  std::vector<SubscriptionToken> pinned;
+  {
+    std::lock_guard lock{mu_};
+    std::erase_if(subs_, [&](const std::weak_ptr<Subscription>& weak) {
+      auto sub = weak.lock();
+      if (!sub || sub->cancelled()) return true;  // expired/cancelled: prune
+      if (!sub->filter_ || *sub->filter_ == update.tenant)
+        pinned.push_back(std::move(sub));
+      return false;
+    });
+  }
+  // Phase 2 (unlocked): invoke. The strong refs in `pinned` keep every
+  // callback alive through its own call even if the owner drops the token
+  // concurrently — no use-after-free window.
+  PublishStats stats;
+  for (const auto& sub : pinned) {
+    if (sub->cancelled()) continue;  // cancelled between pin and invoke
+    try {
+      sub->callback_(update);
+      ++stats.delivered;
+    } catch (...) {
+      ++stats.failed;
+    }
+  }
+  return stats;
+}
+
+std::size_t SubscriberRegistry::size() {
+  std::lock_guard lock{mu_};
+  std::erase_if(subs_, [](const std::weak_ptr<Subscription>& weak) {
+    auto sub = weak.lock();
+    return !sub || sub->cancelled();
+  });
+  return subs_.size();
+}
+
+}  // namespace graf::fleet

@@ -1,0 +1,91 @@
+// Change-only plan notification with weak subscriber tokens.
+//
+// The failure mode designed out here is the exemplar post-mortem's listener
+// use-after-free: a registry that unlocks before invoking raw listener
+// pointers races unsubscription — the callback's owner dies between unlock
+// and call. Mirroring the sim::Instance liveness-token fix from PR 3, the
+// registry holds only weak_ptrs to Subscription tokens; subscribe() returns
+// the sole shared_ptr, so dropping the token *is* unsubscription. publish()
+// locks the mutex just long enough to collect locked shared_ptrs (pruning
+// expired entries), then unlocks and invokes — every invoked callback is
+// pinned by a strong reference for the duration of the call, and a token
+// dropped concurrently simply stops receiving after the in-flight batch.
+//
+// Callbacks run on the fleet server's step thread in subscription order;
+// they must not call back into the FleetServer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/resource_controller.h"
+#include "fleet/tenant.h"
+
+namespace graf::fleet {
+
+/// One allocation decision delivered to subscribers — emitted only when the
+/// tenant's plan actually changed (instances vector or degraded flag), not
+/// every tick.
+struct PlanUpdate {
+  TenantId tenant;
+  std::string application;
+  double slo_ms = 0.0;
+  /// Per-tenant change sequence (1 for the tenant's first plan).
+  std::uint64_t seq = 0;
+  Seconds now = 0.0;
+  core::AllocationPlan plan;
+  bool degraded = false;
+};
+
+using PlanCallback = std::function<void(const PlanUpdate&)>;
+
+/// Subscription token: the only strong reference to a registered callback.
+/// Destroying it (or calling cancel()) unsubscribes; the registry prunes the
+/// expired weak entry on the next publish.
+class Subscription {
+ public:
+  explicit Subscription(PlanCallback cb, std::optional<TenantId> filter)
+      : callback_{std::move(cb)}, filter_{filter} {}
+
+  void cancel() { cancelled_ = true; }
+  bool cancelled() const { return cancelled_; }
+
+ private:
+  friend class SubscriberRegistry;
+  PlanCallback callback_;
+  std::optional<TenantId> filter_;  ///< nullopt = all tenants
+  bool cancelled_ = false;
+};
+
+using SubscriptionToken = std::shared_ptr<Subscription>;
+
+class SubscriberRegistry {
+ public:
+  /// Register `cb` for every tenant's plan changes (or only `filter`'s).
+  SubscriptionToken subscribe(PlanCallback cb,
+                              std::optional<TenantId> filter = std::nullopt);
+
+  /// Deliver `update` to matching live subscribers. Callbacks are invoked
+  /// outside the registry lock; a throwing callback is swallowed and
+  /// counted in the return value's `failed` (siblings still get notified).
+  struct PublishStats {
+    std::size_t delivered = 0;
+    std::size_t failed = 0;
+  };
+  PublishStats publish(const PlanUpdate& update);
+
+  /// Live (non-expired, non-cancelled) subscriber count; prunes as a side
+  /// effect.
+  std::size_t size();
+
+ private:
+  std::mutex mu_;
+  std::vector<std::weak_ptr<Subscription>> subs_;
+};
+
+}  // namespace graf::fleet

@@ -1,0 +1,107 @@
+#include "fleet/tenant.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace graf::fleet {
+
+Tenant::Tenant(TenantId id, const TenantSpec& spec, serve::ModelRegistry& registry)
+    : id_{id},
+      key_{spec.application, spec.slo_ms},
+      registry_{&registry},
+      slo_ms_{spec.slo_ms},
+      change_threshold_{spec.change_threshold} {
+  if (spec.model == nullptr)
+    throw std::invalid_argument("fleet: TenantSpec.model is required");
+  if (spec.fanout.empty())
+    throw std::invalid_argument("fleet: TenantSpec.fanout is required");
+  const std::size_t services = spec.model->node_count();
+  if (spec.lo.size() != services || spec.hi.size() != services ||
+      spec.unit.size() != services)
+    throw std::invalid_argument(
+        "fleet: lo/hi/unit must match the model's service count");
+
+  // v1: the admission model, promoted and wired to this tenant's handle.
+  const std::uint64_t v = registry.publish(key_, *spec.model, spec.meta);
+  registry.promote(key_, v);
+  registry.attach_handle(key_, &handle_);
+  model_ = registry.active(key_);
+
+  analyzer_ = std::make_unique<core::WorkloadAnalyzer>(spec.fanout.size(), services);
+  analyzer_->set_fanout(spec.fanout);
+  solver_ = std::make_unique<core::ConfigurationSolver>(*model_, spec.solver);
+  controller_ = std::make_unique<core::ResourceController>(
+      *model_, *solver_, *analyzer_, spec.lo, spec.hi, spec.unit);
+  controller_->set_serving_handle(&handle_);
+  if (!spec.training_reference.empty())
+    controller_->set_training_reference(spec.training_reference);
+  if (!spec.max_instances.empty())
+    controller_->set_max_instances(spec.max_instances);
+  controller_->set_plan_cache_capacity(spec.plan_cache_capacity);
+  controller_->set_metrics(&metrics_);
+
+  tel_plans_ = &metrics_.counter("fleet.tenant.plans");
+  tel_changes_ = &metrics_.counter("fleet.tenant.plan_changes");
+  tel_failures_ = &metrics_.counter("fleet.tenant.plan_failures");
+  tel_signal_loss_ = &metrics_.counter("fleet.tenant.signal_losses");
+  tel_degraded_ = &metrics_.gauge("fleet.tenant.degraded");
+}
+
+Tenant::~Tenant() {
+  // The registry outlives tenants (FleetServer member order), but this
+  // handle does not outlive the registry entry — unhook before dying so a
+  // later promote for the same key can't swap a dead handle.
+  registry_->detach_handle(key_, &handle_);
+}
+
+void Tenant::set_slo(double slo_ms) {
+  slo_ms_ = slo_ms;
+  slo_dirty_ = true;  // hysteresis must not mask a retargeted objective
+}
+
+void Tenant::enable_online_training(const serve::OnlineTrainerConfig& cfg) {
+  trainer_ = std::make_unique<serve::OnlineTrainer>(*registry_, handle_, key_, cfg);
+  trainer_->set_metrics(&metrics_);
+}
+
+void Tenant::compute() {
+  if (!pending_) {
+    outcome_ = Outcome::kIdle;
+    return;
+  }
+  try {
+    double total = 0.0;
+    for (Qps q : pending_qps_) total += q;
+    if (!(total > 0.0)) {
+      // Workload signal vanished (telemetry blackout / all-zero push).
+      // Mirror GrafController: hold the last plan instead of solving for a
+      // phantom zero workload that would scale everything to the floor.
+      outcome_ = Outcome::kSignalLost;
+      return;
+    }
+    // Hysteresis: coast on the current plan while every API's relative
+    // change stays inside the band — unless the SLO moved, the tenant is
+    // degraded (recovery should re-solve ASAP), or the shape changed.
+    if (has_plan_ && !degraded_ && !slo_dirty_ &&
+        pending_qps_.size() == last_solved_qps_.size()) {
+      double worst = 0.0;
+      for (std::size_t i = 0; i < pending_qps_.size(); ++i) {
+        const double base = std::max(last_solved_qps_[i], 1e-9);
+        worst = std::max(worst, std::abs(pending_qps_[i] - last_solved_qps_[i]) / base);
+      }
+      if (worst < change_threshold_) {
+        outcome_ = Outcome::kCoasted;
+        return;
+      }
+    }
+    computed_ = controller_->plan(pending_qps_, slo_ms_);
+    outcome_ = Outcome::kPlanned;
+  } catch (...) {
+    // A throwing tenant degrades alone; the fleet's ordered pass records
+    // the failure and its siblings' results stand.
+    outcome_ = Outcome::kFailed;
+  }
+}
+
+}  // namespace graf::fleet

@@ -23,11 +23,14 @@ std::string ModelRegistry::checkpoint_path(const ModelKey& key,
 
 std::uint64_t ModelRegistry::publish(const ModelKey& key, gnn::LatencyModel& model,
                                      CheckpointMeta meta) {
-  Entry& e = entries_[key.str()];
-  const std::uint64_t version = e.next_version++;
+  // Deep-copy before taking the lock: cloning a model is the expensive part
+  // of publish and needs no registry state.
+  auto copy = std::make_shared<gnn::LatencyModel>(model.clone());
   meta.application = key.application;
   meta.slo_ms = key.slo_ms;
-  auto copy = std::make_shared<gnn::LatencyModel>(model.clone());
+  std::lock_guard lock{mu_};
+  Entry& e = entries_[key.str()];
+  const std::uint64_t version = e.next_version++;
   const std::string path = checkpoint_path(key, version);
   if (!path.empty()) save_checkpoint_file(path, *copy, meta);
   e.versions.push_back({{version, std::move(meta)}, std::move(copy)});
@@ -36,6 +39,7 @@ std::uint64_t ModelRegistry::publish(const ModelKey& key, gnn::LatencyModel& mod
 
 std::uint64_t ModelRegistry::restore(const ModelKey& key,
                                      const std::string& checkpoint_path) {
+  // File IO stays outside the lock; publish() locks on its own.
   LoadedCheckpoint loaded = load_checkpoint_file(checkpoint_path);
   return publish(key, loaded.model, std::move(loaded.meta));
 }
@@ -47,13 +51,14 @@ const ModelRegistry::Version* ModelRegistry::find(const Entry& e,
   return nullptr;
 }
 
-void ModelRegistry::sync_handle(Entry& e) {
-  if (e.handle == nullptr) return;
+void ModelRegistry::sync_handles(Entry& e) {
   const Version* v = find(e, e.active);
-  e.handle->swap(v != nullptr ? v->model : nullptr);
+  for (ServingHandle* handle : e.handles)
+    handle->swap(v != nullptr ? v->model : nullptr);
 }
 
 bool ModelRegistry::promote(const ModelKey& key, std::uint64_t version) {
+  std::lock_guard lock{mu_};
   auto it = entries_.find(key.str());
   if (it == entries_.end()) return false;
   Entry& e = it->second;
@@ -61,22 +66,24 @@ bool ModelRegistry::promote(const ModelKey& key, std::uint64_t version) {
   if (e.active == version) return true;
   e.active = version;
   e.promote_history.push_back(version);
-  sync_handle(e);
+  sync_handles(e);
   return true;
 }
 
 bool ModelRegistry::rollback(const ModelKey& key) {
+  std::lock_guard lock{mu_};
   auto it = entries_.find(key.str());
   if (it == entries_.end()) return false;
   Entry& e = it->second;
   if (e.promote_history.size() < 2) return false;
   e.promote_history.pop_back();
   e.active = e.promote_history.back();
-  sync_handle(e);
+  sync_handles(e);
   return true;
 }
 
 std::shared_ptr<gnn::LatencyModel> ModelRegistry::active(const ModelKey& key) const {
+  std::lock_guard lock{mu_};
   auto it = entries_.find(key.str());
   if (it == entries_.end()) return nullptr;
   const Version* v = find(it->second, it->second.active);
@@ -84,11 +91,13 @@ std::shared_ptr<gnn::LatencyModel> ModelRegistry::active(const ModelKey& key) co
 }
 
 std::uint64_t ModelRegistry::active_version(const ModelKey& key) const {
+  std::lock_guard lock{mu_};
   auto it = entries_.find(key.str());
   return it == entries_.end() ? 0 : it->second.active;
 }
 
 CheckpointMeta ModelRegistry::active_meta(const ModelKey& key) const {
+  std::lock_guard lock{mu_};
   auto it = entries_.find(key.str());
   if (it == entries_.end()) return {};
   const Version* v = find(it->second, it->second.active);
@@ -97,6 +106,7 @@ CheckpointMeta ModelRegistry::active_meta(const ModelKey& key) const {
 
 std::vector<VersionInfo> ModelRegistry::versions(const ModelKey& key) const {
   std::vector<VersionInfo> out;
+  std::lock_guard lock{mu_};
   auto it = entries_.find(key.str());
   if (it == entries_.end()) return out;
   for (const Version& v : it->second.versions) out.push_back(v.info);
@@ -104,9 +114,20 @@ std::vector<VersionInfo> ModelRegistry::versions(const ModelKey& key) const {
 }
 
 void ModelRegistry::attach_handle(const ModelKey& key, ServingHandle* handle) {
+  if (handle == nullptr) return;
+  std::lock_guard lock{mu_};
   Entry& e = entries_[key.str()];
-  e.handle = handle;
-  sync_handle(e);
+  if (std::find(e.handles.begin(), e.handles.end(), handle) == e.handles.end())
+    e.handles.push_back(handle);
+  const Version* v = find(e, e.active);
+  handle->swap(v != nullptr ? v->model : nullptr);
+}
+
+void ModelRegistry::detach_handle(const ModelKey& key, ServingHandle* handle) {
+  std::lock_guard lock{mu_};
+  auto it = entries_.find(key.str());
+  if (it == entries_.end()) return;
+  std::erase(it->second.handles, handle);
 }
 
 }  // namespace graf::serve

@@ -8,11 +8,18 @@
 // rollback() restores the previously promoted version. With a store
 // directory configured, every published version is also persisted as a
 // .grafck checkpoint so a restarted process can restore() it.
+//
+// Thread-safe: all public methods may be called concurrently (the fleet
+// server makes publish/promote from trainer threads routine). Attached
+// ServingHandles are swapped under the registry lock, so a reader that
+// acquire()s mid-promote sees either the old or the new model, never a
+// torn state.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -66,7 +73,13 @@ class ModelRegistry {
   std::vector<VersionInfo> versions(const ModelKey& key) const;
 
   /// Promotions and rollbacks keep `handle` pointing at the active model.
+  /// Any number of handles may be attached per key (one per fleet tenant
+  /// sharing the model); attaching the same handle twice is a no-op.
   void attach_handle(const ModelKey& key, ServingHandle* handle);
+
+  /// Stop syncing `handle` on promote/rollback. Callers whose handle
+  /// outlives them (fleet tenants) must detach before the handle dies.
+  void detach_handle(const ModelKey& key, ServingHandle* handle);
 
   /// Path a version's checkpoint is stored at ("" without a store dir).
   std::string checkpoint_path(const ModelKey& key, std::uint64_t version) const;
@@ -81,14 +94,24 @@ class ModelRegistry {
     std::uint64_t next_version = 1;
     std::uint64_t active = 0;                 // 0 = none promoted
     std::vector<std::uint64_t> promote_history;  // promoted ids, oldest first
-    ServingHandle* handle = nullptr;
+    /// Every attached handle swaps on promote/rollback. A single slot here
+    /// once silently dropped the earlier tenant when two shared a key: its
+    /// handle never swapped again, so it served a stale model forever and
+    /// its plan-cache generation never bumped.
+    std::vector<ServingHandle*> handles;
   };
 
   const Version* find(const Entry& e, std::uint64_t version) const;
-  void sync_handle(Entry& e);
+  void sync_handles(Entry& e);
 
   std::string store_dir_;
   std::map<std::string, Entry> entries_;
+  /// One coarse lock: publish/promote/rollback and the readers they race
+  /// with are all map-and-vector bookkeeping (checkpoint IO aside, nothing
+  /// here is hot). ServingHandle has its own mutex, so handle swaps inside
+  /// sync_handles() nest safely. Fine-tuning happens *outside* the lock —
+  /// the OnlineTrainer only enters the registry to publish the result.
+  mutable std::mutex mu_;
 };
 
 }  // namespace graf::serve

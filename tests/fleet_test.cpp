@@ -1,0 +1,541 @@
+// Fleet mode (src/fleet): the multi-tenant control-plane server. Covers the
+// lock-free ingest ring, weak-token subscriptions, tenant lifecycle with
+// stable (slot, generation) ids, hysteresis / signal-loss / failure
+// isolation across tenants, the online-training lifecycle inside a tenant,
+// and the §3.7 determinism contract: a scripted 4-tenant scenario (with one
+// tenant under a telemetry blackout and one under a hard fault) replays
+// bit-identically at GRAF_THREADS=1 and 8.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "fleet/fleet_server.h"
+#include "fleet/ingest_queue.h"
+#include "fleet/subscriber.h"
+#include "fleet/tenant.h"
+#include "gnn/latency_model.h"
+#include "serve/online_trainer.h"
+
+namespace graf::fleet {
+namespace {
+
+// --- shared tiny trained model (one expensive train for the whole suite) ---
+
+gnn::Dag chain2() {
+  gnn::Dag d;
+  d.add_node("front");
+  d.add_node("back");
+  d.add_edge(0, 1);
+  return d;
+}
+
+gnn::MpnnConfig tiny_cfg() {
+  return {.node_features = 4, .embed_dim = 8, .mpnn_hidden = 8,
+          .readout_hidden = 24, .message_steps = 2, .dropout_p = 0.05,
+          .use_mpnn = true};
+}
+
+double truth_ms(const std::vector<double>& w, const std::vector<double>& q,
+                const std::vector<double>& demand) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const double cores = q[i] / 1000.0;
+    const double base = demand[i] / std::min(cores, 1.0);
+    const double capacity = cores * 1000.0 / demand[i];
+    const double utilization = std::min(w[i] / capacity, 0.95);
+    total += base / (1.0 - utilization);
+  }
+  return total;
+}
+
+const std::vector<double> kRegimeA{20.0, 40.0};
+const std::vector<double> kRegimeB{45.0, 90.0};  // drifted: ~2.2x the demand
+
+gnn::Dataset regime_dataset(const std::vector<double>& demand, std::size_t n,
+                            std::uint64_t seed) {
+  Rng rng{seed};
+  gnn::Dataset out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    gnn::Sample s;
+    const double w = rng.uniform(20.0, 100.0);
+    s.workload = {w, w};
+    s.quota = {rng.uniform(300.0, 2000.0), rng.uniform(300.0, 2000.0)};
+    s.latency_ms = truth_ms(s.workload, s.quota, demand) * rng.lognormal(0.0, 0.03);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+gnn::LatencyModel& trained_model() {
+  static gnn::LatencyModel m = [] {
+    gnn::LatencyModel lm{chain2(), tiny_cfg(), 7};
+    gnn::TrainConfig tcfg{.iterations = 900, .batch_size = 64, .lr = 3e-3,
+                          .eval_every = 100, .seed = 3};
+    lm.fit(regime_dataset(kRegimeA, 1200, 1), regime_dataset(kRegimeA, 200, 2),
+           tcfg);
+    return lm;
+  }();
+  return m;
+}
+
+/// Tenant spec on the shared trained model: one API fanning into both
+/// services, short solver budget (tests exercise control flow, not solve
+/// quality).
+TenantSpec make_spec(const std::string& app, double slo_ms) {
+  TenantSpec spec;
+  spec.application = app;
+  spec.slo_ms = slo_ms;
+  spec.model = &trained_model();
+  spec.meta = {.train_samples = 1200, .val_error_pct = 10.0,
+               .created_sim_time = 0.0};
+  spec.lo = {200.0, 200.0};
+  spec.hi = {2000.0, 2000.0};
+  spec.unit = {500.0, 500.0};
+  spec.fanout = {{1.0, 1.0}};
+  spec.training_reference = regime_dataset(kRegimeA, 64, 11);
+  spec.solver.max_iterations = 200;
+  return spec;
+}
+
+TelemetryUpdate qps_update(TenantId id, double now, std::vector<Qps> qps) {
+  return {.tenant = id, .now = now, .api_qps = std::move(qps), .samples = {}};
+}
+
+struct ThreadGuard {
+  explicit ThreadGuard(std::size_t n) { set_global_threads(n); }
+  ~ThreadGuard() { set_global_threads(0); }
+};
+
+// --- IngestQueue ------------------------------------------------------------
+
+TEST(IngestQueue, FifoOrderAndBoundedCapacity) {
+  IngestQueue q{3};  // rounds up to 4
+  EXPECT_EQ(q.capacity(), 4u);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_TRUE(q.push({.tenant = {}, .now = static_cast<double>(i)}));
+  EXPECT_FALSE(q.push({.tenant = {}, .now = 99.0})) << "full ring must reject";
+  TelemetryUpdate u;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.pop(u));
+    EXPECT_EQ(u.now, static_cast<double>(i));
+  }
+  EXPECT_FALSE(q.pop(u));
+}
+
+TEST(IngestQueue, SurvivesManyLaps) {
+  IngestQueue q{4};
+  TelemetryUpdate u;
+  double next = 0.0;
+  for (int lap = 0; lap < 100; ++lap) {
+    ASSERT_TRUE(q.push({.tenant = {}, .now = static_cast<double>(lap)}));
+    ASSERT_TRUE(q.pop(u));
+    EXPECT_EQ(u.now, next);
+    next += 1.0;
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(IngestQueue, MultiProducerPreservesPerProducerOrder) {
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kEach = 200;
+  IngestQueue q{kProducers * kEach};
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (std::size_t i = 0; i < kEach; ++i) {
+        TelemetryUpdate u;
+        u.tenant.slot = static_cast<std::uint32_t>(p);
+        u.now = static_cast<double>(i);
+        while (!q.push(u)) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+
+  std::vector<double> last_seen(kProducers, -1.0);
+  std::size_t total = 0;
+  TelemetryUpdate u;
+  while (q.pop(u)) {
+    ++total;
+    // FIFO per producer: each producer's `now` sequence drains in order.
+    EXPECT_GT(u.now, last_seen[u.tenant.slot]);
+    last_seen[u.tenant.slot] = u.now;
+  }
+  EXPECT_EQ(total, kProducers * kEach);
+}
+
+// --- SubscriberRegistry -----------------------------------------------------
+
+TEST(SubscriberRegistry, DroppedTokenStopsDeliveryAndIsPruned) {
+  SubscriberRegistry reg;
+  int calls = 0;
+  auto token = reg.subscribe([&](const PlanUpdate&) { ++calls; });
+  EXPECT_EQ(reg.publish({}).delivered, 1u);
+  EXPECT_EQ(calls, 1);
+
+  token.reset();  // dropping the only strong ref *is* unsubscription
+  EXPECT_EQ(reg.publish({}).delivered, 0u);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(SubscriberRegistry, CancelStopsDeliveryWhileTokenHeld) {
+  SubscriberRegistry reg;
+  int calls = 0;
+  auto token = reg.subscribe([&](const PlanUpdate&) { ++calls; });
+  token->cancel();
+  EXPECT_EQ(reg.publish({}).delivered, 0u);
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(SubscriberRegistry, FilterLimitsDeliveryToOneTenant) {
+  SubscriberRegistry reg;
+  int mine = 0, all = 0;
+  const TenantId a{0, 1}, b{1, 1};
+  auto ta = reg.subscribe([&](const PlanUpdate&) { ++mine; }, a);
+  auto tall = reg.subscribe([&](const PlanUpdate&) { ++all; });
+  reg.publish({.tenant = a});
+  reg.publish({.tenant = b});
+  EXPECT_EQ(mine, 1);
+  EXPECT_EQ(all, 2);
+}
+
+TEST(SubscriberRegistry, ThrowingCallbackIsCountedAndSiblingsStillNotified) {
+  SubscriberRegistry reg;
+  int healthy = 0;
+  auto bad = reg.subscribe(
+      [](const PlanUpdate&) { throw std::runtime_error{"subscriber bug"}; });
+  auto good = reg.subscribe([&](const PlanUpdate&) { ++healthy; });
+  const auto stats = reg.publish({});
+  EXPECT_EQ(stats.delivered, 1u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(healthy, 1);
+}
+
+// --- FleetServer: tenant lifecycle ------------------------------------------
+
+TEST(FleetServer, AdmissionLookupAndDuplicateRejection) {
+  FleetServer fleet;
+  const TenantId a = fleet.add_tenant(make_spec("checkout", 200.0));
+  const TenantId b = fleet.add_tenant(make_spec("search", 150.0));
+  EXPECT_EQ(fleet.tenant_count(), 2u);
+  ASSERT_NE(fleet.tenant(a), nullptr);
+  EXPECT_EQ(fleet.tenant(a)->application(), "checkout");
+  EXPECT_EQ(fleet.find("search", 150.0), std::optional{b});
+  EXPECT_FALSE(fleet.find("search", 999.0).has_value());
+
+  // Same app at a *different* SLO is a distinct tenant; the same pair is not.
+  EXPECT_NO_THROW(fleet.add_tenant(make_spec("checkout", 100.0)));
+  EXPECT_THROW(fleet.add_tenant(make_spec("checkout", 200.0)),
+               std::invalid_argument);
+
+  TenantSpec bad = make_spec("broken", 100.0);
+  bad.model = nullptr;
+  EXPECT_THROW(fleet.add_tenant(bad), std::invalid_argument);
+  bad = make_spec("broken", 100.0);
+  bad.lo = {200.0};  // model has two services
+  EXPECT_THROW(fleet.add_tenant(bad), std::invalid_argument);
+}
+
+TEST(FleetServer, RemoveTenantInvalidatesEveryOutstandingId) {
+  FleetServer fleet;
+  const TenantId a = fleet.add_tenant(make_spec("checkout", 200.0));
+  ASSERT_TRUE(fleet.remove_tenant(a));
+  EXPECT_EQ(fleet.tenant(a), nullptr);
+  EXPECT_FALSE(fleet.remove_tenant(a)) << "stale id must be inert";
+  EXPECT_EQ(fleet.tenant_count(), 0u);
+
+  // The slot recycles under a fresh generation: the old id still resolves
+  // to nothing, and a queued push carrying it is discarded at drain time.
+  const TenantId reborn = fleet.add_tenant(make_spec("checkout", 200.0));
+  EXPECT_EQ(reborn.slot, a.slot);
+  EXPECT_NE(reborn.generation, a.generation);
+  EXPECT_EQ(fleet.tenant(a), nullptr);
+
+  fleet.push(qps_update(a, 1.0, {60.0}));
+  const auto stats = fleet.step();
+  EXPECT_EQ(stats.drained, 1u);
+  EXPECT_EQ(stats.planned, 0u);
+  EXPECT_EQ(fleet.metrics().counter("fleet.ingest.stale").value(), 1.0);
+}
+
+// --- FleetServer: the control cycle -----------------------------------------
+
+TEST(FleetServer, ChangeOnlyNotification) {
+  FleetServer fleet;
+  const TenantId id = fleet.add_tenant(make_spec("checkout", 200.0));
+  std::vector<PlanUpdate> updates;
+  auto token =
+      fleet.subscribe([&](const PlanUpdate& u) { updates.push_back(u); });
+
+  fleet.push(qps_update(id, 1.0, {60.0}));
+  auto s1 = fleet.step();
+  EXPECT_EQ(s1.planned, 1u);
+  ASSERT_EQ(updates.size(), 1u);
+  EXPECT_EQ(updates[0].seq, 1u);
+  EXPECT_FALSE(updates[0].degraded);
+  EXPECT_FALSE(updates[0].plan.instances.empty());
+
+  // Identical workload: hysteresis coasts, nothing new for subscribers.
+  fleet.push(qps_update(id, 2.0, {60.0}));
+  auto s2 = fleet.step();
+  EXPECT_EQ(s2.coasted, 1u);
+  EXPECT_EQ(s2.notified, 0u);
+  EXPECT_EQ(updates.size(), 1u);
+
+  // A big swing re-solves; subscribers hear about it iff replicas moved.
+  fleet.push(qps_update(id, 3.0, {95.0}));
+  auto s3 = fleet.step();
+  EXPECT_EQ(s3.planned, 1u);
+  if (updates.size() == 2u) {
+    EXPECT_EQ(updates[1].seq, 2u);
+    EXPECT_NE(updates[1].plan.instances, updates[0].plan.instances);
+  }
+
+  // An idle step (no pushes) drains nothing and notifies no one.
+  const std::size_t before = updates.size();
+  auto s4 = fleet.step();
+  EXPECT_EQ(s4.drained, 0u);
+  EXPECT_EQ(updates.size(), before);
+}
+
+TEST(FleetServer, HysteresisCoastsInsideBandAndSloRetargetForcesResolve) {
+  FleetServer fleet;
+  const TenantId id = fleet.add_tenant(make_spec("checkout", 200.0));
+  fleet.push(qps_update(id, 1.0, {60.0}));
+  EXPECT_EQ(fleet.step().planned, 1u);
+
+  fleet.push(qps_update(id, 2.0, {63.0}));  // +5% < 10% band
+  EXPECT_EQ(fleet.step().coasted, 1u);
+
+  // Retargeting the SLO must bypass the band even with identical traffic.
+  fleet.tenant(id)->set_slo(120.0);
+  fleet.push(qps_update(id, 3.0, {63.0}));
+  EXPECT_EQ(fleet.step().planned, 1u);
+}
+
+TEST(FleetServer, SignalLossHoldsPlanAndFlagsDegraded) {
+  FleetServer fleet;
+  const TenantId id = fleet.add_tenant(make_spec("checkout", 200.0));
+  std::vector<PlanUpdate> updates;
+  auto token =
+      fleet.subscribe([&](const PlanUpdate& u) { updates.push_back(u); });
+
+  fleet.push(qps_update(id, 1.0, {60.0}));
+  fleet.step();
+  ASSERT_EQ(updates.size(), 1u);
+  const auto held = updates[0].plan.instances;
+
+  // Telemetry blackout: the workload signal reads zero. The tenant coasts
+  // on its last plan (no solve against a phantom-zero workload) and the
+  // degraded transition is itself a notifiable plan change.
+  fleet.push(qps_update(id, 2.0, {0.0}));
+  fleet.step();
+  ASSERT_EQ(updates.size(), 2u);
+  EXPECT_TRUE(updates[1].degraded);
+  EXPECT_EQ(updates[1].plan.instances, held);
+  EXPECT_TRUE(fleet.tenant(id)->degraded());
+  EXPECT_EQ(fleet.metrics().counter("fleet.signal_losses").value(), 1.0);
+
+  // Recovery: a real signal re-solves and clears the flag (notified again).
+  fleet.push(qps_update(id, 3.0, {60.0}));
+  fleet.step();
+  ASSERT_EQ(updates.size(), 3u);
+  EXPECT_FALSE(updates[2].degraded);
+  EXPECT_FALSE(fleet.tenant(id)->degraded());
+}
+
+TEST(FleetServer, TenantFailureNeverStallsSiblings) {
+  FleetServer fleet;
+  const TenantId good = fleet.add_tenant(make_spec("healthy", 200.0));
+  const TenantId bad = fleet.add_tenant(make_spec("faulty", 200.0));
+
+  // The faulty tenant's push carries a malformed workload vector (two APIs
+  // against a one-API analyzer): its plan() throws. Same step, the healthy
+  // sibling must still plan normally.
+  fleet.push(qps_update(good, 1.0, {60.0}));
+  fleet.push(qps_update(bad, 1.0, {60.0, 60.0}));
+  const auto stats = fleet.step();
+  EXPECT_EQ(stats.planned, 1u);
+  EXPECT_EQ(stats.failures, 1u);
+  EXPECT_TRUE(fleet.tenant(good)->has_plan());
+  EXPECT_FALSE(fleet.tenant(good)->degraded());
+  EXPECT_TRUE(fleet.tenant(bad)->degraded());
+  EXPECT_EQ(fleet.tenant(bad)->failures(), 1u);
+  EXPECT_EQ(fleet.metrics().counter("fleet.tenant_failures").value(), 1.0);
+
+  // The failure is not sticky: a well-formed push recovers the tenant.
+  fleet.push(qps_update(bad, 2.0, {60.0}));
+  EXPECT_EQ(fleet.step().planned, 1u);
+  EXPECT_FALSE(fleet.tenant(bad)->degraded());
+}
+
+TEST(FleetServer, DrainCoalescesToNewestWorkload) {
+  FleetServer fleet;
+  const TenantId id = fleet.add_tenant(make_spec("checkout", 200.0));
+  // Three pushes between steps: one drain, one solve, at the newest rates.
+  fleet.push(qps_update(id, 1.0, {40.0}));
+  fleet.push(qps_update(id, 2.0, {50.0}));
+  fleet.push(qps_update(id, 3.0, {60.0}));
+  const auto stats = fleet.step();
+  EXPECT_EQ(stats.drained, 3u);
+  EXPECT_EQ(stats.planned, 1u);
+  EXPECT_EQ(fleet.tenant(id)->plans(), 1u);
+
+  // The plan matches a from-scratch solve at the final rates only.
+  FleetServer ref;
+  const TenantId rid = ref.add_tenant(make_spec("checkout", 200.0));
+  ref.push(qps_update(rid, 3.0, {60.0}));
+  ref.step();
+  EXPECT_EQ(ref.tenant(rid)->last_plan().instances,
+            fleet.tenant(id)->last_plan().instances);
+}
+
+TEST(FleetServer, MetricsSnapshotMergesFleetAndTenantRegistries) {
+  FleetServer fleet;
+  const TenantId a = fleet.add_tenant(make_spec("checkout", 200.0));
+  const TenantId b = fleet.add_tenant(make_spec("search", 150.0));
+  fleet.push(qps_update(a, 1.0, {60.0}));
+  fleet.push(qps_update(b, 1.0, {45.0}));
+  fleet.step();
+
+  const auto snap = fleet.metrics_snapshot();
+  const auto* steps = snap.find("fleet.steps");
+  ASSERT_NE(steps, nullptr);
+  EXPECT_EQ(steps->value, 1.0);
+  // Per-tenant instruments sum across tenants in the merged view.
+  const auto* plans = snap.find("fleet.tenant.plans");
+  ASSERT_NE(plans, nullptr);
+  EXPECT_EQ(plans->value, 2.0);
+  const auto* core_plans = snap.find("core.plans_total");
+  ASSERT_NE(core_plans, nullptr);
+  EXPECT_EQ(core_plans->value, 2.0);
+}
+
+// --- Online training inside a tenant ----------------------------------------
+
+TEST(FleetServer, OnlineTrainingPromotesThroughTenantHandle) {
+  FleetServer fleet;
+  TenantSpec spec = make_spec("drift-app", 200.0);
+  const TenantId id = fleet.add_tenant(spec);
+
+  serve::OnlineTrainerConfig cfg;
+  cfg.window_capacity = 360;
+  cfg.min_samples = 240;
+  cfg.cooldown = 60;
+  cfg.ewma_alpha = 0.1;
+  cfg.drift_factor = 2.5;
+  cfg.drift_floor_pct = 15.0;
+  cfg.fine_tune = {.iterations = 700, .batch_size = 64, .lr = 2e-3,
+                   .eval_every = 100, .seed = 5};
+  ASSERT_TRUE(fleet.enable_online_training(id, cfg));
+  EXPECT_FALSE(fleet.enable_online_training({99, 99}, cfg));
+
+  Tenant* t = fleet.tenant(id);
+  const auto initial = t->handle().acquire();
+  ASSERT_NE(initial, nullptr);
+
+  // Stream drifted-regime observations through the normal ingest path; the
+  // trainer runs during step() and eventually promotes a fine-tuned model.
+  gnn::Dataset live = regime_dataset(kRegimeB, 420, 40);
+  double now = 100.0;
+  std::size_t sent = 0;
+  while (sent < live.size()) {
+    TelemetryUpdate u = qps_update(id, now, {60.0});
+    for (std::size_t i = 0; i < 60 && sent < live.size(); ++i)
+      u.samples.push_back(live[sent++]);
+    ASSERT_TRUE(fleet.push(std::move(u)));
+    fleet.step();
+    now += 60.0;
+  }
+
+  ASSERT_NE(t->trainer(), nullptr);
+  EXPECT_GE(t->trainer()->stats().promotions, 1u);
+  EXPECT_NE(t->handle().acquire().get(), initial.get())
+      << "promotion must hot-swap this tenant's serving handle";
+  EXPECT_GT(fleet.registry().active_version(t->key()), 1u);
+
+  // The next plan solves through the promoted model without incident.
+  fleet.push(qps_update(id, now, {90.0}));
+  EXPECT_EQ(fleet.step().planned, 1u);
+  EXPECT_FALSE(t->degraded());
+}
+
+// --- Determinism: the §3.7 contract at fleet scale --------------------------
+
+/// Exact-bits rendering of a plan stream: doubles go out as hex bit
+/// patterns, so two replays match iff every value is bit-identical.
+std::string run_scripted_scenario() {
+  FleetServer fleet;
+  std::vector<TenantId> ids;
+  for (int i = 0; i < 4; ++i) {
+    TenantSpec spec = make_spec("app" + std::to_string(i), 120.0 + 40.0 * i);
+    if (i == 1) {
+      // Tenant 1 solves via the thread-pool multi-start fan-out: a
+      // parallel_for nested inside the fleet's own fan-out task.
+      spec.solver.batched_multi_start = false;
+      spec.solver.multi_starts = 2;
+    }
+    ids.push_back(fleet.add_tenant(spec));
+  }
+
+  std::ostringstream out;
+  auto token = fleet.subscribe([&](const PlanUpdate& u) {
+    out << u.application << '#' << u.seq << ':';
+    for (int inst : u.plan.instances) out << inst << ',';
+    for (Millicores q : u.plan.quota)
+      out << std::hex << std::bit_cast<std::uint64_t>(q) << std::dec << ',';
+    out << std::hex << std::bit_cast<std::uint64_t>(u.plan.predicted_ms)
+        << std::dec << (u.degraded ? "!D" : "") << ';';
+  });
+
+  for (int step = 0; step < 12; ++step) {
+    const double now = 10.0 * (step + 1);
+    for (int i = 0; i < 4; ++i) {
+      // Deterministic per-tenant traffic: phase-shifted swings big enough
+      // to beat the hysteresis band on most steps.
+      double qps = 40.0 + 12.0 * ((step * (i + 3) + i) % 5);
+      if (i == 3 && step >= 4 && step <= 6) qps = 0.0;  // telemetry blackout
+      if (i == 2 && step == 5) {
+        // Hard fault: malformed workload vector; plan() throws, tenant 2
+        // degrades alone.
+        fleet.push(qps_update(ids[i], now, {qps, qps}));
+        continue;
+      }
+      fleet.push(qps_update(ids[i], now, {qps}));
+    }
+    const auto stats = fleet.step();
+    out << "step" << step << "=" << stats.planned << "/" << stats.coasted
+        << "/" << stats.failures << "/" << stats.notified << ";";
+  }
+  return out.str();
+}
+
+TEST(FleetServer, ScriptedScenarioReplaysBitIdenticallyAcrossThreadCounts) {
+  std::string at1, at8;
+  {
+    ThreadGuard guard{1};
+    at1 = run_scripted_scenario();
+  }
+  {
+    ThreadGuard guard{8};
+    at8 = run_scripted_scenario();
+  }
+  EXPECT_FALSE(at1.empty());
+  EXPECT_NE(at1.find("!D"), std::string::npos)
+      << "scenario must exercise the degraded path";
+  EXPECT_EQ(at1, at8) << "fleet step() must be bit-identical at any "
+                         "GRAF_THREADS (DESIGN.md §3.7/§3.10)";
+}
+
+}  // namespace
+}  // namespace graf::fleet

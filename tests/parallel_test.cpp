@@ -65,6 +65,67 @@ TEST(ThreadPool, ParallelForRethrowsFirstExceptionByIndex) {
   }
 }
 
+// ---- Reentrancy: parallel_for inside a pool task ---------------------------
+//
+// The fleet server fans plan computation over the pool, and a tenant's
+// multi-start solver fans out again from inside that task. The caller-
+// participates design makes the nesting deadlock-free: the inner call's own
+// drain loop claims every index no helper has taken, so it completes even
+// when every worker is busy with outer work. These tests pin that contract.
+
+TEST(ThreadPool, NestedParallelForCompletesWithAllWorkersBusy) {
+  for (const std::size_t size : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool{size};
+    // More outer tasks than workers, so some inner calls necessarily run
+    // while every worker is occupied by outer work.
+    constexpr std::size_t kOuter = 8, kInner = 16;
+    std::vector<std::atomic<int>> sums(kOuter);
+    pool.parallel_for(kOuter, [&](std::size_t i) {
+      pool.parallel_for(kInner, [&, i](std::size_t j) {
+        sums[i].fetch_add(static_cast<int>(j + 1));
+      });
+    });
+    for (const auto& s : sums)
+      EXPECT_EQ(s.load(), kInner * (kInner + 1) / 2)
+          << "pool size " << size;
+  }
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesInnerExceptionByIndex) {
+  ThreadPool pool{4};
+  try {
+    pool.parallel_for(6, [&](std::size_t i) {
+      pool.parallel_for(8, [&, i](std::size_t j) {
+        // Only outer index 2 faults; its first-by-index inner failure (j=3)
+        // must surface through both levels.
+        if (i == 2 && (j == 3 || j == 5))
+          throw std::runtime_error{"inner " + std::to_string(j)};
+      });
+    });
+    FAIL() << "expected nested rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "inner 3");
+  }
+}
+
+TEST(ThreadPool, ConcurrentParallelForFromSubmittedTasks) {
+  // Two pool tasks run independent parallel_fors on the same pool at once;
+  // each has its own shared state, so they interleave without crosstalk.
+  // (Blocking on these futures is safe here: the joining thread is the
+  // main thread, not a pool worker — see the submit() warning.)
+  ThreadPool pool{4};
+  constexpr std::size_t n = 256;
+  auto count = [&pool] {
+    std::atomic<std::size_t> hits{0};
+    pool.parallel_for(n, [&](std::size_t) { hits.fetch_add(1); });
+    return hits.load();
+  };
+  auto f1 = pool.submit(count);
+  auto f2 = pool.submit(count);
+  EXPECT_EQ(f1.get(), n);
+  EXPECT_EQ(f2.get(), n);
+}
+
 TEST(ThreadPool, ConfiguredThreadsReadsEnv) {
   ::setenv("GRAF_THREADS", "3", 1);
   EXPECT_EQ(configured_threads(), 3u);

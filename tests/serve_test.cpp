@@ -5,8 +5,10 @@
 // model regresses on live traffic.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
@@ -298,6 +300,132 @@ TEST_F(ServeFixture, TrainerRequiresPromotedModel) {
   EXPECT_THROW(
       (OnlineTrainer{empty, h, {.application = "none", .slo_ms = 1.0}, {}}),
       std::invalid_argument);
+}
+
+// --- Multi-handle attach (fleet regression) ---------------------------------
+
+// Regression: Entry held a single ServingHandle*, so a second attach for the
+// same key silently dropped the first tenant's handle — it never swapped on
+// promote again, serving a stale model forever with a never-bumped plan-cache
+// generation. Every attached handle must track promotions.
+TEST_F(ServeFixture, PromoteSwapsEveryAttachedHandle) {
+  ServingHandle second;
+  registry.attach_handle(key, &second);
+  EXPECT_EQ(second.acquire().get(), handle.acquire().get())
+      << "attach syncs the new handle to the active model";
+
+  gnn::LatencyModel next = handle.acquire()->clone();
+  const std::uint64_t v2 = registry.publish(key, next, {});
+  ASSERT_TRUE(registry.promote(key, v2));
+  EXPECT_EQ(handle.acquire().get(), registry.active(key).get());
+  EXPECT_EQ(second.acquire().get(), registry.active(key).get())
+      << "both tenants' handles must follow the promotion";
+
+  // Detached handles stop following (fleet tenants detach in their dtor).
+  registry.detach_handle(key, &second);
+  const auto frozen = second.acquire();
+  const std::uint64_t v3 = registry.publish(key, next, {});
+  ASSERT_TRUE(registry.promote(key, v3));
+  EXPECT_EQ(second.acquire().get(), frozen.get());
+  EXPECT_EQ(handle.acquire().get(), registry.active(key).get());
+}
+
+// The end-to-end consequence of the bug above: two ResourceControllers on
+// two handles sharing one registry key. After a promote, *both* must solve
+// through the new model and invalidate their plan caches (the audit found
+// no stale-generation window inside refresh_model() itself — the window was
+// the dropped handle).
+TEST_F(ServeFixture, TwoControllersSharingKeyBothFollowPromotion) {
+  auto make_stack = [](ServingHandle& h, gnn::LatencyModel& m) {
+    struct Stack {
+      core::ConfigurationSolver solver;
+      core::WorkloadAnalyzer analyzer;
+      core::ResourceController rc;
+      Stack(ServingHandle& h, gnn::LatencyModel& m)
+          : solver{m, {.max_iterations = 400}},
+            analyzer{1, 2},
+            rc{m, solver, analyzer, {200.0, 200.0}, {2000.0, 2000.0},
+               {500.0, 500.0}} {
+        analyzer.set_fanout({{1.0, 1.0}});
+        rc.set_serving_handle(&h);
+      }
+    };
+    return std::make_unique<Stack>(h, m);
+  };
+
+  ServingHandle second;
+  registry.attach_handle(key, &second);
+  auto model_a = handle.acquire();
+  auto stack_a = make_stack(handle, *model_a);
+  auto stack_b = make_stack(second, *model_a);
+
+  // A modest workload + loose SLO keeps the short-budget solve feasible
+  // inside the 2000mc bounds — only feasible, non-degraded plans are
+  // cacheable, and the cache is the tell below.
+  const std::vector<Qps> api{30.0};
+  const double slo = 500.0;
+  ASSERT_TRUE(stack_a->rc.plan(api, slo).feasible);
+  ASSERT_TRUE(stack_b->rc.plan(api, slo).feasible);
+  (void)stack_a->rc.plan(api, slo);  // cache hit
+  (void)stack_b->rc.plan(api, slo);
+  EXPECT_EQ(stack_a->rc.plan_cache_hits(), 1u);
+  EXPECT_EQ(stack_b->rc.plan_cache_hits(), 1u);
+
+  gnn::LatencyModel next = model_a->clone();
+  const std::uint64_t v2 = registry.publish(key, next, {});
+  ASSERT_TRUE(registry.promote(key, v2));
+
+  // Both controllers pick up the swap on their next plan: same workload is
+  // a cache *miss* (generation bumped), and both serve the new model.
+  (void)stack_a->rc.plan(api, slo);
+  (void)stack_b->rc.plan(api, slo);
+  EXPECT_EQ(stack_a->rc.plan_cache_hits(), 1u);
+  EXPECT_EQ(stack_b->rc.plan_cache_hits(), 1u);
+  EXPECT_EQ(&stack_a->rc.active_model(), registry.active(key).get());
+  EXPECT_EQ(&stack_b->rc.active_model(), registry.active(key).get());
+}
+
+// --- Concurrent publish/promote (fleet makes this routine) ------------------
+
+TEST_F(ServeFixture, ConcurrentPublishPromoteAgainstOneHandle) {
+  // Two trainer-like threads race publish+promote for one key while the
+  // handle is attached; a third continuously acquires through the handle
+  // (the control loop). Correctness here is "no torn state": every acquire
+  // sees a complete model, and the final active version is one of the
+  // published ones. TSan/ASan legs make this a real race detector.
+  constexpr int kPerThread = 6;
+  std::atomic<bool> stop{false};
+  std::atomic<int> acquires{0};
+  std::thread reader{[&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto m = handle.acquire();
+      if (m != nullptr) acquires.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::yield();
+    }
+  }};
+  auto publisher = [&](std::uint64_t seed) {
+    gnn::LatencyModel mine = trained_initial().clone();
+    for (int i = 0; i < kPerThread; ++i) {
+      const std::uint64_t v =
+          registry.publish(key, mine, {.train_samples = seed});
+      registry.promote(key, v);
+    }
+  };
+  std::thread t1{publisher, 1};
+  std::thread t2{publisher, 2};
+  t1.join();
+  t2.join();
+  stop.store(true);
+  reader.join();
+
+  EXPECT_GT(acquires.load(), 0);
+  const auto versions = registry.versions(key);
+  EXPECT_EQ(versions.size(), 1u + 2u * kPerThread);  // v1 + both threads
+  const std::uint64_t active = registry.active_version(key);
+  EXPECT_GE(active, 1u);
+  EXPECT_LE(active, versions.size());
+  EXPECT_EQ(handle.acquire().get(), registry.active(key).get())
+      << "handle and registry must agree after the dust settles";
 }
 
 }  // namespace
