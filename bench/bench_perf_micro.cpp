@@ -15,6 +15,7 @@
 #include "core/sample_collector.h"
 #include "core/workload_analyzer.h"
 #include "fleet/fleet_server.h"
+#include "forecast/gate.h"
 #include "gnn/latency_model.h"
 #include "nn/tensor.h"
 #include "telemetry/metrics.h"
@@ -274,6 +275,31 @@ void BM_FleetPlanThroughput(benchmark::State& state) {
   set_global_threads(0);
 }
 BENCHMARK(BM_FleetPlanThroughput)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// One forecast-gated control tick past the warm-up window: observe the new
+// total, predict at the horizon, scale the vector. This is the per-tick
+// cost forecast mode adds on top of plan() — gated in
+// scripts/bench_check.py so it stays control-loop-cheap.
+void BM_ForecastStep(benchmark::State& state) {
+  forecast::ForecastGate gate{std::make_shared<forecast::HoltWinters>(),
+                              forecast::ForecastGateConfig{}};
+  std::vector<Qps> observed{60.0, 30.0, 10.0};
+  Rng rng{17};
+  std::vector<double> drift;
+  for (int i = 0; i < 1024; ++i) drift.push_back(rng.uniform(55.0, 70.0));
+  for (std::size_t i = 0; i < 64; ++i) {  // warm past the not-ready window
+    observed[0] = drift[i];
+    benchmark::DoNotOptimize(gate.plan_qps(observed));
+  }
+  std::size_t i = 64;
+  for (auto _ : state) {
+    observed[0] = drift[i++ & 1023];
+    benchmark::DoNotOptimize(gate.plan_qps(observed));
+  }
+  state.counters["predictions"] = static_cast<double>(gate.predictions());
+  state.counters["fallbacks"] = static_cast<double>(gate.fallbacks());
+}
+BENCHMARK(BM_ForecastStep);
 
 void BM_Percentile(benchmark::State& state) {
   Rng rng{7};

@@ -12,6 +12,8 @@ Gate rows (time-per-op, lower is better):
   BM_FleetPlanThroughput/1   8-tenant fleet step, single-threaded fan-out
                              (the /8 row is ungated: on a single-core CI
                              box its wall clock is flat vs /1 by design)
+  BM_ForecastStep            one forecast-gated control tick (observe +
+                             predict + scale)
 
 Caveat: CI containers are typically pinned to a single core and share it
 with the rest of the job, so absolute timings are noisy. Smoke mode keeps
@@ -38,6 +40,7 @@ GATES = [
     "BM_GnnInference",
     "BM_SimulatorEventThroughput",
     "BM_FleetPlanThroughput/1",
+    "BM_ForecastStep",
 ]
 
 # ns per unit, for rows whose units differ between baseline and fresh runs.

@@ -22,15 +22,16 @@ cmake -B "$BUILD_DIR" -S . \
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
-# The chaos group (fault injection + degraded-mode integration) and the
-# fleet group (multi-tenant control plane) again at pinned thread counts:
-# faulted and fleet runs must replay bit-identically whether the pool has
-# 1 worker or 8 (DESIGN.md §3.7/§3.8/§3.10 determinism contract). Under
-# the sanitizer legs this doubles as the ASan/TSan pass over the fleet's
-# ingest ring, subscriber registry, and registry hot-swap paths.
+# The chaos group (fault injection + degraded-mode integration), the fleet
+# group (multi-tenant control plane), and the forecast group (workload
+# forecasting + pre-warmed planning) again at pinned thread counts: faulted,
+# fleet, and forecast runs must replay bit-identically whether the pool has
+# 1 worker or 8 (DESIGN.md §3.7/§3.8/§3.10/§3.11 determinism contract).
+# Under the sanitizer legs this doubles as the ASan/TSan pass over the
+# fleet's ingest ring, subscriber registry, and registry hot-swap paths.
 for threads in 1 8; do
   GRAF_THREADS=$threads \
-    ctest --test-dir "$BUILD_DIR" --output-on-failure -L 'chaos|fleet'
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -L 'chaos|fleet|forecast'
 done
 
 # Perf smoke gate (plain leg only: sanitizer overhead would trip any time

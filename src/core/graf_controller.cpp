@@ -18,7 +18,20 @@ void GrafController::set_serving_handle(serve::ServingHandle* handle) {
   controller_.set_serving_handle(handle);
 }
 
+void GrafController::enable_forecast(const forecast::ForecastSpec& spec) {
+  gate_ = std::make_unique<forecast::ForecastGate>(spec);
+  gate_->set_metrics(metrics_);
+  gate_->set_handle(forecast_handle_);
+}
+
+void GrafController::set_forecast_handle(serve::ForecastHandle* handle) {
+  forecast_handle_ = handle;
+  if (gate_ != nullptr) gate_->set_handle(handle);
+}
+
 void GrafController::set_metrics(telemetry::MetricsRegistry* registry) {
+  metrics_ = registry;
+  if (gate_ != nullptr) gate_->set_metrics(registry);
   if (registry == nullptr) {
     solves_total_ = fault_exceptions_ = fault_signal_loss_ = nullptr;
     slo_gauge_ = measured_p99_ = degraded_gauge_ = nullptr;
@@ -91,14 +104,10 @@ void GrafController::tick(std::uint64_t generation) {
   if (cluster_->now() > until_) return;
   ++ticks_;
   std::vector<Qps> qps(cluster_->api_count());
-  bool changed = slo_dirty_;
   bool had_signal = false;
   for (std::size_t a = 0; a < qps.size(); ++a) {
     qps[a] = cluster_->api_qps(static_cast<int>(a), cfg_.rate_window);
     had_signal = had_signal || last_applied_qps_[a] > 0.0;
-    const double denom = std::max(last_applied_qps_[a], 1e-9);
-    if (std::abs(qps[a] - last_applied_qps_[a]) / denom > cfg_.change_threshold)
-      changed = true;
   }
   double total = 0.0;
   for (double q : qps) total += q;
@@ -119,15 +128,27 @@ void GrafController::tick(std::uint64_t generation) {
       signal_lost_ = false;
       set_degraded(last_plan_.degraded);
     }
+    // Forecast mode: the vector handed to the hysteresis band and the
+    // planner is max(observed, predicted_at_horizon) — which also keys the
+    // plan cache on the planned-for workload, never the raw observation.
+    // plan_qps() never throws; on forecaster failure it returns `qps`.
+    const std::vector<Qps> planned =
+        (gate_ != nullptr && total > 0.0) ? gate_->plan_qps(qps) : qps;
+    bool changed = slo_dirty_;
+    for (std::size_t a = 0; a < planned.size() && !changed; ++a) {
+      const double denom = std::max(last_applied_qps_[a], 1e-9);
+      changed = std::abs(planned[a] - last_applied_qps_[a]) / denom >
+                cfg_.change_threshold;
+    }
     if (changed && total > 0.0) {
       // A fault anywhere under plan/apply (solver blowup, shape race,
       // cluster apply) must not unwind through the event loop and kill the
       // autoscaler: a dead control loop is strictly worse than one more
       // interval on the previous plan.
       try {
-        last_plan_ = controller_.plan(qps, cfg_.slo_ms);
+        last_plan_ = controller_.plan(planned, cfg_.slo_ms);
         ResourceController::apply(*cluster_, last_plan_);
-        last_applied_qps_ = qps;
+        last_applied_qps_ = planned;
         slo_dirty_ = false;
         ++solves_;
         if (solves_total_ != nullptr) solves_total_->add();

@@ -8,11 +8,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "autoscalers/autoscaler.h"
 #include "core/resource_controller.h"
+#include "forecast/gate.h"
 
 namespace graf::core {
 
@@ -36,6 +38,20 @@ class GrafController : public autoscalers::Autoscaler {
   /// Delegate to ResourceController::set_serving_handle: allocation
   /// decisions follow the hot-swapped model published via src/serve.
   void set_serving_handle(serve::ServingHandle* handle);
+
+  /// Switch the loop to forecast mode: every tick plans for
+  /// max(observed, predicted_at_horizon) via a ForecastGate built from
+  /// `spec` (spec.enabled is ignored here — calling this *is* the opt-in).
+  /// The horizon covers the simulator's ~5.5 s instance-creation delay, so
+  /// capacity for a predicted surge is warm before the surge arrives.
+  /// Forecaster failure degrades to plan-alone (forecast.* counters).
+  void enable_forecast(const forecast::ForecastSpec& spec);
+  /// The live gate (nullptr until enable_forecast); tests/benches read its
+  /// prewarm/fallback counters.
+  forecast::ForecastGate* forecast_gate() { return gate_.get(); }
+  /// Serve the forecaster published through `handle` (ForecastRegistry
+  /// promote/rollback), once forecast mode is on. nullptr detaches.
+  void set_forecast_handle(serve::ForecastHandle* handle);
 
   /// Publish control-loop telemetry (forwards to the resource controller
   /// and solver too): `core.solves_total`, `core.slo_ms`, and — when the
@@ -69,6 +85,9 @@ class GrafController : public autoscalers::Autoscaler {
 
   ResourceController& controller_;
   GrafControllerConfig cfg_;
+  std::unique_ptr<forecast::ForecastGate> gate_;
+  serve::ForecastHandle* forecast_handle_ = nullptr;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
   sim::Cluster* cluster_ = nullptr;
   Seconds until_ = 0.0;
   /// Bumped by every attach(); stale scheduled ticks check it and die.

@@ -167,7 +167,7 @@ void FleetServer::commit(Tenant& t, StepStats& stats) {
       t.last_plan_ = std::move(t.computed_);
       t.has_plan_ = true;
       t.degraded_ = t.last_plan_.degraded;
-      t.last_solved_qps_ = t.pending_qps_;
+      t.last_solved_qps_ = t.planned_qps_;
       t.slo_dirty_ = false;
       t.signal_lost_ = false;
       ++stats.planned;

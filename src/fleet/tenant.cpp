@@ -41,6 +41,12 @@ Tenant::Tenant(TenantId id, const TenantSpec& spec, serve::ModelRegistry& regist
   controller_->set_plan_cache_capacity(spec.plan_cache_capacity);
   controller_->set_metrics(&metrics_);
 
+  if (spec.forecast.enabled) {
+    gate_ = std::make_unique<forecast::ForecastGate>(spec.forecast);
+    gate_->set_metrics(&metrics_);
+    gate_->set_handle(&forecast_handle_);
+  }
+
   tel_plans_ = &metrics_.counter("fleet.tenant.plans");
   tel_changes_ = &metrics_.counter("fleet.tenant.plan_changes");
   tel_failures_ = &metrics_.counter("fleet.tenant.plan_failures");
@@ -80,22 +86,30 @@ void Tenant::compute() {
       outcome_ = Outcome::kSignalLost;
       return;
     }
+    // Forecast mode: the vector handed to the hysteresis check, plan()'s
+    // cache key, and the committed last_solved_qps_ is the planned-for
+    // (post-max) workload, while the forecaster itself keeps observing the
+    // raw pending vector (pending_qps_ is left untouched, so a samples-only
+    // push can't feed a boosted value back in as an observation).
+    // plan_qps() never throws; on forecaster failure it returns the
+    // observed vector unchanged.
+    planned_qps_ = gate_ != nullptr ? gate_->plan_qps(pending_qps_) : pending_qps_;
     // Hysteresis: coast on the current plan while every API's relative
     // change stays inside the band — unless the SLO moved, the tenant is
     // degraded (recovery should re-solve ASAP), or the shape changed.
     if (has_plan_ && !degraded_ && !slo_dirty_ &&
-        pending_qps_.size() == last_solved_qps_.size()) {
+        planned_qps_.size() == last_solved_qps_.size()) {
       double worst = 0.0;
-      for (std::size_t i = 0; i < pending_qps_.size(); ++i) {
+      for (std::size_t i = 0; i < planned_qps_.size(); ++i) {
         const double base = std::max(last_solved_qps_[i], 1e-9);
-        worst = std::max(worst, std::abs(pending_qps_[i] - last_solved_qps_[i]) / base);
+        worst = std::max(worst, std::abs(planned_qps_[i] - last_solved_qps_[i]) / base);
       }
       if (worst < change_threshold_) {
         outcome_ = Outcome::kCoasted;
         return;
       }
     }
-    computed_ = controller_->plan(pending_qps_, slo_ms_);
+    computed_ = controller_->plan(planned_qps_, slo_ms_);
     outcome_ = Outcome::kPlanned;
   } catch (...) {
     // A throwing tenant degrades alone; the fleet's ordered pass records

@@ -27,7 +27,9 @@
 #include "core/configuration_solver.h"
 #include "core/resource_controller.h"
 #include "core/workload_analyzer.h"
+#include "forecast/gate.h"
 #include "gnn/latency_model.h"
+#include "serve/forecast_store.h"
 #include "serve/model_registry.h"
 #include "serve/online_trainer.h"
 #include "serve/serving_handle.h"
@@ -80,6 +82,12 @@ struct TenantSpec {
   double change_threshold = 0.10;
   std::size_t plan_cache_capacity = 64;
   core::SolverConfig solver;
+  /// Forecast mode (off by default): when `forecast.enabled`, the tenant
+  /// plans for max(observed, predicted_at_horizon) — the pre-warm that
+  /// covers the simulator's instance-creation delay. Forecaster state is
+  /// per-tenant and fed only from this tenant's committed pushes, so fleet
+  /// replays stay bit-identical at any thread count.
+  forecast::ForecastSpec forecast;
 };
 
 class FleetServer;
@@ -118,6 +126,14 @@ class Tenant {
   /// new model. Replaces any previous trainer.
   void enable_online_training(const serve::OnlineTrainerConfig& cfg);
   serve::OnlineTrainer* trainer() { return trainer_.get(); }
+
+  /// The live forecast gate (nullptr unless TenantSpec.forecast.enabled);
+  /// tests and the fleet snapshot read its prewarm/fallback counters.
+  forecast::ForecastGate* forecast_gate() { return gate_.get(); }
+  /// Hot-swap slot for a ForecastRegistry promote/rollback. A caller that
+  /// attaches this handle to a registry must detach it before the tenant is
+  /// removed (same lifetime rule as the serving handle).
+  serve::ForecastHandle& forecast_handle() { return forecast_handle_; }
 
   // -- plan state (written by the fleet server's step loop) ------------------
   const core::AllocationPlan& last_plan() const { return last_plan_; }
@@ -159,6 +175,8 @@ class Tenant {
   std::unique_ptr<core::ConfigurationSolver> solver_;
   std::unique_ptr<core::ResourceController> controller_;
   std::unique_ptr<serve::OnlineTrainer> trainer_;
+  std::unique_ptr<forecast::ForecastGate> gate_;
+  serve::ForecastHandle forecast_handle_;
 
   // Pending-telemetry slot: filled by the step loop's drain (coalescing
   // repeated pushes, last-wins for qps, samples appended), consumed by
@@ -167,6 +185,9 @@ class Tenant {
   std::vector<Qps> pending_qps_;
   Seconds pending_now_ = 0.0;
   gnn::Dataset pending_samples_;
+  /// The vector compute() actually planned on (forecast-adjusted when the
+  /// gate is live); the commit pass copies it into last_solved_qps_.
+  std::vector<Qps> planned_qps_;
 
   // Fan-out result slot, read back by the ordered pass.
   Outcome outcome_ = Outcome::kIdle;

@@ -1,0 +1,71 @@
+#include "forecast/holt_winters.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace graf::forecast {
+
+HoltWinters::HoltWinters(HoltWintersConfig cfg) : cfg_{cfg} {
+  cfg_.alpha = std::clamp(cfg_.alpha, 1e-6, 1.0);
+  cfg_.beta = std::clamp(cfg_.beta, 0.0, 1.0);
+  cfg_.gamma = std::clamp(cfg_.gamma, 0.0, 1.0);
+  cfg_.err_smoothing = std::clamp(cfg_.err_smoothing, 1e-6, 1.0);
+  seasonal_.assign(cfg_.season, 0.0);
+}
+
+void HoltWinters::reset() {
+  level_ = trend_ = err_var_ = 0.0;
+  count_ = 0;
+  seasonal_.assign(cfg_.season, 0.0);
+}
+
+bool HoltWinters::ready() const {
+  std::size_t need = std::max<std::size_t>(cfg_.min_history, 2);
+  if (cfg_.season > 0) need = std::max(need, cfg_.season + 2);
+  return count_ >= need;
+}
+
+double HoltWinters::sigma() const { return std::sqrt(std::max(err_var_, 0.0)); }
+
+void HoltWinters::observe(double value) {
+  if (!std::isfinite(value)) return;  // one poisoned scrape must not stick
+  const std::size_t season = cfg_.season;
+  if (count_ == 0) {
+    level_ = value;
+    ++count_;
+    return;
+  }
+  if (count_ == 1) trend_ = value - level_;
+
+  const double season_term = season > 0 ? seasonal_[count_ % season] : 0.0;
+  // One-step-ahead error against the pre-update prediction feeds the band.
+  const double err = value - (level_ + trend_ + season_term);
+  err_var_ = (1.0 - cfg_.err_smoothing) * err_var_ + cfg_.err_smoothing * err * err;
+
+  const double new_level =
+      cfg_.alpha * (value - season_term) + (1.0 - cfg_.alpha) * (level_ + trend_);
+  trend_ = cfg_.beta * (new_level - level_) + (1.0 - cfg_.beta) * trend_;
+  if (season > 0)
+    seasonal_[count_ % season] =
+        cfg_.gamma * (value - new_level) + (1.0 - cfg_.gamma) * season_term;
+  level_ = new_level;
+  ++count_;
+}
+
+Forecast HoltWinters::predict(std::size_t steps) const {
+  Forecast out;
+  if (!ready() || steps == 0) return out;
+  const double h = static_cast<double>(steps);
+  double mean = level_ + h * trend_;
+  if (cfg_.season > 0)
+    mean += seasonal_[(count_ - 1 + steps) % cfg_.season];
+  if (!std::isfinite(mean)) return out;
+  const double half = cfg_.band_z * sigma() * std::sqrt(h);
+  out.mean = std::max(mean, 0.0);
+  out.lo = std::max(mean - half, 0.0);
+  out.hi = std::max(mean + half, 0.0);
+  out.valid = std::isfinite(out.hi);
+  return out;
+}
+
+}  // namespace graf::forecast

@@ -9,9 +9,14 @@
 #include <sstream>
 #include <vector>
 
+#include "serve/wire.h"
+
 namespace graf::serve {
 
 namespace {
+
+using wire::Reader;
+using wire::Writer;
 
 constexpr char kMagic[8] = {'G', 'R', 'A', 'F', 'C', 'K', 'P', 'T'};
 constexpr std::uint32_t kEndianTag = 0x01020304u;
@@ -19,9 +24,8 @@ constexpr std::uint32_t kEndianTag = 0x01020304u;
 // Payload sanity bounds: a corrupted length field must fail fast with a
 // diagnostic instead of driving a multi-gigabyte allocation.
 constexpr std::uint64_t kMaxNodes = 1u << 20;
-constexpr std::uint64_t kMaxStringLen = 1u << 16;
 constexpr std::uint64_t kMaxParams = 1u << 20;
-constexpr std::uint64_t kMaxTensorElems = 1u << 28;
+constexpr std::uint64_t kMaxTensorElems = wire::kMaxTensorElems;
 
 const std::array<std::uint32_t, 256>& crc_table() {
   static const std::array<std::uint32_t, 256> table = [] {
@@ -35,67 +39,6 @@ const std::array<std::uint32_t, 256>& crc_table() {
   }();
   return table;
 }
-
-/// Appends raw fields to a byte buffer.
-class Writer {
- public:
-  void bytes(const void* p, std::size_t n) {
-    const char* c = static_cast<const char*>(p);
-    buf_.insert(buf_.end(), c, c + n);
-  }
-  void u8(std::uint8_t v) { bytes(&v, sizeof v); }
-  void u32(std::uint32_t v) { bytes(&v, sizeof v); }
-  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
-  void i32(std::int32_t v) { bytes(&v, sizeof v); }
-  void f64(double v) { bytes(&v, sizeof v); }
-  void str(const std::string& s) {
-    u64(s.size());
-    bytes(s.data(), s.size());
-  }
-
-  const std::string& buffer() const { return buf_; }
-
- private:
-  std::string buf_;
-};
-
-/// Reads raw fields from a byte buffer; throws CheckpointError on overrun.
-class Reader {
- public:
-  Reader(const char* data, std::size_t len) : data_{data}, len_{len} {}
-
-  void bytes(void* out, std::size_t n) {
-    if (pos_ + n > len_) throw CheckpointError{"payload truncated"};
-    std::memcpy(out, data_ + pos_, n);
-    pos_ += n;
-  }
-  std::uint8_t u8() { return read<std::uint8_t>(); }
-  std::uint32_t u32() { return read<std::uint32_t>(); }
-  std::uint64_t u64() { return read<std::uint64_t>(); }
-  std::int32_t i32() { return read<std::int32_t>(); }
-  double f64() { return read<double>(); }
-  std::string str() {
-    const std::uint64_t n = u64();
-    if (n > kMaxStringLen) throw CheckpointError{"implausible string length"};
-    std::string s(static_cast<std::size_t>(n), '\0');
-    bytes(s.data(), s.size());
-    return s;
-  }
-
-  bool exhausted() const { return pos_ == len_; }
-
- private:
-  template <typename T>
-  T read() {
-    T v;
-    bytes(&v, sizeof v);
-    return v;
-  }
-
-  const char* data_;
-  std::size_t len_;
-  std::size_t pos_ = 0;
-};
 
 void write_payload(Writer& w, gnn::LatencyModel& model, const CheckpointMeta& meta) {
   // [config]

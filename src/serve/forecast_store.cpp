@@ -1,0 +1,311 @@
+#include "serve/forecast_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "serve/wire.h"
+
+namespace graf::serve {
+
+namespace {
+
+using wire::Reader;
+using wire::Writer;
+
+constexpr char kMagic[8] = {'G', 'R', 'A', 'F', 'F', 'C', 'S', 'T'};
+constexpr std::uint32_t kEndianTag = 0x01020304u;
+
+// Sanity bounds for corrupted length fields (wire.h rationale).
+constexpr std::uint64_t kMaxOrder = 1u << 12;
+constexpr std::uint64_t kMaxHistory = 1u << 20;
+
+void write_payload(Writer& w, const forecast::ArForecaster& f,
+                   const ForecastMeta& meta) {
+  // [config]
+  const forecast::ArConfig& cfg = f.config();
+  w.u64(cfg.order);
+  w.u64(cfg.window);
+  w.u64(cfg.refit_every);
+  w.u64(cfg.iterations);
+  w.f64(cfg.lr);
+  w.u64(cfg.seed);
+  w.u64(cfg.min_history);
+  w.f64(cfg.band_z);
+
+  // [state]
+  w.f64(f.scale());
+  w.f64(f.residual_sigma());
+  w.u8(f.fitted() ? 1 : 0);
+  w.u64(f.observations());
+
+  // [history]
+  const std::vector<double>& h = f.history();
+  w.u64(h.size());
+  for (double v : h) w.f64(v);
+
+  // [meta]
+  w.str(meta.application);
+  w.f64(meta.slo_ms);
+  w.u64(meta.observations);
+  w.f64(meta.created_sim_time);
+
+  // [weights]
+  const nn::Tensor& weight = f.weight();
+  w.u64(weight.rows());
+  for (std::size_t i = 0; i < weight.rows(); ++i) w.f64(weight(i, 0));
+  w.f64(f.bias()(0, 0));
+}
+
+LoadedForecast read_payload(Reader& r) {
+  // [config]
+  forecast::ArConfig cfg;
+  cfg.order = static_cast<std::size_t>(r.u64());
+  cfg.window = static_cast<std::size_t>(r.u64());
+  cfg.refit_every = static_cast<std::size_t>(r.u64());
+  cfg.iterations = static_cast<std::size_t>(r.u64());
+  cfg.lr = r.f64();
+  cfg.seed = r.u64();
+  cfg.min_history = static_cast<std::size_t>(r.u64());
+  cfg.band_z = r.f64();
+  if (cfg.order == 0 || cfg.order > kMaxOrder)
+    throw CheckpointError{"config: implausible AR order"};
+  if (cfg.window > kMaxHistory)
+    throw CheckpointError{"config: implausible window"};
+
+  // [state]
+  const double scale = r.f64();
+  const double sigma = r.f64();
+  const bool fitted = r.u8() != 0;
+  const std::uint64_t count = r.u64();
+
+  // [history]
+  const std::uint64_t hist_len = r.u64();
+  if (hist_len > kMaxHistory) throw CheckpointError{"history: implausible length"};
+  std::vector<double> history(static_cast<std::size_t>(hist_len));
+  for (double& v : history) v = r.f64();
+
+  // [meta]
+  ForecastMeta meta;
+  meta.application = r.str();
+  meta.slo_ms = r.f64();
+  meta.observations = r.u64();
+  meta.created_sim_time = r.f64();
+
+  // [weights]
+  const std::uint64_t order = r.u64();
+  if (order != cfg.order) throw CheckpointError{"weights: order mismatch"};
+  nn::Tensor weight{static_cast<std::size_t>(order), 1};
+  for (std::size_t i = 0; i < weight.rows(); ++i) weight(i, 0) = r.f64();
+  nn::Tensor bias{1, 1};
+  bias(0, 0) = r.f64();
+  if (!r.exhausted()) throw CheckpointError{"trailing bytes after weights"};
+
+  // The constructor may clamp a hand-edited config; restore() then
+  // shape-checks the stored weights against the clamped order.
+  forecast::ArForecaster model{cfg};
+  try {
+    model.restore(weight, bias, scale, sigma, fitted, std::move(history),
+                  static_cast<std::size_t>(count));
+  } catch (const std::exception& e) {
+    throw CheckpointError{std::string{"weights: "} + e.what()};
+  }
+  return {std::move(model), std::move(meta)};
+}
+
+}  // namespace
+
+void save_forecast_checkpoint(std::ostream& os, const forecast::ArForecaster& f,
+                              const ForecastMeta& meta) {
+  Writer payload;
+  write_payload(payload, f, meta);
+  const std::string& body = payload.buffer();
+
+  Writer header;
+  header.bytes(kMagic, sizeof kMagic);
+  header.u32(kForecastFormatVersion);
+  header.u32(kEndianTag);
+  header.u64(body.size());
+
+  os.write(header.buffer().data(),
+           static_cast<std::streamsize>(header.buffer().size()));
+  os.write(body.data(), static_cast<std::streamsize>(body.size()));
+  const std::uint32_t crc = crc32(body.data(), body.size());
+  os.write(reinterpret_cast<const char*>(&crc), sizeof crc);
+  if (!os) throw CheckpointError{"write failed"};
+}
+
+void save_forecast_checkpoint_file(const std::string& path,
+                                   const forecast::ArForecaster& f,
+                                   const ForecastMeta& meta) {
+  std::ofstream os{path, std::ios::binary | std::ios::trunc};
+  if (!os) throw CheckpointError{"cannot open " + path + " for writing"};
+  save_forecast_checkpoint(os, f, meta);
+}
+
+LoadedForecast load_forecast_checkpoint(std::istream& is) {
+  char magic[sizeof kMagic];
+  if (!is.read(magic, sizeof magic)) throw CheckpointError{"truncated header"};
+  if (std::memcmp(magic, kMagic, sizeof kMagic) != 0)
+    throw CheckpointError{"bad magic (not a .graffc file)"};
+
+  std::uint32_t version = 0;
+  std::uint32_t endian = 0;
+  std::uint64_t payload_size = 0;
+  if (!is.read(reinterpret_cast<char*>(&version), sizeof version) ||
+      !is.read(reinterpret_cast<char*>(&endian), sizeof endian) ||
+      !is.read(reinterpret_cast<char*>(&payload_size), sizeof payload_size))
+    throw CheckpointError{"truncated header"};
+  if (version != kForecastFormatVersion)
+    throw CheckpointError{"unsupported format version " + std::to_string(version)};
+  if (endian != kEndianTag)
+    throw CheckpointError{"endianness mismatch (file written on a foreign host)"};
+  if (payload_size > (std::uint64_t{1} << 30))
+    throw CheckpointError{"implausible payload size"};
+
+  std::string body(static_cast<std::size_t>(payload_size), '\0');
+  if (!is.read(body.data(), static_cast<std::streamsize>(body.size())))
+    throw CheckpointError{"payload truncated"};
+
+  std::uint32_t stored_crc = 0;
+  if (!is.read(reinterpret_cast<char*>(&stored_crc), sizeof stored_crc))
+    throw CheckpointError{"missing CRC"};
+  if (stored_crc != crc32(body.data(), body.size()))
+    throw CheckpointError{"CRC mismatch (corrupted file)"};
+
+  Reader r{body.data(), body.size()};
+  return read_payload(r);
+}
+
+LoadedForecast load_forecast_checkpoint_file(const std::string& path) {
+  std::ifstream is{path, std::ios::binary};
+  if (!is) throw CheckpointError{"cannot open " + path};
+  return load_forecast_checkpoint(is);
+}
+
+// ---- ForecastRegistry ------------------------------------------------------
+
+ForecastRegistry::ForecastRegistry(std::string store_dir)
+    : store_dir_{std::move(store_dir)} {}
+
+std::string ForecastRegistry::checkpoint_path(const ModelKey& key,
+                                              std::uint64_t version) const {
+  if (store_dir_.empty()) return "";
+  return store_dir_ + "/" + key.str() + ".v" + std::to_string(version) + ".graffc";
+}
+
+std::uint64_t ForecastRegistry::publish(const ModelKey& key,
+                                        const forecast::ArForecaster& f,
+                                        ForecastMeta meta) {
+  // Deep-copy before taking the lock (model_registry.cpp rationale).
+  auto copy = std::make_shared<forecast::ArForecaster>(f);
+  meta.application = key.application;
+  meta.slo_ms = key.slo_ms;
+  meta.observations = f.observations();
+  std::lock_guard lock{mu_};
+  Entry& e = entries_[key.str()];
+  const std::uint64_t version = e.next_version++;
+  const std::string path = checkpoint_path(key, version);
+  if (!path.empty()) save_forecast_checkpoint_file(path, *copy, meta);
+  e.versions.push_back({version, std::move(meta), std::move(copy)});
+  return version;
+}
+
+std::uint64_t ForecastRegistry::restore(const ModelKey& key,
+                                        const std::string& checkpoint_path) {
+  LoadedForecast loaded = load_forecast_checkpoint_file(checkpoint_path);
+  return publish(key, loaded.model, std::move(loaded.meta));
+}
+
+const ForecastRegistry::Version* ForecastRegistry::find(
+    const Entry& e, std::uint64_t version) const {
+  for (const Version& v : e.versions)
+    if (v.version == version) return &v;
+  return nullptr;
+}
+
+void ForecastRegistry::sync_handles(Entry& e) {
+  const Version* v = find(e, e.active);
+  for (ForecastHandle* handle : e.handles)
+    handle->swap(v != nullptr ? v->model : nullptr);
+}
+
+bool ForecastRegistry::promote(const ModelKey& key, std::uint64_t version) {
+  std::lock_guard lock{mu_};
+  auto it = entries_.find(key.str());
+  if (it == entries_.end()) return false;
+  Entry& e = it->second;
+  if (find(e, version) == nullptr) return false;
+  if (e.active == version) return true;
+  e.active = version;
+  e.promote_history.push_back(version);
+  sync_handles(e);
+  return true;
+}
+
+bool ForecastRegistry::rollback(const ModelKey& key) {
+  std::lock_guard lock{mu_};
+  auto it = entries_.find(key.str());
+  if (it == entries_.end()) return false;
+  Entry& e = it->second;
+  if (e.promote_history.size() < 2) return false;
+  e.promote_history.pop_back();
+  e.active = e.promote_history.back();
+  sync_handles(e);
+  return true;
+}
+
+std::shared_ptr<forecast::ArForecaster> ForecastRegistry::active(
+    const ModelKey& key) const {
+  std::lock_guard lock{mu_};
+  auto it = entries_.find(key.str());
+  if (it == entries_.end()) return nullptr;
+  const Version* v = find(it->second, it->second.active);
+  return v != nullptr ? v->model : nullptr;
+}
+
+std::uint64_t ForecastRegistry::active_version(const ModelKey& key) const {
+  std::lock_guard lock{mu_};
+  auto it = entries_.find(key.str());
+  return it == entries_.end() ? 0 : it->second.active;
+}
+
+ForecastMeta ForecastRegistry::active_meta(const ModelKey& key) const {
+  std::lock_guard lock{mu_};
+  auto it = entries_.find(key.str());
+  if (it == entries_.end()) return {};
+  const Version* v = find(it->second, it->second.active);
+  return v != nullptr ? v->meta : ForecastMeta{};
+}
+
+std::vector<std::uint64_t> ForecastRegistry::versions(const ModelKey& key) const {
+  std::vector<std::uint64_t> out;
+  std::lock_guard lock{mu_};
+  auto it = entries_.find(key.str());
+  if (it == entries_.end()) return out;
+  for (const Version& v : it->second.versions) out.push_back(v.version);
+  return out;
+}
+
+void ForecastRegistry::attach_handle(const ModelKey& key, ForecastHandle* handle) {
+  if (handle == nullptr) return;
+  std::lock_guard lock{mu_};
+  Entry& e = entries_[key.str()];
+  if (std::find(e.handles.begin(), e.handles.end(), handle) == e.handles.end())
+    e.handles.push_back(handle);
+  const Version* v = find(e, e.active);
+  handle->swap(v != nullptr ? v->model : nullptr);
+}
+
+void ForecastRegistry::detach_handle(const ModelKey& key, ForecastHandle* handle) {
+  std::lock_guard lock{mu_};
+  auto it = entries_.find(key.str());
+  if (it == entries_.end()) return;
+  auto& handles = it->second.handles;
+  handles.erase(std::remove(handles.begin(), handles.end(), handle), handles.end());
+}
+
+}  // namespace graf::serve

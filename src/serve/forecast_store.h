@@ -1,0 +1,144 @@
+// Serving infrastructure for the learned workload forecaster
+// (forecast::ArForecaster): binary checkpoints plus a versioned registry
+// with promote/rollback — the forecaster participates in the same
+// publish/promote/rollback lifecycle as the latency model (model_registry.h).
+//
+// Checkpoint format (".graffc") shares the .grafck framing (wire.h):
+//
+//   magic            8 bytes  "GRAFFCST"
+//   format version   u32      kForecastFormatVersion
+//   endianness tag   u32      0x01020304 written natively
+//   payload size     u64      bytes between here and the CRC
+//   payload          ...      config | state | history | meta | weights
+//   crc32            u32      CRC-32 (IEEE 802.3) of the payload bytes
+//
+// The payload carries the retained observation window, so a restored
+// forecaster predicts identically to the one that was saved — bit for bit —
+// and is ready immediately instead of re-accumulating min_history ticks.
+// Every failure mode raises CheckpointError naming the offending section.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "forecast/ar_forecaster.h"
+#include "serve/checkpoint.h"
+#include "serve/model_registry.h"
+
+namespace graf::serve {
+
+inline constexpr std::uint32_t kForecastFormatVersion = 1;
+
+/// Provenance stored with every forecaster checkpoint.
+struct ForecastMeta {
+  std::string application;
+  double slo_ms = 0.0;
+  std::uint64_t observations = 0;  ///< series length consumed at save time
+  double created_sim_time = 0.0;
+};
+
+void save_forecast_checkpoint(std::ostream& os, const forecast::ArForecaster& f,
+                              const ForecastMeta& meta);
+void save_forecast_checkpoint_file(const std::string& path,
+                                   const forecast::ArForecaster& f,
+                                   const ForecastMeta& meta);
+
+struct LoadedForecast {
+  forecast::ArForecaster model;
+  ForecastMeta meta;
+};
+
+LoadedForecast load_forecast_checkpoint(std::istream& is);
+LoadedForecast load_forecast_checkpoint_file(const std::string& path);
+
+/// Hot-swappable handle to the forecaster currently in service — the
+/// forecast twin of ServingHandle. A ForecastGate with an attached handle
+/// acquires at the top of every plan_qps(), so registry promotes/rollbacks
+/// land between control ticks without pausing the loop.
+class ForecastHandle {
+ public:
+  using Ptr = std::shared_ptr<forecast::Forecaster>;
+
+  ForecastHandle() = default;
+  explicit ForecastHandle(Ptr initial) : active_{std::move(initial)} {}
+
+  Ptr acquire() const {
+    std::lock_guard lock{mu_};
+    return active_;
+  }
+  Ptr swap(Ptr next) {
+    std::lock_guard lock{mu_};
+    active_.swap(next);
+    ++swaps_;
+    return next;
+  }
+  bool empty() const {
+    std::lock_guard lock{mu_};
+    return active_ == nullptr;
+  }
+  std::uint64_t swap_count() const {
+    std::lock_guard lock{mu_};
+    return swaps_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Ptr active_;
+  std::uint64_t swaps_ = 0;
+};
+
+/// Versioned forecaster store keyed by (application, SLO), mirroring
+/// ModelRegistry's semantics: publish() deep-copies an immutable version,
+/// promote() selects what serves (swapping attached ForecastHandles under
+/// the lock), rollback() restores the previous promotion, and a store
+/// directory persists every version as "<key>.v<version>.graffc".
+/// Thread-safe.
+class ForecastRegistry {
+ public:
+  explicit ForecastRegistry(std::string store_dir = "");
+
+  std::uint64_t publish(const ModelKey& key, const forecast::ArForecaster& f,
+                        ForecastMeta meta);
+  std::uint64_t restore(const ModelKey& key, const std::string& checkpoint_path);
+  bool promote(const ModelKey& key, std::uint64_t version);
+  bool rollback(const ModelKey& key);
+
+  std::shared_ptr<forecast::ArForecaster> active(const ModelKey& key) const;
+  std::uint64_t active_version(const ModelKey& key) const;
+  ForecastMeta active_meta(const ModelKey& key) const;
+  std::vector<std::uint64_t> versions(const ModelKey& key) const;
+
+  void attach_handle(const ModelKey& key, ForecastHandle* handle);
+  void detach_handle(const ModelKey& key, ForecastHandle* handle);
+
+  /// Path a version's checkpoint is stored at ("" without a store dir).
+  std::string checkpoint_path(const ModelKey& key, std::uint64_t version) const;
+
+ private:
+  struct Version {
+    std::uint64_t version = 0;
+    ForecastMeta meta;
+    std::shared_ptr<forecast::ArForecaster> model;
+  };
+  struct Entry {
+    std::vector<Version> versions;
+    std::uint64_t next_version = 1;
+    std::uint64_t active = 0;  // 0 = none promoted
+    std::vector<std::uint64_t> promote_history;
+    std::vector<ForecastHandle*> handles;
+  };
+
+  const Version* find(const Entry& e, std::uint64_t version) const;
+  void sync_handles(Entry& e);
+
+  std::string store_dir_;
+  std::map<std::string, Entry> entries_;
+  mutable std::mutex mu_;
+};
+
+}  // namespace graf::serve

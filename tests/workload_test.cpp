@@ -189,5 +189,62 @@ TEST(AzureTrace, HasVariation) {
   EXPECT_GT(*mx / *mn, 1.5);  // bursts + diurnal swing
 }
 
+TEST(AzureTrace, PrefixPropertyHoldsWhenExtended) {
+  // The generator draws its randomness strictly minute-by-minute, so a
+  // longer run of the same seed is an extension, not a reshuffle: replaying
+  // the first half of a trace is bit-identical to generating just the half.
+  AzureTraceConfig short_cfg;
+  short_cfg.minutes = 32;
+  AzureTraceConfig long_cfg = short_cfg;
+  long_cfg.minutes = 96;
+  const auto short_series = azure_invocation_series(short_cfg);
+  const auto long_series = azure_invocation_series(long_cfg);
+  ASSERT_EQ(long_series.size(), 96u);
+  for (std::size_t m = 0; m < short_series.size(); ++m)
+    EXPECT_EQ(short_series[m], long_series[m]) << "minute " << m;
+}
+
+TEST(AzureTrace, UserScheduleMatchesSeriesMinuteByMinute) {
+  AzureTraceConfig cfg;
+  const auto users = rescale_series(azure_invocation_series(cfg), 30.0, 80.0);
+  const auto sched = azure_user_schedule(cfg, 30.0, 80.0);
+  for (std::size_t m = 0; m < users.size(); ++m) {
+    // Anywhere inside minute m the schedule holds that minute's value.
+    EXPECT_EQ(sched.at(60.0 * static_cast<double>(m)), users[m]);
+    EXPECT_EQ(sched.at(60.0 * static_cast<double>(m) + 59.0), users[m]);
+  }
+}
+
+TEST(AzureTrace, UserScheduleIsBitwiseDeterministic) {
+  AzureTraceConfig cfg;
+  cfg.minutes = 48;
+  const auto a = azure_user_schedule(cfg, 25.0, 90.0);
+  const auto b = azure_user_schedule(cfg, 25.0, 90.0);
+  for (double t = 0.0; t < 60.0 * 48.0; t += 17.0) EXPECT_EQ(a.at(t), b.at(t));
+}
+
+TEST(Schedule, SlicedRestartMatchesFullRun) {
+  // Restarting a run mid-trace means re-expressing the remaining schedule
+  // with times shifted to the new origin. The sliced schedule must agree
+  // with the full one at every remaining instant — the property that lets a
+  // checkpointed controller resume a trace without replaying its past.
+  AzureTraceConfig cfg;
+  cfg.minutes = 24;
+  const auto users = rescale_series(azure_invocation_series(cfg), 30.0, 80.0);
+  const auto full = azure_user_schedule(cfg, 30.0, 80.0);
+
+  const std::size_t restart_minute = 9;
+  const double t0 = 60.0 * static_cast<double>(restart_minute);
+  std::vector<std::pair<Seconds, double>> tail;
+  for (std::size_t m = restart_minute; m < users.size(); ++m)
+    tail.emplace_back(60.0 * static_cast<double>(m) - t0, users[m]);
+  const auto sliced = Schedule::piecewise(std::move(tail));
+
+  for (double t = t0; t < 60.0 * 24.0; t += 7.0)
+    EXPECT_EQ(sliced.at(t - t0), full.at(t)) << "t=" << t;
+  EXPECT_EQ(sliced.max_value(),
+            *std::max_element(users.begin() + restart_minute, users.end()));
+}
+
 }  // namespace
 }  // namespace graf::workload
