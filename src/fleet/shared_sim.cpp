@@ -1,0 +1,98 @@
+#include "fleet/shared_sim.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace graf::fleet {
+
+namespace {
+
+void rebase_node(sim::CallNode& node, std::size_t base, std::size_t count) {
+  if (node.service < 0 || static_cast<std::size_t>(node.service) >= count)
+    throw std::invalid_argument{"SharedSim: call tree references service "
+                                "outside the tenant's topology"};
+  node.service += static_cast<int>(base);
+  for (auto& stage : node.stages)
+    for (auto& child : stage) rebase_node(child, base, count);
+}
+
+}  // namespace
+
+std::size_t SharedSim::add_tenant(const std::string& name,
+                                  std::vector<sim::ServiceConfig> services,
+                                  std::vector<sim::Api> apis) {
+  if (cluster_ != nullptr)
+    throw std::logic_error{"SharedSim: add_tenant after build()"};
+  if (services.empty() || apis.empty())
+    throw std::invalid_argument{"SharedSim: tenant needs services and APIs"};
+  for (const auto& t : tenants_)
+    if (t.name == name)
+      throw std::invalid_argument{"SharedSim: duplicate tenant name"};
+
+  SharedSimTenant t;
+  t.name = name;
+  t.service_base = services_.size();
+  t.service_count = services.size();
+  t.api_base = apis_.size();
+  t.api_count = apis.size();
+
+  for (auto& s : services) {
+    s.name = name + "/" + s.name;
+    services_.push_back(std::move(s));
+  }
+  for (auto& a : apis) {
+    rebase_node(a.root, t.service_base, t.service_count);
+    a.name = name + "/" + a.name;
+    apis_.push_back(std::move(a));
+  }
+  tenants_.push_back(std::move(t));
+  return tenants_.size() - 1;
+}
+
+sim::ShardedCluster& SharedSim::build(sim::ShardedClusterConfig cfg) {
+  if (cluster_ != nullptr) throw std::logic_error{"SharedSim: build() twice"};
+  if (tenants_.empty()) throw std::logic_error{"SharedSim: no tenants"};
+  std::vector<std::uint32_t> shard_of;
+  if (cfg.shards == 1 && tenants_.size() > 1) {
+    // Natural partition: tenants are disjoint subgraphs, so one shard per
+    // tenant means zero cross-shard messages — pure parallelism.
+    cfg.shards = tenants_.size();
+    shard_of.resize(services_.size());
+    for (std::size_t i = 0; i < tenants_.size(); ++i)
+      for (std::size_t s = 0; s < tenants_[i].service_count; ++s)
+        shard_of[tenants_[i].service_base + s] = static_cast<std::uint32_t>(i);
+  }
+  cluster_ = std::make_unique<sim::ShardedCluster>(
+      std::move(services_), std::move(apis_), cfg, std::move(shard_of));
+  return *cluster_;
+}
+
+int SharedSim::global_service(std::size_t tenant, int local) const {
+  const SharedSimTenant& t = tenants_.at(tenant);
+  if (local < 0 || static_cast<std::size_t>(local) >= t.service_count)
+    throw std::out_of_range{"SharedSim: bad local service index"};
+  return static_cast<int>(t.service_base) + local;
+}
+
+int SharedSim::global_api(std::size_t tenant, int local) const {
+  const SharedSimTenant& t = tenants_.at(tenant);
+  if (local < 0 || static_cast<std::size_t>(local) >= t.api_count)
+    throw std::out_of_range{"SharedSim: bad local api index"};
+  return static_cast<int>(t.api_base) + local;
+}
+
+std::vector<Qps> SharedSim::api_qps(std::size_t tenant, Seconds window) const {
+  const SharedSimTenant& t = tenants_.at(tenant);
+  std::vector<Qps> out(t.api_count, 0.0);
+  for (std::size_t a = 0; a < t.api_count; ++a)
+    out[a] = cluster_->api_qps(static_cast<int>(t.api_base + a), window);
+  return out;
+}
+
+void SharedSim::apply_total_quota(std::size_t tenant, int local_service,
+                                  Millicores total, Millicores max_per_instance) {
+  cluster_->apply_total_quota(global_service(tenant, local_service), total,
+                              max_per_instance);
+}
+
+}  // namespace graf::fleet

@@ -1,0 +1,81 @@
+// Multi-tenant traffic generation on one sharded simulator.
+//
+// The fleet server plans for many (application, SLO) tenants at once, but
+// until now every tenant that wanted *simulated* telemetry had to run its
+// own single-queue sim::Cluster — one event loop per tenant, serial, and an
+// order of magnitude short of fleet-scale traffic. SharedSim packs every
+// tenant's service graph into one sim::ShardedCluster instead: tenant
+// topologies are disjoint subgraphs (no cross-tenant calls), so each tenant
+// naturally becomes a group of LPs and the engine's conservative windows
+// run all tenants' traffic concurrently — while replay stays bit-identical
+// at any shard/thread count, which is what keeps fleet digest tests honest.
+//
+// Id spaces: tenants register local service/API indices; SharedSim rebases
+// them onto the shared cluster (contiguous [service_base, service_base +
+// service_count) blocks, likewise for APIs) and prefixes names with
+// "<tenant>/" so lookups stay unambiguous. All per-tenant reads and controls
+// below take *local* indices and translate.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/sharded_cluster.h"
+
+namespace graf::fleet {
+
+/// Where one tenant's services and APIs landed in the shared id space.
+struct SharedSimTenant {
+  std::string name;
+  std::size_t service_base = 0;
+  std::size_t service_count = 0;
+  std::size_t api_base = 0;
+  std::size_t api_count = 0;
+};
+
+class SharedSim {
+ public:
+  /// Register a tenant's topology (local ids; call-tree service indices are
+  /// rebased internally). Coordinator-only, before build(). Returns the
+  /// tenant's index.
+  std::size_t add_tenant(const std::string& name,
+                         std::vector<sim::ServiceConfig> services,
+                         std::vector<sim::Api> apis);
+
+  /// Construct the shared cluster over everything registered so far.
+  /// cfg.shards defaults to one shard per tenant (a natural partition —
+  /// tenants never exchange messages, so cross-shard traffic is zero);
+  /// set cfg.shards explicitly to override.
+  sim::ShardedCluster& build(sim::ShardedClusterConfig cfg = {});
+
+  bool built() const { return cluster_ != nullptr; }
+  sim::ShardedCluster& cluster() { return *cluster_; }
+  const sim::ShardedCluster& cluster() const { return *cluster_; }
+
+  std::size_t tenant_count() const { return tenants_.size(); }
+  const SharedSimTenant& tenant(std::size_t i) const { return tenants_.at(i); }
+
+  /// Local -> shared id translation.
+  int global_service(std::size_t tenant, int local) const;
+  int global_api(std::size_t tenant, int local) const;
+
+  /// The tenant's per-API front-end rates over `window` — exactly the shape
+  /// TelemetryUpdate::api_qps wants.
+  std::vector<Qps> api_qps(std::size_t tenant, Seconds window) const;
+
+  /// Apply one tenant-local service's planned total quota (fleet plan ->
+  /// simulator actuation; see ShardedCluster::apply_total_quota).
+  void apply_total_quota(std::size_t tenant, int local_service, Millicores total,
+                         Millicores max_per_instance);
+
+ private:
+  std::vector<SharedSimTenant> tenants_;
+  std::vector<sim::ServiceConfig> services_;
+  std::vector<sim::Api> apis_;
+  std::unique_ptr<sim::ShardedCluster> cluster_;
+};
+
+}  // namespace graf::fleet

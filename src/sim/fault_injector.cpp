@@ -30,17 +30,27 @@ std::vector<FaultEvent> FaultInjector::generate(const FaultScheduleConfig& cfg,
   std::vector<FaultEvent> events;
 
   // Each class is an independent Poisson process with exponential
-  // inter-arrivals; times and parameters are drawn from the class's own
-  // seed stream, so enabling one class never reshuffles another.
+  // inter-arrivals. The class stream draws *times only*; every event's
+  // parameters come from their own derived sub-stream. This matters because
+  // uniform_int rejection-samples — it consumes a variable number of raw
+  // draws depending on its range — so a service pick fed from the shared
+  // class stream would shift every later draw whenever service_count
+  // changes (e.g. tenants joining a shared sharded cluster). With per-event
+  // sub-streams, and the range-dependent service pick ordered last within
+  // its stream, changing service_count changes only which service each
+  // event hits: times, picks, modes and factors stay pinned.
   auto arrivals = [&](double per_min, std::uint64_t stream, auto&& emit) {
     if (per_min <= 0.0) return;
-    Rng rng{derive_seed(cfg.seed, stream)};
+    Rng times{derive_seed(cfg.seed, stream)};
     const double rate = per_min / 60.0;  // per second
+    const std::uint64_t param_base = derive_seed(cfg.seed, stream);
     Seconds t = cfg.from;
+    std::uint64_t n = 0;
     while (true) {
-      t += rng.exponential(rate);
+      t += times.exponential(rate);
       if (t >= cfg.until) break;
-      emit(rng, t);
+      Rng params{derive_seed(param_base, ++n)};
+      emit(params, t);
     }
   };
 
@@ -48,11 +58,11 @@ std::vector<FaultEvent> FaultInjector::generate(const FaultScheduleConfig& cfg,
     FaultEvent ev;
     ev.kind = FaultEvent::Kind::kInstanceCrash;
     ev.at = t;
-    ev.service = static_cast<int>(
-        rng.uniform_int(0, static_cast<std::int64_t>(service_count) - 1));
     ev.pick = rng.next_u64();
     ev.crash_mode = rng.bernoulli(cfg.crash_abort_fraction) ? CrashMode::kAbort
                                                             : CrashMode::kRequeue;
+    ev.service = static_cast<int>(
+        rng.uniform_int(0, static_cast<std::int64_t>(service_count) - 1));
     events.push_back(ev);
   });
 
@@ -72,9 +82,9 @@ std::vector<FaultEvent> FaultInjector::generate(const FaultScheduleConfig& cfg,
     ev.kind = FaultEvent::Kind::kCpuThrottle;
     ev.at = t;
     ev.duration = cfg.throttle_duration;
+    ev.factor = rng.uniform(cfg.throttle_factor_lo, cfg.throttle_factor_hi);
     ev.service = static_cast<int>(
         rng.uniform_int(0, static_cast<std::int64_t>(service_count) - 1));
-    ev.factor = rng.uniform(cfg.throttle_factor_lo, cfg.throttle_factor_hi);
     events.push_back(ev);
   });
 

@@ -93,6 +93,9 @@ class FaultInjector {
 
   /// Pure schedule synthesis: (config, service_count) -> events, sorted by
   /// fire time. Never touches a cluster, the wall clock, or global state.
+  /// Stable under topology growth: changing service_count changes only
+  /// which service each event targets — event times, crash picks/modes and
+  /// throttle factors are pinned by (seed, class, event index).
   static std::vector<FaultEvent> generate(const FaultScheduleConfig& cfg,
                                           std::size_t service_count);
 

@@ -1,0 +1,642 @@
+#include "sim/sharded_cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "common/thread_pool.h"
+
+namespace graf::sim {
+
+ShardedCluster::ShardedCluster(std::vector<ServiceConfig> service_cfgs,
+                               std::vector<Api> apis, ShardedClusterConfig cfg,
+                               std::vector<std::uint32_t> shard_of)
+    : cfg_{cfg}, apis_{std::move(apis)} {
+  const std::size_t n = service_cfgs.size();
+  if (n == 0) throw std::invalid_argument{"ShardedCluster: no services"};
+  if (apis_.empty()) throw std::invalid_argument{"ShardedCluster: no APIs"};
+  if (cfg_.rpc_latency <= 0.0)
+    throw std::invalid_argument{"ShardedCluster: rpc_latency must be > 0"};
+  if (cfg_.shards == 0)
+    throw std::invalid_argument{"ShardedCluster: need >= 1 shard"};
+  if (!shard_of.empty() && shard_of.size() != n)
+    throw std::invalid_argument{"ShardedCluster: shard_of size mismatch"};
+  for (std::uint32_t s : shard_of)
+    if (s >= cfg_.shards)
+      throw std::invalid_argument{"ShardedCluster: shard_of value out of range"};
+
+  key_counters_.assign(n + 1, 0);
+  shards_.reserve(cfg_.shards);
+  for (std::size_t s = 0; s < cfg_.shards; ++s) {
+    auto sh = std::make_unique<Shard>();
+    sh->tracer = std::make_unique<trace::Tracer>(apis_.size(), n, cfg_.trace_capacity);
+    sh->queue.set_lp_counters(key_counters_.data());
+    sh->queue.set_current_lp(static_cast<std::uint32_t>(n));  // coordinator
+    shards_.push_back(std::move(sh));
+  }
+
+  lps_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Balanced contiguous partition unless the caller chose one. Grouping is
+    // a performance decision only: the origin-key ordering makes results
+    // identical under any assignment.
+    const std::uint32_t s = shard_of.empty()
+        ? static_cast<std::uint32_t>(i * cfg_.shards / n)
+        : shard_of[i];
+    auto lp = std::make_unique<Lp>(cfg_.latency_horizon);
+    lp->shard = s;
+    lp->rng = Rng{derive_seed(cfg_.seed, i)};
+    Shard& sh = *shards_[s];
+    // Construction (bootstrap instances) is charged to the LP itself, so
+    // anything it schedules carries the LP's own keys.
+    sh.queue.set_current_lp(static_cast<std::uint32_t>(i));
+    lp->deployment = std::make_unique<Deployment>(sh.queue, cfg_.creation);
+    lp->service = std::make_unique<Service>(static_cast<int>(i),
+                                            std::move(service_cfgs[i]), sh.queue,
+                                            *lp->deployment);
+    const std::uint32_t lp32 = static_cast<std::uint32_t>(i);
+    sh.queue.schedule_in(cfg_.metrics_interval,
+                         [this, lp32] { lp_metrics_tick(lp32); });
+    sh.queue.set_current_lp(coordinator_lp());
+    sh.lps.push_back(lp32);
+    lps_.push_back(std::move(lp));
+  }
+
+  api_state_.reserve(apis_.size());
+  for (const Api& api : apis_) {
+    validate_api(api.root);
+    ApiState as{cfg_.latency_horizon};
+    as.root_lp = static_cast<std::uint32_t>(api.root.service);
+    api_state_.push_back(std::move(as));
+  }
+}
+
+void ShardedCluster::validate_api(const CallNode& node) const {
+  if (node.service < 0 || static_cast<std::size_t>(node.service) >= lps_.size())
+    throw std::invalid_argument{"ShardedCluster: API references unknown service"};
+  if (node.probability <= 0.0 || node.probability > 1.0)
+    throw std::invalid_argument{"ShardedCluster: call probability must be in (0,1]"};
+  for (const auto& stage : node.stages)
+    for (const auto& child : stage) validate_api(child);
+}
+
+int ShardedCluster::service_index(const std::string& name) const {
+  for (std::size_t i = 0; i < lps_.size(); ++i)
+    if (lps_[i]->service->name() == name) return static_cast<int>(i);
+  return -1;
+}
+
+int ShardedCluster::api_index(const std::string& name) const {
+  for (std::size_t i = 0; i < apis_.size(); ++i)
+    if (apis_[i].name == name) return static_cast<int>(i);
+  return -1;
+}
+
+void ShardedCluster::with_lp(std::uint32_t lp, const std::function<void()>& fn) {
+  EventQueue& q = shards_[lps_[lp]->shard]->queue;
+  const std::uint32_t prev = q.current_lp();
+  q.set_current_lp(lp);
+  fn();
+  q.set_current_lp(prev);
+}
+
+// -- window loop ---------------------------------------------------------------
+
+void ShardedCluster::run_until(Seconds t) {
+  ThreadPool& pool = global_pool();
+  const Seconds lookahead = cfg_.rpc_latency;
+  while (now_ < t) {
+    const Seconds w_end = std::min(t, now_ + lookahead);
+    // One conservative window: each shard runs every event with time
+    // strictly < w_end. No message created in this window can be due before
+    // w_end (delivery = send + rpc_latency >= window start + lookahead), so
+    // shards never need to hear from each other mid-window.
+    if (shards_.size() == 1) {
+      shards_[0]->queue.run_until_before(w_end);
+    } else {
+      pool.parallel_for(shards_.size(), [this, w_end](std::size_t s) {
+        shards_[s]->queue.run_until_before(w_end);
+      });
+    }
+    exchange_outboxes();
+    now_ = w_end;
+  }
+}
+
+void ShardedCluster::exchange_outboxes() {
+  // Coordinator-side barrier: drain outboxes in shard order. Delivery order
+  // into the destination heap is irrelevant — ordering is (time, origin
+  // key), which the sender minted — but the fixed order keeps the walk
+  // deterministic and cheap to reason about.
+  for (auto& src : shards_) {
+    for (OutMsg& out : src->outbox) {
+      Shard& dst = *shards_[out.dst_shard];
+      const std::uint32_t slot = park_msg(dst, std::move(out.msg));
+      const std::uint32_t ds = out.dst_shard;
+      dst.queue.schedule_keyed(out.at, out.key, out.owner,
+                               [this, ds, slot] { process_msg(ds, slot); });
+    }
+    src->outbox.clear();
+  }
+}
+
+// -- arenas ----------------------------------------------------------------------
+
+std::uint32_t ShardedCluster::alloc_frame(Shard& sh) {
+  if (sh.free_frame != kNoLp) {
+    const std::uint32_t idx = sh.free_frame;
+    sh.free_frame = sh.frames[idx].next_free;
+    return idx;
+  }
+  sh.frames.emplace_back();
+  return static_cast<std::uint32_t>(sh.frames.size() - 1);
+}
+
+void ShardedCluster::free_frame(Shard& sh, std::uint32_t idx) {
+  Frame& f = sh.frames[idx];
+  f.node = nullptr;
+  f.next_free = sh.free_frame;
+  sh.free_frame = idx;
+}
+
+std::uint32_t ShardedCluster::park_msg(Shard& sh, Msg&& msg) {
+  if (sh.free_msg != kNoLp) {
+    const std::uint32_t idx = sh.free_msg;
+    sh.free_msg = sh.mailbox[idx].next_free;
+    sh.mailbox[idx] = std::move(msg);
+    return idx;
+  }
+  sh.mailbox.push_back(std::move(msg));
+  return static_cast<std::uint32_t>(sh.mailbox.size() - 1);
+}
+
+std::vector<std::uint32_t> ShardedCluster::alloc_visits(Shard& sh) {
+  if (!sh.visit_pool.empty()) {
+    std::vector<std::uint32_t> v = std::move(sh.visit_pool.back());
+    sh.visit_pool.pop_back();
+    v.assign(lps_.size(), 0);
+    return v;
+  }
+  return std::vector<std::uint32_t>(lps_.size(), 0);
+}
+
+void ShardedCluster::recycle_visits(Shard& sh, std::vector<std::uint32_t>&& v) {
+  if (v.capacity() >= lps_.size()) sh.visit_pool.push_back(std::move(v));
+}
+
+// -- request execution -------------------------------------------------------------
+
+void ShardedCluster::schedule_arrival(Seconds at, int api) {
+  if (api < 0 || static_cast<std::size_t>(api) >= apis_.size())
+    throw std::out_of_range{"ShardedCluster::schedule_arrival: bad api"};
+  if (at < now_)
+    throw std::invalid_argument{"ShardedCluster::schedule_arrival: past arrival"};
+  ApiState& as = api_state_[static_cast<std::size_t>(api)];
+  Shard& sh = *shards_[lps_[as.root_lp]->shard];
+  const std::uint32_t a = static_cast<std::uint32_t>(api);
+  sh.queue.schedule_keyed(at, coord_key(), as.root_lp,
+                          [this, a] { handle_arrival(a); });
+}
+
+void ShardedCluster::handle_arrival(std::uint32_t api) {
+  ApiState& as = api_state_[api];
+  Lp& root = *lps_[as.root_lp];
+  Shard& sh = *shards_[root.shard];
+  EventQueue& q = sh.queue;
+  ++as.submitted;
+  ++as.inflight;
+  // Ground truth above; everything observability-plane below goes dark
+  // under a blackout, exactly like the single-queue Cluster.
+  if (!sh.blackout) as.arrivals.add(q.now(), 1.0);
+  Msg call;
+  call.kind = Msg::Kind::kCall;
+  call.dst_lp = as.root_lp;
+  call.api = api;
+  call.node = &apis_[api].root;
+  call.start = q.now();
+  call.deadline = q.now() + cfg_.request_timeout;
+  exec_call(root.shard, call);  // client -> frontend is local, like Cluster
+}
+
+void ShardedCluster::exec_call(std::uint32_t shard, Msg& msg) {
+  Shard& sh = *shards_[shard];
+  Lp& lp = *lps_[msg.dst_lp];
+  const std::uint32_t fi = alloc_frame(sh);
+  Frame& f = sh.frames[fi];
+  f.node = msg.node;
+  f.start = msg.start;
+  f.deadline = msg.deadline;
+  f.api = msg.api;
+  f.parent_lp = msg.parent_lp;
+  f.parent_frame = msg.parent_frame;
+  f.stage = 0;
+  f.outstanding = 0;
+  f.ok = true;
+  f.visits = alloc_visits(sh);
+  f.visits[static_cast<std::size_t>(msg.node->service)] = 1;
+  const double work = sample_demand(*msg.node, lp);
+  // Exactly one of on_done / on_drop fires per submission (Service's
+  // contract), so the frame handle is released exactly once. Captures stay
+  // within std::function's 16-byte inline buffer: no per-call allocation.
+  lp.service->submit(
+      work, [this, shard, fi](double ms) { on_local_done(shard, fi, ms); },
+      [this, shard, fi] { finish_frame(shard, fi, false); }, msg.deadline);
+}
+
+double ShardedCluster::sample_demand(const CallNode& node, Lp& lp) {
+  const double mean = demand_scale_ *
+      (node.demand_ms >= 0.0 ? node.demand_ms
+                             : lp.service->config().demand_mean_ms);
+  const double sigma = lp.service->config().demand_sigma;
+  if (sigma <= 0.0) return mean;
+  // Mean-preserving lognormal, drawn from the executing LP's own stream so
+  // the draw sequence is independent of every other service's activity.
+  return mean * lp.rng.lognormal(-0.5 * sigma * sigma, sigma);
+}
+
+void ShardedCluster::on_local_done(std::uint32_t shard, std::uint32_t frame,
+                                   double local_ms) {
+  Shard& sh = *shards_[shard];
+  Frame& f = sh.frames[frame];
+  Lp& lp = *lps_[static_cast<std::size_t>(f.node->service)];
+  if (!sh.blackout) lp.local_latency.add(sh.queue.now(), local_ms);
+  run_frame_stages(shard, frame);
+}
+
+void ShardedCluster::run_frame_stages(std::uint32_t shard, std::uint32_t frame) {
+  Shard& sh = *shards_[shard];
+  Frame& f = sh.frames[frame];
+  const CallNode& node = *f.node;
+  Lp& lp = *lps_[static_cast<std::size_t>(node.service)];
+  while (f.stage < node.stages.size()) {
+    const Seconds deliver = sh.queue.now() + cfg_.rpc_latency;
+    std::uint32_t launched = 0;
+    for (const CallNode& child : node.stages[f.stage]) {
+      // Branch probabilities are drawn at the parent, from the parent LP's
+      // stream — same placement as the single-queue Cluster.
+      if (child.probability >= 1.0 || lp.rng.bernoulli(child.probability)) {
+        Msg m;
+        m.kind = Msg::Kind::kCall;
+        m.dst_lp = static_cast<std::uint32_t>(child.service);
+        m.parent_lp = static_cast<std::uint32_t>(node.service);
+        m.parent_frame = frame;
+        m.api = f.api;
+        m.node = &child;
+        m.start = f.start;
+        m.deadline = f.deadline;
+        send_msg(shard, deliver, std::move(m));
+        ++launched;
+      }
+    }
+    if (launched == 0) {
+      ++f.stage;  // everything in this stage was probabilistically skipped
+      continue;
+    }
+    f.outstanding = launched;
+    return;  // resumed by exec_reply when the stage's replies are all in
+  }
+  finish_frame(shard, frame, f.ok);
+}
+
+void ShardedCluster::exec_reply(std::uint32_t shard, Msg& msg) {
+  Shard& sh = *shards_[shard];
+  const std::uint32_t fi = msg.parent_frame;
+  Frame& pf = sh.frames[fi];
+  for (std::size_t i = 0; i < pf.visits.size(); ++i) pf.visits[i] += msg.visits[i];
+  recycle_visits(sh, std::move(msg.visits));
+  pf.ok = pf.ok && msg.ok;
+  if (--pf.outstanding == 0) {
+    if (!pf.ok) {
+      finish_frame(shard, fi, false);
+    } else {
+      ++pf.stage;
+      run_frame_stages(shard, fi);
+    }
+  }
+}
+
+void ShardedCluster::process_msg(std::uint32_t shard, std::uint32_t slot) {
+  Shard& sh = *shards_[shard];
+  Msg msg = std::move(sh.mailbox[slot]);
+  sh.mailbox[slot].next_free = sh.free_msg;
+  sh.free_msg = slot;
+  if (msg.kind == Msg::Kind::kCall) {
+    exec_call(shard, msg);
+  } else {
+    exec_reply(shard, msg);
+  }
+}
+
+void ShardedCluster::finish_frame(std::uint32_t shard, std::uint32_t frame,
+                                  bool ok) {
+  Shard& sh = *shards_[shard];
+  Frame& f = sh.frames[frame];
+  if (f.parent_lp == kNoLp) {
+    ApiState& as = api_state_[f.api];
+    EventQueue& q = sh.queue;
+    // A response after the client timeout is a failure too.
+    const bool success = ok && q.now() <= f.deadline;
+    if (as.inflight > 0) --as.inflight;
+    if (success) {
+      ++as.completed;
+      trace::RequestTrace t{static_cast<int>(f.api), f.start, q.now(), true,
+                            std::move(f.visits)};
+      // Exact e2e windows are ground truth — they see through blackouts.
+      as.e2e.add(q.now(), t.e2e_ms());
+      if (!sh.blackout) sh.tracer->record(std::move(t));
+    } else {
+      ++as.failed;
+      recycle_visits(sh, std::move(f.visits));
+    }
+  } else {
+    Msg r;
+    r.kind = Msg::Kind::kReply;
+    r.ok = ok;
+    r.dst_lp = f.parent_lp;
+    r.parent_frame = f.parent_frame;
+    r.api = f.api;
+    r.visits = std::move(f.visits);
+    send_msg(shard, sh.queue.now() + cfg_.rpc_latency, std::move(r));
+  }
+  free_frame(sh, frame);
+}
+
+void ShardedCluster::send_msg(std::uint32_t src_shard, Seconds at, Msg&& msg) {
+  Shard& src = *shards_[src_shard];
+  // The key is minted by the *sender* (the LP whose event is executing), so
+  // the receiver orders this delivery the same way under any grouping.
+  const std::uint64_t key = src.queue.mint_key();
+  const std::uint32_t owner = msg.dst_lp;
+  const std::uint32_t dst_shard = lps_[msg.dst_lp]->shard;
+  if (dst_shard == src_shard) {
+    const std::uint32_t slot = park_msg(src, std::move(msg));
+    src.queue.schedule_keyed(at, key, owner,
+                             [this, dst_shard, slot] { process_msg(dst_shard, slot); });
+  } else {
+    src.outbox.push_back(OutMsg{dst_shard, owner, at, key, std::move(msg)});
+  }
+}
+
+// -- metrics ticker -------------------------------------------------------------
+
+void ShardedCluster::lp_metrics_tick(std::uint32_t lp_idx) {
+  Lp& lp = *lps_[lp_idx];
+  Shard& sh = *shards_[lp.shard];
+  EventQueue& q = sh.queue;
+  const double dt = cfg_.metrics_interval;
+  if (sh.blackout) {
+    // Scrape lost: publish nothing, keep the ticker alive.
+    q.schedule_in(dt, [this, lp_idx] { lp_metrics_tick(lp_idx); });
+    return;
+  }
+  if (lp.blackout_resync) {
+    // First tick after a blackout: discard the dark interval's usage and
+    // deltas instead of misattributing them to one dt-sized sample.
+    lp.blackout_resync = false;
+    lp.service->drain_cpu_core_seconds();
+    lp.last_arrivals = lp.service->arrivals();
+    q.schedule_in(dt, [this, lp_idx] { lp_metrics_tick(lp_idx); });
+    return;
+  }
+  Service& svc = *lp.service;
+  ServicePoint p;
+  p.time = q.now();
+  p.qps = static_cast<double>(svc.arrivals() - lp.last_arrivals) / dt;
+  lp.last_arrivals = svc.arrivals();
+  p.cpu_cores = svc.drain_cpu_core_seconds() / dt;
+  const double requested =
+      cores(svc.total_quota() + svc.retiring_quota()) * svc.config().request_factor;
+  p.utilization = requested > 0.0 ? p.cpu_cores / requested : 0.0;
+  p.ready = svc.ready_count();
+  p.creating = svc.creating_count();
+  p.queue_len = svc.queue_length();
+  lp.series.push_back(p);
+  if (lp.series.size() > cfg_.series_capacity) lp.series.pop_front();
+  q.schedule_in(dt, [this, lp_idx] { lp_metrics_tick(lp_idx); });
+}
+
+// -- faults ----------------------------------------------------------------------
+
+void ShardedCluster::inject(const std::vector<FaultEvent>& schedule) {
+  std::vector<FaultEvent> evs = schedule;
+  std::stable_sort(evs.begin(), evs.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  for (const FaultEvent& ev : evs) {
+    if (ev.at < now_) continue;  // history; can't injure the past
+    switch (ev.kind) {
+      case FaultEvent::Kind::kInstanceCrash:
+      case FaultEvent::Kind::kCpuThrottle: {
+        if (ev.service < 0 || static_cast<std::size_t>(ev.service) >= lps_.size())
+          throw std::invalid_argument{"ShardedCluster::inject: bad target service"};
+        const std::uint32_t target = static_cast<std::uint32_t>(ev.service);
+        EventQueue& q = shards_[lps_[target]->shard]->queue;
+        // Owner = target LP: anything the fault cascades into (requeue
+        // pumps, rescheduled completions) carries the target's own keys.
+        q.schedule_keyed(ev.at, coord_key(), target,
+                         [this, ev] { fire_service_fault(ev); });
+        if (ev.kind == FaultEvent::Kind::kCpuThrottle && ev.duration > 0.0)
+          q.schedule_keyed(ev.at + ev.duration, coord_key(), target,
+                           [this, ev] { expire_throttle(ev); });
+        break;
+      }
+      case FaultEvent::Kind::kCreationOutage: {
+        // Cluster-wide window, replicated to every shard with identical
+        // (time, key): each LP sees the toggle at the same point of its own
+        // order whatever the grouping. Handlers schedule nothing, so the
+        // coordinator owner never mints keys during a window.
+        const std::uint64_t kf = coord_key();
+        const std::uint64_t ke = coord_key();
+        for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+          Shard& sh = *shards_[s];
+          sh.queue.schedule_keyed(ev.at, kf, coordinator_lp(), [this, s, ev] {
+            Shard& here = *shards_[s];
+            if (s != 0) ++here.replica_pops;
+            ++here.active_outages;
+            // Overlapping outages: most recent shape wins; the pipelines
+            // heal only when the last window ends.
+            for (std::uint32_t l : here.lps)
+              lps_[l]->deployment->set_creation_fault(CreationFault{
+                  ev.creation_fail, ev.creation_fail_after, ev.creation_extra_delay});
+          });
+          if (ev.duration > 0.0)
+            sh.queue.schedule_keyed(ev.at + ev.duration, ke, coordinator_lp(),
+                                    [this, s] {
+                                      Shard& here = *shards_[s];
+                                      if (s != 0) ++here.replica_pops;
+                                      if (--here.active_outages == 0)
+                                        for (std::uint32_t l : here.lps)
+                                          lps_[l]->deployment->clear_creation_fault();
+                                    });
+        }
+        break;
+      }
+      case FaultEvent::Kind::kTelemetryBlackout: {
+        const std::uint64_t kf = coord_key();
+        const std::uint64_t ke = coord_key();
+        for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+          Shard& sh = *shards_[s];
+          sh.queue.schedule_keyed(ev.at, kf, coordinator_lp(), [this, s] {
+            Shard& here = *shards_[s];
+            if (s != 0) ++here.replica_pops;
+            if (++here.active_blackouts == 1) here.blackout = true;
+          });
+          if (ev.duration > 0.0)
+            sh.queue.schedule_keyed(ev.at + ev.duration, ke, coordinator_lp(),
+                                    [this, s] {
+                                      Shard& here = *shards_[s];
+                                      if (s != 0) ++here.replica_pops;
+                                      if (--here.active_blackouts == 0) {
+                                        here.blackout = false;
+                                        for (std::uint32_t l : here.lps)
+                                          lps_[l]->blackout_resync = true;
+                                      }
+                                    });
+        }
+        break;
+      }
+    }
+  }
+}
+
+void ShardedCluster::fire_service_fault(const FaultEvent& ev) {
+  Lp& lp = *lps_[static_cast<std::size_t>(ev.service)];
+  if (ev.kind == FaultEvent::Kind::kInstanceCrash) {
+    lp.service->crash_one(ev.pick, ev.crash_mode);
+  } else {
+    lp.throttles.push_back(ev.factor);
+    apply_throttle(lp);
+  }
+}
+
+void ShardedCluster::expire_throttle(const FaultEvent& ev) {
+  Lp& lp = *lps_[static_cast<std::size_t>(ev.service)];
+  auto it = std::find(lp.throttles.begin(), lp.throttles.end(), ev.factor);
+  if (it != lp.throttles.end()) lp.throttles.erase(it);
+  apply_throttle(lp);
+}
+
+void ShardedCluster::apply_throttle(Lp& lp) {
+  double factor = 1.0;
+  for (double f : lp.throttles) factor *= f;
+  // Empty window list multiplies out to exactly 1.0 — bit-exact restore.
+  lp.service->set_cpu_throttle(factor);
+}
+
+// -- control ----------------------------------------------------------------------
+
+void ShardedCluster::scale_to(int s, int target) {
+  with_lp(static_cast<std::uint32_t>(s),
+          [&] { lps_[static_cast<std::size_t>(s)]->service->scale_to(target); });
+}
+
+void ShardedCluster::apply_total_quota(int s, Millicores total,
+                                       Millicores max_per_instance) {
+  if (total <= 0.0 || max_per_instance <= 0.0)
+    throw std::invalid_argument{"apply_total_quota: quotas must be > 0"};
+  with_lp(static_cast<std::uint32_t>(s), [&] {
+    Service& svc = *lps_[static_cast<std::size_t>(s)]->service;
+    const int n =
+        std::max(1, static_cast<int>(std::ceil(total / max_per_instance)));
+    svc.force_scale(n);
+    svc.set_unit_quota(total / static_cast<double>(n));
+  });
+}
+
+// -- coordinator reads --------------------------------------------------------------
+
+std::uint64_t ShardedCluster::submitted() const {
+  std::uint64_t n = 0;
+  for (const ApiState& a : api_state_) n += a.submitted;
+  return n;
+}
+
+std::uint64_t ShardedCluster::completed() const {
+  std::uint64_t n = 0;
+  for (const ApiState& a : api_state_) n += a.completed;
+  return n;
+}
+
+std::uint64_t ShardedCluster::failed() const {
+  std::uint64_t n = 0;
+  for (const ApiState& a : api_state_) n += a.failed;
+  return n;
+}
+
+std::size_t ShardedCluster::inflight() const {
+  std::size_t n = 0;
+  for (const ApiState& a : api_state_) n += a.inflight;
+  return n;
+}
+
+std::uint64_t ShardedCluster::events_processed() const {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) n += sh->queue.processed() - sh->replica_pops;
+  return n;
+}
+
+Qps ShardedCluster::api_qps(int api, Seconds window) const {
+  if (window <= 0.0) throw std::invalid_argument{"api_qps: window must be > 0"};
+  const ApiState& as = api_state_.at(static_cast<std::size_t>(api));
+  return static_cast<double>(as.arrivals.count_since(now_ - window)) / window;
+}
+
+double ShardedCluster::utilization_avg(int s, Seconds horizon) const {
+  const auto& ring = lps_.at(static_cast<std::size_t>(s))->series;
+  const Seconds since = now_ - horizon;
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (auto it = ring.rbegin(); it != ring.rend() && it->time >= since; ++it) {
+    sum += it->utilization;
+    ++n;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+double ShardedCluster::qps_avg(int s, Seconds horizon) const {
+  const auto& ring = lps_.at(static_cast<std::size_t>(s))->series;
+  const Seconds since = now_ - horizon;
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (auto it = ring.rbegin(); it != ring.rend() && it->time >= since; ++it) {
+    sum += it->qps;
+    ++n;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+std::vector<double> ShardedCluster::fanout(int api, double rank) const {
+  const ApiState& as = api_state_.at(static_cast<std::size_t>(api));
+  return shards_[lps_[as.root_lp]->shard]->tracer->fanout(api, rank);
+}
+
+std::uint64_t ShardedCluster::traces_recorded() const {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) n += sh->tracer->recorded();
+  return n;
+}
+
+int ShardedCluster::total_ready_instances() const {
+  int n = 0;
+  for (const auto& lp : lps_) n += lp->service->ready_count();
+  return n;
+}
+
+int ShardedCluster::total_target_instances() const {
+  int n = 0;
+  for (const auto& lp : lps_) n += lp->service->ready_count() + lp->service->creating_count();
+  return n;
+}
+
+Millicores ShardedCluster::total_quota() const {
+  Millicores q = 0.0;
+  for (const auto& lp : lps_) q += lp->service->total_quota();
+  return q;
+}
+
+bool ShardedCluster::telemetry_blackout() const {
+  for (const auto& sh : shards_) if (sh->blackout) return true;
+  return false;
+}
+
+}  // namespace graf::sim

@@ -1,0 +1,299 @@
+// Sharded fleet-scale simulator: the Cluster's service graph partitioned
+// into per-shard event queues and run concurrently over the deterministic
+// parallel layer (common/thread_pool), with bit-identical replay at any
+// (shard count, thread count) combination.
+//
+// Model (DESIGN.md §3.12). Every service is a *logical process* (LP) with
+// its own RNG stream, its own Deployment pipeline, its own metrics series
+// and its own event-key counter; a shard is a grouping of LPs behind one
+// EventQueue. All inter-service interaction — a parent's call into a child,
+// the child's reply — is a message that pays `rpc_latency` seconds (the
+// service-mesh hop the single-queue Cluster idealizes away). That latency is
+// the engine's conservative lookahead: shards run concurrently inside sync
+// windows of length rpc_latency, because a message sent during window k can
+// only be delivered in window k+1, and cross-shard messages are exchanged at
+// the window barrier. Event ordering is (time, origin key) where origin keys
+// are minted per LP (EventQueue origin-context mode), so the order any LP
+// observes is invariant to how LPs are grouped into shards — grouping, like
+// thread count, affects only wall-clock, never results.
+//
+// Differences from the single-queue Cluster — this engine's spec, not an
+// accident: calls pay rpc_latency per hop; per-visit demand is drawn from
+// the *executing* service's RNG stream (not one shared cluster stream); each
+// service has its own creation pipeline (per-nodepool scheduler) instead of
+// one cluster-wide contended pipeline. Shard count 1 with 1 thread runs the
+// identical event sequence as any other combination — that is the invariant
+// the digest tests pin. The legacy Cluster API is untouched and remains
+// byte-for-byte today's simulator.
+//
+// Coordinator rule: every non-const method other than run_until/run_for is
+// coordinator-only — call it before running or between run_until calls,
+// never from inside the simulation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "sim/cluster.h"
+#include "sim/deployment.h"
+#include "sim/event_queue.h"
+#include "sim/fault_injector.h"
+#include "sim/request.h"
+#include "sim/service.h"
+#include "trace/latency_window.h"
+#include "trace/tracer.h"
+
+namespace graf::sim {
+
+struct ShardedClusterConfig {
+  CreationModel creation{};
+  Seconds request_timeout = 30.0;
+  Seconds metrics_interval = 1.0;
+  Seconds latency_horizon = 120.0;     ///< retention of latency windows
+  std::size_t trace_capacity = 2048;   ///< per-API trace history
+  std::size_t series_capacity = 8192;  ///< per-service metric points kept
+  std::uint64_t seed = 42;
+  /// Per-hop RPC latency between services (call and reply each pay one hop).
+  /// This is also the conservative sync lookahead: the minimum RPC-edge
+  /// latency bounds how far one shard may run ahead of another, because no
+  /// cross-shard effect can materialize sooner. Must be > 0.
+  Seconds rpc_latency = 0.002;
+  /// Number of shards the service graph is partitioned into. Shards beyond
+  /// the service count run empty; 1 degenerates to a single queue (same
+  /// results, no windowing benefit).
+  std::size_t shards = 1;
+};
+
+class ShardedCluster {
+ public:
+  /// `shard_of` optionally assigns each service to a shard explicitly
+  /// (values < cfg.shards); empty picks a balanced contiguous partition.
+  /// Partitioning is a performance knob only — results are bit-identical
+  /// under any assignment.
+  ShardedCluster(std::vector<ServiceConfig> services, std::vector<Api> apis,
+                 ShardedClusterConfig cfg = {},
+                 std::vector<std::uint32_t> shard_of = {});
+
+  // -- clock ------------------------------------------------------------------
+  Seconds now() const { return now_; }
+  Seconds lookahead() const { return cfg_.rpc_latency; }
+  /// Run the simulation forward to t in conservative windows of
+  /// `rpc_latency`, shards in parallel over the global pool. Events at
+  /// exactly t are left pending (windows are half-open; a later run_until
+  /// picks them up).
+  void run_until(Seconds t);
+  void run_for(Seconds dt) { run_until(now_ + dt); }
+
+  // -- topology ---------------------------------------------------------------
+  std::size_t service_count() const { return lps_.size(); }
+  std::size_t shard_count() const { return shards_.size(); }
+  std::uint32_t shard_of(int service) const {
+    return lps_.at(static_cast<std::size_t>(service))->shard;
+  }
+  Service& service(int i) { return *lps_.at(static_cast<std::size_t>(i))->service; }
+  const Service& service(int i) const {
+    return *lps_.at(static_cast<std::size_t>(i))->service;
+  }
+  int service_index(const std::string& name) const;
+  std::size_t api_count() const { return apis_.size(); }
+  const Api& api(int i) const { return apis_.at(static_cast<std::size_t>(i)); }
+  int api_index(const std::string& name) const;
+
+  // -- load (coordinator-only) --------------------------------------------------
+  /// Inject one front-end request of `api` at absolute time `at` (>= now).
+  /// Arrivals are pre-drawn and injected up front (or between windows) —
+  /// the sharded analogue of the open-loop generator's event chain; see
+  /// workload::preload_open_loop.
+  void schedule_arrival(Seconds at, int api);
+
+  /// Install a fault schedule (see FaultInjector::generate). Shard-aware:
+  /// service-targeted faults run on the owning shard under that service's
+  /// origin context; cluster-wide windows (creation outages, telemetry
+  /// blackouts) are replicated to every shard with identical (time, key),
+  /// so every LP observes the toggle at the same point in its own order
+  /// regardless of grouping. Events in the past are dropped.
+  void inject(const std::vector<FaultEvent>& schedule);
+
+  // -- control (coordinator-only) ------------------------------------------------
+  void scale_to(int s, int target);
+  void apply_total_quota(int s, Millicores total, Millicores max_per_instance);
+  void set_demand_scale(double d) { demand_scale_ = d; }
+  double demand_scale() const { return demand_scale_; }
+
+  // -- observability (coordinator reads, deterministic merges) -------------------
+  std::uint64_t submitted() const;
+  std::uint64_t completed() const;
+  std::uint64_t failed() const;
+  std::size_t inflight() const;
+  /// Aggregate events processed across all shard queues (grouping-invariant:
+  /// every LP event and every message delivery counts exactly once).
+  std::uint64_t events_processed() const;
+
+  Qps api_qps(int api, Seconds window) const;
+  trace::LatencyWindow& e2e_latency(int api) {
+    return api_state_.at(static_cast<std::size_t>(api)).e2e;
+  }
+  trace::LatencyWindow& service_latency(int s) {
+    return lps_.at(static_cast<std::size_t>(s))->local_latency;
+  }
+  const std::deque<ServicePoint>& series(int s) const {
+    return lps_.at(static_cast<std::size_t>(s))->series;
+  }
+  double utilization_avg(int s, Seconds horizon) const;
+  double qps_avg(int s, Seconds horizon) const;
+  Seconds metrics_interval() const { return cfg_.metrics_interval; }
+
+  /// Traced per-service fan-out of `api` at `rank` percentile (the shard
+  /// owning the API's root service holds its trace history).
+  std::vector<double> fanout(int api, double rank = 90.0) const;
+  std::uint64_t traces_recorded() const;
+
+  int total_ready_instances() const;
+  int total_target_instances() const;
+  Millicores total_quota() const;
+  bool telemetry_blackout() const;  ///< any shard currently dark
+
+ private:
+  static constexpr std::uint32_t kNoLp = 0xFFFFFFFFu;
+
+  /// One service logical process. Everything mutable during a window is
+  /// reachable only from this LP's events, so LPs on different shards never
+  /// share state.
+  struct Lp {
+    std::uint32_t shard = 0;
+    std::unique_ptr<Deployment> deployment;  // per-LP creation pipeline
+    std::unique_ptr<Service> service;
+    Rng rng{0};  ///< demand + branch-probability stream for this LP
+    trace::LatencyWindow local_latency;
+    std::deque<ServicePoint> series;
+    std::uint64_t last_arrivals = 0;
+    bool blackout_resync = false;
+    std::vector<double> throttles;  ///< active throttle windows (composed)
+
+    explicit Lp(Seconds horizon) : local_latency{horizon} {}
+  };
+
+  /// Per-API request bookkeeping, touched only by the root service's shard
+  /// during windows (coordinator reads between windows).
+  struct ApiState {
+    trace::LatencyWindow e2e;
+    trace::LatencyWindow arrivals;
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::size_t inflight = 0;
+    std::uint32_t root_lp = 0;
+
+    explicit ApiState(Seconds horizon) : e2e{horizon}, arrivals{horizon} {}
+  };
+
+  /// In-flight execution state of one call-tree node (arena-pooled per
+  /// shard; freed when the node's reply is sent or its drop path fires).
+  struct Frame {
+    const CallNode* node = nullptr;
+    Seconds start = 0.0;
+    Seconds deadline = 0.0;
+    std::uint32_t api = 0;
+    std::uint32_t parent_lp = kNoLp;  ///< kNoLp = root of the request
+    std::uint32_t parent_frame = 0;
+    std::uint32_t stage = 0;
+    std::uint32_t outstanding = 0;
+    std::uint32_t next_free = kNoLp;
+    bool ok = true;
+    std::vector<std::uint32_t> visits;  ///< per-service, merged up on reply
+  };
+
+  /// One inter-LP message (call down or reply up), parked in the receiving
+  /// shard's mailbox arena; the scheduled delivery closure carries only
+  /// (shard, slot) so it stays within std::function's inline buffer.
+  struct Msg {
+    enum class Kind : std::uint8_t { kCall, kReply };
+    Kind kind = Kind::kCall;
+    bool ok = true;
+    std::uint32_t dst_lp = 0;
+    std::uint32_t parent_lp = kNoLp;
+    std::uint32_t parent_frame = 0;
+    std::uint32_t api = 0;
+    std::uint32_t next_free = kNoLp;
+    const CallNode* node = nullptr;
+    Seconds start = 0.0;
+    Seconds deadline = 0.0;
+    std::vector<std::uint32_t> visits;  ///< reply payload
+  };
+
+  struct OutMsg {
+    std::uint32_t dst_shard;
+    std::uint32_t owner;
+    Seconds at;
+    std::uint64_t key;
+    Msg msg;
+  };
+
+  struct Shard {
+    EventQueue queue;
+    std::vector<std::uint32_t> lps;
+    std::deque<Frame> frames;  ///< arena: stable addresses, freelist reuse
+    std::uint32_t free_frame = kNoLp;
+    std::deque<Msg> mailbox;  ///< arena for parked messages
+    std::uint32_t free_msg = kNoLp;
+    std::vector<OutMsg> outbox;  ///< cross-shard sends this window
+    std::vector<std::vector<std::uint32_t>> visit_pool;
+    std::unique_ptr<trace::Tracer> tracer;
+    bool blackout = false;
+    int active_outages = 0;
+    int active_blackouts = 0;
+    /// Pops that were replicas of a cluster-wide event already counted on
+    /// shard 0 — subtracted so events_processed() is grouping-invariant.
+    std::uint64_t replica_pops = 0;
+  };
+
+  std::uint32_t coordinator_lp() const {
+    return static_cast<std::uint32_t>(lps_.size());
+  }
+  std::uint64_t coord_key() {
+    return EventQueue::make_key(coordinator_lp(), coord_seq_++);
+  }
+  void validate_api(const CallNode& node) const;
+
+  std::uint32_t alloc_frame(Shard& sh);
+  void free_frame(Shard& sh, std::uint32_t idx);
+  std::uint32_t park_msg(Shard& sh, Msg&& msg);
+  std::vector<std::uint32_t> alloc_visits(Shard& sh);
+  void recycle_visits(Shard& sh, std::vector<std::uint32_t>&& v);
+
+  double sample_demand(const CallNode& node, Lp& lp);
+  void handle_arrival(std::uint32_t api);
+  void exec_call(std::uint32_t shard, Msg& msg);
+  void exec_reply(std::uint32_t shard, Msg& msg);
+  void process_msg(std::uint32_t shard, std::uint32_t slot);
+  void on_local_done(std::uint32_t shard, std::uint32_t frame, double local_ms);
+  void run_frame_stages(std::uint32_t shard, std::uint32_t frame);
+  void finish_frame(std::uint32_t shard, std::uint32_t frame, bool ok);
+  void send_msg(std::uint32_t src_shard, Seconds at, Msg&& msg);
+  void exchange_outboxes();
+  void lp_metrics_tick(std::uint32_t lp);
+  void fire_service_fault(const FaultEvent& ev);
+  void expire_throttle(const FaultEvent& ev);
+  void apply_throttle(Lp& lp);
+  /// Run `fn` in coordinator context charged to LP `lp` (its shard's queue
+  /// mints keys for anything fn schedules).
+  void with_lp(std::uint32_t lp, const std::function<void()>& fn);
+
+  ShardedClusterConfig cfg_;
+  std::vector<Api> apis_;
+  std::vector<std::unique_ptr<Lp>> lps_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<ApiState> api_state_;
+  /// Per-LP event-key counters (+1 slot for the coordinator); slot i is
+  /// only ever touched by the shard currently executing LP i.
+  std::vector<std::uint64_t> key_counters_;
+  std::uint64_t coord_seq_ = 0;
+  double demand_scale_ = 1.0;
+  Seconds now_ = 0.0;
+};
+
+}  // namespace graf::sim

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "sim/cluster.h"
@@ -64,6 +66,49 @@ TEST(FaultSchedule, GenerateIsPureAndDeterministic) {
   for (std::size_t i = 0; !differs && i < a.size(); ++i)
     differs = a[i].at != c[i].at || a[i].kind != c[i].kind;
   EXPECT_TRUE(differs);
+}
+
+// Re-partitioning regression (ISSUE 8): when tenants join a shared sharded
+// cluster, service_count grows. The service pick rejection-samples — it
+// consumes a variable number of raw draws depending on the range — so it
+// must never share a stream with anything else. Changing service_count may
+// retarget events, but times, picks, modes, factors and durations are
+// pinned by (seed, class, event index), bit for bit.
+TEST(FaultSchedule, ServiceCountChangeOnlyRetargetsEvents) {
+  FaultScheduleConfig cfg;
+  cfg.seed = 123;
+  cfg.until = 600.0;
+  cfg.crash_per_min = 2.0;
+  cfg.creation_outage_per_min = 0.7;
+  cfg.throttle_per_min = 1.5;
+  cfg.blackout_per_min = 0.9;
+  const auto a = FaultInjector::generate(cfg, 6);
+  const auto b = FaultInjector::generate(cfg, 12);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  bool any_new_target = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i].at),
+              std::bit_cast<std::uint64_t>(b[i].at));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i].duration),
+              std::bit_cast<std::uint64_t>(b[i].duration));
+    EXPECT_EQ(a[i].pick, b[i].pick);
+    EXPECT_EQ(a[i].crash_mode, b[i].crash_mode);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i].factor),
+              std::bit_cast<std::uint64_t>(b[i].factor));
+    if (a[i].kind == FaultEvent::Kind::kInstanceCrash ||
+        a[i].kind == FaultEvent::Kind::kCpuThrottle) {
+      EXPECT_LT(a[i].service, 6);
+      EXPECT_LT(b[i].service, 12);
+      any_new_target = any_new_target || b[i].service >= 6;
+    } else {
+      EXPECT_EQ(a[i].service, b[i].service);
+    }
+  }
+  // The doubled range must actually be used (statistically certain here);
+  // otherwise the "only retargets" claim is vacuous.
+  EXPECT_TRUE(any_new_target);
 }
 
 TEST(FaultSchedule, PerClassStreamsAreIndependent) {

@@ -1,0 +1,299 @@
+// Sharded simulator determinism suite (ISSUE 8, DESIGN.md §3.12).
+//
+// Two contracts are pinned here:
+//   1. The legacy single-queue Cluster is byte-for-byte unchanged by the
+//      EventQueue keyed-ordering refactor (a golden digest captured on the
+//      pre-refactor build).
+//   2. The sharded engine replays bit-identically at any (shard count,
+//      thread count) combination, under faults, including split runs and
+//      adversarial explicit partitions.
+#include "sim/sharded_cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/catalog.h"
+#include "common/thread_pool.h"
+#include "fleet/shared_sim.h"
+#include "sim/cluster.h"
+#include "sim/fault_injector.h"
+#include "workload/open_loop.h"
+
+namespace graf {
+namespace {
+
+struct ThreadGuard {
+  explicit ThreadGuard(std::size_t n) { set_global_threads(n); }
+  ~ThreadGuard() { set_global_threads(0); }
+};
+
+void hex(std::ostringstream& os, double v) {
+  os << '|' << std::hex << std::bit_cast<std::uint64_t>(v) << std::dec;
+}
+
+// --- contract 1: the legacy Cluster is untouched ------------------------------
+
+// Golden digest of a faulted online_boutique run, captured on the build
+// *before* EventQueue grew keyed ordering. Every event pop, RNG draw and
+// float accumulation feeds this string; any reordering breaks it.
+TEST(LegacyCluster, FaultedRunMatchesPreShardingGoldenDigest) {
+  auto topo = apps::online_boutique();
+  sim::Cluster cluster = apps::make_cluster(topo, {.seed = 5});
+  sim::FaultInjector inj{cluster};
+  inj.crash_instance(20.0, 1, 0x9e3779b97f4a7c15ULL, sim::CrashMode::kRequeue);
+  inj.crash_instance(45.0, 3, 0xdeadbeefcafef00dULL, sim::CrashMode::kAbort);
+  inj.throttle_cpu(30.0, 25.0, 2, 0.45);
+  inj.degrade_creations(50.0, 20.0, true, 8.0, 0.0);
+  inj.blackout_telemetry(70.0, 15.0);
+  inj.arm();
+  workload::OpenLoopConfig g;
+  g.rate = workload::Schedule::constant(200.0);
+  g.api_weights = topo.api_weights;
+  workload::OpenLoopGenerator gen{cluster, g};
+  gen.start(120.0);
+  cluster.run_until(120.0);
+
+  std::ostringstream d;
+  d << cluster.submitted() << ':' << cluster.completed() << ':'
+    << cluster.failed() << ':' << cluster.events().processed();
+  for (std::size_t s = 0; s < cluster.service_count(); ++s) {
+    const sim::Service& svc = cluster.service(static_cast<int>(s));
+    d << '|' << svc.arrivals() << ',' << svc.completions() << ',' << svc.drops()
+      << ',' << svc.crashes() << ',' << svc.creations_started();
+  }
+  hex(d, cluster.e2e_latency_all().percentile_since(0.0, 99.0));
+  hex(d, cluster.e2e_latency_all().percentile_since(0.0, 50.0));
+  for (std::size_t a = 0; a < cluster.api_count(); ++a)
+    hex(d, cluster.e2e_latency(static_cast<int>(a)).percentile_since(0.0, 99.0));
+
+  EXPECT_EQ(d.str(),
+            "24182:22070:0:184254"
+            "|24182,24182,0,0,0|24182,24182,0,1,1|11600,11599,0,0,0"
+            "|30498,30498,0,1,1|17077,14966,0,0,0|8650,8649,0,0,0"
+            "|40cc76ba2d1b2ace|40aeaabc7bbfb2f8"
+            "|40cca6343b11ffaf|40cc6f688b882768|406a304e60ee1cc5");
+}
+
+// --- contract 2: sharded replay is grouping- and thread-invariant ---------------
+
+// Full-state digest of a faulted online_boutique run on the sharded engine:
+// aggregate counters, per-service ground truth, per-API tail latencies (bit
+// patterns), quota, and trace counts.
+std::string sharded_digest(std::size_t shards, std::size_t threads,
+                           std::vector<std::uint32_t> shard_of = {},
+                           bool split_run = false) {
+  ThreadGuard guard{threads};
+  apps::Topology topo = apps::online_boutique();
+  sim::ShardedClusterConfig cfg;
+  cfg.seed = 5;
+  cfg.shards = shards;
+  sim::ShardedCluster c{topo.services, topo.apis, cfg, std::move(shard_of)};
+
+  sim::FaultScheduleConfig fcfg;
+  fcfg.seed = 97;
+  fcfg.from = 10.0;
+  fcfg.until = 110.0;
+  fcfg.crash_per_min = 1.2;
+  fcfg.creation_outage_per_min = 0.5;
+  fcfg.throttle_per_min = 1.0;
+  fcfg.blackout_per_min = 0.6;
+  c.inject(sim::FaultInjector::generate(fcfg, c.service_count()));
+
+  workload::OpenLoopConfig w;
+  w.rate = workload::Schedule::constant(200.0);
+  w.api_weights = topo.api_weights;
+  w.seed = 7;
+  workload::preload_open_loop(c, w, 120.0);
+  if (split_run) {
+    // Window boundaries are an implementation detail: pausing at arbitrary
+    // points must not change anything.
+    c.run_until(13.37);
+    c.run_until(61.0);
+    c.run_for(60.0);
+  } else {
+    c.run_until(121.0);
+  }
+
+  std::ostringstream os;
+  os << c.submitted() << ':' << c.completed() << ':' << c.failed() << ':'
+     << c.events_processed() << ':' << c.traces_recorded();
+  for (std::size_t s = 0; s < c.service_count(); ++s) {
+    const sim::Service& svc = c.service(static_cast<int>(s));
+    os << '|' << svc.arrivals() << ',' << svc.completions() << ',' << svc.drops()
+       << ',' << svc.crashes() << ',' << c.series(static_cast<int>(s)).size();
+  }
+  for (std::size_t a = 0; a < c.api_count(); ++a) {
+    auto& e2e = c.e2e_latency(static_cast<int>(a));
+    hex(os, e2e.empty() ? -1.0 : e2e.percentile(99.0));
+  }
+  hex(os, c.total_quota());
+  return os.str();
+}
+
+TEST(ShardedCluster, BitIdenticalAtAnyShardAndThreadCount) {
+  const std::string base = sharded_digest(1, 1);
+  ASSERT_FALSE(base.empty());
+  EXPECT_EQ(sharded_digest(2, 1), base);
+  EXPECT_EQ(sharded_digest(8, 1), base);
+  EXPECT_EQ(sharded_digest(1, 8), base);
+  EXPECT_EQ(sharded_digest(2, 8), base);
+  EXPECT_EQ(sharded_digest(8, 8), base);
+  EXPECT_EQ(sharded_digest(3, 4), base);
+}
+
+TEST(ShardedCluster, ExplicitAdversarialPartitionMatchesBalanced) {
+  // Scatter services across shards in an order deliberately unlike the
+  // balanced contiguous default (and leave shard 1 nearly empty).
+  const std::string base = sharded_digest(1, 1);
+  EXPECT_EQ(sharded_digest(4, 8, {3, 0, 2, 0, 1, 3}), base);
+  EXPECT_EQ(sharded_digest(2, 8, {1, 1, 1, 1, 1, 0}), base);
+}
+
+TEST(ShardedCluster, SplitRunMatchesSingleRun) {
+  EXPECT_EQ(sharded_digest(8, 8, {}, /*split_run=*/true), sharded_digest(1, 1));
+}
+
+// Shard-boundary RPC-edge property: a two-service chain with deterministic
+// demand (sigma = 0) completes in exactly work1 + work2 + 2 * rpc_latency
+// (call hop + reply hop), and the cross-shard run reproduces the
+// single-shard latency to the bit.
+TEST(ShardedCluster, CrossShardEdgeLatencyEqualsSingleShardToTheBit) {
+  auto build = [](std::size_t shards) {
+    std::vector<sim::ServiceConfig> svcs(2);
+    svcs[0] = {.name = "front", .unit_quota = 1000.0, .demand_mean_ms = 12.0,
+               .demand_sigma = 0.0};
+    svcs[1] = {.name = "back", .unit_quota = 1000.0, .demand_mean_ms = 7.0,
+               .demand_sigma = 0.0};
+    sim::Api api{.name = "get", .root = sim::make_chain({0, 1})};
+    sim::ShardedClusterConfig cfg;
+    cfg.shards = shards;
+    cfg.rpc_latency = 0.002;
+    return sim::ShardedCluster{svcs, {api}, cfg};
+  };
+
+  double latencies[2];
+  for (std::size_t shards : {std::size_t{1}, std::size_t{2}}) {
+    sim::ShardedCluster c = build(shards);
+    if (shards == 2) {
+      ASSERT_NE(c.shard_of(0), c.shard_of(1));
+    }
+    c.schedule_arrival(1.0, 0);
+    c.run_until(5.0);
+    ASSERT_EQ(c.completed(), 1u);
+    latencies[shards - 1] = c.e2e_latency(0).percentile(50.0);
+  }
+  // Exact float equality is the point: the cross-shard hop must cost
+  // rpc_latency and nothing else.
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(latencies[0]),
+            std::bit_cast<std::uint64_t>(latencies[1]));
+  // ms; 2 hops of 2ms (small slack: absolute event times accumulate in
+  // floating point — the bit-equality above is the exacting check).
+  EXPECT_NEAR(latencies[0], 12.0 + 7.0 + 2 * 2.0, 1e-9);
+}
+
+TEST(ShardedCluster, RejectsZeroRpcLatencyAndBadPartition) {
+  apps::Topology topo = apps::online_boutique();
+  sim::ShardedClusterConfig cfg;
+  cfg.rpc_latency = 0.0;
+  EXPECT_THROW((sim::ShardedCluster{topo.services, topo.apis, cfg}),
+               std::invalid_argument);
+  cfg.rpc_latency = 0.002;
+  cfg.shards = 2;
+  EXPECT_THROW((sim::ShardedCluster{topo.services, topo.apis, cfg, {0, 1, 2, 0, 0, 0}}),
+               std::invalid_argument);  // shard id out of range
+  EXPECT_THROW((sim::ShardedCluster{topo.services, topo.apis, cfg, {0, 1}}),
+               std::invalid_argument);  // partition size mismatch
+}
+
+TEST(ShardedCluster, PreloadOpenLoopRejectsCompletionCallback) {
+  apps::Topology topo = apps::online_boutique();
+  sim::ShardedCluster c{topo.services, topo.apis, {}};
+  workload::OpenLoopConfig w;
+  w.on_complete = [](const trace::RequestTrace&) {};
+  EXPECT_THROW(workload::preload_open_loop(c, w, 10.0), std::invalid_argument);
+}
+
+// --- fleet: tenants sharing one sharded cluster ----------------------------------
+
+std::string shared_sim_digest(std::size_t threads) {
+  ThreadGuard guard{threads};
+  fleet::SharedSim sim;
+  apps::Topology ob = apps::online_boutique();
+  apps::Topology bi = apps::bookinfo();
+  const std::size_t t0 = sim.add_tenant("shop", ob.services, ob.apis);
+  const std::size_t t1 = sim.add_tenant("books", bi.services, bi.apis);
+
+  sim::ShardedClusterConfig cfg;
+  cfg.seed = 11;
+  sim::ShardedCluster& c = sim.build(cfg);
+  // One shard per tenant: disjoint subgraphs, zero cross-shard traffic.
+  EXPECT_EQ(c.shard_count(), 2u);
+  EXPECT_EQ(c.shard_of(sim.global_service(t0, 0)), 0u);
+  EXPECT_EQ(c.shard_of(sim.global_service(t1, 0)), 1u);
+
+  workload::OpenLoopConfig w0;
+  w0.rate = workload::Schedule::constant(120.0);
+  w0.seed = 7;
+  w0.api_weights.assign(c.api_count(), 0.0);
+  for (std::size_t a = 0; a < ob.apis.size(); ++a)
+    w0.api_weights[sim.tenant(t0).api_base + a] = ob.api_weights[a];
+  workload::preload_open_loop(c, w0, 60.0);
+
+  workload::OpenLoopConfig w1;
+  w1.rate = workload::Schedule::constant(80.0);
+  w1.seed = 13;
+  w1.api_weights.assign(c.api_count(), 0.0);
+  for (std::size_t a = 0; a < bi.apis.size(); ++a)
+    w1.api_weights[sim.tenant(t1).api_base + a] = bi.api_weights[a];
+  workload::preload_open_loop(c, w1, 60.0);
+
+  c.run_until(30.0);
+  // Mid-run actuation through the tenant view (fleet plan -> simulator).
+  sim.apply_total_quota(t0, 1, 4000.0, 500.0);
+  sim.apply_total_quota(t1, 0, 3000.0, 500.0);
+  c.run_until(61.0);
+
+  std::ostringstream os;
+  os << c.submitted() << ':' << c.completed() << ':' << c.failed();
+  for (std::size_t t : {t0, t1}) {
+    os << '#';
+    for (Qps q : sim.api_qps(t, 30.0)) hex(os, q);
+  }
+  hex(os, c.total_quota());
+  return os.str();
+}
+
+TEST(SharedSim, TwoTenantsOneShardedClusterBitIdenticalAcrossThreads) {
+  const std::string at1 = shared_sim_digest(1);
+  const std::string at8 = shared_sim_digest(8);
+  ASSERT_FALSE(at1.empty());
+  EXPECT_EQ(at1, at8);
+}
+
+TEST(SharedSim, RebasesIdsAndPrefixesNames) {
+  fleet::SharedSim sim;
+  apps::Topology ob = apps::online_boutique();
+  apps::Topology bi = apps::bookinfo();
+  sim.add_tenant("shop", ob.services, ob.apis);
+  sim.add_tenant("books", bi.services, bi.apis);
+  EXPECT_THROW(sim.add_tenant("shop", ob.services, ob.apis),
+               std::invalid_argument);
+  sim::ShardedCluster& c = sim.build({});
+  EXPECT_EQ(c.service_count(), ob.services.size() + bi.services.size());
+  EXPECT_EQ(c.api_count(), ob.apis.size() + bi.apis.size());
+  EXPECT_EQ(c.service(sim.global_service(1, 0)).name(),
+            "books/" + bi.services[0].name);
+  EXPECT_EQ(c.api(sim.global_api(0, 0)).name, "shop/" + ob.apis[0].name);
+  // The rebased call tree must stay inside the tenant's block.
+  const sim::Api& rebased = c.api(sim.global_api(1, 0));
+  EXPECT_GE(rebased.root.service, static_cast<int>(ob.services.size()));
+  EXPECT_THROW(sim.add_tenant("late", ob.services, ob.apis), std::logic_error);
+}
+
+}  // namespace
+}  // namespace graf
