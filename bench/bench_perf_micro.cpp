@@ -301,16 +301,14 @@ void BM_PlanCacheHit(benchmark::State& state) {
 }
 BENCHMARK(BM_PlanCacheHit);
 
-// Aggregate fleet planning throughput: 8 tenants per step, every tenant
-// forced to a fresh solve (plan cache off, zero hysteresis band), fanned
-// over the global pool at Arg(0) workers. The Arg(1)->Arg(8) pair is the
-// scaling claim: on a multi-core host aggregate plans/s at 8 threads runs
-// >= 2x the 1-thread row; on a single-core CI box the pair reads flat
-// wall-clock (the PR-3 caveat) while still exercising the full fan-out
-// path. Gated in scripts/bench_check.py on the /1 row only.
-void BM_FleetPlanThroughput(benchmark::State& state) {
-  set_global_threads(static_cast<std::size_t>(state.range(0)));
-  fleet::FleetServer server{{.ingest_capacity = 64}};
+// Aggregate fleet planning throughput: 8 same-model tenants per step, every
+// tenant forced to a fresh solve (plan cache off, zero hysteresis band),
+// fanned over the global pool at `threads` workers. Shared by the per-tenant
+// and batched variants below; `batch_plans` selects the solve path.
+void fleet_plan_throughput(benchmark::State& state, std::size_t threads,
+                           bool batch_plans) {
+  set_global_threads(threads);
+  fleet::FleetServer server{{.ingest_capacity = 64, .batch_plans = batch_plans}};
   std::vector<fleet::TenantId> ids;
   for (int i = 0; i < 8; ++i) {
     fleet::TenantSpec spec;
@@ -344,7 +342,33 @@ void BM_FleetPlanThroughput(benchmark::State& state) {
   state.counters["plans/s"] = rate.counter();
   set_global_threads(0);
 }
+
+// The PR-6 one-solve-per-tenant fan-out. The Arg(1)->Arg(8) pair is the
+// thread-scaling claim: on a multi-core host aggregate plans/s at 8 threads
+// runs >= 2x the 1-thread row; on a single-core CI box the pair reads flat
+// wall-clock (the PR-3 caveat) while still exercising the full fan-out
+// path. Gated in scripts/bench_check.py on the /1 row only.
+void BM_FleetPlanThroughput(benchmark::State& state) {
+  fleet_plan_throughput(state, static_cast<std::size_t>(state.range(0)),
+                        /*batch_plans=*/false);
+}
 BENCHMARK(BM_FleetPlanThroughput)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Block-diagonal batched planning (§3.13): the 8 same-model tenants coalesce
+// into one stacked solve_batch per step instead of 8 independent descents.
+// The /1 row against BM_FleetPlanThroughput/1 is the batching claim — same
+// work, same bits, >= 2x aggregate plans/s from amortizing the MPNN forward/
+// backward across the stacked rows — scaling from batch width, not threads,
+// so it holds on a single-core box too. Gated in scripts/bench_check.py.
+void BM_FleetBatchedPlanThroughput(benchmark::State& state) {
+  fleet_plan_throughput(state, static_cast<std::size_t>(state.range(0)),
+                        /*batch_plans=*/true);
+}
+BENCHMARK(BM_FleetBatchedPlanThroughput)
     ->Arg(1)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond)

@@ -14,8 +14,13 @@ Gate rows (time-per-op, lower is better):
                              ungated: on a single-core CI box 8 workers
                              just contend for one core, so its wall clock
                              reads flat-to-slower vs /1 by design)
-  BM_FleetPlanThroughput/1   8-tenant fleet step, single-threaded fan-out
-                             (the /8 row is ungated, same caveat)
+  BM_FleetPlanThroughput/1   8-tenant fleet step, single-threaded
+                             one-solve-per-tenant fan-out (the /8 row is
+                             ungated, same caveat)
+  BM_FleetBatchedPlanThroughput/1  the same 8-tenant step with the tenants
+                             coalesced into one block-diagonal solve_batch
+                             (DESIGN.md 3.13) — single-threaded, so the
+                             batch-width speedup holds on one core
   BM_ForecastStep            one forecast-gated control tick (observe +
                              predict + scale)
 
@@ -51,6 +56,7 @@ GATES = [
     "BM_SimulatorEventThroughput",
     "BM_ShardedSimulatorEventThroughput/1",
     "BM_FleetPlanThroughput/1",
+    "BM_FleetBatchedPlanThroughput/1",
     "BM_ForecastStep",
 ]
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <iterator>
 #include <limits>
 #include <stdexcept>
 #include <vector>
@@ -292,6 +293,192 @@ std::vector<SolverResult> ConfigurationSolver::descend_batched(
   const nn::Tensor& pred_vals = tape.value(pred);
   for (std::size_t k = 0; k < starts; ++k) runs[k].predicted_ms = pred_vals(k, 0);
   return runs;
+}
+
+bool ConfigurationSolver::descent_equivalent(const SolverConfig& a,
+                                             const SolverConfig& b) {
+  return a.rho == b.rho && a.lr_mc == b.lr_mc &&
+         a.max_iterations == b.max_iterations && a.tolerance == b.tolerance &&
+         a.patience == b.patience && a.lr_decay_every == b.lr_decay_every &&
+         a.lr_decay_factor == b.lr_decay_factor && a.slo_margin == b.slo_margin &&
+         a.multi_starts == b.multi_starts &&
+         a.multi_start_seed == b.multi_start_seed;
+}
+
+void ConfigurationSolver::note_external_iterations(std::size_t iterations) {
+  if (iter_counter_ != nullptr) iter_counter_->add(static_cast<double>(iterations));
+}
+
+std::vector<BatchItemResult> ConfigurationSolver::solve_batch(
+    gnn::BatchedLatencyModel& batched, const SolverConfig& cfg,
+    std::span<const BatchItem> items) {
+  if (cfg.rho <= 0.0) throw std::invalid_argument{"SolverConfig: rho must be > 0"};
+  const std::size_t n = batched.node_count();
+  const std::size_t starts = std::max<std::size_t>(1, cfg.multi_starts);
+  if (batched.rows_per_graph() != starts)
+    throw std::invalid_argument{
+        "solve_batch: batched model rows_per_graph must equal the start count"};
+  if (batched.graph_count() != 0)
+    throw std::invalid_argument{"solve_batch: batched model must start empty"};
+  if (items.empty()) return {};
+
+  const auto t0 = std::chrono::steady_clock::now();
+
+  for (const BatchItem& item : items) {
+    if (item.workload.size() != n || item.lo.size() != n || item.hi.size() != n)
+      throw std::invalid_argument{"solve_batch: dimension mismatch"};
+    if (item.slo_ms <= 0.0)
+      throw std::invalid_argument{"solve_batch: slo must be > 0"};
+    for (std::size_t i = 0; i < n; ++i)
+      if (!(item.lo[i] > 0.0) || item.lo[i] > item.hi[i])
+        throw std::invalid_argument{"solve_batch: need 0 < lo <= hi"};
+    batched.add_graph(item.workload);
+  }
+
+  const std::size_t tenants = items.size();
+  const std::size_t rows = tenants * starts;
+
+  // Row t*K+k is item t's start k: k == 0 the caller's init (clamped into
+  // the bounds) or the hi bounds, k >= 1 the exact derive_seed(seed, k)
+  // uniform draws the item's own solve() would take — the stream depends
+  // only on k, the draws on the item's bounds.
+  nn::Tensor starts_mat{rows, n};
+  for (std::size_t t = 0; t < tenants; ++t) {
+    const BatchItem& item = items[t];
+    for (std::size_t i = 0; i < n; ++i)
+      starts_mat(t * starts, i) =
+          item.init.empty() ? item.hi[i]
+                            : std::clamp(item.init[i], item.lo[i], item.hi[i]);
+    for (std::size_t k = 1; k < starts; ++k) {
+      Rng start_rng{derive_seed(cfg.multi_start_seed, k)};
+      for (std::size_t i = 0; i < n; ++i)
+        starts_mat(t * starts + k, i) = start_rng.uniform(item.lo[i], item.hi[i]);
+    }
+  }
+
+  // Per-row constant columns — each item's quota normalizer and inverse
+  // margined target, computed by the same expressions solve() evaluates.
+  // The loss applies them with mul() against these columns where the
+  // single-tenant path uses scale(); IEEE multiplication is commutative,
+  // so forward and backward bits match (the gradient is s*g either way).
+  nn::Tensor qnorm{rows, 1};
+  nn::Tensor inv_target{rows, 1};
+  std::vector<double> target(tenants, 0.0);
+  for (std::size_t t = 0; t < tenants; ++t) {
+    double hi_total = 0.0;
+    for (double h : items[t].hi) hi_total += h;
+    const double quota_norm = 1.0 / hi_total;
+    target[t] = items[t].slo_ms * cfg.slo_margin;
+    const double inv = 1.0 / target[t];
+    for (std::size_t k = 0; k < starts; ++k) {
+      qnorm(t * starts + k, 0) = quota_norm;
+      inv_target(t * starts + k, 0) = inv;
+    }
+  }
+
+  nn::Param r{std::move(starts_mat)};
+  nn::Adam adam{{&r}, {.lr = cfg.lr_mc}};
+
+  // One ADAM over the whole stacked block equals every item running its own
+  // (descend_batched's argument, across tenants): updates are elementwise,
+  // moments never mix entries, and the shared bias-correction counter t
+  // equals each row's own iteration index — every row steps every
+  // iteration, and finished rows are re-pinned to their frozen value right
+  // after, so extra steps can't change their outcome.
+  std::vector<SolverResult> runs(rows);
+  std::vector<double> prev_loss(rows, std::numeric_limits<double>::infinity());
+  std::vector<std::size_t> calm(rows, 0);
+  std::vector<char> done(rows, 0);
+  nn::Tensor frozen{rows, n};
+  std::size_t active = rows;
+
+  nn::Tape tape;
+  for (std::size_t it = 1; it <= cfg.max_iterations && active > 0; ++it) {
+    tape.reset();
+    tape.set_freeze_params(false);
+    nn::Var rv = tape.param(r);
+    tape.set_freeze_params(true);
+    nn::Var pred = batched.predict_var(tape, rv);  // rows x 1
+    nn::Var quota_term = nn::mul(nn::sum_rows(rv), tape.constant_ref(qnorm));
+    nn::Var violation = nn::relu(
+        nn::add_scalar(nn::mul(pred, tape.constant_ref(inv_target)), -1.0));
+    nn::Var loss_rows = nn::add(quota_term, nn::scale(violation, cfg.rho));
+    nn::Var total = nn::sum_all(loss_rows);
+
+    const nn::Tensor& loss_vals = tape.value(loss_rows);  // pre-step, per row
+    r.zero_grad();
+    tape.backward(total);
+    adam.step();
+    if (cfg.lr_decay_every > 0 && it % cfg.lr_decay_every == 0)
+      adam.set_learning_rate(adam.learning_rate() * cfg.lr_decay_factor);
+    for (std::size_t t = 0; t < tenants; ++t)
+      for (std::size_t k = 0; k < starts; ++k) {
+        const std::size_t row = t * starts + k;
+        for (std::size_t i = 0; i < n; ++i)
+          r.value(row, i) = std::clamp(r.value(row, i), items[t].lo[i], items[t].hi[i]);
+      }
+    for (std::size_t row = 0; row < rows; ++row)
+      if (done[row])
+        for (std::size_t i = 0; i < n; ++i) r.value(row, i) = frozen(row, i);
+
+    for (std::size_t row = 0; row < rows; ++row) {
+      if (done[row]) continue;
+      const double loss_val = loss_vals(row, 0);
+      runs[row].iterations = it;
+      runs[row].loss = loss_val;
+      if (std::abs(loss_val - prev_loss[row]) < cfg.tolerance) {
+        if (++calm[row] >= cfg.patience) {
+          runs[row].converged = true;
+          done[row] = 1;
+          --active;
+          for (std::size_t i = 0; i < n; ++i) frozen(row, i) = r.value(row, i);
+          continue;
+        }
+      } else {
+        calm[row] = 0;
+      }
+      prev_loss[row] = loss_val;
+    }
+  }
+  tape.set_freeze_params(false);
+
+  for (std::size_t row = 0; row < rows; ++row) {
+    runs[row].quota.assign(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) runs[row].quota[i] = r.value(row, i);
+  }
+  if (starts == 1) {
+    // A single-start solve() reports predict() — the division-form feature
+    // path of the instrumented descend — as its final prediction; replicate
+    // it per item so batched results match that path bit for bit.
+    for (std::size_t t = 0; t < tenants; ++t)
+      runs[t].predicted_ms = batched.predict(t, runs[t].quota);
+  } else {
+    // Multi-start solve() scores all K starts with one frozen batched
+    // forward; one stacked frozen forward scores every item's K at once
+    // (row t*K+k bitwise equal to row k of item t's own forward).
+    tape.reset();
+    tape.set_freeze_params(true);
+    nn::Var quota_var = tape.constant_ref(r.value);
+    nn::Var pred = batched.predict_var(tape, quota_var);
+    const nn::Tensor& pred_vals = tape.value(pred);
+    for (std::size_t row = 0; row < rows; ++row)
+      runs[row].predicted_ms = pred_vals(row, 0);
+    tape.set_freeze_params(false);
+  }
+
+  const double solve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  std::vector<BatchItemResult> out(tenants);
+  for (std::size_t t = 0; t < tenants; ++t) {
+    std::vector<SolverResult> item_runs(
+        std::make_move_iterator(runs.begin() + static_cast<std::ptrdiff_t>(t * starts)),
+        std::make_move_iterator(runs.begin() + static_cast<std::ptrdiff_t>((t + 1) * starts)));
+    for (const SolverResult& run : item_runs)
+      out[t].total_iterations += run.iterations;
+    out[t].result = std::move(item_runs[pick_winner(item_runs, target[t])]);
+    out[t].result.solve_seconds = solve_seconds;
+  }
+  return out;
 }
 
 double ConfigurationSolver::loss_at(std::span<const double> workload, double slo_ms,

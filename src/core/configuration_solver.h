@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "gnn/batched_latency_model.h"
 #include "gnn/latency_model.h"
 #include "telemetry/metrics.h"
 
@@ -63,6 +64,24 @@ struct SolverResult {
   double solve_seconds = 0.0;     ///< wall-clock solve time
 };
 
+/// One tenant's solve request inside a fleet batch (DESIGN.md §3.13). The
+/// spans alias caller storage and must stay valid for the solve_batch call.
+struct BatchItem {
+  std::span<const double> workload;
+  double slo_ms = 0.0;
+  std::span<const Millicores> lo;
+  std::span<const Millicores> hi;
+  std::span<const Millicores> init = {};  ///< empty = start from hi
+};
+
+struct BatchItemResult {
+  SolverResult result;  ///< the winning start, exactly as solve() returns it
+  /// Iterations summed over the item's starts — what the per-tenant path
+  /// adds to core.solver_iterations_total (callers mirror it through
+  /// note_external_iterations on the tenant's own solver).
+  std::size_t total_iterations = 0;
+};
+
 class ConfigurationSolver {
  public:
   ConfigurationSolver(gnn::LatencyModel& model, SolverConfig cfg = {});
@@ -74,6 +93,34 @@ class ConfigurationSolver {
   SolverResult solve(std::span<const double> workload, double slo_ms,
                      std::span<const Millicores> lo, std::span<const Millicores> hi,
                      std::span<const Millicores> init = {});
+
+  /// Descend every item's multi-starts as rows of ONE tape through the
+  /// shared block-diagonal batched model (fleet fan-in, DESIGN.md §3.13).
+  /// `batched` must be freshly constructed over the shared model with
+  /// rows_per_graph == max(1, cfg.multi_starts); the items' graphs are
+  /// added here in item order. Item t's result is bit-identical to what
+  /// `ConfigurationSolver{model, cfg}.solve(items[t]...)` returns — the
+  /// per-row start points, loss terms, ADAM trajectory, convergence
+  /// bookkeeping, final-prediction form (predict() for a single start, a
+  /// frozen stacked forward for multi-start), and winner rule all replicate
+  /// the per-tenant path exactly; only solve_seconds (shared batch wall
+  /// time) and telemetry (none is touched here) differ. Static because the
+  /// batch spans tenants: no single solver instance owns it.
+  static std::vector<BatchItemResult> solve_batch(gnn::BatchedLatencyModel& batched,
+                                                  const SolverConfig& cfg,
+                                                  std::span<const BatchItem> items);
+
+  /// True when two configs shape descent trajectories identically — every
+  /// field that feeds start points, loss values, step sizes, or termination.
+  /// batched_multi_start is deliberately excluded: the batched and fan-out
+  /// paths are bit-identical (the PR-5 equivalence property), so tenants
+  /// differing only there may share a fleet batch.
+  static bool descent_equivalent(const SolverConfig& a, const SolverConfig& b);
+
+  /// Mirror iterations a fleet batch executed on this tenant's behalf into
+  /// core.solver_iterations_total, so the counter reads the same whether
+  /// the tenant solved alone or inside a batch.
+  void note_external_iterations(std::size_t iterations);
 
   /// Eq. 5 value at a specific configuration (Fig. 12 loss landscape).
   /// Applies the same slo_margin as solve(), so the landscape matches the

@@ -175,13 +175,28 @@ void ResourceController::publish_plan(const AllocationPlan& plan) {
 
 AllocationPlan ResourceController::plan(std::span<const Qps> api_qps, double slo_ms) {
   telemetry::ScopedTimer plan_timer{plan_timer_};
+  PlanPrep prep = begin_plan(api_qps, slo_ms);
+  if (prep.done) return std::move(prep.plan);
+  SolverResult solved = solve_prepared(prep);
+  return finish_plan(std::move(prep), std::move(solved));
+}
+
+PlanPrep ResourceController::begin_plan(std::span<const Qps> api_qps, double slo_ms) {
+  PlanPrep prep;
+  prep.slo_ms = slo_ms;
   refresh_model();  // pick up any model hot-swapped since the last decision
-  if (model_mismatch_) return degraded_plan(fault_model_mismatch_);
+  if (model_mismatch_) {
+    prep.plan = degraded_plan(fault_model_mismatch_);
+    prep.done = true;
+    return prep;
+  }
   if (!analyzer_.ready()) {
     // No fan-out observed (tracing blackout since attach, or cold start):
     // distribute() would place zero workload everywhere and the solve would
     // starve every service.
-    return degraded_plan(fault_analyzer_);
+    prep.plan = degraded_plan(fault_analyzer_);
+    prep.done = true;
+    return prep;
   }
   const std::size_t n = model_->node_count();
   std::vector<double> node_workload = analyzer_.distribute(api_qps);
@@ -189,12 +204,12 @@ AllocationPlan ResourceController::plan(std::span<const Qps> api_qps, double slo
   // Plan-cache lookup: post-distribute workloads fold fan-out/topology
   // effects into the key, so two ticks that quantize alike would solve
   // alike. A hit skips the solver outright (sub-millisecond tick).
-  std::vector<std::int32_t> key(n);
-  for (std::size_t i = 0; i < n; ++i) key[i] = workload_bucket(node_workload[i]);
-  const std::uint64_t slo_bits = std::bit_cast<std::uint64_t>(slo_ms);
+  prep.key.resize(n);
+  for (std::size_t i = 0; i < n; ++i) prep.key[i] = workload_bucket(node_workload[i]);
+  prep.slo_bits = std::bit_cast<std::uint64_t>(slo_ms);
   for (CachedPlan& entry : plan_cache_) {
-    if (entry.generation != model_generation_ || entry.slo_bits != slo_bits ||
-        entry.workload_buckets != key)
+    if (entry.generation != model_generation_ || entry.slo_bits != prep.slo_bits ||
+        entry.workload_buckets != prep.key)
       continue;
     entry.last_used = ++cache_tick_;
     ++cache_hits_;
@@ -203,24 +218,34 @@ AllocationPlan ResourceController::plan(std::span<const Qps> api_qps, double slo
     last_good_ = entry.plan;  // cached plans are feasible by construction
     have_last_good_ = true;
     publish_plan(entry.plan);
-    return entry.plan;
+    prep.plan = entry.plan;
+    prep.done = true;
+    return prep;
   }
   ++cache_misses_;
   if (cache_misses_counter_ != nullptr) cache_misses_counter_->add();
 
   // Workload scaling (§3.6): shrink into the trained region by a common
   // factor; quotas are scaled back up by the same factor afterwards.
-  double k = 1.0;
   for (std::size_t i = 0; i < n; ++i) {
     if (train_max_workload_[i] > 0.0)
-      k = std::max(k, node_workload[i] / train_max_workload_[i]);
+      prep.k = std::max(prep.k, node_workload[i] / train_max_workload_[i]);
   }
-  std::vector<double> scaled = node_workload;
-  for (double& w : scaled) w /= k;
+  prep.scaled = std::move(node_workload);
+  for (double& w : prep.scaled) w /= prep.k;
+  return prep;
+}
 
+SolverResult ResourceController::solve_prepared(const PlanPrep& prep) {
+  return solver_.solve(prep.scaled, prep.slo_ms, lo_, hi_);
+}
+
+AllocationPlan ResourceController::finish_plan(PlanPrep prep, SolverResult solved) {
+  const std::size_t n = model_->node_count();
+  const double k = prep.k;
   AllocationPlan plan;
   plan.scale_factor = k;
-  plan.solver = solver_.solve(scaled, slo_ms, lo_, hi_);
+  plan.solver = std::move(solved);
   plan.predicted_ms = plan.solver.predicted_ms;
 
   // A corrupted model (mid-fine-tune swap, numerical blowup) can hand back
@@ -249,11 +274,11 @@ AllocationPlan ResourceController::plan(std::span<const Qps> api_qps, double slo
   }
   if (plan.saturated) {
     // predicted_ms must describe the allocation that actually lands.
-    plan.predicted_ms = model_->predict(scaled, clamped_scaled_quota);
+    plan.predicted_ms = model_->predict(prep.scaled, clamped_scaled_quota);
     if (!std::isfinite(plan.predicted_ms)) return degraded_plan(fault_nan_);
   }
 
-  plan.feasible = plan.predicted_ms <= slo_ms;
+  plan.feasible = plan.predicted_ms <= prep.slo_ms;
   if (!plan.feasible) {
     // The solver itself reports this point misses the SLO: don't walk the
     // cluster onto it when a feasible allocation is still in hand.
@@ -275,8 +300,8 @@ AllocationPlan ResourceController::plan(std::span<const Qps> api_qps, double slo
         if (cache_evictions_counter_ != nullptr) cache_evictions_counter_->add();
       }
       CachedPlan entry;
-      entry.workload_buckets = std::move(key);
-      entry.slo_bits = slo_bits;
+      entry.workload_buckets = std::move(prep.key);
+      entry.slo_bits = prep.slo_bits;
       entry.generation = model_generation_;
       entry.plan = plan;
       entry.solve_seconds = plan.solver.solve_seconds;

@@ -44,6 +44,22 @@ struct AllocationPlan {
   bool degraded = false;
 };
 
+/// The front half of a plan() in flight (DESIGN.md §3.13): everything
+/// plan() decides *before* the solver runs. When `done` is set the plan is
+/// already final (cache hit or degraded fallback) and `plan` holds it;
+/// otherwise `scaled`/`slo_ms` are the solve inputs and key/slo_bits/k the
+/// state finish_plan needs to complete the decision. Produced by
+/// begin_plan(), consumed exactly once by finish_plan().
+struct PlanPrep {
+  bool done = false;
+  AllocationPlan plan;
+  double slo_ms = 0.0;
+  double k = 1.0;                  ///< §3.6 workload scale factor
+  std::vector<double> scaled;      ///< node workload / k — the solver input
+  std::vector<std::int32_t> key;   ///< plan-cache key (quantized workload)
+  std::uint64_t slo_bits = 0;
+};
+
 class ResourceController {
  public:
   /// `lo`/`hi` are the Algorithm-1 per-service bounds the model was trained
@@ -64,7 +80,33 @@ class ResourceController {
   void set_max_instances(std::vector<int> max_instances);
 
   /// Produce the allocation plan for observed per-API workloads and an SLO.
+  /// Exactly begin_plan + solve_prepared + finish_plan, in that order.
   AllocationPlan plan(std::span<const Qps> api_qps, double slo_ms);
+
+  // The split plan pipeline (fleet-batched solving, DESIGN.md §3.13): the
+  // fleet runs begin_plan on the fan-out, coalesces same-model tenants'
+  // prepared solves into one ConfigurationSolver::solve_batch call, then
+  // finishes each with finish_plan. begin + solve_prepared + finish is
+  // operation-for-operation the body of plan(), so the two paths produce
+  // bit-identical plans, cache state, and counters.
+
+  /// Model refresh, degraded checks, workload distribution, cache lookup,
+  /// and §3.6 scaling. On a cache hit or degraded fallback the returned
+  /// prep is `done` (counters and publish already applied).
+  PlanPrep begin_plan(std::span<const Qps> api_qps, double slo_ms);
+  /// The solver call plan() would make for a prepared (not-done) plan.
+  SolverResult solve_prepared(const PlanPrep& prep);
+  /// Eq. 7 discretization, saturation re-predict, feasibility bookkeeping,
+  /// cache insert, publish — the back half of plan().
+  AllocationPlan finish_plan(PlanPrep prep, SolverResult solved);
+
+  /// Bumped whenever cached plans stop describing what the solver would
+  /// produce (hot-swap, reference/caps/capacity changes, degraded entry).
+  /// The fleet keys per-tenant model fingerprints on it.
+  std::uint64_t model_generation() const { return model_generation_; }
+  /// The model plan() last refreshed to — no handle refresh, unlike
+  /// active_model(). Valid only after a begin_plan/plan on this tick.
+  gnn::LatencyModel& current_model() { return *model_; }
 
   /// Push a plan to the cluster (scale_to via the deployment pipeline).
   static void apply(sim::Cluster& cluster, const AllocationPlan& plan);

@@ -5,11 +5,13 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "gnn/batched_latency_model.h"
 
 namespace graf::fleet {
 
 FleetServer::FleetServer(FleetConfig cfg)
-    : registry_{std::move(cfg.store_dir)}, queue_{cfg.ingest_capacity} {
+    : registry_{std::move(cfg.store_dir)}, queue_{cfg.ingest_capacity},
+      batch_plans_{cfg.batch_plans} {
   tel_pushes_ = &metrics_.counter("fleet.ingest.pushes");
   tel_dropped_ = &metrics_.counter("fleet.ingest.dropped");
   tel_stale_ = &metrics_.counter("fleet.ingest.stale");
@@ -22,6 +24,9 @@ FleetServer::FleetServer(FleetConfig cfg)
   tel_sub_failures_ = &metrics_.counter("fleet.subscriber_failures");
   tel_cache_hits_ = &metrics_.counter("fleet.plan_cache.hits");
   tel_cache_misses_ = &metrics_.counter("fleet.plan_cache.misses");
+  tel_cache_evictions_ = &metrics_.counter("fleet.plan_cache.evictions");
+  tel_batched_groups_ = &metrics_.counter("fleet.batched_groups");
+  tel_batched_tenants_ = &metrics_.counter("fleet.batched_tenants");
   tel_tenants_ = &metrics_.gauge("fleet.tenants");
   tel_degraded_tenants_ = &metrics_.gauge("fleet.degraded_tenants");
 }
@@ -141,9 +146,51 @@ FleetServer::StepStats FleetServer::step() {
   // touches exactly one tenant's private model/solver/metrics, so the
   // computation is race-free and bit-identical at any GRAF_THREADS
   // (§3.7: threads are pure executors; a failure degrades its tenant only).
+  // prepare() resolves everything short of a solver run (signal loss,
+  // hysteresis, cache hits, degraded fallbacks) and leaves tenants still
+  // owing a solve flagged needs_solve_.
   if (!pending.empty()) {
     global_pool().parallel_for(pending.size(),
-                               [&](std::size_t i) { pending[i]->compute(); });
+                               [&](std::size_t i) { pending[i]->prepare(); });
+  }
+
+  // Phase 2b — group (coordinator): coalesce owed solves by model content
+  // fingerprint + node count + solver config, in slot order, so the group
+  // list is a pure function of tenant state — never of thread count. A
+  // tenant that matches no group leads a new one; with batching off every
+  // tenant is its own group (identical to the PR-6 per-tenant fan-out).
+  std::vector<std::vector<Tenant*>> groups;
+  for (Tenant* t : pending) {
+    if (!t->needs_solve_) continue;
+    bool placed = false;
+    if (batch_plans_) {
+      for (auto& group : groups) {
+        Tenant* lead = group.front();
+        if (lead->controller_->current_model().node_count() ==
+                t->controller_->current_model().node_count() &&
+            core::ConfigurationSolver::descent_equivalent(
+                lead->solver_->config(), t->solver_->config()) &&
+            lead->model_fingerprint() == t->model_fingerprint()) {
+          group.push_back(t);
+          placed = true;
+          break;
+        }
+      }
+    }
+    if (!placed) groups.emplace_back(1, t);
+  }
+
+  // Phase 2c — solve fan-out: one group per pool index. Members of a group
+  // are touched only by that group's worker, so the §3.7 single-writer
+  // discipline holds with batching exactly as it does without.
+  if (!groups.empty()) {
+    global_pool().parallel_for(groups.size(),
+                               [&](std::size_t g) { solve_group(groups[g]); });
+    for (const auto& group : groups) {
+      if (group.size() < 2) continue;
+      tel_batched_groups_->add();
+      tel_batched_tenants_->add(static_cast<double>(group.size()));
+    }
   }
 
   // Phase 3 — ordered commit on the coordinator, in slot order: plan-state
@@ -156,6 +203,43 @@ FleetServer::StepStats FleetServer::step() {
     if (slot.tenant && slot.tenant->degraded()) ++degraded;
   tel_degraded_tenants_->set(static_cast<double>(degraded));
   return stats;
+}
+
+void FleetServer::solve_group(const std::vector<Tenant*>& group) {
+  if (group.size() == 1) {
+    group.front()->solve_and_finish();
+    return;
+  }
+  Tenant* lead = group.front();
+  const core::SolverConfig& cfg = lead->solver_->config();
+  const std::size_t starts = std::max<std::size_t>(1, cfg.multi_starts);
+  std::vector<core::BatchItemResult> batch;
+  bool ok = true;
+  try {
+    gnn::BatchedLatencyModel batched{lead->controller_->current_model(), starts};
+    std::vector<core::BatchItem> items;
+    items.reserve(group.size());
+    for (Tenant* t : group)
+      items.push_back({t->prep_.scaled, t->prep_.slo_ms,
+                       t->controller_->lower_bounds(),
+                       t->controller_->upper_bounds()});
+    batch = core::ConfigurationSolver::solve_batch(batched, cfg, items);
+    ok = batch.size() == group.size();
+  } catch (...) {
+    ok = false;
+  }
+  if (!ok) {
+    // Batched descent failed as a unit; each member retries alone so one
+    // tenant's pathology can't degrade its groupmates.
+    for (Tenant* t : group) t->solve_and_finish();
+    return;
+  }
+  // finish_solve never throws (it catches into kFailed), so results are
+  // consumed exactly once — no member can double-finish into its cache.
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    group[i]->solver_->note_external_iterations(batch[i].total_iterations);
+    group[i]->finish_solve(std::move(batch[i].result));
+  }
 }
 
 void FleetServer::commit(Tenant& t, StepStats& stats) {
@@ -208,10 +292,13 @@ void FleetServer::commit(Tenant& t, StepStats& stats) {
   // deltas (no copy-the-world: only tenants that did work this step pay).
   const std::uint64_t hits = t.controller_->plan_cache_hits();
   const std::uint64_t misses = t.controller_->plan_cache_misses();
+  const std::uint64_t evictions = t.controller_->plan_cache_evictions();
   tel_cache_hits_->add(static_cast<double>(hits - t.seen_cache_hits_));
   tel_cache_misses_->add(static_cast<double>(misses - t.seen_cache_misses_));
+  tel_cache_evictions_->add(static_cast<double>(evictions - t.seen_cache_evictions_));
   t.seen_cache_hits_ = hits;
   t.seen_cache_misses_ = misses;
+  t.seen_cache_evictions_ = evictions;
 
   // Change-only notification: subscribers hear from a tenant only when its
   // replica vector or degraded flag actually moved since the last notice.

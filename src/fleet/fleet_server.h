@@ -55,6 +55,11 @@ struct FleetConfig {
   std::size_t ingest_capacity = 1024;
   /// Checkpoint directory for the shared ModelRegistry ("" = in-memory).
   std::string store_dir;
+  /// Coalesce same-model tenants' solves into block-diagonal batched
+  /// descents (DESIGN.md §3.13). Bit-identical to per-tenant solving —
+  /// `false` keeps the PR-6 one-solve-per-tenant fan-out (the equivalence
+  /// tests and the scaling bench compare the two).
+  bool batch_plans = true;
 };
 
 class FleetServer {
@@ -107,7 +112,16 @@ class FleetServer {
 
   /// One cycle: drain + coalesce, fan plan computation over the global
   /// thread pool, then commit/train/notify sequentially in slot order.
+  /// With batch_plans on, the fan-out prepares every pending tenant, the
+  /// coordinator groups still-owed solves by (model fingerprint, node
+  /// count, solver config), and each multi-tenant group descends as one
+  /// stacked tape — bit-identical to the per-tenant path (§3.13).
   StepStats step();
+
+  /// Toggle batched planning between steps (tests compare both paths on
+  /// one server). Coordinator-thread only.
+  void set_batch_plans(bool on) { batch_plans_ = on; }
+  bool batch_plans() const { return batch_plans_; }
 
   // ---- subscriptions -------------------------------------------------------
 
@@ -135,6 +149,11 @@ class FleetServer {
 
   Tenant* resolve(TenantId id) const;
   void commit(Tenant& t, StepStats& stats);
+  /// Solve one fingerprint group: a single tenant solves alone; two or more
+  /// descend as one ConfigurationSolver::solve_batch call, falling back to
+  /// per-tenant solves if the batched attempt throws. Runs on a pool worker
+  /// (one worker per group; members' state is private to that worker).
+  void solve_group(const std::vector<Tenant*>& group);
 
   // Registry before slots_: ~Tenant detaches its handle from registry_.
   serve::ModelRegistry registry_;
@@ -166,8 +185,13 @@ class FleetServer {
   telemetry::Counter* tel_sub_failures_ = nullptr;
   telemetry::Counter* tel_cache_hits_ = nullptr;
   telemetry::Counter* tel_cache_misses_ = nullptr;
+  telemetry::Counter* tel_cache_evictions_ = nullptr;
+  telemetry::Counter* tel_batched_groups_ = nullptr;
+  telemetry::Counter* tel_batched_tenants_ = nullptr;
   telemetry::Gauge* tel_tenants_ = nullptr;
   telemetry::Gauge* tel_degraded_tenants_ = nullptr;
+
+  bool batch_plans_ = true;
 };
 
 }  // namespace graf::fleet

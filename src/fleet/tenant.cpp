@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "gnn/batched_latency_model.h"
+
 namespace graf::fleet {
 
 Tenant::Tenant(TenantId id, const TenantSpec& spec, serve::ModelRegistry& registry)
@@ -72,6 +74,12 @@ void Tenant::enable_online_training(const serve::OnlineTrainerConfig& cfg) {
 }
 
 void Tenant::compute() {
+  prepare();
+  if (needs_solve_) solve_and_finish();
+}
+
+void Tenant::prepare() {
+  needs_solve_ = false;
   if (!pending_) {
     outcome_ = Outcome::kIdle;
     return;
@@ -109,13 +117,49 @@ void Tenant::compute() {
         return;
       }
     }
-    computed_ = controller_->plan(planned_qps_, slo_ms_);
-    outcome_ = Outcome::kPlanned;
+    prep_ = controller_->begin_plan(planned_qps_, slo_ms_);
+    if (prep_.done) {
+      // Cache hit or degraded fallback — the plan is already final.
+      computed_ = std::move(prep_.plan);
+      outcome_ = Outcome::kPlanned;
+      return;
+    }
+    needs_solve_ = true;
   } catch (...) {
     // A throwing tenant degrades alone; the fleet's ordered pass records
     // the failure and its siblings' results stand.
     outcome_ = Outcome::kFailed;
   }
+}
+
+void Tenant::solve_and_finish() {
+  try {
+    finish_solve(controller_->solve_prepared(prep_));
+  } catch (...) {
+    needs_solve_ = false;
+    outcome_ = Outcome::kFailed;
+  }
+}
+
+void Tenant::finish_solve(core::SolverResult solved) {
+  needs_solve_ = false;
+  try {
+    computed_ = controller_->finish_plan(std::move(prep_), std::move(solved));
+    outcome_ = Outcome::kPlanned;
+  } catch (...) {
+    outcome_ = Outcome::kFailed;
+  }
+}
+
+std::uint64_t Tenant::model_fingerprint() {
+  const std::uint64_t generation = controller_->model_generation();
+  if (!fingerprint_valid_ || fingerprint_generation_ != generation) {
+    fingerprint_ =
+        gnn::BatchedLatencyModel::fingerprint(controller_->current_model());
+    fingerprint_generation_ = generation;
+    fingerprint_valid_ = true;
+  }
+  return fingerprint_;
 }
 
 }  // namespace graf::fleet

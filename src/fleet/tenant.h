@@ -159,8 +159,26 @@ class Tenant {
   /// Consume the pending update: hysteresis check, signal-loss detection,
   /// and the actual plan() — run on a pool worker during the fan-out. Only
   /// this tenant's state is touched, so tenants compute concurrently yet
-  /// each is bit-identical at any thread count.
+  /// each is bit-identical at any thread count. Exactly prepare() followed
+  /// by solve_and_finish() when a solve is still owed — the non-batched
+  /// fleet path and the per-tenant fallback.
   void compute();
+
+  /// The front half of compute(): signal-loss, hysteresis, begin_plan. When
+  /// the plan resolved without a solve (idle/coast/cache hit/degraded) the
+  /// outcome is final; otherwise needs_solve_ is set and prep_ holds the
+  /// prepared solve the batched fan-in (or solve_and_finish) completes.
+  void prepare();
+  /// Complete a prepared plan with this tenant's own solver.
+  void solve_and_finish();
+  /// Complete a prepared plan with an externally produced solve (the
+  /// fleet's batched solve_batch result for this tenant).
+  void finish_solve(core::SolverResult solved);
+  /// Content fingerprint of the active model, cached per controller model
+  /// generation — how the fleet decides two tenants may share a batch
+  /// (registry deep copies fingerprint equal; pointer identity never
+  /// groups). Coordinator-only: call between fan-outs.
+  std::uint64_t model_fingerprint();
 
   TenantId id_;
   serve::ModelKey key_;
@@ -193,6 +211,17 @@ class Tenant {
   Outcome outcome_ = Outcome::kIdle;
   core::AllocationPlan computed_;
 
+  // Prepared-solve slot (batched planning, DESIGN.md §3.13): prepare()
+  // fills these when the plan still needs a solver run.
+  core::PlanPrep prep_;
+  bool needs_solve_ = false;
+
+  // Model-fingerprint cache, keyed on the controller's model generation so
+  // a hot-swap re-fingerprints and anything else reuses the cached value.
+  std::uint64_t fingerprint_ = 0;
+  std::uint64_t fingerprint_generation_ = 0;
+  bool fingerprint_valid_ = false;
+
   // Hysteresis / signal-loss state (per-tenant GrafController semantics).
   std::vector<Qps> last_solved_qps_;
   bool slo_dirty_ = true;
@@ -213,6 +242,7 @@ class Tenant {
   // activity into shared fleet.plan_cache.* counters as deltas.
   std::uint64_t seen_cache_hits_ = 0;
   std::uint64_t seen_cache_misses_ = 0;
+  std::uint64_t seen_cache_evictions_ = 0;
 
   // Per-tenant instruments (interned once at admission, coordinator-set;
   // compute() only writes this tenant's own instruments).

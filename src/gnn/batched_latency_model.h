@@ -1,0 +1,73 @@
+// Fleet-batched latency inference (DESIGN.md §3.13): N tenant graphs
+// stacked into one MPNN forward/backward.
+//
+// Conceptually this evaluates the block-diagonal disjoint union of N copies
+// of one application graph. Because every copy shares the same adjacency and
+// weights, and message passing never mixes rows of the node-feature
+// matrices (DESIGN.md §3.9 row independence), the block-diagonal forward is
+// *exactly* a row-batched forward: graph g's rows occupy rows
+// [g*K, (g+1)*K) of every per-node feature matrix, the adjacency is never
+// materialized, and each blocked GEMM runs once over all N*K rows instead
+// of N times over K. Row g*K+k of the output is bit-identical to row k of
+// graph g's own predict_var forward — the property the fleet's batched
+// planner is proven against.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gnn/latency_model.h"
+#include "nn/autodiff.h"
+
+namespace graf::gnn {
+
+/// Stacks N same-topology workloads onto one shared LatencyModel so a
+/// single tape evaluates all of them. `rows_per_graph` (K) is the number of
+/// quota rows each graph contributes — the solver's multi-start count.
+class BatchedLatencyModel {
+ public:
+  /// The model is shared, not copied; it must outlive this object. Graphs
+  /// added later must match its node count.
+  BatchedLatencyModel(LatencyModel& model, std::size_t rows_per_graph);
+
+  /// Append one graph's per-node workload vector; returns its index.
+  /// The workload is copied (spans from callers need not outlive this).
+  std::size_t add_graph(std::span<const double> workload_qps);
+
+  std::size_t node_count() const { return model_->node_count(); }
+  std::size_t graph_count() const { return workloads_.size(); }
+  std::size_t rows_per_graph() const { return rows_per_graph_; }
+  /// Total stacked rows: graph_count() * rows_per_graph().
+  std::size_t rows() const { return workloads_.size() * rows_per_graph_; }
+
+  LatencyModel& model() { return *model_; }
+
+  /// Differentiable stacked forward: `quota_mc` is rows() x node_count
+  /// (graph g's start k at row g*K+k); the returned rows() x 1 Var is
+  /// latency in ms per row, bit-identical per row to the per-graph
+  /// predict_var path.
+  nn::Var predict_var(nn::Tape& tape, nn::Var quota_mc);
+
+  /// Non-batched scoring of one graph's quota through the shared model —
+  /// delegates to LatencyModel::predict (the division-form feature path),
+  /// which is what the single-start solver reports as predicted_ms.
+  double predict(std::size_t graph, std::span<const double> quota_mc);
+
+  /// Content fingerprint (FNV-1a 64) over everything that shapes a forward:
+  /// topology, MPNN hyper-parameters, scaler bits, and every weight bit.
+  /// Two models with equal fingerprints produce bit-identical predictions,
+  /// so the fleet may batch their tenants through either instance. Distinct
+  /// objects with equal weights (registry deep copies) fingerprint equal —
+  /// pointer identity deliberately plays no part.
+  static std::uint64_t fingerprint(LatencyModel& model);
+
+ private:
+  LatencyModel* model_;
+  std::size_t rows_per_graph_;
+  std::vector<std::vector<double>> workloads_;  ///< one vector per graph
+  nn::Tensor workload_rows_;  ///< rows() x n, rebuilt lazily after add_graph
+  bool rows_dirty_ = false;
+};
+
+}  // namespace graf::gnn

@@ -279,6 +279,40 @@ nn::Var LatencyModel::predict_var(nn::Tape& tape, std::span<const double> worklo
   return nn::scale(out, label_ref_);
 }
 
+nn::Var LatencyModel::predict_var_rows(nn::Tape& tape, const nn::Tensor& workload_qps,
+                                       nn::Var quota_mc) {
+  if (workload_qps.cols() != node_count_)
+    throw std::invalid_argument{"LatencyModel::predict_var_rows: dimension mismatch"};
+  const nn::Tensor& q = tape.value(quota_mc);
+  if (q.rows() != workload_qps.rows() || q.cols() != node_count_)
+    throw std::invalid_argument{
+        "LatencyModel::predict_var_rows: quota must match workload rows x n"};
+  const std::size_t batch = q.rows();
+  std::vector<nn::Var> feats;
+  feats.reserve(node_count_);
+  for (std::size_t n = 0; n < node_count_; ++n) {
+    nn::Var q_raw = nn::slice_cols(quota_mc, n, 1);
+    nn::Var q_inv = nn::reciprocal(q_raw);
+    // Per-row constant columns, staged into recycled tape buffers (no
+    // steady-state allocation) and filled with the exact expressions
+    // predict_var evaluates, so a row with workload W sees the same bits it
+    // would in a uniform-workload forward.
+    nn::Tensor& wbuf = tape.stage(batch, 1);
+    for (std::size_t r = 0; r < batch; ++r) wbuf(r, 0) = workload_qps(r, n) * w_scale_;
+    nn::Var w = tape.commit_constant();
+    nn::Var qn = nn::scale(q_raw, q_scale_);
+    nn::Var inv_feat = nn::scale(q_inv, q_min_mc_);
+    nn::Tensor& rbuf = tape.stage(batch, 1);
+    for (std::size_t r = 0; r < batch; ++r)
+      rbuf(r, 0) = workload_qps(r, n) / ratio_max_;
+    nn::Var ratio_feat = nn::mul(q_inv, tape.commit_constant());
+    const nn::Var parts[] = {w, qn, inv_feat, ratio_feat};
+    feats.push_back(nn::concat_cols(parts));
+  }
+  nn::Var out = model_.forward(tape, feats, rng_, /*training=*/false);
+  return nn::scale(out, label_ref_);
+}
+
 double LatencyModel::evaluate_loss(const Dataset& data, double theta_under,
                                    double theta_over) {
   if (data.empty()) throw std::invalid_argument{"evaluate_loss: empty dataset"};

@@ -115,6 +115,18 @@ class LatencyModel {
   nn::Var predict_var(nn::Tape& tape, std::span<const double> workload_qps,
                       nn::Var quota_mc);
 
+  /// predict_var with a *per-row* workload: `workload_qps` is R x node_count
+  /// (row r's workload vector) and `quota_mc` an R x node_count Var. Rows
+  /// whose workload vectors are equal produce bit-identical outputs to a
+  /// predict_var forward over just those rows — the per-node constant
+  /// columns are built from the same expressions, the row-constant scale()
+  /// becomes an elementwise mul() against a per-row constant column (IEEE
+  /// multiplication is commutative, so forward and backward bits match),
+  /// and the MPNN never mixes rows (DESIGN.md §3.9). This is what lets the
+  /// fleet stack many tenants' descents into one tape (§3.13).
+  nn::Var predict_var_rows(nn::Tape& tape, const nn::Tensor& workload_qps,
+                           nn::Var quota_mc);
+
   /// Mean training-loss value of the current weights over a dataset
   /// (eval mode) — used for learning curves and the Fig. 11 ablation.
   double evaluate_loss(const Dataset& data, double theta_under, double theta_over);

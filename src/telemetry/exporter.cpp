@@ -8,6 +8,7 @@
 #include <fstream>
 #include <iterator>
 #include <ostream>
+#include <string_view>
 
 namespace graf::telemetry {
 
@@ -276,6 +277,21 @@ struct BenchReader {
 
 }  // namespace
 
+namespace {
+
+/// Benchmark identity minus google-benchmark's "/real_time" instance
+/// decoration, so a bench that switches between CPU-time and wall-clock
+/// reporting still replaces its old row instead of leaving a stale
+/// duplicate under the other spelling.
+std::string_view bench_base_name(std::string_view name) {
+  constexpr std::string_view kRealTime = "/real_time";
+  if (name.size() >= kRealTime.size() && name.ends_with(kRealTime))
+    name.remove_suffix(kRealTime.size());
+  return name;
+}
+
+}  // namespace
+
 bool BenchExporter::merge_json_file(const std::string& path) {
   std::ifstream in{path, std::ios::binary};
   if (!in) return false;
@@ -287,9 +303,11 @@ bool BenchExporter::merge_json_file(const std::string& path) {
   std::vector<Row> merged;
   merged.reserve(file_rows.size() + rows_.size());
   for (Row& r : file_rows) {
+    const std::string_view base = bench_base_name(r.name);
     const bool overridden =
-        std::any_of(rows_.begin(), rows_.end(),
-                    [&](const Row& mine) { return mine.name == r.name; });
+        std::any_of(rows_.begin(), rows_.end(), [&](const Row& mine) {
+          return bench_base_name(mine.name) == base;
+        });
     if (!overridden) merged.push_back(std::move(r));
   }
   merged.insert(merged.end(), std::make_move_iterator(rows_.begin()),

@@ -59,8 +59,12 @@ class BenchExporter {
   /// emits). File rows whose name is already recorded in this exporter are
   /// dropped — fresh in-memory results win — and the survivors are placed
   /// ahead of the in-memory rows, so binaries sharing one BENCH file can
-  /// refresh their own rows without clobbering each other's. Returns false
-  /// (exporter unchanged) when the file is missing or does not parse.
+  /// refresh their own rows without clobbering each other's. Names are
+  /// compared modulo a trailing "/real_time" segment (google-benchmark's
+  /// UseRealTime decoration), so a bench switching between CPU-time and
+  /// wall-clock reporting replaces its old row instead of stranding a dead
+  /// duplicate under the other spelling. Returns false (exporter unchanged)
+  /// when the file is missing or does not parse.
   bool merge_json_file(const std::string& path);
 
  private:

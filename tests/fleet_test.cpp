@@ -522,8 +522,11 @@ TEST(FleetServer, OnlineTrainingPromotesThroughTenantHandle) {
 
 /// Exact-bits rendering of a plan stream: doubles go out as hex bit
 /// patterns, so two replays match iff every value is bit-identical.
-std::string run_scripted_scenario() {
-  FleetServer fleet;
+/// `batch_plans` selects the block-diagonal batched solve path (§3.13) or
+/// the PR-6 one-solve-per-tenant fan-out; the two must produce the same
+/// digest bit for bit.
+std::string run_scripted_scenario(bool batch_plans = true) {
+  FleetServer fleet{FleetConfig{.batch_plans = batch_plans}};
   std::vector<TenantId> ids;
   for (int i = 0; i < 4; ++i) {
     TenantSpec spec = make_spec("app" + std::to_string(i), 120.0 + 40.0 * i);
@@ -583,6 +586,176 @@ TEST(FleetServer, ScriptedScenarioReplaysBitIdenticallyAcrossThreadCounts) {
       << "scenario must exercise the degraded path";
   EXPECT_EQ(at1, at8) << "fleet step() must be bit-identical at any "
                          "GRAF_THREADS (DESIGN.md §3.7/§3.10)";
+}
+
+// --- Batched planning (§3.13): bit-identity with the per-tenant path --------
+
+// The tentpole contract: coalescing same-model tenants into one
+// block-diagonal solve_batch must reproduce the per-tenant fan-out exactly —
+// same quota bits, same predicted_ms bits, same step stats — at every thread
+// count. Tenant 1's distinct solver config (multi_starts=2, pool fan-out)
+// keeps a solo group in the mix, so the scenario covers batched groups and
+// per-tenant fallback side by side.
+TEST(FleetServer, BatchedPlanningBitIdenticalToPerTenantAcrossThreadCounts) {
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    ThreadGuard guard{threads};
+    const std::string batched = run_scripted_scenario(true);
+    const std::string fanout = run_scripted_scenario(false);
+    EXPECT_FALSE(batched.empty());
+    EXPECT_EQ(batched, fanout)
+        << "batched fleet planning must be bit-identical to the per-tenant "
+           "path at GRAF_THREADS=" << threads << " (DESIGN.md §3.13)";
+  }
+}
+
+TEST(FleetServer, BatchedGroupsCoalesceSameModelTenants) {
+  FleetServer batched{FleetConfig{.batch_plans = true}};
+  FleetServer fanout{FleetConfig{.batch_plans = false}};
+  std::vector<TenantId> bids, fids;
+  for (int i = 0; i < 3; ++i) {
+    TenantSpec spec = make_spec("svc" + std::to_string(i), 150.0 + 30.0 * i);
+    if (i == 2) spec.solver.multi_starts = 2;  // distinct config: solo group
+    bids.push_back(batched.add_tenant(spec));
+    fids.push_back(fanout.add_tenant(spec));
+  }
+  for (int i = 0; i < 3; ++i) {
+    const double qps = 45.0 + 10.0 * i;
+    batched.push(qps_update(bids[i], 1.0, {qps}));
+    fanout.push(qps_update(fids[i], 1.0, {qps}));
+  }
+  EXPECT_EQ(batched.step().planned, 3u);
+  EXPECT_EQ(fanout.step().planned, 3u);
+
+  // Tenants 0 and 1 share (fingerprint, node count, solver config): exactly
+  // one batched group of two. Tenant 2's multi_starts mismatch solves alone.
+  EXPECT_EQ(batched.metrics().counter("fleet.batched_groups").value(), 1.0);
+  EXPECT_EQ(batched.metrics().counter("fleet.batched_tenants").value(), 2.0);
+  EXPECT_EQ(fanout.metrics().counter("fleet.batched_groups").value(), 0.0);
+
+  for (int i = 0; i < 3; ++i) {
+    const auto& bp = batched.tenant(bids[i])->last_plan();
+    const auto& fp = fanout.tenant(fids[i])->last_plan();
+    ASSERT_EQ(bp.quota.size(), fp.quota.size());
+    for (std::size_t s = 0; s < bp.quota.size(); ++s)
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(bp.quota[s]),
+                std::bit_cast<std::uint64_t>(fp.quota[s]));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(bp.predicted_ms),
+              std::bit_cast<std::uint64_t>(fp.predicted_ms));
+    EXPECT_EQ(bp.instances, fp.instances);
+  }
+}
+
+/// Batch-composition churn: tenants join and leave mid-run, so the batched
+/// grouping reshuffles between steps (groups of 1..4 members). Same digest
+/// contract as run_scripted_scenario.
+std::string run_composition_scenario(bool batch_plans) {
+  FleetServer fleet{FleetConfig{.batch_plans = batch_plans}};
+  std::ostringstream out;
+  auto token = fleet.subscribe([&](const PlanUpdate& u) {
+    out << u.application << '#' << u.seq << ':';
+    for (int inst : u.plan.instances) out << inst << ',';
+    for (Millicores q : u.plan.quota)
+      out << std::hex << std::bit_cast<std::uint64_t>(q) << std::dec << ',';
+    out << std::hex << std::bit_cast<std::uint64_t>(u.plan.predicted_ms)
+        << std::dec << (u.degraded ? "!D" : "") << ';';
+  });
+
+  std::vector<TenantId> ids;
+  std::vector<bool> gone;
+  ids.push_back(fleet.add_tenant(make_spec("base0", 150.0)));
+  ids.push_back(fleet.add_tenant(make_spec("base1", 190.0)));
+  gone.assign(2, false);
+  for (int step = 0; step < 10; ++step) {
+    if (step == 3) {
+      // Two tenants enter: the next batched group can grow to four.
+      ids.push_back(fleet.add_tenant(make_spec("join2", 230.0)));
+      ids.push_back(fleet.add_tenant(make_spec("join3", 270.0)));
+      gone.resize(ids.size(), false);
+    }
+    if (step == 7) {
+      // One leaves mid-run: its slot recycles, the batch shrinks.
+      fleet.remove_tenant(ids[1]);
+      gone[1] = true;
+    }
+    const double now = 10.0 * (step + 1);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (gone[i]) continue;
+      const double qps =
+          40.0 + 12.0 * ((static_cast<std::size_t>(step) * (i + 2) + i) % 5);
+      fleet.push(qps_update(ids[i], now, {qps}));
+    }
+    const auto stats = fleet.step();
+    out << "step" << step << "=" << stats.planned << "/" << stats.coasted
+        << "/" << stats.failures << "/" << stats.notified << ";";
+  }
+  if (batch_plans) {
+    EXPECT_GT(fleet.metrics().counter("fleet.batched_tenants").value(), 0.0)
+        << "composition scenario must actually exercise batched groups";
+  }
+  return out.str();
+}
+
+TEST(FleetServer, BatchedPlanningBitIdenticalUnderCompositionChurn) {
+  for (std::size_t threads : {1u, 8u}) {
+    ThreadGuard guard{threads};
+    const std::string batched = run_composition_scenario(true);
+    const std::string fanout = run_composition_scenario(false);
+    EXPECT_FALSE(batched.empty());
+    EXPECT_EQ(batched, fanout)
+        << "tenants entering/leaving mid-run must not perturb batched "
+           "results at GRAF_THREADS=" << threads;
+  }
+}
+
+// --- fleet.plan_cache.* delta mirroring (evictions) -------------------------
+
+// Evictions must mirror into the fleet counter exactly like hits/misses: as
+// per-step deltas against a per-tenant baseline, never re-counting history.
+TEST(FleetServer, PlanCacheEvictionsMirroredAsDeltas) {
+  FleetServer fleet;
+  // Loose SLO: only feasible plans enter the cache, and only insertions
+  // into a full cache evict.
+  TenantSpec spec = make_spec("evict-app", 1000.0);
+  spec.plan_cache_capacity = 1;   // every second distinct workload evicts
+  spec.change_threshold = 0.0;    // defeat hysteresis: each push re-solves
+  const TenantId id = fleet.add_tenant(spec);
+
+  const double rates[] = {40.0, 60.0, 80.0, 95.0};
+  double now = 1.0;
+  for (double qps : rates) {
+    fleet.push(qps_update(id, now, {qps}));
+    fleet.step();
+    now += 10.0;
+    // The mirror tracks the controller's own counter step for step.
+    EXPECT_EQ(fleet.metrics().counter("fleet.plan_cache.evictions").value(),
+              static_cast<double>(
+                  fleet.tenant(id)->controller().plan_cache_evictions()));
+  }
+  // Capacity 1 with 4 distinct workloads: every feasible insertion after the
+  // first evicted one (only feasible plans are cached, so the exact count
+  // depends on the learned model's verdicts — but several must land).
+  EXPECT_GE(fleet.tenant(id)->controller().plan_cache_evictions(), 2u);
+  EXPECT_EQ(fleet.metrics().counter("fleet.plan_cache.evictions").value(),
+            static_cast<double>(
+                fleet.tenant(id)->controller().plan_cache_evictions()));
+}
+
+TEST(FleetServer, DisabledPlanCacheReportsNoSpuriousEvictions) {
+  FleetServer fleet;
+  TenantSpec spec = make_spec("nocache-app", 1000.0);
+  spec.change_threshold = 0.0;
+  const TenantId id = fleet.add_tenant(spec);
+  fleet.tenant(id)->controller().set_plan_cache_capacity(0);
+
+  double now = 1.0;
+  for (double qps : {40.0, 70.0, 95.0}) {
+    fleet.push(qps_update(id, now, {qps}));
+    fleet.step();
+    now += 10.0;
+  }
+  EXPECT_EQ(fleet.tenant(id)->controller().plan_cache_evictions(), 0u);
+  EXPECT_EQ(fleet.metrics().counter("fleet.plan_cache.evictions").value(), 0.0)
+      << "a disabled cache must not report spurious evictions";
 }
 
 }  // namespace

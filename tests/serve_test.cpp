@@ -385,6 +385,68 @@ TEST_F(ServeFixture, TwoControllersSharingKeyBothFollowPromotion) {
   EXPECT_EQ(&stack_b->rc.active_model(), registry.active(key).get());
 }
 
+// The mirror image of the promotion test: a rollback() is also a serving
+// swap, and every attached controller must notice. Regression guard for the
+// multi-attach path — a rollback that only swapped the first handle would
+// leave the second tenant solving through the withdrawn model with a warm
+// (now wrong) plan cache.
+TEST_F(ServeFixture, RollbackBumpsGenerationForEveryAttachedController) {
+  auto make_stack = [](ServingHandle& h, gnn::LatencyModel& m) {
+    struct Stack {
+      core::ConfigurationSolver solver;
+      core::WorkloadAnalyzer analyzer;
+      core::ResourceController rc;
+      Stack(ServingHandle& h, gnn::LatencyModel& m)
+          : solver{m, {.max_iterations = 400}},
+            analyzer{1, 2},
+            rc{m, solver, analyzer, {200.0, 200.0}, {2000.0, 2000.0},
+               {500.0, 500.0}} {
+        analyzer.set_fanout({{1.0, 1.0}});
+        rc.set_serving_handle(&h);
+      }
+    };
+    return std::make_unique<Stack>(h, m);
+  };
+
+  ServingHandle second;
+  registry.attach_handle(key, &second);
+  auto model_v1 = handle.acquire();
+  auto stack_a = make_stack(handle, *model_v1);
+  auto stack_b = make_stack(second, *model_v1);
+
+  // Promote v2 and plan through it: both controllers pin v2 and warm their
+  // caches (the second plan on each is a hit).
+  gnn::LatencyModel next = model_v1->clone();
+  const std::uint64_t v2 = registry.publish(key, next, {});
+  ASSERT_TRUE(registry.promote(key, v2));
+  const std::vector<Qps> api{30.0};
+  const double slo = 500.0;
+  ASSERT_TRUE(stack_a->rc.plan(api, slo).feasible);
+  ASSERT_TRUE(stack_b->rc.plan(api, slo).feasible);
+  (void)stack_a->rc.plan(api, slo);
+  (void)stack_b->rc.plan(api, slo);
+  ASSERT_EQ(stack_a->rc.plan_cache_hits(), 1u);
+  ASSERT_EQ(stack_b->rc.plan_cache_hits(), 1u);
+  const std::uint64_t gen_a = stack_a->rc.model_generation();
+  const std::uint64_t gen_b = stack_b->rc.model_generation();
+
+  // Unwind to v1. Both controllers must re-resolve: same workload is a
+  // cache *miss* (generation bumped on both), and both serve v1 again.
+  ASSERT_TRUE(registry.rollback(key));
+  ASSERT_EQ(registry.active_version(key), v1);
+  (void)stack_a->rc.plan(api, slo);
+  (void)stack_b->rc.plan(api, slo);
+  EXPECT_EQ(stack_a->rc.plan_cache_hits(), 1u)
+      << "rollback must invalidate the first controller's plan cache";
+  EXPECT_EQ(stack_b->rc.plan_cache_hits(), 1u)
+      << "rollback must invalidate the second controller's plan cache too";
+  EXPECT_GT(stack_a->rc.model_generation(), gen_a);
+  EXPECT_GT(stack_b->rc.model_generation(), gen_b);
+  EXPECT_EQ(&stack_a->rc.active_model(), registry.active(key).get());
+  EXPECT_EQ(&stack_b->rc.active_model(), registry.active(key).get());
+  EXPECT_EQ(registry.active(key).get(), model_v1.get());
+}
+
 // --- Concurrent publish/promote (fleet makes this routine) ------------------
 
 TEST_F(ServeFixture, ConcurrentPublishPromoteAgainstOneHandle) {

@@ -398,6 +398,34 @@ TEST(Exporter, BenchExporterMergeKeepsForeignRowsAndOverridesOwn) {
   std::remove(path.c_str());
 }
 
+// Regression: names used to be compared verbatim, so a benchmark that gained
+// google-benchmark's "/real_time" decoration (or dropped it) stranded its old
+// row in the merged file — two rows for one benchmark, and the perf gate
+// could read the stale one. The merge must match modulo that suffix, in both
+// directions, while distinct base names still coexist.
+TEST(Exporter, BenchExporterMergeReplacesRealTimeSuffixVariants) {
+  const std::string path = "bench_merge_realtime_test.json";
+  {
+    BenchExporter old;
+    old.record_at("BM_Solve/1", 50.0, "ns", 100);            // gains /real_time
+    old.record_at("BM_Fleet/8/real_time", 80.0, "items/s", 100);  // loses it
+    old.record_at("BM_Other/1", 7.0, "ns", 100);             // untouched
+    ASSERT_TRUE(old.write_json_file(path));
+  }
+  BenchExporter exp;
+  exp.record_at("BM_Solve/1/real_time", 42.0, "ns", 200);
+  exp.record_at("BM_Fleet/8", 99.0, "items/s", 200);
+  ASSERT_TRUE(exp.merge_json_file(path));
+  ASSERT_EQ(exp.rows().size(), 3u) << "suffix variants must replace, not pile up";
+  EXPECT_EQ(exp.rows()[0].name, "BM_Other/1");
+  EXPECT_EQ(exp.rows()[0].timestamp, 100);
+  EXPECT_EQ(exp.rows()[1].name, "BM_Solve/1/real_time");
+  EXPECT_DOUBLE_EQ(exp.rows()[1].value, 42.0);
+  EXPECT_EQ(exp.rows()[2].name, "BM_Fleet/8");
+  EXPECT_DOUBLE_EQ(exp.rows()[2].value, 99.0);
+  std::remove(path.c_str());
+}
+
 // -- Cluster integration -----------------------------------------------------
 
 // Acceptance criterion: the telemetry histogram's p99 over a simulated
