@@ -16,10 +16,12 @@
 #include "common/thread_pool.h"
 #include "core/configuration_solver.h"
 #include "core/sample_collector.h"
+#include "core/tiered_planner.h"
 #include "core/workload_analyzer.h"
 #include "fleet/fleet_server.h"
 #include "forecast/gate.h"
 #include "gnn/latency_model.h"
+#include "gnn/surrogate_model.h"
 #include "nn/tensor.h"
 #include "sim/sharded_cluster.h"
 #include "telemetry/metrics.h"
@@ -300,6 +302,85 @@ void BM_PlanCacheHit(benchmark::State& state) {
       static_cast<double>(rc.plan_cache_misses());
 }
 BENCHMARK(BM_PlanCacheHit);
+
+// -- distilled fast-path surrogate planning (DESIGN.md §3.14) ----------------
+
+gnn::SurrogateModel& shared_surrogate() {
+  static gnn::SurrogateModel model = [] {
+    const std::vector<double> region(6, 100.0);
+    const std::vector<Millicores> lo(6, 300.0);
+    const std::vector<Millicores> hi(6, 2000.0);
+    gnn::DistillConfig cfg;
+    cfg.samples = 1024;
+    cfg.train.iterations = 800;
+    gnn::SurrogateDistiller::Result r =
+        gnn::SurrogateDistiller::distill(shared_model(), region, lo, hi, cfg);
+    return std::move(r.model);
+  }();
+  return model;
+}
+
+// Single-tenant plan throughput through the two-tier planner: surrogate
+// multi-start descent + one full-GNN verification forward per plan. The
+// time-per-op against BM_SolverFullRun/500 (the same descent budget through
+// the full MPNN tape) is the fast-path speedup claim (>= 20x on the 6-node
+// chain). The trust band is wide open so every iteration measures the
+// accept path — escalation-rate quality is the topology test's bar
+// (tests/surrogate_test.cpp), not this row's; the fast_hits/escalations
+// counters make any surprise escalation visible in the emitted JSON.
+// Gated in scripts/bench_check.py on the /1 row.
+void BM_SurrogatePlanThroughput(benchmark::State& state) {
+  set_global_threads(static_cast<std::size_t>(state.range(0)));
+  auto& model = shared_model();
+  core::SolverConfig scfg;
+  scfg.max_iterations = 500;  // matches BM_SolverFullRun/500, the denominator
+  core::ConfigurationSolver full{model, scfg};
+  core::TieredPlannerConfig pcfg;
+  pcfg.solver = scfg;
+  pcfg.trust_band_pct = 1e9;
+  core::TieredPlanner planner{
+      std::make_shared<gnn::SurrogateModel>(shared_surrogate().clone()), pcfg};
+  std::vector<double> w(6, 50.0);
+  std::vector<Millicores> lo(6, 300.0);
+  std::vector<Millicores> hi(6, 2000.0);
+  // Loose SLO for the same reason as BM_PlanCacheHit: the toy model's labels
+  // are random, and an SLO-breach verdict would detour into the full solve.
+  const double slo_ms = 1000.0;
+  WallRate rate;
+  for (auto _ : state) {
+    rate.start();
+    benchmark::DoNotOptimize(planner.solve(model, full, w, slo_ms, lo, hi));
+    rate.stop(1);
+  }
+  state.counters["plans/s"] = rate.counter();
+  state.counters["fast_hits"] = static_cast<double>(planner.fast_hits());
+  state.counters["escalations"] = static_cast<double>(planner.escalations());
+  set_global_threads(0);
+}
+BENCHMARK(BM_SurrogatePlanThroughput)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// One plain admission-sized distillation pass (sample the teacher, fit the
+// MLP, validate): the cost a fleet tenant pays once at admission before the
+// fast path starts earning it back. Gated in scripts/bench_check.py.
+void BM_SurrogateDistill(benchmark::State& state) {
+  auto& model = shared_model();
+  const std::vector<double> region(6, 100.0);
+  const std::vector<Millicores> lo(6, 300.0);
+  const std::vector<Millicores> hi(6, 2000.0);
+  gnn::DistillConfig cfg;
+  cfg.samples = 512;
+  cfg.train.iterations = 300;
+  cfg.train.eval_every = 300;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gnn::SurrogateDistiller::distill(model, region, lo, hi, cfg));
+  }
+}
+BENCHMARK(BM_SurrogateDistill)->Unit(benchmark::kMillisecond);
 
 // Aggregate fleet planning throughput: 8 same-model tenants per step, every
 // tenant forced to a fresh solve (plan cache off, zero hysteresis band),

@@ -23,6 +23,12 @@ Gate rows (time-per-op, lower is better):
                              batch-width speedup holds on one core
   BM_ForecastStep            one forecast-gated control tick (observe +
                              predict + scale)
+  BM_SurrogatePlanThroughput/1  one two-tier plan (surrogate descent + one
+                             full-GNN verification forward), single-threaded
+                             (DESIGN.md 3.14; the /8 row is ungated, same
+                             single-core caveat as the fleet rows)
+  BM_SurrogateDistill        one admission-sized distillation pass (sample
+                             teacher + fit MLP + validate)
 
 Caveat: CI containers are typically pinned to a single core and share it
 with the rest of the job, so absolute timings are noisy — observed drift
@@ -58,6 +64,8 @@ GATES = [
     "BM_FleetPlanThroughput/1",
     "BM_FleetBatchedPlanThroughput/1",
     "BM_ForecastStep",
+    "BM_SurrogatePlanThroughput/1",
+    "BM_SurrogateDistill",
 ]
 
 # ns per unit, for rows whose units differ between baseline and fresh runs.

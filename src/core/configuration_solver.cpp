@@ -13,13 +13,9 @@
 #include "telemetry/profiler.h"
 
 namespace graf::core {
-namespace {
 
-/// Feasible minimum total quota; if no start is feasible, least-infeasible
-/// (lowest predicted latency). Strict comparisons keep the first (lowest
-/// index) winner on ties. Shared by the concurrent and batched multi-start
-/// paths so both apply the identical rule.
-std::size_t pick_winner(const std::vector<SolverResult>& runs, double target_ms) {
+std::size_t ConfigurationSolver::pick_winner(const std::vector<SolverResult>& runs,
+                                             double target_ms) {
   auto total_quota = [](const SolverResult& r) {
     double t = 0.0;
     for (double q : r.quota) t += q;
@@ -39,8 +35,6 @@ std::size_t pick_winner(const std::vector<SolverResult>& runs, double target_ms)
   }
   return best;
 }
-
-}  // namespace
 
 ConfigurationSolver::ConfigurationSolver(gnn::LatencyModel& model, SolverConfig cfg)
     : model_{&model}, cfg_{cfg} {

@@ -110,6 +110,14 @@ class ConfigurationSolver {
                                                   const SolverConfig& cfg,
                                                   std::span<const BatchItem> items);
 
+  /// Winner rule shared by every multi-start path (concurrent, batched,
+  /// fleet-stacked, and the surrogate tier in core/tiered_planner.cpp):
+  /// feasible minimum total quota; if no start is feasible,
+  /// least-infeasible (lowest predicted latency). Strict comparisons keep
+  /// the first (lowest index) winner on ties.
+  static std::size_t pick_winner(const std::vector<SolverResult>& runs,
+                                 double target_ms);
+
   /// True when two configs shape descent trajectories identically — every
   /// field that feeds start points, loss values, step sizes, or termination.
   /// batched_multi_start is deliberately excluded: the batched and fan-out

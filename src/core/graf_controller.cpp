@@ -18,6 +18,10 @@ void GrafController::set_serving_handle(serve::ServingHandle* handle) {
   controller_.set_serving_handle(handle);
 }
 
+void GrafController::set_tiered_planner(TieredPlanner* planner) {
+  controller_.set_tiered_planner(planner);
+}
+
 void GrafController::enable_forecast(const forecast::ForecastSpec& spec) {
   gate_ = std::make_unique<forecast::ForecastGate>(spec);
   gate_->set_metrics(metrics_);

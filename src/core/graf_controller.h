@@ -39,6 +39,11 @@ class GrafController : public autoscalers::Autoscaler {
   /// decisions follow the hot-swapped model published via src/serve.
   void set_serving_handle(serve::ServingHandle* handle);
 
+  /// Delegate to ResourceController::set_tiered_planner: route solves
+  /// through the two-tier surrogate-verified planner (DESIGN.md §3.14);
+  /// nullptr reverts to full-GNN solves.
+  void set_tiered_planner(TieredPlanner* planner);
+
   /// Switch the loop to forecast mode: every tick plans for
   /// max(observed, predicted_at_horizon) via a ForecastGate built from
   /// `spec` (spec.enabled is ignored here — calling this *is* the opt-in).

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/tiered_planner.h"
 #include "serve/serving_handle.h"
 #include "telemetry/profiler.h"
 
@@ -63,6 +64,17 @@ void ResourceController::set_metrics(telemetry::MetricsRegistry* registry) {
     cache_saved_us_ = &registry->counter("core.plan_cache.saved_us");
   }
   solver_.set_metrics(registry);
+  metrics_registry_ = registry;
+  if (tiered_ != nullptr) tiered_->set_metrics(registry);
+}
+
+void ResourceController::set_tiered_planner(TieredPlanner* planner) {
+  tiered_ = planner;
+  planner_mode_ = planner != nullptr ? PlannerMode::kSurrogateVerified
+                                     : PlannerMode::kFull;
+  if (tiered_ != nullptr) tiered_->set_metrics(metrics_registry_);
+  // No cache clear needed: planner_bits diverge, so entries written by the
+  // other mode simply stop matching (and become valid again if it returns).
 }
 
 void ResourceController::set_serving_handle(serve::ServingHandle* handle) {
@@ -207,8 +219,10 @@ PlanPrep ResourceController::begin_plan(std::span<const Qps> api_qps, double slo
   prep.key.resize(n);
   for (std::size_t i = 0; i < n; ++i) prep.key[i] = workload_bucket(node_workload[i]);
   prep.slo_bits = std::bit_cast<std::uint64_t>(slo_ms);
+  prep.planner_bits = planner_bits();
   for (CachedPlan& entry : plan_cache_) {
     if (entry.generation != model_generation_ || entry.slo_bits != prep.slo_bits ||
+        entry.planner_bits != prep.planner_bits ||
         entry.workload_buckets != prep.key)
       continue;
     entry.last_used = ++cache_tick_;
@@ -236,7 +250,18 @@ PlanPrep ResourceController::begin_plan(std::span<const Qps> api_qps, double slo
   return prep;
 }
 
+std::uint64_t ResourceController::planner_bits() {
+  if (planner_mode_ != PlannerMode::kSurrogateVerified || tiered_ == nullptr)
+    return 0;
+  // surrogate_generation() re-acquires the serving handle, so a registry
+  // promote/rollback lands here — before the cache is consulted.
+  return (std::uint64_t{1} << 63) |
+         (tiered_->surrogate_generation() & ~(std::uint64_t{1} << 63));
+}
+
 SolverResult ResourceController::solve_prepared(const PlanPrep& prep) {
+  if (planner_mode_ == PlannerMode::kSurrogateVerified && tiered_ != nullptr)
+    return tiered_->solve(*model_, solver_, prep.scaled, prep.slo_ms, lo_, hi_);
   return solver_.solve(prep.scaled, prep.slo_ms, lo_, hi_);
 }
 
@@ -303,6 +328,7 @@ AllocationPlan ResourceController::finish_plan(PlanPrep prep, SolverResult solve
       entry.workload_buckets = std::move(prep.key);
       entry.slo_bits = prep.slo_bits;
       entry.generation = model_generation_;
+      entry.planner_bits = prep.planner_bits;
       entry.plan = plan;
       entry.solve_seconds = plan.solver.solve_seconds;
       entry.last_used = ++cache_tick_;

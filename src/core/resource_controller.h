@@ -27,6 +27,14 @@ class ServingHandle;
 
 namespace graf::core {
 
+class TieredPlanner;
+
+/// How solve_prepared reaches a plan (DESIGN.md §3.14).
+enum class PlannerMode {
+  kFull = 0,               ///< every solve runs the full-GNN descent
+  kSurrogateVerified = 1,  ///< surrogate fast path + one full-GNN verify
+};
+
 struct AllocationPlan {
   std::vector<Millicores> quota;   ///< per-service CPU quota (post-rescale)
   std::vector<int> instances;      ///< Eq. 7 replica counts
@@ -58,6 +66,11 @@ struct PlanPrep {
   std::vector<double> scaled;      ///< node workload / k — the solver input
   std::vector<std::int32_t> key;   ///< plan-cache key (quantized workload)
   std::uint64_t slo_bits = 0;
+  /// Planner mode + surrogate generation folded into the cache key — a
+  /// mode switch or surrogate promote/rollback/refresh can never serve a
+  /// plan the other planner produced (high bit = surrogate-verified mode,
+  /// low bits = the tiered planner's surrogate generation; 0 = full mode).
+  std::uint64_t planner_bits = 0;
 };
 
 class ResourceController {
@@ -123,6 +136,15 @@ class ResourceController {
   /// The model the next plan() will solve through.
   gnn::LatencyModel& active_model();
 
+  /// Attach the two-tier surrogate planner (DESIGN.md §3.14) and switch to
+  /// surrogate-verified mode; nullptr detaches and reverts to full mode.
+  /// The planner's generation joins the plan-cache key (planner_bits), so
+  /// no invalidation race exists around attach/detach or surrogate swaps.
+  /// Forwards the current metrics registry to the planner.
+  void set_tiered_planner(TieredPlanner* planner);
+  PlannerMode planner_mode() const { return planner_mode_; }
+  TieredPlanner* tiered_planner() { return tiered_; }
+
   /// Publish planning telemetry: `core.plan_us` (wall time per plan()),
   /// `core.plans_total`, and gauges for the last plan's solver iterations,
   /// predicted p99, scale factor, and total quota; degraded-mode visibility
@@ -160,6 +182,7 @@ class ResourceController {
     std::vector<std::int32_t> workload_buckets;
     std::uint64_t slo_bits = 0;
     std::uint64_t generation = 0;
+    std::uint64_t planner_bits = 0;  ///< see PlanPrep::planner_bits
     AllocationPlan plan;
     double solve_seconds = 0.0;  ///< what a hit saves (telemetry)
     std::uint64_t last_used = 0;
@@ -167,6 +190,9 @@ class ResourceController {
 
   void refresh_model();
   void invalidate_plan_cache();
+  /// The PlanPrep/CachedPlan planner_bits for the next solve (refreshes
+  /// the tiered planner's served surrogate first in surrogate mode).
+  std::uint64_t planner_bits();
   /// Fallback: last feasible plan if one exists, else the hi-bound default
   /// (quota = hi — the most conservative allocation inside the trained
   /// region, approximating what a best-effort solve would reach).
@@ -183,6 +209,10 @@ class ResourceController {
   std::vector<Millicores> hi_;
   std::vector<Millicores> unit_;
   std::vector<int> max_instances_;  // empty = uncapped
+  TieredPlanner* tiered_ = nullptr;
+  PlannerMode planner_mode_ = PlannerMode::kFull;
+  /// Remembered so a planner attached after set_metrics still gets wired.
+  telemetry::MetricsRegistry* metrics_registry_ = nullptr;
   std::vector<double> train_max_workload_;
   /// True while the served model's shape doesn't match this controller's
   /// topology: plans degrade instead of solving through the wrong graph.

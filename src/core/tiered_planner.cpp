@@ -1,0 +1,469 @@
+#include "core/tiered_planner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <iterator>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "nn/optim.h"
+
+namespace graf::core {
+
+TieredPlanner::TieredPlanner(std::shared_ptr<gnn::SurrogateModel> surrogate,
+                             TieredPlannerConfig cfg)
+    : cfg_{cfg}, served_{std::move(surrogate)} {
+  if (served_ == nullptr)
+    throw std::invalid_argument{"TieredPlanner: surrogate must not be null"};
+  if (cfg_.trust_band_pct <= 0.0)
+    throw std::invalid_argument{"TieredPlanner: trust_band_pct must be > 0"};
+  if (cfg_.solver.rho <= 0.0)
+    throw std::invalid_argument{"SolverConfig: rho must be > 0"};
+}
+
+void TieredPlanner::set_handle(serve::SurrogateHandle* handle) {
+  handle_ = handle;
+  active_surrogate();  // pick up whatever the handle already serves
+}
+
+void TieredPlanner::set_registry(serve::SurrogateRegistry* registry,
+                                 serve::ModelKey key) {
+  registry_ = registry;
+  registry_key_ = std::move(key);
+}
+
+gnn::SurrogateModel& TieredPlanner::active_surrogate() {
+  if (handle_ != nullptr) {
+    serve::SurrogateHandle::Ptr cur = handle_->acquire();
+    // An empty handle or a topology mismatch keeps the last good surrogate
+    // serving (never-throw degradation, same stance as refresh_model()).
+    if (cur != nullptr && cur.get() != served_.get() &&
+        cur->node_count() == served_->node_count()) {
+      served_ = std::move(cur);
+      ++generation_;
+    }
+  }
+  return *served_;
+}
+
+std::uint64_t TieredPlanner::surrogate_generation() {
+  active_surrogate();
+  return generation_;
+}
+
+void TieredPlanner::set_metrics(telemetry::MetricsRegistry* registry) {
+  fast_hits_counter_ =
+      registry != nullptr ? &registry->counter("core.surrogate.fast_hits") : nullptr;
+  escalations_counter_ =
+      registry != nullptr ? &registry->counter("core.surrogate.escalations") : nullptr;
+  distill_samples_counter_ =
+      registry != nullptr ? &registry->counter("core.surrogate.distill_samples")
+                          : nullptr;
+  refreshes_counter_ =
+      registry != nullptr ? &registry->counter("core.surrogate.refreshes") : nullptr;
+  trust_band_gauge_ =
+      registry != nullptr ? &registry->gauge("core.surrogate.trust_band_pct") : nullptr;
+  disagreement_gauge_ =
+      registry != nullptr ? &registry->gauge("core.surrogate.disagreement_pct")
+                          : nullptr;
+  if (trust_band_gauge_ != nullptr) trust_band_gauge_->set(cfg_.trust_band_pct);
+}
+
+void TieredPlanner::note_fast_hit(double disagreement_pct) {
+  ++fast_hits_;
+  if (fast_hits_counter_ != nullptr) fast_hits_counter_->add();
+  if (disagreement_gauge_ != nullptr) disagreement_gauge_->set(disagreement_pct);
+}
+
+void TieredPlanner::note_escalation(double disagreement_pct) {
+  ++escalations_;
+  if (escalations_counter_ != nullptr) escalations_counter_->add();
+  if (disagreement_gauge_ != nullptr) disagreement_gauge_->set(disagreement_pct);
+}
+
+void TieredPlanner::note_miss_sample(std::span<const double> workload,
+                                     std::span<const Millicores> quota,
+                                     double teacher_ms) {
+  gnn::Sample s;
+  s.workload.assign(workload.begin(), workload.end());
+  s.quota.assign(quota.begin(), quota.end());
+  s.latency_ms = teacher_ms;
+  window_.push_back(std::move(s));
+  while (window_.size() > cfg_.refresh_window)
+    window_.erase(window_.begin());
+  ++distill_samples_;
+  if (distill_samples_counter_ != nullptr) distill_samples_counter_->add();
+}
+
+void TieredPlanner::maybe_auto_refresh() {
+  ++misses_since_refresh_;
+  if (cfg_.refresh_after == 0) return;
+  if (misses_since_refresh_ < cfg_.refresh_after) return;
+  if (window_.size() < cfg_.refresh_min_samples) return;
+  refresh_now();
+}
+
+bool TieredPlanner::refresh_now() {
+  misses_since_refresh_ = 0;
+  if (window_.empty()) return false;
+  // Fine-tune a clone on the miss window; the incumbent keeps serving
+  // until the candidate proves itself on the very samples it missed
+  // (holdout-gate semantics, serve/online_trainer.h).
+  gnn::SurrogateModel candidate = active_surrogate().clone();
+  gnn::TrainConfig train = cfg_.refresh_train;
+  train.batch_size = std::min(train.batch_size, window_.size());
+  if (train.batch_size == 0) return false;
+  candidate.fit(window_, window_, train);
+  const double incumbent_err =
+      active_surrogate().evaluate_accuracy(window_).mean_abs_pct_error;
+  const double candidate_err = candidate.evaluate_accuracy(window_).mean_abs_pct_error;
+  if (candidate_err > incumbent_err) return false;
+  adopt(std::move(candidate));
+  return true;
+}
+
+void TieredPlanner::adopt(gnn::SurrogateModel&& candidate) {
+  if (registry_ != nullptr) {
+    serve::SurrogateMeta meta;
+    meta.distill_samples = window_.size();
+    meta.val_error_pct = candidate.evaluate_accuracy(window_).mean_abs_pct_error;
+    const std::uint64_t version = registry_->publish(registry_key_, candidate, meta);
+    registry_->promote(registry_key_, version);
+    if (handle_ != nullptr) {
+      // The promote swapped any attached handle; pick it up (and bump the
+      // generation) through the normal acquire path.
+      active_surrogate();
+      ++refreshes_;
+      if (refreshes_counter_ != nullptr) refreshes_counter_->add();
+      return;
+    }
+    served_ = registry_->active(registry_key_);
+    if (served_ == nullptr)
+      served_ = std::make_shared<gnn::SurrogateModel>(std::move(candidate));
+  } else if (handle_ != nullptr) {
+    handle_->swap(std::make_shared<gnn::SurrogateModel>(std::move(candidate)));
+    active_surrogate();
+    ++refreshes_;
+    if (refreshes_counter_ != nullptr) refreshes_counter_->add();
+    return;
+  } else {
+    served_ = std::make_shared<gnn::SurrogateModel>(std::move(candidate));
+  }
+  ++generation_;
+  ++refreshes_;
+  if (refreshes_counter_ != nullptr) refreshes_counter_->add();
+}
+
+SolverResult TieredPlanner::solve(gnn::LatencyModel& verifier,
+                                  ConfigurationSolver& full_solver,
+                                  std::span<const double> workload, double slo_ms,
+                                  std::span<const Millicores> lo,
+                                  std::span<const Millicores> hi) {
+  Item item{this, &verifier, &full_solver, workload, slo_ms, lo, hi};
+  std::vector<SolverResult> out = solve_items(active_surrogate(), cfg_.solver, {&item, 1});
+  return std::move(out.front());
+}
+
+std::vector<TieredPlanner::Descent> TieredPlanner::descend(
+    gnn::SurrogateModel& surrogate, const SolverConfig& cfg,
+    std::span<const DescentRequest> requests) {
+  if (cfg.rho <= 0.0) throw std::invalid_argument{"SolverConfig: rho must be > 0"};
+  const std::size_t n = surrogate.node_count();
+  const std::size_t starts = std::max<std::size_t>(1, cfg.multi_starts);
+  if (requests.empty()) return {};
+
+  const auto t0 = std::chrono::steady_clock::now();
+
+  for (const DescentRequest& item : requests) {
+    if (item.workload.size() != n || item.lo.size() != n || item.hi.size() != n)
+      throw std::invalid_argument{"solve_items: dimension mismatch"};
+    if (item.slo_ms <= 0.0)
+      throw std::invalid_argument{"solve_items: slo must be > 0"};
+    for (std::size_t i = 0; i < n; ++i)
+      if (!(item.lo[i] > 0.0) || item.lo[i] > item.hi[i])
+        throw std::invalid_argument{"solve_items: need 0 < lo <= hi"};
+  }
+
+  const std::size_t tenants = requests.size();
+  const std::size_t rows = tenants * starts;
+
+  // Row t*K+k is item t's start k — the identical start rows solve_batch
+  // builds (row 0 from the hi bounds, rows k >= 1 from the per-k
+  // derive_seed streams), so the surrogate tier inherits the full path's
+  // start-point determinism wholesale.
+  nn::Tensor starts_mat{rows, n};
+  nn::Tensor workload_rows{rows, n};
+  for (std::size_t t = 0; t < tenants; ++t) {
+    const DescentRequest& item = requests[t];
+    for (std::size_t i = 0; i < n; ++i) {
+      starts_mat(t * starts, i) = item.hi[i];
+      for (std::size_t k = 0; k < starts; ++k)
+        workload_rows(t * starts + k, i) = item.workload[i];
+    }
+    for (std::size_t k = 1; k < starts; ++k) {
+      Rng start_rng{derive_seed(cfg.multi_start_seed, k)};
+      for (std::size_t i = 0; i < n; ++i)
+        starts_mat(t * starts + k, i) = start_rng.uniform(item.lo[i], item.hi[i]);
+    }
+  }
+
+  // Per-row constant columns: quota normalizer and inverse margined target
+  // (solve_batch's mul-vs-scale equivalence, DESIGN.md §3.13).
+  nn::Tensor qnorm{rows, 1};
+  nn::Tensor inv_target{rows, 1};
+  std::vector<double> target(tenants, 0.0);
+  for (std::size_t t = 0; t < tenants; ++t) {
+    double hi_total = 0.0;
+    for (double h : requests[t].hi) hi_total += h;
+    const double quota_norm = 1.0 / hi_total;
+    target[t] = requests[t].slo_ms * cfg.slo_margin;
+    const double inv = 1.0 / target[t];
+    for (std::size_t k = 0; k < starts; ++k) {
+      qnorm(t * starts + k, 0) = quota_norm;
+      inv_target(t * starts + k, 0) = inv;
+    }
+  }
+
+  nn::Param r{std::move(starts_mat)};
+  nn::Adam adam{{&r}, {.lr = cfg.lr_mc}};
+
+  // One ADAM over the stacked block equals every row running its own
+  // (solve_batch's argument): elementwise updates, unmixed moments, shared
+  // step counter, finished rows re-pinned to their frozen value.
+  std::vector<SolverResult> runs(rows);
+  std::vector<double> prev_loss(rows, std::numeric_limits<double>::infinity());
+  std::vector<std::size_t> calm(rows, 0);
+  std::vector<char> done(rows, 0);
+  nn::Tensor frozen{rows, n};
+  std::size_t active = rows;
+
+  nn::Tape tape;
+  for (std::size_t it = 1; it <= cfg.max_iterations && active > 0; ++it) {
+    tape.reset();
+    tape.set_freeze_params(false);
+    nn::Var rv = tape.param(r);
+    tape.set_freeze_params(true);
+    nn::Var pred = surrogate.predict_var_rows(tape, workload_rows, rv);  // rows x 1
+    nn::Var quota_term = nn::mul(nn::sum_rows(rv), tape.constant_ref(qnorm));
+    nn::Var violation = nn::relu(
+        nn::add_scalar(nn::mul(pred, tape.constant_ref(inv_target)), -1.0));
+    nn::Var loss_rows = nn::add(quota_term, nn::scale(violation, cfg.rho));
+    nn::Var total = nn::sum_all(loss_rows);
+
+    const nn::Tensor& loss_vals = tape.value(loss_rows);  // pre-step, per row
+    r.zero_grad();
+    tape.backward(total);
+    adam.step();
+    if (cfg.lr_decay_every > 0 && it % cfg.lr_decay_every == 0)
+      adam.set_learning_rate(adam.learning_rate() * cfg.lr_decay_factor);
+    for (std::size_t t = 0; t < tenants; ++t)
+      for (std::size_t k = 0; k < starts; ++k) {
+        const std::size_t row = t * starts + k;
+        for (std::size_t i = 0; i < n; ++i)
+          r.value(row, i) =
+              std::clamp(r.value(row, i), requests[t].lo[i], requests[t].hi[i]);
+      }
+    for (std::size_t row = 0; row < rows; ++row)
+      if (done[row])
+        for (std::size_t i = 0; i < n; ++i) r.value(row, i) = frozen(row, i);
+
+    for (std::size_t row = 0; row < rows; ++row) {
+      if (done[row]) continue;
+      const double loss_val = loss_vals(row, 0);
+      runs[row].iterations = it;
+      runs[row].loss = loss_val;
+      if (std::abs(loss_val - prev_loss[row]) < cfg.tolerance) {
+        if (++calm[row] >= cfg.patience) {
+          runs[row].converged = true;
+          done[row] = 1;
+          --active;
+          for (std::size_t i = 0; i < n; ++i) frozen(row, i) = r.value(row, i);
+          continue;
+        }
+      } else {
+        calm[row] = 0;
+      }
+      prev_loss[row] = loss_val;
+    }
+  }
+  tape.set_freeze_params(false);
+
+  for (std::size_t row = 0; row < rows; ++row) {
+    runs[row].quota.assign(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) runs[row].quota[i] = r.value(row, i);
+  }
+  // One stacked frozen forward scores every row — a single code path for
+  // any (tenants, starts), so the solo and fleet-batched tiers match.
+  tape.reset();
+  tape.set_freeze_params(true);
+  nn::Var quota_var = tape.constant_ref(r.value);
+  nn::Var pred = surrogate.predict_var_rows(tape, workload_rows, quota_var);
+  const nn::Tensor& pred_vals = tape.value(pred);
+  for (std::size_t row = 0; row < rows; ++row)
+    runs[row].predicted_ms = pred_vals(row, 0);
+  tape.set_freeze_params(false);
+
+  const double surrogate_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  std::vector<Descent> out;
+  out.reserve(tenants);
+  for (std::size_t t = 0; t < tenants; ++t) {
+    std::vector<SolverResult> item_runs(
+        std::make_move_iterator(runs.begin() + static_cast<std::ptrdiff_t>(t * starts)),
+        std::make_move_iterator(
+            runs.begin() + static_cast<std::ptrdiff_t>((t + 1) * starts)));
+    Descent d;
+    for (const SolverResult& run : item_runs) d.surrogate_iterations += run.iterations;
+    d.winner =
+        std::move(item_runs[ConfigurationSolver::pick_winner(item_runs, target[t])]);
+    d.seconds = surrogate_seconds;
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+std::vector<SolverResult> TieredPlanner::solve_items(gnn::SurrogateModel& surrogate,
+                                                     const SolverConfig& cfg,
+                                                     std::span<const Item> items) {
+  for (const Item& item : items)
+    if (item.planner == nullptr || item.verifier == nullptr ||
+        item.full_solver == nullptr)
+      throw std::invalid_argument{"solve_items: null item member"};
+
+  std::vector<DescentRequest> requests;
+  requests.reserve(items.size());
+  for (const Item& item : items)
+    requests.push_back({item.workload, item.slo_ms, item.lo, item.hi});
+  std::vector<Descent> descents = descend(surrogate, cfg, requests);
+
+  std::vector<SolverResult> out;
+  out.reserve(items.size());
+  for (std::size_t t = 0; t < items.size(); ++t) {
+    const Item& item = items[t];
+    SolverResult winner = std::move(descents[t].winner);
+    const double surrogate_ms = winner.predicted_ms;
+
+    // The verification tier: exactly one full-GNN forward at the candidate.
+    const double full_ms = item.verifier->predict(item.workload, winner.quota);
+    const double disagreement_pct = std::abs(surrogate_ms - full_ms) /
+                                    std::max(std::abs(full_ms), 1e-9) * 100.0;
+    const bool trusted = disagreement_pct <= item.planner->cfg_.trust_band_pct &&
+                         full_ms <= item.slo_ms;
+    item.full_solver->note_external_iterations(descents[t].surrogate_iterations);
+    if (trusted) {
+      // Truth flows downstream: the accepted plan reports the full model's
+      // prediction, so finish_plan's feasibility/saturation logic behaves
+      // exactly as in full mode.
+      winner.predicted_ms = full_ms;
+      winner.solve_seconds = descents[t].seconds;
+      item.planner->note_fast_hit(disagreement_pct);
+      out.push_back(std::move(winner));
+      continue;
+    }
+
+    // Trust-band miss: the candidate (with its teacher label) feeds the
+    // refresh window, then the full solver takes over.
+    item.planner->note_escalation(disagreement_pct);
+    item.planner->note_miss_sample(item.workload, winner.quota, full_ms);
+    SolverResult full =
+        item.full_solver->solve(item.workload, item.slo_ms, item.lo, item.hi);
+    item.planner->note_miss_sample(item.workload, full.quota, full.predicted_ms);
+    item.planner->maybe_auto_refresh();
+    out.push_back(std::move(full));
+  }
+  return out;
+}
+
+gnn::SurrogateDistiller::Result TieredPlanner::distill_for_planner(
+    gnn::LatencyModel& teacher, std::span<const double> workload_hi,
+    std::span<const Millicores> lo, std::span<const Millicores> hi, double slo_ms,
+    const SolverDistillConfig& cfg, const SolverConfig& solver) {
+  if (slo_ms <= 0.0)
+    throw std::invalid_argument{"distill_for_planner: slo must be > 0"};
+  if (cfg.rounds > 0 && cfg.queries_per_round == 0)
+    throw std::invalid_argument{
+        "distill_for_planner: queries_per_round must be > 0 with rounds > 0"};
+  if (cfg.jitter_pct < 0.0 || cfg.jitter_pct >= 1.0)
+    throw std::invalid_argument{"distill_for_planner: jitter_pct must be in [0, 1)"};
+
+  // Phase 1 — the plain operating-region pass (same split rule as
+  // SurrogateDistiller::distill, kept here so the rollout rounds can fold
+  // fresh samples into the live training set).
+  gnn::Dataset train = gnn::SurrogateDistiller::sample_teacher(
+      teacher, workload_hi, lo, hi, cfg.base.samples, cfg.base.seed,
+      cfg.base.workload_floor, cfg.base.correlated_fraction, cfg.base.low_quota_bias);
+  const std::size_t val_count =
+      std::min(train.size() - 1,
+               static_cast<std::size_t>(std::llround(
+                   cfg.base.val_fraction * static_cast<double>(train.size()))));
+  gnn::Dataset val{train.end() - static_cast<std::ptrdiff_t>(val_count), train.end()};
+  train.resize(train.size() - val_count);
+
+  gnn::SurrogateModel model{teacher.node_count(), cfg.base.model,
+                            derive_seed(cfg.base.seed, 1)};
+  model.set_scalers(teacher.scalers());
+
+  gnn::DistillReport report;
+  report.samples = cfg.base.samples;
+  report.history = model.fit(train, val, cfg.base.train);
+
+  // Phase 2 — rollout, label, fold in, fine-tune. Each round's queries
+  // descend as one stacked tape through the *current* surrogate, so round
+  // k covers the level set the round-(k-1) model steers to; the teacher
+  // labels land exactly where the planner's verification forward will look.
+  const std::size_t n = teacher.node_count();
+  for (std::size_t round = 0; round < cfg.rounds; ++round) {
+    std::vector<std::vector<double>> queries(cfg.queries_per_round);
+    for (std::size_t qi = 0; qi < cfg.queries_per_round; ++qi) {
+      Rng rng{derive_seed(derive_seed(cfg.seed, round), qi)};
+      std::vector<double>& w = queries[qi];
+      w.resize(n);
+      if (rng.uniform(0.0, 1.0) < cfg.base.correlated_fraction) {
+        const double t = rng.uniform(cfg.base.workload_floor, 1.0);
+        for (std::size_t k = 0; k < n; ++k) w[k] = t * workload_hi[k];
+      } else {
+        for (std::size_t k = 0; k < n; ++k)
+          w[k] = rng.uniform(cfg.base.workload_floor * workload_hi[k],
+                             workload_hi[k]);
+      }
+    }
+    std::vector<DescentRequest> requests;
+    requests.reserve(queries.size());
+    for (const std::vector<double>& w : queries)
+      requests.push_back({w, slo_ms, lo, hi});
+    std::vector<Descent> descents = descend(model, solver, requests);
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+      gnn::Sample s;
+      s.workload = queries[qi];
+      s.quota = std::move(descents[qi].winner.quota);
+      s.latency_ms = teacher.predict(s.workload, s.quota);
+      // Jittered neighbors first (they read s.quota), then the winner.
+      for (std::size_t j = 0; j < cfg.jitter_per_query; ++j) {
+        Rng jrng{derive_seed(derive_seed(derive_seed(cfg.seed, round), qi), j + 1)};
+        gnn::Sample neighbor;
+        neighbor.workload = s.workload;
+        neighbor.quota.resize(n);
+        for (std::size_t k = 0; k < n; ++k)
+          neighbor.quota[k] = std::clamp(
+              s.quota[k] * jrng.uniform(1.0 - cfg.jitter_pct, 1.0 + cfg.jitter_pct),
+              lo[k], hi[k]);
+        neighbor.latency_ms = teacher.predict(neighbor.workload, neighbor.quota);
+        train.push_back(std::move(neighbor));
+      }
+      train.push_back(std::move(s));
+    }
+    report.samples += queries.size() * (1 + cfg.jitter_per_query);
+    gnn::TrainConfig refine = cfg.refine;
+    refine.seed = derive_seed(cfg.refine.seed, round);
+    model.fit(train, val, refine);
+  }
+
+  if (!val.empty())
+    report.val_mean_abs_pct_error = model.evaluate_accuracy(val).mean_abs_pct_error;
+  return {std::move(model), std::move(report)};
+}
+
+}  // namespace graf::core

@@ -1,0 +1,263 @@
+// Two-tier surrogate-verified planning (DESIGN.md §3.14).
+//
+// The planner solves on the distilled surrogate first — the same batched
+// multi-start descent the full solver runs (identical start draws, loss
+// terms, ADAM trajectory, convergence bookkeeping, winner rule), but
+// through a tape orders of magnitude smaller — then *verifies* the winning
+// candidate with exactly one full-GNN forward. If the full model's
+// prediction at the candidate disagrees with the surrogate's beyond a
+// trust band (or predicts an SLO breach), the planner escalates to the
+// full-GNN solve and feeds the miss back as a distillation sample; enough
+// accumulated misses trigger an online surrogate refresh that rides the
+// OnlineTrainer/ModelRegistry semantics (fine-tune a clone, adopt only if
+// it beats the incumbent on the miss window, publish/promote through a
+// SurrogateRegistry when one is attached).
+//
+// Accepted fast-path plans report the *full model's* prediction as
+// predicted_ms — truth flows downstream (feasibility checks, telemetry,
+// k-scaling), the surrogate only steers the descent.
+//
+// Determinism contract: a solve is a pure function of (surrogate bits,
+// solver config, trust band, full model bits, inputs). The fleet stacks
+// fingerprint-equal tenants' surrogate descents into one tape via
+// solve_items(); item t's result is bit-identical to the tenant's own
+// solo solve, the same §3.13 property the full-GNN batch path proves.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/units.h"
+#include "core/configuration_solver.h"
+#include "gnn/latency_model.h"
+#include "gnn/surrogate_model.h"
+#include "serve/surrogate_store.h"
+#include "telemetry/metrics.h"
+
+namespace graf::core {
+
+struct TieredPlannerConfig {
+  /// Surrogate-tier descent shape. Shares SolverConfig so the fast path
+  /// inherits multi-start, decay, and termination semantics unchanged.
+  SolverConfig solver;
+  /// Accept the surrogate candidate when |surrogate - full| / full * 100
+  /// stays within this band AND the full model deems the candidate within
+  /// SLO; otherwise escalate.
+  double trust_band_pct = 10.0;
+  /// Retained escalation-miss samples (teacher-labelled) for refresh.
+  std::size_t refresh_window = 256;
+  /// Escalations per automatic refresh attempt (0 = manual refresh_now()
+  /// only — the fleet default, where admission distillation is fresh).
+  std::size_t refresh_after = 0;
+  /// Minimum window fill before any refresh attempt.
+  std::size_t refresh_min_samples = 32;
+  /// Short fine-tune schedule for the refresh clone. Symmetric thetas for
+  /// the same reason as DistillConfig::train: the trust band is symmetric.
+  gnn::TrainConfig refresh_train{.iterations = 400,
+                                 .batch_size = 64,
+                                 .lr = 1e-3,
+                                 .lr_decay_every = 150,
+                                 .lr_decay_factor = 0.5,
+                                 .theta_under = 0.1,
+                                 .theta_over = 0.1,
+                                 .eval_every = 100,
+                                 .seed = 29,
+                                 .select_best = true,
+                                 .shard_rows = 32};
+};
+
+/// Solver-in-the-loop distillation (TieredPlanner::distill_for_planner).
+/// A plain SurrogateDistiller::distill() pass fits the operating region
+/// uniformly, but the fast path then *optimizes against* the surrogate and
+/// lands on the thin level set `predicted == slo_margin * slo` — exactly
+/// where uniform coverage is thinnest, with an adversarial bias toward
+/// wherever the surrogate under-predicts. Each refinement round rolls the
+/// surrogate descent out over fresh region workloads, labels the winning
+/// candidates with the teacher, folds them into the training set, and
+/// fine-tunes — so by the last round the surrogate is accurate precisely
+/// where the planner will query it.
+struct SolverDistillConfig {
+  /// The plain offline pass (phase 1).
+  gnn::DistillConfig base;
+  /// Rollout-label-refit rounds (0 = plain distillation only).
+  std::size_t rounds = 2;
+  /// Surrogate-descent rollouts per round, batched as one stacked tape.
+  std::size_t queries_per_round = 256;
+  /// Extra teacher labels per rollout at jittered quotas around the winner
+  /// (each coordinate scaled by uniform(1 - jitter_pct, 1 + jitter_pct),
+  /// clamped to [lo, hi]). The fine-tune shifts the model — and with it the
+  /// next descent's landing spot — so labeling a neighborhood instead of a
+  /// point keeps the drifted queries on trained terrain.
+  std::size_t jitter_per_query = 2;
+  double jitter_pct = 0.10;
+  /// Seed for the rollout workload draws (derive_seed(seed, round, query)).
+  std::uint64_t seed = 4099;
+  /// Short fine-tune schedule applied after each round's fold-in
+  /// (symmetric thetas — see gnn::DistillConfig::train).
+  gnn::TrainConfig refine{.iterations = 1200,
+                          .batch_size = 128,
+                          .lr = 1e-3,
+                          .lr_decay_every = 400,
+                          .lr_decay_factor = 0.6,
+                          .theta_under = 0.1,
+                          .theta_over = 0.1,
+                          .eval_every = 200,
+                          .seed = 13,
+                          .select_best = false,
+                          .shard_rows = 32};
+};
+
+/// Per-tenant two-tier planning spec (fleet admission, fleet/tenant.h):
+/// when enabled, the tenant distills its model into a surrogate at
+/// admission (solver-in-the-loop, against the tenant's own SLO) and routes
+/// every solve through a TieredPlanner.
+struct TieredSpec {
+  bool enabled = false;
+  SolverDistillConfig distill;
+  TieredPlannerConfig planner;
+};
+
+class TieredPlanner {
+ public:
+  /// The planner serves `surrogate` until a handle/registry swap or an
+  /// adopted refresh replaces it.
+  TieredPlanner(std::shared_ptr<gnn::SurrogateModel> surrogate,
+                TieredPlannerConfig cfg);
+
+  const TieredPlannerConfig& config() const { return cfg_; }
+
+  /// Serve the surrogate through a hot-swappable handle: every solve (and
+  /// surrogate_generation()) re-acquires, so registry promotes/rollbacks
+  /// land between control ticks. A swap to a different instance bumps the
+  /// generation — plan-cache entries keyed on it can never go stale.
+  void set_handle(serve::SurrogateHandle* handle);
+  /// Adopted refreshes publish+promote through `registry` (checkpointing
+  /// to its store dir); attach the planner's handle to the same key so the
+  /// promoted version comes back through set_handle's path.
+  void set_registry(serve::SurrogateRegistry* registry, serve::ModelKey key);
+
+  /// The surrogate a solve would descend right now (refreshes from the
+  /// handle first). Single-writer like the rest of the planner.
+  gnn::SurrogateModel& active_surrogate();
+  /// Monotone counter bumped whenever the served surrogate instance
+  /// changes (handle swap or adopted refresh) — the plan-cache key
+  /// component (ResourceController planner_bits).
+  std::uint64_t surrogate_generation();
+
+  /// Two-tier solve: surrogate multi-start descent, one full-GNN verify,
+  /// escalate to full_solver.solve() on a trust-band miss. Bit-identical
+  /// to a fleet-batched solve_items() over fingerprint-equal surrogates.
+  SolverResult solve(gnn::LatencyModel& verifier, ConfigurationSolver& full_solver,
+                     std::span<const double> workload, double slo_ms,
+                     std::span<const Millicores> lo, std::span<const Millicores> hi);
+
+  /// One tenant's request inside a stacked surrogate batch. Spans alias
+  /// caller storage for the duration of solve_items; planner/verifier/
+  /// full_solver are the *tenant's own* (counters, escalated solves, and
+  /// miss windows stay per-tenant).
+  struct Item {
+    TieredPlanner* planner = nullptr;
+    gnn::LatencyModel* verifier = nullptr;
+    ConfigurationSolver* full_solver = nullptr;
+    std::span<const double> workload;
+    double slo_ms = 0.0;
+    std::span<const Millicores> lo;
+    std::span<const Millicores> hi;
+  };
+
+  /// Descend every item's surrogate multi-starts as rows of ONE tape
+  /// through `surrogate` (which must be fingerprint-equal to each item
+  /// planner's active surrogate), then verify/escalate per item. Item t's
+  /// result is bit-identical to items[t].planner->solve(...) alone —
+  /// same start rows, per-row constant qnorm/target columns (mul vs scale,
+  /// §3.13), frozen-row bookkeeping, winner rule, verification forward,
+  /// and escalation path. Static because the batch spans tenants.
+  static std::vector<SolverResult> solve_items(gnn::SurrogateModel& surrogate,
+                                               const SolverConfig& cfg,
+                                               std::span<const Item> items);
+
+  /// Fine-tune a clone on the miss window and adopt it if it beats the
+  /// incumbent there (holdout-gate semantics, serve/online_trainer.h).
+  /// Returns true when the refreshed surrogate was adopted.
+  bool refresh_now();
+
+  /// Solver-in-the-loop distillation (see SolverDistillConfig): plain
+  /// distill, then `rounds` x { batched surrogate-descent rollout over
+  /// region workloads at `slo_ms`, teacher-label the winners, fold in,
+  /// fine-tune }. `solver` should be the config the planner will descend
+  /// with (TieredPlannerConfig::solver) so the rollouts reproduce the
+  /// production query distribution. Deterministic at any GRAF_THREADS:
+  /// rollout draws are per-(round, query) derived streams and the descent
+  /// is the same single-tape path solve() runs.
+  static gnn::SurrogateDistiller::Result distill_for_planner(
+      gnn::LatencyModel& teacher, std::span<const double> workload_hi,
+      std::span<const Millicores> lo, std::span<const Millicores> hi,
+      double slo_ms, const SolverDistillConfig& cfg, const SolverConfig& solver);
+
+  /// Intern core.surrogate.* instruments (nullptr detaches):
+  /// fast_hits / escalations / distill_samples / refreshes counters,
+  /// trust_band_pct and last disagreement gauges.
+  void set_metrics(telemetry::MetricsRegistry* registry);
+
+  std::uint64_t fast_hits() const { return fast_hits_; }
+  std::uint64_t escalations() const { return escalations_; }
+  std::uint64_t distill_samples() const { return distill_samples_; }
+  std::uint64_t refreshes() const { return refreshes_; }
+  std::size_t miss_window_size() const { return window_.size(); }
+
+ private:
+  /// One row-block of a stacked surrogate descent (no verification tier).
+  struct DescentRequest {
+    std::span<const double> workload;
+    double slo_ms = 0.0;
+    std::span<const Millicores> lo;
+    std::span<const Millicores> hi;
+  };
+  struct Descent {
+    SolverResult winner;                    ///< predicted_ms is the surrogate's
+    std::size_t surrogate_iterations = 0;   ///< summed over this item's starts
+    double seconds = 0.0;                   ///< shared stacked-descent wall time
+  };
+  /// The pure surrogate tier: every request's multi-starts descend as rows
+  /// of one tape (identical start rows / loss terms / winner rule as the
+  /// full solver, §3.13). Shared by solve_items() and the distillation
+  /// rollouts, so both see the exact same query distribution.
+  static std::vector<Descent> descend(gnn::SurrogateModel& surrogate,
+                                      const SolverConfig& cfg,
+                                      std::span<const DescentRequest> requests);
+
+  void note_fast_hit(double disagreement_pct);
+  void note_escalation(double disagreement_pct);
+  /// Record a teacher-labelled miss sample and maybe auto-refresh.
+  void note_miss_sample(std::span<const double> workload,
+                        std::span<const Millicores> quota, double teacher_ms);
+  void maybe_auto_refresh();
+  void adopt(gnn::SurrogateModel&& candidate);
+
+  TieredPlannerConfig cfg_;
+  std::shared_ptr<gnn::SurrogateModel> served_;
+  std::uint64_t generation_ = 1;
+
+  serve::SurrogateHandle* handle_ = nullptr;
+  serve::SurrogateRegistry* registry_ = nullptr;
+  serve::ModelKey registry_key_{};
+
+  gnn::Dataset window_;  // bounded FIFO of escalation-miss samples
+  std::size_t misses_since_refresh_ = 0;
+
+  std::uint64_t fast_hits_ = 0;
+  std::uint64_t escalations_ = 0;
+  std::uint64_t distill_samples_ = 0;
+  std::uint64_t refreshes_ = 0;
+
+  telemetry::Counter* fast_hits_counter_ = nullptr;
+  telemetry::Counter* escalations_counter_ = nullptr;
+  telemetry::Counter* distill_samples_counter_ = nullptr;
+  telemetry::Counter* refreshes_counter_ = nullptr;
+  telemetry::Gauge* trust_band_gauge_ = nullptr;
+  telemetry::Gauge* disagreement_gauge_ = nullptr;
+};
+
+}  // namespace graf::core

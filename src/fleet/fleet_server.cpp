@@ -166,15 +166,29 @@ FleetServer::StepStats FleetServer::step() {
     if (batch_plans_) {
       for (auto& group : groups) {
         Tenant* lead = group.front();
-        if (lead->controller_->current_model().node_count() ==
-                t->controller_->current_model().node_count() &&
-            core::ConfigurationSolver::descent_equivalent(
-                lead->solver_->config(), t->solver_->config()) &&
-            lead->model_fingerprint() == t->model_fingerprint()) {
-          group.push_back(t);
-          placed = true;
-          break;
-        }
+        if (lead->controller_->current_model().node_count() !=
+                t->controller_->current_model().node_count() ||
+            !core::ConfigurationSolver::descent_equivalent(
+                lead->solver_->config(), t->solver_->config()) ||
+            lead->model_fingerprint() != t->model_fingerprint())
+          continue;
+        // Tiered tenants batch only with tiered tenants whose surrogate
+        // descent is bit-equivalent: same surrogate weights (fingerprint
+        // covers config + scalers + every parameter), same descent knobs on
+        // the surrogate tier, and the same trust band so accept/escalate
+        // decisions match the solo path exactly.
+        const core::PlannerMode mode = t->controller_->planner_mode();
+        if (mode != lead->controller_->planner_mode()) continue;
+        if (mode == core::PlannerMode::kSurrogateVerified &&
+            (!core::ConfigurationSolver::descent_equivalent(
+                 lead->tiered_->config().solver, t->tiered_->config().solver) ||
+             lead->tiered_->config().trust_band_pct !=
+                 t->tiered_->config().trust_band_pct ||
+             lead->surrogate_fingerprint() != t->surrogate_fingerprint()))
+          continue;
+        group.push_back(t);
+        placed = true;
+        break;
       }
     }
     if (!placed) groups.emplace_back(1, t);
@@ -210,6 +224,11 @@ void FleetServer::solve_group(const std::vector<Tenant*>& group) {
     group.front()->solve_and_finish();
     return;
   }
+  if (group.front()->controller_->planner_mode() ==
+      core::PlannerMode::kSurrogateVerified) {
+    solve_group_surrogate(group);
+    return;
+  }
   Tenant* lead = group.front();
   const core::SolverConfig& cfg = lead->solver_->config();
   const std::size_t starts = std::max<std::size_t>(1, cfg.multi_starts);
@@ -240,6 +259,44 @@ void FleetServer::solve_group(const std::vector<Tenant*>& group) {
     group[i]->solver_->note_external_iterations(batch[i].total_iterations);
     group[i]->finish_solve(std::move(batch[i].result));
   }
+}
+
+void FleetServer::solve_group_surrogate(const std::vector<Tenant*>& group) {
+  // Row-batched surrogate tier (§3.13 applied to §3.14): every member's
+  // multi-start descent rides one stacked tape over the lead's surrogate
+  // (fingerprint-equal to each member's own), then each item verifies
+  // against its *own* tenant's full model and, on a miss, escalates through
+  // its own instrumented solver — so counters, miss windows, and results
+  // are bit-identical to the one-tenant-at-a-time path.
+  Tenant* lead = group.front();
+  std::vector<core::SolverResult> batch;
+  bool ok = true;
+  try {
+    std::vector<core::TieredPlanner::Item> items;
+    items.reserve(group.size());
+    for (Tenant* t : group)
+      items.push_back({t->tiered_.get(), &t->controller_->current_model(),
+                       t->solver_.get(), t->prep_.scaled, t->prep_.slo_ms,
+                       t->controller_->lower_bounds(),
+                       t->controller_->upper_bounds()});
+    batch = core::TieredPlanner::solve_items(
+        lead->tiered_->active_surrogate(), lead->tiered_->config().solver, items);
+    ok = batch.size() == group.size();
+  } catch (...) {
+    ok = false;
+  }
+  if (!ok) {
+    // Batched surrogate pass failed as a unit; each member retries alone
+    // (solve_and_finish routes back through its own tiered planner) so one
+    // tenant's pathology can't degrade its groupmates.
+    for (Tenant* t : group) t->solve_and_finish();
+    return;
+  }
+  // No note_external_iterations here: solve_items already credits each
+  // item's solver with the surrogate descent (and any escalated full solve
+  // instruments itself).
+  for (std::size_t i = 0; i < group.size(); ++i)
+    group[i]->finish_solve(std::move(batch[i]));
 }
 
 void FleetServer::commit(Tenant& t, StepStats& stats) {

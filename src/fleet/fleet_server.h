@@ -154,6 +154,11 @@ class FleetServer {
   /// per-tenant solves if the batched attempt throws. Runs on a pool worker
   /// (one worker per group; members' state is private to that worker).
   void solve_group(const std::vector<Tenant*>& group);
+  /// Surrogate-mode groups: one TieredPlanner::solve_items call descends
+  /// every member's multi-start on one stacked tape over the lead's
+  /// surrogate (fingerprint-equal across the group); verification and any
+  /// escalation stay per-tenant. Per-tenant fallback on a thrown batch.
+  void solve_group_surrogate(const std::vector<Tenant*>& group);
 
   // Registry before slots_: ~Tenant detaches its handle from registry_.
   serve::ModelRegistry registry_;

@@ -43,6 +43,33 @@ Tenant::Tenant(TenantId id, const TenantSpec& spec, serve::ModelRegistry& regist
   controller_->set_plan_cache_capacity(spec.plan_cache_capacity);
   controller_->set_metrics(&metrics_);
 
+  if (spec.surrogate.enabled) {
+    // Admission distillation: sample the operating region — the training
+    // reference's per-node maxima when given, else the teacher's trained
+    // region (w_scale is 1/max trained workload) — and distill the
+    // promoted v1 into this tenant's private surrogate. No serving handle
+    // or registry is attached: refreshes stay local, so worker-thread
+    // solves never race a registry and the coordinator's grouping sees
+    // every generation bump through surrogate_fingerprint().
+    std::vector<double> region(services, 0.0);
+    if (!spec.training_reference.empty()) {
+      for (const auto& s : spec.training_reference)
+        for (std::size_t i = 0; i < services; ++i)
+          region[i] = std::max(region[i], s.workload[i]);
+    } else {
+      const double wmax = 1.0 / model_->scalers().w_scale;
+      for (double& r : region) r = wmax;
+    }
+    gnn::SurrogateDistiller::Result distilled = core::TieredPlanner::distill_for_planner(
+        *model_, region, spec.lo, spec.hi, spec.slo_ms, spec.surrogate.distill,
+        spec.surrogate.planner.solver);
+    tiered_ = std::make_unique<core::TieredPlanner>(
+        std::make_shared<gnn::SurrogateModel>(std::move(distilled.model)),
+        spec.surrogate.planner);
+    tiered_->set_metrics(&metrics_);
+    controller_->set_tiered_planner(tiered_.get());
+  }
+
   if (spec.forecast.enabled) {
     gate_ = std::make_unique<forecast::ForecastGate>(spec.forecast);
     gate_->set_metrics(&metrics_);
@@ -149,6 +176,19 @@ void Tenant::finish_solve(core::SolverResult solved) {
   } catch (...) {
     outcome_ = Outcome::kFailed;
   }
+}
+
+std::uint64_t Tenant::surrogate_fingerprint() {
+  // Same cache discipline as model_fingerprint(): the tenant's surrogate is
+  // local-only, so its generation counter is the one true change signal.
+  const std::uint64_t generation = tiered_->surrogate_generation();
+  if (!surrogate_fp_valid_ || surrogate_fp_generation_ != generation) {
+    surrogate_fingerprint_ =
+        gnn::SurrogateModel::fingerprint(tiered_->active_surrogate());
+    surrogate_fp_generation_ = generation;
+    surrogate_fp_valid_ = true;
+  }
+  return surrogate_fingerprint_;
 }
 
 std::uint64_t Tenant::model_fingerprint() {

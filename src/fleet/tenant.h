@@ -26,6 +26,7 @@
 #include "common/units.h"
 #include "core/configuration_solver.h"
 #include "core/resource_controller.h"
+#include "core/tiered_planner.h"
 #include "core/workload_analyzer.h"
 #include "forecast/gate.h"
 #include "gnn/latency_model.h"
@@ -80,8 +81,16 @@ struct TenantSpec {
   /// Relative per-API workload change that triggers a re-solve; smaller
   /// deltas coast on the current plan (GrafController's hysteresis band).
   double change_threshold = 0.10;
+  /// Per-tenant plan-cache capacity (LRU entries; 0 disables caching) —
+  /// small tenants can run lean while hot tenants keep a deep cache.
   std::size_t plan_cache_capacity = 64;
   core::SolverConfig solver;
+  /// Two-tier surrogate planning (off by default, DESIGN.md §3.14): at
+  /// admission the tenant distills its model into a fast surrogate and
+  /// routes every solve through a TieredPlanner — surrogate multi-start
+  /// descent, one full-GNN verification, escalation on trust-band misses.
+  /// Fingerprint-equal surrogate tenants share stacked fleet batches.
+  core::TieredSpec surrogate;
   /// Forecast mode (off by default): when `forecast.enabled`, the tenant
   /// plans for max(observed, predicted_at_horizon) — the pre-warm that
   /// covers the simulator's instance-creation delay. Forecaster state is
@@ -113,6 +122,11 @@ class Tenant {
 
   serve::ServingHandle& handle() { return handle_; }
   core::ResourceController& controller() { return *controller_; }
+  /// The tenant's two-tier planner (nullptr unless TenantSpec.surrogate
+  /// was enabled at admission). Fleet-local: no serving handle/registry is
+  /// attached, so refreshes stay inside the tenant and the coordinator's
+  /// grouping (surrogate_fingerprint) sees every generation bump.
+  core::TieredPlanner* tiered_planner() { return tiered_.get(); }
 
   /// Per-tenant metrics (plan cache, solver, degraded-mode counters). The
   /// fleet server merges these into its snapshot; workers touch only their
@@ -179,6 +193,10 @@ class Tenant {
   /// (registry deep copies fingerprint equal; pointer identity never
   /// groups). Coordinator-only: call between fan-outs.
   std::uint64_t model_fingerprint();
+  /// Content fingerprint of the active surrogate, cached per surrogate
+  /// generation — the extra grouping key surrogate-mode tenants need
+  /// before sharing a stacked tier-1 descent. Coordinator-only.
+  std::uint64_t surrogate_fingerprint();
 
   TenantId id_;
   serve::ModelKey key_;
@@ -192,6 +210,7 @@ class Tenant {
   std::unique_ptr<core::WorkloadAnalyzer> analyzer_;
   std::unique_ptr<core::ConfigurationSolver> solver_;
   std::unique_ptr<core::ResourceController> controller_;
+  std::unique_ptr<core::TieredPlanner> tiered_;
   std::unique_ptr<serve::OnlineTrainer> trainer_;
   std::unique_ptr<forecast::ForecastGate> gate_;
   serve::ForecastHandle forecast_handle_;
@@ -221,6 +240,12 @@ class Tenant {
   std::uint64_t fingerprint_ = 0;
   std::uint64_t fingerprint_generation_ = 0;
   bool fingerprint_valid_ = false;
+
+  // Surrogate-fingerprint cache, keyed on the tiered planner's surrogate
+  // generation (same pattern as the model fingerprint above).
+  std::uint64_t surrogate_fingerprint_ = 0;
+  std::uint64_t surrogate_fp_generation_ = 0;
+  bool surrogate_fp_valid_ = false;
 
   // Hysteresis / signal-loss state (per-tenant GrafController semantics).
   std::vector<Qps> last_solved_qps_;

@@ -1,0 +1,434 @@
+#include "gnn/surrogate_model.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/thread_pool.h"
+#include "nn/loss.h"
+#include "nn/optim.h"
+
+namespace graf::gnn {
+
+namespace {
+
+std::vector<std::size_t> mlp_dims(std::size_t node_count, const SurrogateConfig& cfg) {
+  if (node_count == 0)
+    throw std::invalid_argument{"SurrogateModel: node_count must be > 0"};
+  if (cfg.hidden == 0)
+    throw std::invalid_argument{"SurrogateModel: hidden width must be > 0"};
+  std::vector<std::size_t> dims;
+  dims.push_back(node_count * SurrogateModel::kNodeFeatures);
+  for (std::size_t l = 0; l < cfg.hidden_layers; ++l) dims.push_back(cfg.hidden);
+  dims.push_back(1);
+  return dims;
+}
+
+// FNV-1a 64 — same constants and mixing as gnn::BatchedLatencyModel's
+// teacher fingerprint, so equal-fingerprint ⇒ bit-identical forwards holds
+// with the same strength for the surrogate.
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+}
+
+void mix_double(std::uint64_t& h, double v) { mix(h, std::bit_cast<std::uint64_t>(v)); }
+
+}  // namespace
+
+SurrogateModel::SurrogateModel(std::size_t node_count, const SurrogateConfig& cfg,
+                               std::uint64_t seed)
+    : node_count_{node_count}, cfg_{cfg}, rng_{seed},
+      mlp_{mlp_dims(node_count, cfg), cfg.dropout_p, rng_} {}
+
+SurrogateModel::Batch SurrogateModel::assemble(const Dataset& data,
+                                               std::span<const std::size_t> idx) const {
+  const std::size_t batch = idx.size();
+  Batch b{nn::Tensor{batch, node_count_ * kNodeFeatures}, nn::Tensor{batch, 1}};
+  for (std::size_t r = 0; r < batch; ++r) {
+    const Sample& s = data[idx[r]];
+    if (s.workload.size() != node_count_ || s.quota.size() != node_count_)
+      throw std::invalid_argument{"SurrogateModel: sample dimension mismatch"};
+    for (std::size_t n = 0; n < node_count_; ++n) {
+      if (s.quota[n] <= 0.0)
+        throw std::invalid_argument{"SurrogateModel: quota must be > 0"};
+      const std::size_t c = n * kNodeFeatures;
+      b.features(r, c + 0) = s.workload[n] * s_.w_scale;
+      b.features(r, c + 1) = s.quota[n] * s_.q_scale;
+      b.features(r, c + 2) = s_.q_min_mc / s.quota[n];
+      b.features(r, c + 3) = s.workload[n] / s.quota[n] / s_.ratio_max;
+    }
+    // Log-space labels: latency spans a hyperbolic dynamic range near
+    // saturation that a small ReLU MLP underfits in linear space; log
+    // compresses it, and a log-difference is a relative error, so the
+    // huber thetas keep their percentage meaning (see fit()).
+    b.labels(r, 0) = std::log(std::max(s.latency_ms / s_.label_ref, 1e-9));
+  }
+  return b;
+}
+
+nn::Var SurrogateModel::forward_features(nn::Tape& tape, const Batch& b, Rng& rng,
+                                         bool training) {
+  // By reference: the Batch outlives every use of the tape, same contract
+  // as LatencyModel::forward_features.
+  return mlp_.forward(tape, tape.constant_ref(b.features), rng, training);
+}
+
+TrainHistory SurrogateModel::fit(const Dataset& train, const Dataset& val,
+                                 const TrainConfig& cfg) {
+  if (train.empty())
+    throw std::invalid_argument{"SurrogateModel::fit: empty training set"};
+  // Scalers are deliberately not refitted: the distiller pins the teacher's
+  // so both models read identical feature bits (see header).
+
+  Rng rng{cfg.seed};
+  nn::Adam opt{mlp_.params(), {.lr = cfg.lr}};
+
+  TrainHistory hist;
+  hist.best_val_loss = std::numeric_limits<double>::infinity();
+  std::vector<nn::Tensor> best_weights;
+
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::size_t cursor = order.size();  // trigger initial shuffle
+
+  // Data-parallel plan mirrors LatencyModel::fit: shard boundaries, dropout
+  // streams, and the shard-ordered gradient reduction depend only on the
+  // config — bit-identical at any GRAF_THREADS (DESIGN.md §3.7).
+  const std::size_t shard_rows =
+      cfg.shard_rows == 0 ? cfg.batch_size : cfg.shard_rows;
+  const std::size_t shards = (cfg.batch_size + shard_rows - 1) / shard_rows;
+  std::vector<std::unique_ptr<nn::Tape>> tapes;
+  for (std::size_t s = 0; s < shards; ++s) {
+    tapes.push_back(std::make_unique<nn::Tape>());
+    tapes.back()->set_defer_param_grads(true);
+  }
+  std::vector<double> shard_loss(shards, 0.0);
+  ThreadPool& pool = global_pool();
+
+  double running_loss = 0.0;
+  std::size_t running_count = 0;
+
+  for (std::size_t it = 1; it <= cfg.iterations; ++it) {
+    std::vector<std::size_t> idx;
+    idx.reserve(cfg.batch_size);
+    while (idx.size() < cfg.batch_size) {
+      if (cursor >= order.size()) {
+        for (std::size_t i = order.size(); i > 1; --i)
+          std::swap(order[i - 1],
+                    order[static_cast<std::size_t>(
+                        rng.uniform_int(0, static_cast<std::int64_t>(i) - 1))]);
+        cursor = 0;
+      }
+      idx.push_back(order[cursor++]);
+    }
+
+    mlp_.zero_grad();
+    const std::uint64_t iter_seed = derive_seed(cfg.seed, it);
+    pool.parallel_for(shards, [&](std::size_t s) {
+      const std::size_t begin = s * shard_rows;
+      const std::size_t len = std::min(shard_rows, cfg.batch_size - begin);
+      Batch b = assemble(train, {idx.data() + begin, len});
+      nn::Tape& tape = *tapes[s];
+      tape.reset();
+      Rng shard_rng{derive_seed(iter_seed, s)};
+      nn::Var pred = forward_features(tape, b, shard_rng, /*training=*/true);
+      // pred and labels are log-latencies; their difference approximates the
+      // relative error ((pred < label) == under-estimation), so the same
+      // asymmetric huber thetas apply as in the teacher's pct loss.
+      nn::Var d = nn::sub(pred, tape.constant_ref(b.labels));
+      nn::Var loss = nn::mean_all(nn::asym_huber(d, cfg.theta_under, cfg.theta_over));
+      const double weight =
+          static_cast<double>(len) / static_cast<double>(cfg.batch_size);
+      nn::Var contribution = nn::scale(loss, weight);
+      tape.backward(contribution);
+      shard_loss[s] = tape.value(contribution).item();
+    });
+    // Ordered reduction — accumulation order is part of the determinism
+    // contract, so it must not follow completion order.
+    for (auto& tape : tapes) tape->flush_param_grads();
+    opt.step();
+
+    double batch_loss = 0.0;
+    for (double l : shard_loss) batch_loss += l;
+    running_loss += batch_loss;
+    ++running_count;
+
+    if (cfg.lr_decay_every > 0 && it % cfg.lr_decay_every == 0)
+      opt.set_learning_rate(opt.learning_rate() * cfg.lr_decay_factor);
+
+    if ((cfg.eval_every > 0 && it % cfg.eval_every == 0) || it == cfg.iterations) {
+      const double train_loss = running_loss / static_cast<double>(running_count);
+      running_loss = 0.0;
+      running_count = 0;
+      const double val_loss =
+          val.empty() ? train_loss
+                      : evaluate_loss(val, cfg.theta_under, cfg.theta_over);
+      hist.iteration.push_back(it);
+      hist.train_loss.push_back(train_loss);
+      hist.val_loss.push_back(val_loss);
+      if (cfg.select_best && val_loss < hist.best_val_loss) {
+        hist.best_val_loss = val_loss;
+        best_weights.clear();
+        for (nn::Param* p : mlp_.params()) best_weights.push_back(p->value);
+      }
+    }
+  }
+
+  if (cfg.select_best && !best_weights.empty()) {
+    auto params = mlp_.params();
+    for (std::size_t i = 0; i < params.size(); ++i) params[i]->value = best_weights[i];
+  } else if (!hist.val_loss.empty()) {
+    hist.best_val_loss = hist.val_loss.back();
+  }
+  return hist;
+}
+
+double SurrogateModel::predict(std::span<const double> workload_qps,
+                               std::span<const double> quota_millicores) {
+  if (workload_qps.size() != node_count_ || quota_millicores.size() != node_count_)
+    throw std::invalid_argument{"SurrogateModel::predict: dimension mismatch"};
+  nn::Tape tape;
+  nn::Tensor quota{1, node_count_};
+  for (std::size_t n = 0; n < node_count_; ++n) quota(0, n) = quota_millicores[n];
+  nn::Var out = predict_var(tape, workload_qps, tape.constant(std::move(quota)));
+  return tape.value(out).item();
+}
+
+nn::Var SurrogateModel::predict_var(nn::Tape& tape,
+                                    std::span<const double> workload_qps,
+                                    nn::Var quota_mc) {
+  if (workload_qps.size() != node_count_)
+    throw std::invalid_argument{"SurrogateModel::predict_var: dimension mismatch"};
+  const nn::Tensor& q = tape.value(quota_mc);
+  if (q.rows() == 0 || q.cols() != node_count_)
+    throw std::invalid_argument{"SurrogateModel::predict_var: quota must be B x n"};
+  const std::size_t batch = q.rows();
+  std::vector<nn::Var> cols;
+  cols.reserve(node_count_ * kNodeFeatures);
+  for (std::size_t n = 0; n < node_count_; ++n) {
+    nn::Var q_raw = nn::slice_cols(quota_mc, n, 1);
+    nn::Var q_inv = nn::reciprocal(q_raw);
+    cols.push_back(tape.constant_fill(batch, 1, workload_qps[n] * s_.w_scale));
+    cols.push_back(nn::scale(q_raw, s_.q_scale));
+    cols.push_back(nn::scale(q_inv, s_.q_min_mc));
+    cols.push_back(nn::scale(q_inv, workload_qps[n] / s_.ratio_max));
+  }
+  nn::Var x = nn::concat_cols(cols);
+  nn::Var out = mlp_.forward(tape, x, rng_, /*training=*/false);
+  return nn::scale(nn::exp(out), s_.label_ref);
+}
+
+nn::Var SurrogateModel::predict_var_rows(nn::Tape& tape,
+                                         const nn::Tensor& workload_qps,
+                                         nn::Var quota_mc) {
+  if (workload_qps.cols() != node_count_)
+    throw std::invalid_argument{"SurrogateModel::predict_var_rows: dimension mismatch"};
+  const nn::Tensor& q = tape.value(quota_mc);
+  if (q.rows() != workload_qps.rows() || q.cols() != node_count_)
+    throw std::invalid_argument{
+        "SurrogateModel::predict_var_rows: quota must match workload rows x n"};
+  const std::size_t batch = q.rows();
+  std::vector<nn::Var> cols;
+  cols.reserve(node_count_ * kNodeFeatures);
+  for (std::size_t n = 0; n < node_count_; ++n) {
+    nn::Var q_raw = nn::slice_cols(quota_mc, n, 1);
+    nn::Var q_inv = nn::reciprocal(q_raw);
+    // Per-row constant columns staged into recycled tape buffers, filled
+    // with the exact expressions predict_var evaluates; the row-constant
+    // scale() becomes mul() against a per-row column (same product bits).
+    nn::Tensor& wbuf = tape.stage(batch, 1);
+    for (std::size_t r = 0; r < batch; ++r)
+      wbuf(r, 0) = workload_qps(r, n) * s_.w_scale;
+    cols.push_back(tape.commit_constant());
+    cols.push_back(nn::scale(q_raw, s_.q_scale));
+    cols.push_back(nn::scale(q_inv, s_.q_min_mc));
+    nn::Tensor& rbuf = tape.stage(batch, 1);
+    for (std::size_t r = 0; r < batch; ++r)
+      rbuf(r, 0) = workload_qps(r, n) / s_.ratio_max;
+    cols.push_back(nn::mul(q_inv, tape.commit_constant()));
+  }
+  nn::Var x = nn::concat_cols(cols);
+  nn::Var out = mlp_.forward(tape, x, rng_, /*training=*/false);
+  return nn::scale(nn::exp(out), s_.label_ref);
+}
+
+double SurrogateModel::evaluate_loss(const Dataset& data, double theta_under,
+                                     double theta_over) {
+  if (data.empty())
+    throw std::invalid_argument{"SurrogateModel::evaluate_loss: empty dataset"};
+  constexpr std::size_t kChunk = 512;
+  double total = 0.0;
+  nn::Tape tape;
+  for (std::size_t start = 0; start < data.size(); start += kChunk) {
+    const std::size_t len = std::min(kChunk, data.size() - start);
+    std::vector<std::size_t> idx(len);
+    std::iota(idx.begin(), idx.end(), start);
+    Batch b = assemble(data, idx);
+    tape.reset();
+    nn::Var pred = forward_features(tape, b, rng_, /*training=*/false);
+    nn::Var d = nn::sub(pred, tape.constant_ref(b.labels));
+    nn::Var loss = nn::mean_all(nn::asym_huber(d, theta_under, theta_over));
+    total += tape.value(loss).item() * static_cast<double>(len);
+  }
+  return total / static_cast<double>(data.size());
+}
+
+AccuracyReport SurrogateModel::evaluate_accuracy(const Dataset& data,
+                                                 double region_lo_ms,
+                                                 double region_hi_ms) {
+  AccuracyReport rep;
+  double abs_sum = 0.0;
+  double signed_sum = 0.0;
+  for (const Sample& s : data) {
+    if (s.latency_ms < region_lo_ms || s.latency_ms >= region_hi_ms) continue;
+    const double pred = predict(s.workload, s.quota);
+    const double pct = (pred - s.latency_ms) / std::max(s.latency_ms, 1e-9) * 100.0;
+    abs_sum += std::abs(pct);
+    signed_sum += pct;
+    ++rep.count;
+  }
+  if (rep.count > 0) {
+    rep.mean_abs_pct_error = abs_sum / static_cast<double>(rep.count);
+    rep.mean_pct_error = signed_sum / static_cast<double>(rep.count);
+  }
+  return rep;
+}
+
+std::uint64_t SurrogateModel::fingerprint(SurrogateModel& model) {
+  std::uint64_t h = kFnvOffset;
+  mix(h, model.node_count_);
+  mix(h, model.cfg_.hidden);
+  mix(h, model.cfg_.hidden_layers);
+  mix_double(h, model.cfg_.dropout_p);
+  mix_double(h, model.s_.w_scale);
+  mix_double(h, model.s_.q_scale);
+  mix_double(h, model.s_.q_min_mc);
+  mix_double(h, model.s_.ratio_max);
+  mix_double(h, model.s_.label_ref);
+  for (const nn::Tensor& t : model.state_dict()) {
+    mix(h, t.rows());
+    mix(h, t.cols());
+    for (std::size_t i = 0; i < t.size(); ++i) mix_double(h, t.data()[i]);
+  }
+  return h;
+}
+
+Dataset SurrogateDistiller::sample_teacher(LatencyModel& teacher,
+                                           std::span<const double> workload_hi,
+                                           std::span<const Millicores> lo,
+                                           std::span<const Millicores> hi,
+                                           std::size_t count, std::uint64_t seed,
+                                           double workload_floor,
+                                           double correlated_fraction,
+                                           double low_quota_bias) {
+  const std::size_t n = teacher.node_count();
+  if (workload_hi.size() != n || lo.size() != n || hi.size() != n)
+    throw std::invalid_argument{"sample_teacher: dimension mismatch"};
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(lo[i] > 0.0) || hi[i] < lo[i])
+      throw std::invalid_argument{"sample_teacher: need 0 < lo <= hi"};
+    if (workload_hi[i] < 0.0)
+      throw std::invalid_argument{"sample_teacher: workload_hi must be >= 0"};
+  }
+  if (workload_floor < 0.0 || workload_floor > 1.0)
+    throw std::invalid_argument{"sample_teacher: workload_floor must be in [0, 1]"};
+  if (correlated_fraction < 0.0 || correlated_fraction > 1.0)
+    throw std::invalid_argument{
+        "sample_teacher: correlated_fraction must be in [0, 1]"};
+  if (low_quota_bias < 0.0 || low_quota_bias > 1.0)
+    throw std::invalid_argument{"sample_teacher: low_quota_bias must be in [0, 1]"};
+
+  // Inputs first: sample i's draws come from its own derived stream, so the
+  // set is a pure function of (seed, count) — chunking below never shifts it.
+  Dataset data(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Rng rng{derive_seed(seed, i)};
+    Sample& s = data[i];
+    s.workload.resize(n);
+    s.quota.resize(n);
+    // Correlated-ray samples share one scale t across nodes: frontend-driven
+    // load moves every service together, and planner queries live near that
+    // ray — independent draws alone never cover it in higher dimensions.
+    if (rng.uniform(0.0, 1.0) < correlated_fraction) {
+      const double t = rng.uniform(workload_floor, 1.0);
+      for (std::size_t k = 0; k < n; ++k) s.workload[k] = t * workload_hi[k];
+    } else {
+      for (std::size_t k = 0; k < n; ++k)
+        s.workload[k] = rng.uniform(workload_floor * workload_hi[k], workload_hi[k]);
+    }
+    // Log-uniform quota draws concentrate where the latency surface curves
+    // hardest — the low-quota saturation cliffs the solver's level set hugs.
+    if (rng.uniform(0.0, 1.0) < low_quota_bias) {
+      for (std::size_t k = 0; k < n; ++k)
+        s.quota[k] = lo[k] * std::exp(rng.uniform(0.0, std::log(hi[k] / lo[k])));
+    } else {
+      for (std::size_t k = 0; k < n; ++k) s.quota[k] = rng.uniform(lo[k], hi[k]);
+    }
+  }
+
+  // Teacher labels in fixed-size chunks over private frozen tapes: eval-mode
+  // forwards only read the shared weights, and labels land by sample index,
+  // so the dataset is bit-identical at any thread count.
+  constexpr std::size_t kChunk = 64;
+  const std::size_t chunks = count == 0 ? 0 : (count + kChunk - 1) / kChunk;
+  global_pool().parallel_for(chunks, [&](std::size_t c) {
+    const std::size_t begin = c * kChunk;
+    const std::size_t len = std::min(kChunk, count - begin);
+    nn::Tensor workload_rows{len, n};
+    nn::Tensor quota{len, n};
+    for (std::size_t r = 0; r < len; ++r)
+      for (std::size_t k = 0; k < n; ++k) {
+        workload_rows(r, k) = data[begin + r].workload[k];
+        quota(r, k) = data[begin + r].quota[k];
+      }
+    nn::Tape tape;
+    tape.set_freeze_params(true);
+    nn::Var pred =
+        teacher.predict_var_rows(tape, workload_rows, tape.constant(std::move(quota)));
+    const nn::Tensor& out = tape.value(pred);
+    for (std::size_t r = 0; r < len; ++r) data[begin + r].latency_ms = out(r, 0);
+  });
+  return data;
+}
+
+SurrogateDistiller::Result SurrogateDistiller::distill(
+    LatencyModel& teacher, std::span<const double> workload_hi,
+    std::span<const Millicores> lo, std::span<const Millicores> hi,
+    const DistillConfig& cfg) {
+  if (cfg.samples < 16)
+    throw std::invalid_argument{"distill: need at least 16 samples"};
+  if (cfg.val_fraction < 0.0 || cfg.val_fraction >= 1.0)
+    throw std::invalid_argument{"distill: val_fraction must be in [0, 1)"};
+
+  Dataset all = sample_teacher(teacher, workload_hi, lo, hi, cfg.samples, cfg.seed,
+                               cfg.workload_floor, cfg.correlated_fraction,
+                               cfg.low_quota_bias);
+  // Samples are i.i.d., so the held-out tail is an unbiased split.
+  const std::size_t val_count = std::min(
+      all.size() - 1, static_cast<std::size_t>(
+                          std::llround(cfg.val_fraction * static_cast<double>(all.size()))));
+  Dataset val{all.end() - static_cast<std::ptrdiff_t>(val_count), all.end()};
+  all.resize(all.size() - val_count);
+
+  SurrogateModel model{teacher.node_count(), cfg.model, derive_seed(cfg.seed, 1)};
+  model.set_scalers(teacher.scalers());
+
+  DistillReport report;
+  report.samples = cfg.samples;
+  report.history = model.fit(all, val, cfg.train);
+  if (!val.empty())
+    report.val_mean_abs_pct_error = model.evaluate_accuracy(val).mean_abs_pct_error;
+  return {std::move(model), std::move(report)};
+}
+
+}  // namespace graf::gnn

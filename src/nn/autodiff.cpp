@@ -1,5 +1,6 @@
 #include "nn/autodiff.h"
 
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -402,6 +403,24 @@ Var reciprocal(Var a) {
     s.resize_zero(g.rows(), g.cols());
     for (std::size_t i = 0; i < g.size(); ++i)
       s.data()[i] = -g.data()[i] * y.data()[i] * y.data()[i];
+    t.accumulate(n.a, s);
+  });
+}
+
+Var exp(Var a) {
+  Tape& t = *a.tape;
+  const Tensor& av = t.value(a);
+  Tensor& out = t.stage(av.rows(), av.cols());
+  const double* ap = av.data();
+  for (std::size_t i = 0; i < av.size(); ++i) out.data()[i] = std::exp(ap[i]);
+  return t.commit1(a.id, [](Tape& t, int id) {
+    auto& n = OpAccess::node(t, id);
+    const Tensor& g = n.grad;
+    const Tensor& y = n.value;  // dy/dx = y
+    Tensor& s = OpAccess::scratch(t);
+    s.resize_zero(g.rows(), g.cols());
+    for (std::size_t i = 0; i < g.size(); ++i)
+      s.data()[i] = g.data()[i] * y.data()[i];
     t.accumulate(n.a, s);
   });
 }

@@ -197,6 +197,8 @@ Var relu(Var a);
 /// Elementwise 1/x. Caller must keep inputs away from zero (quota features
 /// are bounded below by Algorithm 1's lower bounds).
 Var reciprocal(Var a);
+/// Elementwise e^x; backward reuses the stored forward value (dy/dx = y).
+Var exp(Var a);
 /// Inverted dropout: zero with prob p and rescale by 1/(1-p). Identity when
 /// `training` is false or p == 0.
 Var dropout(Var a, double p, Rng& rng, bool training);

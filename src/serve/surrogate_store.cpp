@@ -1,0 +1,315 @@
+#include "serve/surrogate_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "serve/wire.h"
+
+namespace graf::serve {
+
+namespace {
+
+using wire::Reader;
+using wire::Writer;
+
+constexpr char kMagic[8] = {'G', 'R', 'A', 'F', 'S', 'R', 'G', 'T'};
+constexpr std::uint32_t kEndianTag = 0x01020304u;
+
+// Sanity bounds for corrupted length fields (wire.h rationale).
+constexpr std::uint64_t kMaxNodes = 1u << 16;
+constexpr std::uint64_t kMaxHidden = 1u << 16;
+constexpr std::uint64_t kMaxLayers = 1u << 8;
+constexpr std::uint64_t kMaxTensors = 1u << 10;
+constexpr std::uint64_t kMaxTensorElems = 1u << 26;
+
+void write_payload(Writer& w, gnn::SurrogateModel& model,
+                   const SurrogateMeta& meta) {
+  // [config]
+  const gnn::SurrogateConfig& cfg = model.config();
+  w.u64(model.node_count());
+  w.u64(cfg.hidden);
+  w.u64(cfg.hidden_layers);
+  w.f64(cfg.dropout_p);
+
+  // [scalers]
+  const gnn::ScalerState s = model.scalers();
+  w.f64(s.w_scale);
+  w.f64(s.q_scale);
+  w.f64(s.q_min_mc);
+  w.f64(s.ratio_max);
+  w.f64(s.label_ref);
+
+  // [meta]
+  w.str(meta.application);
+  w.f64(meta.slo_ms);
+  w.u64(meta.teacher_fingerprint);
+  w.u64(meta.distill_samples);
+  w.f64(meta.val_error_pct);
+  w.f64(meta.created_sim_time);
+
+  // [weights]
+  const std::vector<nn::Tensor> state = model.state_dict();
+  w.u64(state.size());
+  for (const nn::Tensor& t : state) {
+    w.u64(t.rows());
+    w.u64(t.cols());
+    for (std::size_t i = 0; i < t.size(); ++i) w.f64(t.data()[i]);
+  }
+}
+
+LoadedSurrogate read_payload(Reader& r) {
+  // [config]
+  const std::uint64_t node_count = r.u64();
+  gnn::SurrogateConfig cfg;
+  cfg.hidden = static_cast<std::size_t>(r.u64());
+  cfg.hidden_layers = static_cast<std::size_t>(r.u64());
+  cfg.dropout_p = r.f64();
+  if (node_count == 0 || node_count > kMaxNodes)
+    throw CheckpointError{"config: implausible node count"};
+  if (cfg.hidden == 0 || cfg.hidden > kMaxHidden)
+    throw CheckpointError{"config: implausible hidden width"};
+  if (cfg.hidden_layers > kMaxLayers)
+    throw CheckpointError{"config: implausible layer count"};
+
+  // [scalers]
+  gnn::ScalerState s;
+  s.w_scale = r.f64();
+  s.q_scale = r.f64();
+  s.q_min_mc = r.f64();
+  s.ratio_max = r.f64();
+  s.label_ref = r.f64();
+
+  // [meta]
+  SurrogateMeta meta;
+  meta.application = r.str();
+  meta.slo_ms = r.f64();
+  meta.teacher_fingerprint = r.u64();
+  meta.distill_samples = r.u64();
+  meta.val_error_pct = r.f64();
+  meta.created_sim_time = r.f64();
+
+  // [weights]
+  const std::uint64_t tensor_count = r.u64();
+  if (tensor_count > kMaxTensors)
+    throw CheckpointError{"weights: implausible tensor count"};
+  std::vector<nn::Tensor> state;
+  state.reserve(static_cast<std::size_t>(tensor_count));
+  for (std::uint64_t t = 0; t < tensor_count; ++t) {
+    const std::uint64_t rows = r.u64();
+    const std::uint64_t cols = r.u64();
+    if (rows == 0 || cols == 0 || rows * cols > kMaxTensorElems)
+      throw CheckpointError{"weights: implausible tensor shape"};
+    nn::Tensor tensor{static_cast<std::size_t>(rows), static_cast<std::size_t>(cols)};
+    for (std::size_t i = 0; i < tensor.size(); ++i) tensor.data()[i] = r.f64();
+    state.push_back(std::move(tensor));
+  }
+  if (!r.exhausted()) throw CheckpointError{"trailing bytes after weights"};
+
+  // The seed only shapes the discarded initial weights — load_state_dict
+  // overwrites every parameter bit.
+  gnn::SurrogateModel model{static_cast<std::size_t>(node_count), cfg, 1};
+  model.set_scalers(s);
+  try {
+    model.load_state_dict(state);
+  } catch (const std::exception& e) {
+    throw CheckpointError{std::string{"weights: "} + e.what()};
+  }
+  return {std::move(model), std::move(meta)};
+}
+
+}  // namespace
+
+void save_surrogate_checkpoint(std::ostream& os, gnn::SurrogateModel& model,
+                               const SurrogateMeta& meta) {
+  Writer payload;
+  write_payload(payload, model, meta);
+  const std::string& body = payload.buffer();
+
+  Writer header;
+  header.bytes(kMagic, sizeof kMagic);
+  header.u32(kSurrogateFormatVersion);
+  header.u32(kEndianTag);
+  header.u64(body.size());
+
+  os.write(header.buffer().data(),
+           static_cast<std::streamsize>(header.buffer().size()));
+  os.write(body.data(), static_cast<std::streamsize>(body.size()));
+  const std::uint32_t crc = crc32(body.data(), body.size());
+  os.write(reinterpret_cast<const char*>(&crc), sizeof crc);
+  if (!os) throw CheckpointError{"write failed"};
+}
+
+void save_surrogate_checkpoint_file(const std::string& path,
+                                    gnn::SurrogateModel& model,
+                                    const SurrogateMeta& meta) {
+  std::ofstream os{path, std::ios::binary | std::ios::trunc};
+  if (!os) throw CheckpointError{"cannot open " + path + " for writing"};
+  save_surrogate_checkpoint(os, model, meta);
+}
+
+LoadedSurrogate load_surrogate_checkpoint(std::istream& is) {
+  char magic[sizeof kMagic];
+  if (!is.read(magic, sizeof magic)) throw CheckpointError{"truncated header"};
+  if (std::memcmp(magic, kMagic, sizeof kMagic) != 0)
+    throw CheckpointError{"bad magic (not a .grafsg file)"};
+
+  std::uint32_t version = 0;
+  std::uint32_t endian = 0;
+  std::uint64_t payload_size = 0;
+  if (!is.read(reinterpret_cast<char*>(&version), sizeof version) ||
+      !is.read(reinterpret_cast<char*>(&endian), sizeof endian) ||
+      !is.read(reinterpret_cast<char*>(&payload_size), sizeof payload_size))
+    throw CheckpointError{"truncated header"};
+  if (version != kSurrogateFormatVersion)
+    throw CheckpointError{"unsupported format version " + std::to_string(version)};
+  if (endian != kEndianTag)
+    throw CheckpointError{"endianness mismatch (file written on a foreign host)"};
+  if (payload_size > (std::uint64_t{1} << 30))
+    throw CheckpointError{"implausible payload size"};
+
+  std::string body(static_cast<std::size_t>(payload_size), '\0');
+  if (!is.read(body.data(), static_cast<std::streamsize>(body.size())))
+    throw CheckpointError{"payload truncated"};
+
+  std::uint32_t stored_crc = 0;
+  if (!is.read(reinterpret_cast<char*>(&stored_crc), sizeof stored_crc))
+    throw CheckpointError{"missing CRC"};
+  if (stored_crc != crc32(body.data(), body.size()))
+    throw CheckpointError{"CRC mismatch (corrupted file)"};
+
+  Reader r{body.data(), body.size()};
+  return read_payload(r);
+}
+
+LoadedSurrogate load_surrogate_checkpoint_file(const std::string& path) {
+  std::ifstream is{path, std::ios::binary};
+  if (!is) throw CheckpointError{"cannot open " + path};
+  return load_surrogate_checkpoint(is);
+}
+
+// ---- SurrogateRegistry -----------------------------------------------------
+
+SurrogateRegistry::SurrogateRegistry(std::string store_dir)
+    : store_dir_{std::move(store_dir)} {}
+
+std::string SurrogateRegistry::checkpoint_path(const ModelKey& key,
+                                               std::uint64_t version) const {
+  if (store_dir_.empty()) return "";
+  return store_dir_ + "/" + key.str() + ".v" + std::to_string(version) + ".grafsg";
+}
+
+std::uint64_t SurrogateRegistry::publish(const ModelKey& key,
+                                         gnn::SurrogateModel& model,
+                                         SurrogateMeta meta) {
+  // Deep-copy before taking the lock (model_registry.cpp rationale).
+  auto copy = std::make_shared<gnn::SurrogateModel>(model.clone());
+  meta.application = key.application;
+  meta.slo_ms = key.slo_ms;
+  std::lock_guard lock{mu_};
+  Entry& e = entries_[key.str()];
+  const std::uint64_t version = e.next_version++;
+  const std::string path = checkpoint_path(key, version);
+  if (!path.empty()) save_surrogate_checkpoint_file(path, *copy, meta);
+  e.versions.push_back({version, std::move(meta), std::move(copy)});
+  return version;
+}
+
+std::uint64_t SurrogateRegistry::restore(const ModelKey& key,
+                                         const std::string& checkpoint_path) {
+  LoadedSurrogate loaded = load_surrogate_checkpoint_file(checkpoint_path);
+  return publish(key, loaded.model, std::move(loaded.meta));
+}
+
+const SurrogateRegistry::Version* SurrogateRegistry::find(
+    const Entry& e, std::uint64_t version) const {
+  for (const Version& v : e.versions)
+    if (v.version == version) return &v;
+  return nullptr;
+}
+
+void SurrogateRegistry::sync_handles(Entry& e) {
+  const Version* v = find(e, e.active);
+  for (SurrogateHandle* handle : e.handles)
+    handle->swap(v != nullptr ? v->model : nullptr);
+}
+
+bool SurrogateRegistry::promote(const ModelKey& key, std::uint64_t version) {
+  std::lock_guard lock{mu_};
+  auto it = entries_.find(key.str());
+  if (it == entries_.end()) return false;
+  Entry& e = it->second;
+  if (find(e, version) == nullptr) return false;
+  if (e.active == version) return true;
+  e.active = version;
+  e.promote_history.push_back(version);
+  sync_handles(e);
+  return true;
+}
+
+bool SurrogateRegistry::rollback(const ModelKey& key) {
+  std::lock_guard lock{mu_};
+  auto it = entries_.find(key.str());
+  if (it == entries_.end()) return false;
+  Entry& e = it->second;
+  if (e.promote_history.size() < 2) return false;
+  e.promote_history.pop_back();
+  e.active = e.promote_history.back();
+  sync_handles(e);
+  return true;
+}
+
+std::shared_ptr<gnn::SurrogateModel> SurrogateRegistry::active(
+    const ModelKey& key) const {
+  std::lock_guard lock{mu_};
+  auto it = entries_.find(key.str());
+  if (it == entries_.end()) return nullptr;
+  const Version* v = find(it->second, it->second.active);
+  return v != nullptr ? v->model : nullptr;
+}
+
+std::uint64_t SurrogateRegistry::active_version(const ModelKey& key) const {
+  std::lock_guard lock{mu_};
+  auto it = entries_.find(key.str());
+  return it == entries_.end() ? 0 : it->second.active;
+}
+
+SurrogateMeta SurrogateRegistry::active_meta(const ModelKey& key) const {
+  std::lock_guard lock{mu_};
+  auto it = entries_.find(key.str());
+  if (it == entries_.end()) return {};
+  const Version* v = find(it->second, it->second.active);
+  return v != nullptr ? v->meta : SurrogateMeta{};
+}
+
+std::vector<std::uint64_t> SurrogateRegistry::versions(const ModelKey& key) const {
+  std::vector<std::uint64_t> out;
+  std::lock_guard lock{mu_};
+  auto it = entries_.find(key.str());
+  if (it == entries_.end()) return out;
+  for (const Version& v : it->second.versions) out.push_back(v.version);
+  return out;
+}
+
+void SurrogateRegistry::attach_handle(const ModelKey& key, SurrogateHandle* handle) {
+  if (handle == nullptr) return;
+  std::lock_guard lock{mu_};
+  Entry& e = entries_[key.str()];
+  if (std::find(e.handles.begin(), e.handles.end(), handle) == e.handles.end())
+    e.handles.push_back(handle);
+  const Version* v = find(e, e.active);
+  handle->swap(v != nullptr ? v->model : nullptr);
+}
+
+void SurrogateRegistry::detach_handle(const ModelKey& key, SurrogateHandle* handle) {
+  std::lock_guard lock{mu_};
+  auto it = entries_.find(key.str());
+  if (it == entries_.end()) return;
+  auto& handles = it->second.handles;
+  handles.erase(std::remove(handles.begin(), handles.end(), handle), handles.end());
+}
+
+}  // namespace graf::serve

@@ -1,0 +1,152 @@
+// Serving infrastructure for the distilled fast-path surrogate
+// (gnn::SurrogateModel): binary checkpoints plus a versioned registry with
+// promote/rollback — the surrogate participates in the same
+// publish/promote/rollback lifecycle as the latency model and the
+// forecaster (model_registry.h / forecast_store.h), and the tiered planner
+// (core/tiered_planner.h) bumps its plan-cache generation whenever the
+// served instance changes.
+//
+// Checkpoint format (".grafsg") shares the .grafck framing (wire.h):
+//
+//   magic            8 bytes  "GRAFSRGT"
+//   format version   u32      kSurrogateFormatVersion
+//   endianness tag   u32      0x01020304 written natively
+//   payload size     u64      bytes between here and the CRC
+//   payload          ...      config | scalers | meta | weights
+//   crc32            u32      CRC-32 (IEEE 802.3) of the payload bytes
+//
+// The payload carries the teacher's scaler bits and every weight bit, so a
+// restored surrogate predicts — and therefore plans — bit-identically to
+// the one that was saved. Every failure mode raises CheckpointError naming
+// the offending section.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gnn/surrogate_model.h"
+#include "serve/checkpoint.h"
+#include "serve/model_registry.h"
+
+namespace graf::serve {
+
+inline constexpr std::uint32_t kSurrogateFormatVersion = 1;
+
+/// Provenance stored with every surrogate checkpoint.
+struct SurrogateMeta {
+  std::string application;
+  double slo_ms = 0.0;
+  /// Fingerprint of the teacher the surrogate was distilled from
+  /// (gnn::BatchedLatencyModel::fingerprint) — ties a checkpoint to the
+  /// exact full-GNN it approximates.
+  std::uint64_t teacher_fingerprint = 0;
+  std::uint64_t distill_samples = 0;
+  double val_error_pct = 0.0;  ///< held-out surrogate-vs-teacher MAPE
+  double created_sim_time = 0.0;
+};
+
+void save_surrogate_checkpoint(std::ostream& os, gnn::SurrogateModel& model,
+                               const SurrogateMeta& meta);
+void save_surrogate_checkpoint_file(const std::string& path,
+                                    gnn::SurrogateModel& model,
+                                    const SurrogateMeta& meta);
+
+struct LoadedSurrogate {
+  gnn::SurrogateModel model;
+  SurrogateMeta meta;
+};
+
+LoadedSurrogate load_surrogate_checkpoint(std::istream& is);
+LoadedSurrogate load_surrogate_checkpoint_file(const std::string& path);
+
+/// Hot-swappable handle to the surrogate currently in service — the
+/// surrogate twin of ServingHandle/ForecastHandle. A TieredPlanner with an
+/// attached handle acquires at the top of every solve, so registry
+/// promotes/rollbacks land between control ticks without pausing the loop.
+class SurrogateHandle {
+ public:
+  using Ptr = std::shared_ptr<gnn::SurrogateModel>;
+
+  SurrogateHandle() = default;
+  explicit SurrogateHandle(Ptr initial) : active_{std::move(initial)} {}
+
+  Ptr acquire() const {
+    std::lock_guard lock{mu_};
+    return active_;
+  }
+  Ptr swap(Ptr next) {
+    std::lock_guard lock{mu_};
+    active_.swap(next);
+    ++swaps_;
+    return next;
+  }
+  bool empty() const {
+    std::lock_guard lock{mu_};
+    return active_ == nullptr;
+  }
+  std::uint64_t swap_count() const {
+    std::lock_guard lock{mu_};
+    return swaps_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Ptr active_;
+  std::uint64_t swaps_ = 0;
+};
+
+/// Versioned surrogate store keyed by (application, SLO), mirroring
+/// ModelRegistry's semantics: publish() deep-copies an immutable version,
+/// promote() selects what serves (swapping attached SurrogateHandles under
+/// the lock), rollback() restores the previous promotion, and a store
+/// directory persists every version as "<key>.v<version>.grafsg".
+/// Thread-safe.
+class SurrogateRegistry {
+ public:
+  explicit SurrogateRegistry(std::string store_dir = "");
+
+  std::uint64_t publish(const ModelKey& key, gnn::SurrogateModel& model,
+                        SurrogateMeta meta);
+  std::uint64_t restore(const ModelKey& key, const std::string& checkpoint_path);
+  bool promote(const ModelKey& key, std::uint64_t version);
+  bool rollback(const ModelKey& key);
+
+  std::shared_ptr<gnn::SurrogateModel> active(const ModelKey& key) const;
+  std::uint64_t active_version(const ModelKey& key) const;
+  SurrogateMeta active_meta(const ModelKey& key) const;
+  std::vector<std::uint64_t> versions(const ModelKey& key) const;
+
+  void attach_handle(const ModelKey& key, SurrogateHandle* handle);
+  void detach_handle(const ModelKey& key, SurrogateHandle* handle);
+
+  /// Path a version's checkpoint is stored at ("" without a store dir).
+  std::string checkpoint_path(const ModelKey& key, std::uint64_t version) const;
+
+ private:
+  struct Version {
+    std::uint64_t version = 0;
+    SurrogateMeta meta;
+    std::shared_ptr<gnn::SurrogateModel> model;
+  };
+  struct Entry {
+    std::vector<Version> versions;
+    std::uint64_t next_version = 1;
+    std::uint64_t active = 0;  // 0 = none promoted
+    std::vector<std::uint64_t> promote_history;
+    std::vector<SurrogateHandle*> handles;
+  };
+
+  const Version* find(const Entry& e, std::uint64_t version) const;
+  void sync_handles(Entry& e);
+
+  std::string store_dir_;
+  std::map<std::string, Entry> entries_;
+  mutable std::mutex mu_;
+};
+
+}  // namespace graf::serve

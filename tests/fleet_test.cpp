@@ -758,5 +758,82 @@ TEST(FleetServer, DisabledPlanCacheReportsNoSpuriousEvictions) {
       << "a disabled cache must not report spurious evictions";
 }
 
+TEST(FleetServer, PerTenantPlanCacheCapacityFromSpec) {
+  FleetServer fleet;
+  // Two tenants on the same model, one with a deep cache (the make_spec
+  // default of 64) and one capped at a single entry via TenantSpec — the
+  // capacity must be honored per tenant, not fleet-wide.
+  TenantSpec lean = make_spec("lean-app", 1000.0);
+  lean.plan_cache_capacity = 1;
+  lean.change_threshold = 0.0;
+  TenantSpec deep = make_spec("deep-app", 1000.0);
+  deep.change_threshold = 0.0;
+  const TenantId lid = fleet.add_tenant(lean);
+  const TenantId did = fleet.add_tenant(deep);
+
+  // Alternate two workloads three times: the single-entry tenant thrashes
+  // (each insertion evicts the other workload's entry, so repeats miss)
+  // while the deep tenant serves every repeat from cache.
+  double now = 1.0;
+  for (int round = 0; round < 3; ++round)
+    for (double qps : {40.0, 80.0}) {
+      fleet.push(qps_update(lid, now, {qps}));
+      fleet.push(qps_update(did, now, {qps}));
+      fleet.step();
+      now += 10.0;
+    }
+  EXPECT_EQ(fleet.tenant(lid)->controller().plan_cache_hits(), 0u)
+      << "capacity-1 tenant: the alternating workload always evicted first";
+  EXPECT_GE(fleet.tenant(lid)->controller().plan_cache_evictions(), 3u);
+  EXPECT_EQ(fleet.tenant(did)->controller().plan_cache_hits(), 4u)
+      << "default-capacity sibling serves every repeat from its own cache";
+  EXPECT_EQ(fleet.tenant(did)->controller().plan_cache_evictions(), 0u);
+}
+
+TEST(FleetServer, BatchedGroupThrowFallsBackAndEveryTenantCommits) {
+  FleetServer fleet;  // batch_plans on by default
+  std::vector<TenantId> ids;
+  for (int t = 0; t < 3; ++t)
+    ids.push_back(fleet.add_tenant(make_spec("app-" + std::to_string(t), 200.0)));
+
+  // All three share the model fingerprint and solver config, so they form
+  // one batched group — then the middle tenant's retargeted SLO of -1
+  // passes prepare() (begin_plan does not validate the SLO) and makes
+  // solve_batch throw mid-group. The per-tenant fallback must leave the
+  // two healthy tenants with committed plans and degrade the broken one
+  // alone, with counters consistent.
+  fleet.tenant(ids[1])->set_slo(-1.0);
+  for (int t = 0; t < 3; ++t)
+    fleet.push(qps_update(ids[static_cast<std::size_t>(t)], 1.0,
+                          {55.0 + 5.0 * t}));
+  const auto stats = fleet.step();
+  EXPECT_EQ(stats.planned, 2u);
+  EXPECT_EQ(stats.failures, 1u);
+  EXPECT_TRUE(fleet.tenant(ids[0])->has_plan());
+  EXPECT_TRUE(fleet.tenant(ids[2])->has_plan());
+  EXPECT_FALSE(fleet.tenant(ids[0])->degraded());
+  EXPECT_FALSE(fleet.tenant(ids[2])->degraded());
+  EXPECT_FALSE(fleet.tenant(ids[1])->has_plan());
+  EXPECT_TRUE(fleet.tenant(ids[1])->degraded());
+  EXPECT_EQ(fleet.tenant(ids[1])->failures(), 1u);
+  EXPECT_EQ(fleet.metrics().counter("fleet.plans").value(), 2.0);
+  EXPECT_EQ(fleet.metrics().counter("fleet.tenant_failures").value(), 1.0);
+
+  // The healthy tenants' fallback plans must equal a from-scratch solo
+  // solve — the fallback re-runs each member through its own pipeline.
+  FleetServer ref{{.batch_plans = false}};
+  const TenantId rid = ref.add_tenant(make_spec("app-0", 200.0));
+  ref.push(qps_update(rid, 1.0, {55.0}));
+  ref.step();
+  EXPECT_EQ(ref.tenant(rid)->last_plan().instances,
+            fleet.tenant(ids[0])->last_plan().instances);
+
+  // Recovery: a sane SLO on the broken tenant re-solves on the next step.
+  fleet.tenant(ids[1])->set_slo(200.0);
+  fleet.push(qps_update(ids[1], 2.0, {60.0}));
+  EXPECT_EQ(fleet.step().planned, 1u);
+  EXPECT_FALSE(fleet.tenant(ids[1])->degraded());
+}
+
 }  // namespace
 }  // namespace graf::fleet

@@ -1,0 +1,559 @@
+// Distilled fast-path surrogate planning (DESIGN.md §3.14): the
+// SurrogateModel/SurrogateDistiller pair, the .grafsg checkpoint + registry
+// lifecycle, the two-tier TieredPlanner (fast-path accept, trust-band
+// escalation bit-identical to the full solve, miss-window refresh), the
+// ResourceController plan-cache key audit (planner mode + surrogate
+// generation), the <5% escalation-rate bar on all four paper topologies,
+// and the §3.7/§3.13 determinism contracts: distillation and tiered solves
+// replay bit-identically at GRAF_THREADS=1 and 8, and fleet-batched
+// surrogate groups match the per-tenant path bit for bit.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/catalog.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/resource_controller.h"
+#include "core/tiered_planner.h"
+#include "core/workload_analyzer.h"
+#include "fleet/fleet_server.h"
+#include "gnn/latency_model.h"
+#include "gnn/surrogate_model.h"
+#include "serve/checkpoint.h"
+#include "serve/surrogate_store.h"
+
+namespace graf {
+namespace {
+
+// --- shared tiny trained teacher (one expensive train for the suite) --------
+
+gnn::Dag chain2() {
+  gnn::Dag d;
+  d.add_node("front");
+  d.add_node("back");
+  d.add_edge(0, 1);
+  return d;
+}
+
+double truth_ms(const std::vector<double>& w, const std::vector<double>& q,
+                const std::vector<double>& demand) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const double cores = q[i] / 1000.0;
+    const double base = demand[i] / std::min(cores, 1.0);
+    const double capacity = cores * 1000.0 / demand[i];
+    const double utilization = std::min(w[i] / capacity, 0.95);
+    total += base / (1.0 - utilization);
+  }
+  return total;
+}
+
+const std::vector<double> kDemand{20.0, 40.0};
+const std::vector<double> kRegion{100.0, 100.0};
+const std::vector<Millicores> kLo{200.0, 200.0};
+const std::vector<Millicores> kHi{2000.0, 2000.0};
+
+gnn::Dataset demand_dataset(std::size_t n, std::uint64_t seed) {
+  Rng rng{seed};
+  gnn::Dataset out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    gnn::Sample s;
+    const double w = rng.uniform(20.0, 100.0);
+    s.workload = {w, w};
+    s.quota = {rng.uniform(300.0, 2000.0), rng.uniform(300.0, 2000.0)};
+    s.latency_ms = truth_ms(s.workload, s.quota, kDemand) * rng.lognormal(0.0, 0.03);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+gnn::LatencyModel& trained_model() {
+  static gnn::LatencyModel m = [] {
+    gnn::MpnnConfig cfg{.node_features = 4, .embed_dim = 8, .mpnn_hidden = 8,
+                        .readout_hidden = 24, .message_steps = 2,
+                        .dropout_p = 0.05, .use_mpnn = true};
+    gnn::LatencyModel lm{chain2(), cfg, 7};
+    gnn::TrainConfig tcfg{.iterations = 900, .batch_size = 64, .lr = 3e-3,
+                          .eval_every = 100, .seed = 3};
+    lm.fit(demand_dataset(1200, 1), demand_dataset(200, 2), tcfg);
+    return lm;
+  }();
+  return m;
+}
+
+/// Shortened distillation schedule: plenty for low single-digit fidelity on
+/// the 2-node teacher, cheap enough to run several times in one suite.
+gnn::DistillConfig tiny_distill() {
+  gnn::DistillConfig cfg;
+  cfg.samples = 2048;
+  cfg.model.hidden = 64;
+  cfg.train.iterations = 4000;
+  cfg.workload_floor = 0.2;  // stay on the teacher's trained region
+  return cfg;
+}
+
+gnn::SurrogateDistiller::Result& distilled() {
+  static gnn::SurrogateDistiller::Result r = gnn::SurrogateDistiller::distill(
+      trained_model(), kRegion, kLo, kHi, tiny_distill());
+  return r;
+}
+
+std::uint64_t mix(std::uint64_t h, double v) {
+  h ^= std::bit_cast<std::uint64_t>(v);
+  h *= 1099511628211ULL;
+  return h;
+}
+
+struct ThreadGuard {
+  explicit ThreadGuard(std::size_t n) { set_global_threads(n); }
+  ~ThreadGuard() { set_global_threads(0); }
+};
+
+// --- distillation -----------------------------------------------------------
+
+TEST(SurrogateDistill, HeldOutFidelityIsLowSingleDigits) {
+  const gnn::SurrogateDistiller::Result& r = distilled();
+  EXPECT_EQ(r.report.samples, 2048u);
+  EXPECT_LT(r.report.val_mean_abs_pct_error, 5.0)
+      << "surrogate-vs-teacher held-out MAPE";
+  EXPECT_FALSE(r.report.history.iteration.empty());
+}
+
+TEST(SurrogateDistill, DeterministicSamplesAndWeights) {
+  gnn::Dataset a = gnn::SurrogateDistiller::sample_teacher(
+      trained_model(), kRegion, kLo, kHi, 128, 99);
+  gnn::Dataset b = gnn::SurrogateDistiller::sample_teacher(
+      trained_model(), kRegion, kLo, kHi, 128, 99);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].workload, b[i].workload);
+    EXPECT_EQ(a[i].quota, b[i].quota);
+    EXPECT_EQ(a[i].latency_ms, b[i].latency_ms) << "teacher label i=" << i;
+  }
+
+  gnn::SurrogateDistiller::Result again = gnn::SurrogateDistiller::distill(
+      trained_model(), kRegion, kLo, kHi, tiny_distill());
+  EXPECT_EQ(gnn::SurrogateModel::fingerprint(again.model),
+            gnn::SurrogateModel::fingerprint(distilled().model))
+      << "same teacher + config must distill bit-identical weights";
+}
+
+TEST(SurrogateModel, ScalarPredictMatchesRowBatchedForwardBitwise) {
+  gnn::SurrogateModel& model = distilled().model;
+  const std::vector<std::vector<double>> ws{{40.0, 60.0}, {60.0, 60.0}, {85.0, 30.0}};
+  const std::vector<std::vector<double>> qs{{500.0, 700.0}, {900.0, 1100.0},
+                                            {1500.0, 300.0}};
+  nn::Tensor wrows{3, 2};
+  nn::Tensor qrows{3, 2};
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t i = 0; i < 2; ++i) {
+      wrows(r, i) = ws[r][i];
+      qrows(r, i) = qs[r][i];
+    }
+  nn::Tape tape;
+  tape.set_freeze_params(true);
+  nn::Var pred = model.predict_var_rows(tape, wrows, tape.constant(std::move(qrows)));
+  const nn::Tensor& vals = tape.value(pred);
+  tape.set_freeze_params(false);
+  for (std::size_t r = 0; r < 3; ++r)
+    EXPECT_EQ(vals(r, 0), model.predict(ws[r], qs[r]))
+        << "row " << r << ": stacked rows must equal the scalar path bitwise";
+}
+
+// --- checkpoints + registry -------------------------------------------------
+
+TEST(SurrogateStore, CheckpointRoundTripsBitwise) {
+  gnn::SurrogateModel& model = distilled().model;
+  serve::SurrogateMeta meta;
+  meta.application = "boutique";
+  meta.slo_ms = 200.0;
+  meta.teacher_fingerprint = 0xfeedbeef;
+  meta.distill_samples = 1024;
+  meta.val_error_pct = distilled().report.val_mean_abs_pct_error;
+  meta.created_sim_time = 12.5;
+
+  std::stringstream ss;
+  serve::save_surrogate_checkpoint(ss, model, meta);
+  serve::LoadedSurrogate loaded = serve::load_surrogate_checkpoint(ss);
+  EXPECT_EQ(gnn::SurrogateModel::fingerprint(loaded.model),
+            gnn::SurrogateModel::fingerprint(model));
+  EXPECT_EQ(loaded.meta.application, "boutique");
+  EXPECT_EQ(loaded.meta.teacher_fingerprint, 0xfeedbeefu);
+  EXPECT_EQ(loaded.meta.distill_samples, 1024u);
+  EXPECT_EQ(loaded.meta.created_sim_time, 12.5);
+
+  const std::vector<double> w{55.0, 55.0};
+  const std::vector<double> q{800.0, 1200.0};
+  EXPECT_EQ(loaded.model.predict(w, q), model.predict(w, q))
+      << "a restored surrogate must plan bit-identically";
+}
+
+TEST(SurrogateStore, CorruptPayloadRaisesCheckpointError) {
+  std::stringstream ss;
+  serve::save_surrogate_checkpoint(ss, distilled().model, {});
+  std::string bytes = ss.str();
+  ASSERT_GT(bytes.size(), 64u);
+  bytes[40] = static_cast<char>(bytes[40] ^ 0x5a);  // inside the payload
+  std::stringstream corrupt{bytes};
+  EXPECT_THROW(serve::load_surrogate_checkpoint(corrupt), serve::CheckpointError);
+
+  std::stringstream truncated{bytes.substr(0, 32)};
+  EXPECT_THROW(serve::load_surrogate_checkpoint(truncated), serve::CheckpointError);
+}
+
+TEST(SurrogateStore, RegistryPromoteAndRollbackBumpPlannerGeneration) {
+  serve::SurrogateRegistry registry;
+  const serve::ModelKey key{"boutique", 200.0};
+  serve::SurrogateMeta meta;
+  const std::uint64_t v1 = registry.publish(key, distilled().model, meta);
+  ASSERT_TRUE(registry.promote(key, v1));
+  serve::SurrogateHandle handle;
+  registry.attach_handle(key, &handle);
+
+  auto served = std::make_shared<gnn::SurrogateModel>(distilled().model.clone());
+  core::TieredPlanner planner{served, {}};
+  planner.set_handle(&handle);
+  const std::uint64_t g1 = planner.surrogate_generation();
+  EXPECT_EQ(planner.surrogate_generation(), g1) << "no swap, no bump";
+  EXPECT_EQ(gnn::SurrogateModel::fingerprint(planner.active_surrogate()),
+            gnn::SurrogateModel::fingerprint(distilled().model));
+
+  gnn::SurrogateModel v2_model = distilled().model.clone();
+  const std::uint64_t v2 = registry.publish(key, v2_model, meta);
+  ASSERT_TRUE(registry.promote(key, v2));
+  const std::uint64_t g2 = planner.surrogate_generation();
+  EXPECT_GT(g2, g1) << "promote must bump the plan-cache generation";
+  EXPECT_EQ(registry.active_version(key), v2);
+
+  ASSERT_TRUE(registry.rollback(key));
+  EXPECT_GT(planner.surrogate_generation(), g2) << "rollback bumps again";
+  EXPECT_EQ(registry.active_version(key), v1);
+  registry.detach_handle(key, &handle);
+}
+
+// --- the two-tier planner ---------------------------------------------------
+
+core::TieredPlannerConfig planner_config(double trust_band_pct,
+                                         const core::SolverConfig& solver) {
+  core::TieredPlannerConfig cfg;
+  cfg.solver = solver;
+  cfg.trust_band_pct = trust_band_pct;
+  return cfg;
+}
+
+TEST(TieredPlanner, FastPathAcceptReportsFullModelPrediction) {
+  core::SolverConfig scfg;
+  scfg.max_iterations = 400;
+  core::ConfigurationSolver full{trained_model(), scfg};
+  core::TieredPlanner planner{
+      std::make_shared<gnn::SurrogateModel>(distilled().model.clone()),
+      planner_config(25.0, scfg)};
+  telemetry::MetricsRegistry metrics;
+  planner.set_metrics(&metrics);
+  full.set_metrics(&metrics);
+
+  const std::vector<double> w{60.0, 60.0};
+  const core::SolverResult res = planner.solve(trained_model(), full, w, 1000.0,
+                                               kLo, kHi);
+  ASSERT_EQ(planner.fast_hits(), 1u) << "in-band candidate must be accepted";
+  EXPECT_EQ(planner.escalations(), 0u);
+  EXPECT_EQ(res.predicted_ms, trained_model().predict(w, res.quota))
+      << "accepted plans must report the full model's prediction (truth "
+         "flows downstream)";
+  EXPECT_GT(res.iterations, 0u);
+  EXPECT_EQ(metrics.counter("core.surrogate.fast_hits").value(), 1.0);
+  EXPECT_EQ(metrics.gauge("core.surrogate.trust_band_pct").value(), 25.0);
+  EXPECT_GT(metrics.counter("core.solver_iterations_total").value(), 0.0)
+      << "the surrogate descent must be credited to the solver's ledger";
+}
+
+TEST(TieredPlanner, ForcedEscalationMatchesFullModeBitwise) {
+  core::SolverConfig scfg;
+  scfg.max_iterations = 400;
+  core::ConfigurationSolver full{trained_model(), scfg};
+  // A vanishing trust band rejects every candidate: the tiered result must
+  // be the full solver's, bit for bit.
+  core::TieredPlanner planner{
+      std::make_shared<gnn::SurrogateModel>(distilled().model.clone()),
+      planner_config(1e-9, scfg)};
+
+  const std::vector<double> w{55.0, 55.0};
+  const core::SolverResult res = planner.solve(trained_model(), full, w, 1000.0,
+                                               kLo, kHi);
+  ASSERT_EQ(planner.escalations(), 1u);
+  EXPECT_EQ(planner.fast_hits(), 0u);
+  EXPECT_EQ(planner.miss_window_size(), 2u)
+      << "both the rejected candidate and the full solution feed the window";
+  EXPECT_EQ(planner.distill_samples(), 2u);
+
+  core::ConfigurationSolver reference{trained_model(), scfg};
+  const core::SolverResult expect = reference.solve(w, 1000.0, kLo, kHi);
+  ASSERT_EQ(res.quota.size(), expect.quota.size());
+  for (std::size_t i = 0; i < res.quota.size(); ++i)
+    EXPECT_EQ(res.quota[i], expect.quota[i]) << "i=" << i;
+  EXPECT_EQ(res.predicted_ms, expect.predicted_ms);
+  EXPECT_EQ(res.loss, expect.loss);
+  EXPECT_EQ(res.iterations, expect.iterations);
+  EXPECT_EQ(res.converged, expect.converged);
+}
+
+TEST(TieredPlanner, MissWindowRefreshAdoptsOnlyAnImprovedSurrogate) {
+  core::SolverConfig scfg;
+  scfg.max_iterations = 300;
+  core::ConfigurationSolver full{trained_model(), scfg};
+  core::TieredPlannerConfig pcfg = planner_config(1e-9, scfg);
+  pcfg.refresh_min_samples = 1;
+  core::TieredPlanner planner{
+      std::make_shared<gnn::SurrogateModel>(distilled().model.clone()), pcfg};
+
+  for (double w : {35.0, 50.0, 65.0, 80.0})
+    planner.solve(trained_model(), full, std::vector<double>{w, w}, 1000.0,
+                  kLo, kHi);
+  ASSERT_EQ(planner.escalations(), 4u);
+  ASSERT_EQ(planner.miss_window_size(), 8u);
+
+  const std::uint64_t gen = planner.surrogate_generation();
+  const bool adopted = planner.refresh_now();
+  if (adopted) {
+    EXPECT_EQ(planner.refreshes(), 1u);
+    EXPECT_GT(planner.surrogate_generation(), gen)
+        << "an adopted refresh must invalidate cached plans via the generation";
+  } else {
+    EXPECT_EQ(planner.refreshes(), 0u);
+    EXPECT_EQ(planner.surrogate_generation(), gen)
+        << "a rejected candidate must leave the serving surrogate untouched";
+  }
+}
+
+// --- satellite: plan-cache key audit (mode + surrogate generation) ----------
+
+TEST(PlanCacheSurrogate, ModeAndGenerationNeverServeAStaleEntry) {
+  core::SolverConfig scfg;
+  scfg.max_iterations = 200;
+  core::WorkloadAnalyzer analyzer{1, 2};
+  analyzer.set_fanout({{1.0, 1.0}});
+  core::ConfigurationSolver solver{trained_model(), scfg};
+  core::ResourceController controller{trained_model(), solver, analyzer,
+                                      kLo, kHi, {500.0, 500.0}};
+
+  const std::vector<Qps> observed{60.0};
+  controller.plan(observed, 1000.0);
+  EXPECT_EQ(controller.plan_cache_misses(), 1u);
+  controller.plan(observed, 1000.0);
+  EXPECT_EQ(controller.plan_cache_hits(), 1u) << "full-mode repeat hits";
+
+  // Same workload, same SLO — but the planner mode changed. The cached
+  // full-mode entry must never answer a surrogate-mode query (mirror of
+  // PlanCacheForecast.BoostedDemandNeverServedFromObservedEntry).
+  auto served = std::make_shared<gnn::SurrogateModel>(distilled().model.clone());
+  serve::SurrogateHandle handle{served};
+  core::TieredPlanner planner{served, planner_config(50.0, scfg)};
+  planner.set_handle(&handle);
+  controller.set_tiered_planner(&planner);
+  EXPECT_EQ(controller.planner_mode(), core::PlannerMode::kSurrogateVerified);
+
+  std::uint64_t hits = controller.plan_cache_hits();
+  controller.plan(observed, 1000.0);
+  EXPECT_EQ(controller.plan_cache_hits(), hits)
+      << "mode switch must miss the full-mode entry";
+  controller.plan(observed, 1000.0);
+  EXPECT_EQ(controller.plan_cache_hits(), hits + 1)
+      << "same mode + generation hits its own entry";
+
+  // A hot-swapped surrogate bumps the generation: cached surrogate-mode
+  // plans from the old weights must not survive the swap.
+  handle.swap(std::make_shared<gnn::SurrogateModel>(distilled().model.clone()));
+  hits = controller.plan_cache_hits();
+  controller.plan(observed, 1000.0);
+  EXPECT_EQ(controller.plan_cache_hits(), hits)
+      << "generation bump must miss the previous surrogate entry";
+
+  // Reverting to full mode finds the original full-mode entry — the keys
+  // diverge, nothing was thrown away.
+  controller.set_tiered_planner(nullptr);
+  EXPECT_EQ(controller.planner_mode(), core::PlannerMode::kFull);
+  hits = controller.plan_cache_hits();
+  controller.plan(observed, 1000.0);
+  EXPECT_EQ(controller.plan_cache_hits(), hits + 1)
+      << "full-mode entry still serves after the round trip";
+}
+
+// --- escalation rate across the four paper applications ---------------------
+
+TEST(SurrogateTopologies, EscalationRateStaysUnderFivePercentOnAllFourApps) {
+  for (const apps::Topology& topo : apps::all_applications()) {
+    const std::size_t n = topo.service_count();
+    std::vector<double> demand(n);
+    for (std::size_t i = 0; i < n; ++i) demand[i] = topo.services[i].demand_mean_ms;
+    const std::vector<double> region(n, 100.0);
+    const std::vector<Millicores> lo(n, 200.0);
+    const std::vector<Millicores> hi(n, 2000.0);
+
+    gnn::LatencyModel teacher{apps::make_dag(topo),
+                              {.node_features = 4, .embed_dim = 8, .mpnn_hidden = 8,
+                               .readout_hidden = 24, .message_steps = 2,
+                               .dropout_p = 0.05, .use_mpnn = true},
+                              7};
+    Rng rng{41};
+    gnn::Dataset data;
+    for (int s = 0; s < 1500; ++s) {
+      gnn::Sample sample;
+      const double w = rng.uniform(20.0, 100.0);
+      sample.workload.assign(n, w);
+      sample.quota.resize(n);
+      // Quota draws span the solver's full [lo, hi]: a teacher trained on a
+      // narrower range extrapolates wildly exactly where the descent probes.
+      for (double& q : sample.quota) q = rng.uniform(200.0, 2000.0);
+      sample.latency_ms = truth_ms(sample.workload, sample.quota, demand);
+      data.push_back(std::move(sample));
+    }
+    teacher.fit(data, {}, {.iterations = 1200, .batch_size = 64, .lr = 3e-3,
+                           .lr_decay_every = 400, .eval_every = 200, .seed = 3});
+
+    // Generous-but-real SLO: 1.5x the analytic latency of the fully
+    // provisioned system at the top of the solve workload range.
+    const double slo_ms =
+        1.5 * truth_ms(std::vector<double>(n, 90.0), hi, demand);
+
+    core::SolverConfig scfg;
+    scfg.max_iterations = 400;
+
+    // Solver-in-the-loop distillation at the production SLO/solver config:
+    // the rollout rounds are what pins fidelity down on the thin level set
+    // the fast path actually lands on (plain uniform distillation leaves
+    // the larger topologies at 2-5x this escalation rate).
+    core::SolverDistillConfig dcfg;
+    dcfg.base.samples = 1024 * n;
+    dcfg.base.model.hidden = 96;
+    dcfg.base.train.iterations = 5000;
+    dcfg.base.workload_floor = 0.2;
+    dcfg.rounds = 4;
+    dcfg.queries_per_round = 768;
+    dcfg.refine.iterations = 2500;
+    gnn::SurrogateDistiller::Result distill = core::TieredPlanner::distill_for_planner(
+        teacher, region, lo, hi, slo_ms, dcfg, scfg);
+
+    core::ConfigurationSolver full{teacher, scfg};
+    core::TieredPlanner planner{
+        std::make_shared<gnn::SurrogateModel>(std::move(distill.model)),
+        planner_config(10.0, scfg)};
+
+    constexpr std::size_t kSolves = 50;
+    Rng wdraw{17};
+    for (std::size_t s = 0; s < kSolves; ++s) {
+      const std::vector<double> w(n, wdraw.uniform(30.0, 90.0));
+      planner.solve(teacher, full, w, slo_ms, lo, hi);
+    }
+    EXPECT_EQ(planner.fast_hits() + planner.escalations(), kSolves);
+    EXPECT_LT(static_cast<double>(planner.escalations()) * 100.0,
+              5.0 * static_cast<double>(kSolves))
+        << topo.name << ": escalation rate must stay under 5% "
+        << "(fidelity " << distill.report.val_mean_abs_pct_error << "%)";
+  }
+}
+
+// --- determinism: GRAF_THREADS and fleet batching ---------------------------
+
+TEST(SurrogateThreads, DistillAndTieredSolvesBitIdenticalAcrossThreadCounts) {
+  auto run = [](std::size_t threads) {
+    ThreadGuard guard{threads};
+    core::SolverConfig scfg;
+    scfg.max_iterations = 300;
+    scfg.multi_starts = 3;
+    // Solver-in-the-loop distillation so the rollout rounds (stacked
+    // descent + teacher labeling + fold-in fine-tune) are under the same
+    // bit-identity contract as the plain pass.
+    core::SolverDistillConfig dcfg;
+    dcfg.base = tiny_distill();
+    dcfg.base.train.iterations = 1500;
+    dcfg.rounds = 1;
+    dcfg.queries_per_round = 24;
+    dcfg.refine.iterations = 300;
+    gnn::SurrogateDistiller::Result r = core::TieredPlanner::distill_for_planner(
+        trained_model(), kRegion, kLo, kHi, 1000.0, dcfg, scfg);
+    std::uint64_t digest = gnn::SurrogateModel::fingerprint(r.model);
+    core::ConfigurationSolver full{trained_model(), scfg};
+    core::TieredPlanner planner{
+        std::make_shared<gnn::SurrogateModel>(std::move(r.model)),
+        planner_config(10.0, scfg)};
+    for (double w : {40.0, 60.0, 80.0}) {
+      const core::SolverResult res = planner.solve(
+          trained_model(), full, std::vector<double>{w, w}, 1000.0, kLo, kHi);
+      for (double q : res.quota) digest = mix(digest, q);
+      digest = mix(digest, res.predicted_ms);
+      digest = mix(digest, static_cast<double>(res.iterations));
+    }
+    digest = mix(digest, static_cast<double>(planner.fast_hits()));
+    digest = mix(digest, static_cast<double>(planner.escalations()));
+    return digest;
+  };
+  EXPECT_EQ(run(1), run(8))
+      << "distillation + tiered planning must replay bit-identically";
+}
+
+fleet::TenantSpec surrogate_spec(const std::string& app, double slo_ms) {
+  fleet::TenantSpec spec;
+  spec.application = app;
+  spec.slo_ms = slo_ms;
+  spec.model = &trained_model();
+  spec.meta = {.train_samples = 1200, .val_error_pct = 10.0,
+               .created_sim_time = 0.0};
+  spec.lo = {200.0, 200.0};
+  spec.hi = {2000.0, 2000.0};
+  spec.unit = {500.0, 500.0};
+  spec.fanout = {{1.0, 1.0}};
+  spec.solver.max_iterations = 200;
+  spec.surrogate.enabled = true;
+  spec.surrogate.distill.base.samples = 512;
+  spec.surrogate.distill.base.train.iterations = 600;
+  spec.surrogate.distill.rounds = 1;
+  spec.surrogate.distill.queries_per_round = 16;
+  spec.surrogate.distill.refine.iterations = 200;
+  spec.surrogate.planner.solver = spec.solver;
+  return spec;
+}
+
+TEST(FleetSurrogate, BatchedGroupsMatchPerTenantSolvesBitwise) {
+  auto run = [](bool batched) {
+    fleet::FleetServer server{{.batch_plans = batched}};
+    std::vector<fleet::TenantId> ids;
+    for (int t = 0; t < 3; ++t)
+      ids.push_back(server.add_tenant(
+          surrogate_spec("app-" + std::to_string(t), 1000.0)));
+    for (int t = 0; t < 3; ++t)
+      server.push({.tenant = ids[static_cast<std::size_t>(t)], .now = 1.0,
+                   .api_qps = {55.0 + 5.0 * t}});
+    const fleet::FleetServer::StepStats stats = server.step();
+    EXPECT_EQ(stats.planned, 3u);
+    std::uint64_t digest = 1469598103934665603ULL;
+    for (fleet::TenantId id : ids) {
+      const fleet::Tenant* t = server.tenant(id);
+      for (double q : t->last_plan().quota) digest = mix(digest, q);
+      digest = mix(digest, t->last_plan().predicted_ms);
+      for (int inst : t->last_plan().instances)
+        digest = mix(digest, static_cast<double>(inst));
+      const core::TieredPlanner* planner =
+          server.tenant(id)->tiered_planner();
+      digest = mix(digest, static_cast<double>(planner->fast_hits()));
+      digest = mix(digest, static_cast<double>(planner->escalations()));
+    }
+    if (batched) {
+      EXPECT_GE(server.metrics().counter("fleet.batched_groups").value(), 1.0)
+          << "fingerprint-equal surrogate tenants must share a batch";
+    }
+    return digest;
+  };
+  EXPECT_EQ(run(false), run(true))
+      << "stacked surrogate groups must be bit-identical to solo solves";
+}
+
+}  // namespace
+}  // namespace graf
